@@ -1,0 +1,67 @@
+//! **Figure 10** — end-to-end runtime of BF, SG, MH100 and LSH100 for
+//! k = 10 diverse skyline points, as a function of dimensionality, on
+//! IND, ANT, FC and REC.
+//!
+//! ```sh
+//! cargo run --release -p skydiver-bench --bin fig10 [-- --scale 0.05]
+//! ```
+//!
+//! Notes mirroring the paper: BF is reported for k = 2 only (k = 10 "did
+//! not finish"), and is skipped entirely when the skyline is too large —
+//! exactly as the paper omits BF from the ANT panel and reports DNFs.
+//! Expected shape: BF ≫ SG ≫ MH ≈ LSH, with SG 2–3 orders of magnitude
+//! above the signature methods except on tiny skylines (IND 2D).
+
+use skydiver_bench::runner::ExperimentContext;
+use skydiver_bench::{fmt_ms, print_header, print_row, Args, Family};
+
+fn main() {
+    let args = Args::parse();
+    let k = args.get_or("k", 10usize);
+    let t = args.get_or("t", 100usize);
+    let bf_max_m = args.get_or("bf-max-m", 1200usize);
+    let sg_max_m = args.get_or("sg-max-m", 30_000usize);
+
+    println!(
+        "Figure 10: runtime for k={k} diverse points vs dimensionality (t={t}, scale {})",
+        args.scale
+    );
+    print_header(&["data", "d", "m", "BF(k=2)", "SG", &format!("MH{t}"), &format!("LSH{t}")]);
+
+    for family in [Family::Ind, Family::Ant, Family::Fc, Family::Rec] {
+        let n = args.cardinality(family);
+        for &d in family.paper_dims() {
+            let mut ctx = ExperimentContext::new(family, n, d, 1);
+            let m = ctx.m();
+            if m < 2 {
+                continue;
+            }
+            let k_eff = k.min(m);
+
+            let bf = ctx
+                .run_bf(2, bf_max_m)
+                .map(|r| fmt_ms(r.total_ms()))
+                .unwrap_or_else(|| "DNF".into());
+            let sg = if m <= sg_max_m && k_eff >= 2 {
+                fmt_ms(ctx.run_sg(k_eff).total_ms())
+            } else {
+                "DNF".into()
+            };
+            let mh = fmt_ms(ctx.run_mh(t, k_eff).total_ms());
+            let lsh = fmt_ms(ctx.run_lsh(t, 0.2, 20, k_eff).total_ms());
+
+            print_row(&[
+                family.name().into(),
+                d.to_string(),
+                m.to_string(),
+                bf,
+                sg,
+                mh,
+                lsh,
+            ]);
+        }
+    }
+    println!("\npaper reference (Fig 10): BF is impractical even at k=2; SG is");
+    println!("2-3 orders of magnitude slower than MH/LSH except for IND 2D");
+    println!("(tiny skyline); SG did not complete on ANT 6D.");
+}

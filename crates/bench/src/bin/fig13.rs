@@ -1,0 +1,71 @@
+//! **Figure 13** — MinHashing vs LSH: the memory/accuracy trade-off on
+//! FC and REC for k = 10. LSH is swept over thresholds ξ ∈ {0.1 … 0.4}
+//! and buckets-per-zone B ∈ {10, 20, 50} (signature size fixed at 100);
+//! MinHash over signature sizes t ∈ {20, 50, 100}.
+//!
+//! ```sh
+//! cargo run --release -p skydiver-bench --bin fig13 [-- --scale 0.1]
+//! ```
+//!
+//! Expected shape: LSH memory shrinks as ξ grows (fewer zones) and as B
+//! shrinks, at a quality cost; LSH at ξ=0.2/B≥10 matches or beats MH50's
+//! quality with less memory, while simply shrinking MH signatures
+//! degrades accuracy rapidly.
+
+use skydiver_bench::runner::ExperimentContext;
+use skydiver_bench::{print_header, print_row, Args, Family};
+
+fn main() {
+    let args = Args::parse();
+    let k = args.get_or("k", 10usize);
+    let thresholds = [0.1, 0.2, 0.3, 0.4];
+    let buckets = [10usize, 20, 50];
+    let mh_sizes = [20usize, 50, 100];
+
+    println!(
+        "Figure 13: LSH vs MinHashing, k={k}, base signature size 100 (scale {})",
+        args.scale
+    );
+
+    for family in [Family::Fc, Family::Rec] {
+        let n = args.cardinality(family);
+        let d = family.default_dims();
+        let mut ctx = ExperimentContext::new(family, n, d, 1);
+        let m = ctx.m();
+        if m < k {
+            println!("{}: skyline too small (m={m})", family.name());
+            continue;
+        }
+        println!("\n[{} {}D, n={n}, m={m}] LSH sweep:", family.name(), d);
+        print_header(&["xi", "B", "zones", "memory(B)", "diversity"]);
+        for &xi in &thresholds {
+            for &b in &buckets {
+                let r = ctx.run_lsh(100, xi, b, k);
+                let zones = skydiver_core::LshParams::from_threshold(100, xi)
+                    .expect("banding")
+                    .zones;
+                print_row(&[
+                    format!("{xi:.1}"),
+                    b.to_string(),
+                    zones.to_string(),
+                    r.memory_bytes.to_string(),
+                    format!("{:.3}", ctx.exact_diversity(&r.positions)),
+                ]);
+            }
+        }
+        println!("\n[{} {}D] MinHash baselines:", family.name(), d);
+        print_header(&["t", "memory(B)", "diversity"]);
+        for &t in &mh_sizes {
+            let r = ctx.run_mh(t, k);
+            print_row(&[
+                t.to_string(),
+                r.memory_bytes.to_string(),
+                format!("{:.3}", ctx.exact_diversity(&r.positions)),
+            ]);
+        }
+    }
+    println!("\npaper reference (Fig 13): increasing xi cuts zones and memory;");
+    println!("LSH (xi=0.2, B=20) needs ~half MH100's memory at slightly lower");
+    println!("quality (0.88 vs 0.93 on FC); shrinking MH signatures instead");
+    println!("drops accuracy rapidly.");
+}

@@ -1,0 +1,72 @@
+//! **Substrate comparison** — I/O behaviour of the skyline algorithms
+//! the framework can feed on: the index-free sequential family (SFS
+//! over a scan, LESS in the external-memory model of \[29\]) against
+//! the index-based BBS of \[24\], across data distributions.
+//!
+//! ```sh
+//! cargo run --release -p skydiver-bench --bin skyline_io [-- --scale 0.1]
+//! ```
+//!
+//! Expected shape: BBS touches a small fraction of the index (it is
+//! I/O-optimal — the reason the paper calls it "the most preferred");
+//! LESS pays roughly two to three scans' worth of sequential pages but
+//! needs no index; elimination makes LESS cheapest on correlated data.
+
+use skydiver_bench::{print_header, print_row, scan_pages, Args, Family};
+use skydiver_data::dominance::MinDominance;
+use skydiver_data::generators::correlated;
+use skydiver_rtree::{BufferPool, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
+use skydiver_skyline::{bbs, less_skyline, sfs, ExternalConfig};
+
+fn main() {
+    let args = Args::parse();
+    let mem_pages = args.get_or("memory-pages", 64usize);
+
+    println!(
+        "Skyline substrate I/O (pages; memory {mem_pages} pages; scale {})",
+        args.scale
+    );
+    print_header(&["data", "n", "m", "scan", "LESS io", "LESS runs", "BBS io"]);
+
+    let mut workloads: Vec<(String, skydiver_data::Dataset)> = Vec::new();
+    for family in [Family::Ind, Family::Ant, Family::Fc, Family::Rec] {
+        let n = args.cardinality(family);
+        let d = family.default_dims();
+        workloads.push((
+            format!("{}{}D", family.name(), d),
+            family.generate(n, d, 1),
+        ));
+    }
+    workloads.push((
+        "COR4D".into(),
+        correlated(args.cardinality(Family::Ind), 4, 1),
+    ));
+
+    for (name, ds) in workloads {
+        let skyline = sfs(&ds, &MinDominance);
+        let (less_sky, less_stats) = less_skyline(
+            &ds,
+            ExternalConfig {
+                memory_pages: mem_pages,
+                page_size: DEFAULT_PAGE_SIZE,
+            },
+        );
+        assert_eq!(less_sky, skyline, "LESS must be exact");
+
+        let tree = RTree::bulk_load(&ds, DEFAULT_PAGE_SIZE);
+        let mut pool = BufferPool::for_index(tree.num_pages(), DEFAULT_CACHE_FRACTION);
+        let bbs_sky = bbs(&tree, &mut pool);
+        assert_eq!(bbs_sky, skyline, "BBS must be exact");
+
+        print_row(&[
+            name,
+            ds.len().to_string(),
+            skyline.len().to_string(),
+            scan_pages(ds.len(), ds.dims()).to_string(),
+            less_stats.io.sequential_pages.to_string(),
+            less_stats.runs.to_string(),
+            (pool.stats().faults + pool.stats().hits).to_string(),
+        ]);
+    }
+    println!("\n'scan' = one sequential pass over the raw file, for reference.");
+}

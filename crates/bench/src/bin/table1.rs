@@ -1,0 +1,82 @@
+//! **Table 1** — k-max-coverage vs k-dispersion: coverage and diversity
+//! of both objectives on IND5M4D, FC5D and REC5D for k ∈ {2, 10, 50}.
+//!
+//! ```sh
+//! cargo run --release -p skydiver-bench --bin table1 [-- --scale 0.1]
+//! ```
+//!
+//! Expected shape (paper): coverage-greedy reaches ≥93 % coverage but
+//! its diversity collapses as k grows (0.018–0.634); dispersion keeps
+//! diversity near 1.0 at a modest coverage cost.
+
+use skydiver_bench::{exact_selection_diversity, print_header, print_row, Args, Family};
+use skydiver_core::{
+    coverage_fraction, greedy_max_coverage, min_pairwise, select_diverse, ExactJaccardDistance,
+    GammaSets, SeedRule, TieBreak,
+};
+use skydiver_data::dominance::MinDominance;
+use skydiver_skyline::sfs;
+
+fn main() {
+    let args = Args::parse();
+    let ks: Vec<usize> = vec![2, 10, 50];
+
+    println!("Table 1: k-max-coverage vs k-dispersion (scale {})", args.scale);
+    print_header(&[
+        "data", "k", "cov.coverage", "cov.divers", "disp.coverage", "disp.divers",
+    ]);
+
+    for (family, d) in [(Family::Ind, 4), (Family::Fc, 5), (Family::Rec, 5)] {
+        let n = args.cardinality(family);
+        let ds = family.generate(n, d, 1);
+        let skyline = sfs(&ds, &MinDominance);
+        let gamma = GammaSets::build(&ds, &MinDominance, &skyline);
+        let scores = gamma.scores();
+        let label = format!("{}{}D(n={})", family.name(), d, n);
+
+        for &k in &ks {
+            if k > skyline.len() {
+                print_row(&[
+                    label.clone(),
+                    k.to_string(),
+                    "m<k".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            let cov_sel = greedy_max_coverage(&gamma, k).expect("coverage selection");
+            let mut exact = ExactJaccardDistance::new(&gamma);
+            let disp_sel = select_diverse(
+                &mut exact,
+                &scores,
+                k,
+                SeedRule::MaxDominance,
+                TieBreak::MaxDominance,
+            )
+            .expect("dispersion selection");
+
+            let cov_cov = coverage_fraction(&gamma, &cov_sel);
+            let disp_cov = coverage_fraction(&gamma, &disp_sel);
+            let cov_div = min_pairwise(&mut exact, &cov_sel);
+            let disp_div = min_pairwise(&mut exact, &disp_sel);
+            // Sanity: the targeted re-scorer agrees with full Γ sets.
+            debug_assert!(
+                (exact_selection_diversity(&ds, &skyline, &disp_sel) - disp_div).abs() < 1e-9
+            );
+
+            print_row(&[
+                label.clone(),
+                k.to_string(),
+                format!("{:.1}%", 100.0 * cov_cov),
+                format!("{cov_div:.3}"),
+                format!("{:.1}%", 100.0 * disp_cov),
+                format!("{disp_div:.3}"),
+            ]);
+        }
+    }
+    println!("\npaper reference (Table 1): coverage picks overlap heavily");
+    println!("(diversity 0.018-0.634) while dispersion stays at 0.55-1.0 with");
+    println!("coverage still 56-98%.");
+}

@@ -1,0 +1,151 @@
+//! Fixed-size bitsets used to materialise dominated sets `Γ(p)`.
+
+/// A fixed-capacity bitset over `0..len` with word-parallel set algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An all-zeros bitset of capacity `len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|`.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|`.
+    pub fn union_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of bits set in `other` but not in `self` — the "newly
+    /// covered" count of the greedy max-coverage step.
+    pub fn new_bits_from(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (!a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over set bit positions in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.count(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for i in [1, 5, 70] {
+            a.set(i);
+        }
+        for i in [5, 70, 99] {
+            b.set(i);
+        }
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(a.union_count(&b), 4);
+        assert_eq!(a.new_bits_from(&b), 1);
+        a.union_with(&b);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = BitSet::new(200);
+        for i in [3, 63, 64, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            vec![3, 63, 64, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        BitSet::new(10).set(10);
+    }
+}

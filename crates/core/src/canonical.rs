@@ -1,0 +1,72 @@
+//! Canonicalisation into min-space.
+//!
+//! The paper works "w.l.o.g. \[where\] smaller values are preferred"; the
+//! public API accepts per-attribute [`Preference`]s and negates maximised
+//! attributes once up front so every downstream component (skyline,
+//! R-tree, fingerprints) can assume minimisation.
+
+use std::borrow::Cow;
+
+use skydiver_data::{Dataset, Preference};
+
+use crate::error::{Result, SkyDiverError};
+
+/// Returns a dataset in canonical min-space: maximised attributes are
+/// negated; an all-[`Preference::Min`] input is borrowed unchanged.
+pub fn canonicalise<'a>(ds: &'a Dataset, prefs: &[Preference]) -> Result<Cow<'a, Dataset>> {
+    if prefs.len() != ds.dims() {
+        return Err(SkyDiverError::DimsMismatch {
+            data: ds.dims(),
+            prefs: prefs.len(),
+        });
+    }
+    if prefs.iter().all(|&p| p == Preference::Min) {
+        return Ok(Cow::Borrowed(ds));
+    }
+    let mut out = Dataset::with_capacity(ds.dims(), ds.len());
+    let mut row = vec![0.0f64; ds.dims()];
+    for p in ds.iter() {
+        for (j, (&v, &pref)) in p.iter().zip(prefs).enumerate() {
+            row[j] = pref.canonicalise(v);
+        }
+        out.push(&row);
+    }
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_data::dominance::{dominates_min, MinMaxDominance};
+    use skydiver_data::DominanceOrd;
+
+    #[test]
+    fn all_min_is_borrowed() {
+        let ds = Dataset::from_rows(2, &[[1.0, 2.0]]);
+        let c = canonicalise(&ds, &Preference::all_min(2)).unwrap();
+        assert!(matches!(c, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn max_dims_are_negated() {
+        let ds = Dataset::from_rows(2, &[[10.0, 0.9], [20.0, 0.5]]);
+        let prefs = vec![Preference::Min, Preference::Max];
+        let c = canonicalise(&ds, &prefs).unwrap();
+        assert_eq!(c.point(0), &[10.0, -0.9]);
+        // Dominance in canonical space matches MinMaxDominance on raw data.
+        let ord = MinMaxDominance::new(prefs);
+        assert_eq!(
+            ord.dominates(ds.point(0), ds.point(1)),
+            dominates_min(c.point(0), c.point(1))
+        );
+    }
+
+    #[test]
+    fn dims_mismatch_rejected() {
+        let ds = Dataset::from_rows(2, &[[1.0, 2.0]]);
+        assert_eq!(
+            canonicalise(&ds, &Preference::all_min(3)).unwrap_err(),
+            SkyDiverError::DimsMismatch { data: 2, prefs: 3 }
+        );
+    }
+}

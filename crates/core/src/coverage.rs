@@ -1,0 +1,152 @@
+//! The k-max-coverage baseline (Lin et al., "Selecting Stars: the k most
+//! representative skyline operator").
+//!
+//! Selects `k` skyline points maximising the number of *distinct*
+//! non-skyline points dominated by at least one of them. Table 1 of the
+//! paper contrasts this objective with k-dispersion: coverage picks
+//! points with heavily overlapping dominance regions (low diversity),
+//! while dispersion keeps coverage "still high enough". The greedy
+//! algorithm is the standard `1 − 1/e` approximation for max-coverage
+//! (and, per the paper's Lemma 1 remark, better for this finite-VC set
+//! system).
+
+use crate::bitset::BitSet;
+use crate::error::{Result, SkyDiverError};
+use crate::gamma::GammaSets;
+
+/// Greedy k-max-coverage over materialised Γ sets. Returns the selected
+/// skyline indices in selection order (ties: lower index).
+pub fn greedy_max_coverage(gamma: &GammaSets, k: usize) -> Result<Vec<usize>> {
+    let m = gamma.len();
+    if m == 0 {
+        return Err(SkyDiverError::EmptySkyline);
+    }
+    if k < 2 {
+        return Err(SkyDiverError::KTooSmall { k });
+    }
+    if k > m {
+        return Err(SkyDiverError::KExceedsSkyline { k, m });
+    }
+    let mut covered = BitSet::new(gamma.rows());
+    let mut taken = vec![false; m];
+    let mut selected = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (j, &already) in taken.iter().enumerate() {
+            if already {
+                continue;
+            }
+            let gain = covered.new_bits_from(gamma.set(j));
+            let better = match best {
+                None => true,
+                Some((bg, _)) => gain > bg,
+            };
+            if better {
+                best = Some((gain, j));
+            }
+        }
+        let (_, j) = best.expect("k <= m");
+        taken[j] = true;
+        covered.union_with(gamma.set(j));
+        selected.push(j);
+    }
+    Ok(selected)
+}
+
+/// Fraction of all dominated points covered by `selection`
+/// (the "coverage" column of Table 1). Returns 1.0 when nothing is
+/// dominated at all.
+pub fn coverage_fraction(gamma: &GammaSets, selection: &[usize]) -> f64 {
+    let total = gamma.total_dominated();
+    if total == 0 {
+        return 1.0;
+    }
+    gamma.union_coverage(selection) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 instance (see `gamma.rs`): coverage with
+    /// k = 2 returns (b, c); SkyDiver returns (c, a).
+    fn figure1() -> GammaSets {
+        GammaSets::from_edges(
+            11,
+            &[
+                vec![0],
+                vec![0, 1, 2, 3, 4, 5],
+                vec![3, 4, 5, 6, 7, 8, 9, 10],
+                vec![6, 7, 8, 9],
+            ],
+        )
+    }
+
+    #[test]
+    fn figure1_coverage_picks_b_and_c() {
+        let g = figure1();
+        let sel = greedy_max_coverage(&g, 2).unwrap();
+        // c (idx 2, |Γ|=8) first, then b (idx 1, gain 6 vs a's 1, d's 0).
+        assert_eq!(sel, vec![2, 1]);
+        assert!((coverage_fraction(&g, &sel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_dispersion_prefers_c_and_a() {
+        // Companion check to the intro example: the dispersion pick
+        // (c, a) has Jd = 1, while coverage's (b, c) overlap heavily.
+        use crate::dispersion::{select_diverse, SeedRule, TieBreak};
+        use crate::diversity::ExactJaccardDistance;
+        let g = figure1();
+        let scores = g.scores();
+        let mut dist = ExactJaccardDistance::new(&g);
+        let sel = select_diverse(
+            &mut dist,
+            &scores,
+            2,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )
+        .unwrap();
+        assert_eq!(sel, vec![2, 0], "SkyDiver returns (c, a)");
+        assert_eq!(g.jaccard_distance(sel[0], sel[1]), 1.0);
+        // Coverage's pair is far less diverse.
+        assert!(g.jaccard_distance(2, 1) < 1.0);
+    }
+
+    #[test]
+    fn greedy_gain_is_marginal_not_absolute() {
+        // Second pick must maximise *new* coverage, not |Γ|.
+        let g = GammaSets::from_edges(
+            10,
+            &[
+                vec![0, 1, 2, 3, 4, 5],    // big
+                vec![0, 1, 2, 3, 4],       // big but subsumed
+                vec![6, 7],                // small but disjoint
+            ],
+        );
+        let sel = greedy_max_coverage(&g, 2).unwrap();
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn coverage_fraction_partial() {
+        let g = figure1();
+        // a alone covers 1 of the 11 dominated points.
+        assert!((coverage_fraction(&g, &[0]) - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(coverage_fraction(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = figure1();
+        assert!(matches!(
+            greedy_max_coverage(&g, 1),
+            Err(SkyDiverError::KTooSmall { .. })
+        ));
+        assert!(matches!(
+            greedy_max_coverage(&g, 9),
+            Err(SkyDiverError::KExceedsSkyline { .. })
+        ));
+    }
+}

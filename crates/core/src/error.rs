@@ -1,0 +1,112 @@
+//! Error type of the SkyDiver core.
+
+/// Errors surfaced by the diversification framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkyDiverError {
+    /// `k` must be at least 2 (diversity of a single point is undefined;
+    /// the paper requires `k ≥ 2`).
+    KTooSmall {
+        /// The offending `k`.
+        k: usize,
+    },
+    /// `k` exceeds the skyline cardinality `m`.
+    KExceedsSkyline {
+        /// The requested `k`.
+        k: usize,
+        /// Skyline cardinality.
+        m: usize,
+    },
+    /// The skyline set was empty.
+    EmptySkyline,
+    /// A signature size of zero was requested.
+    ZeroSignatureSize,
+    /// The LSH banding `ζ·r = t` admits no factorisation for this
+    /// signature size (e.g. `t = 1`).
+    NoLshFactorisation {
+        /// Signature size that could not be factorised.
+        t: usize,
+    },
+    /// LSH requires at least one bucket per zone.
+    ZeroBuckets,
+    /// Brute force enumeration would exceed the configured limit.
+    BruteForceTooLarge {
+        /// Number of subsets that enumeration would visit.
+        combinations: u128,
+        /// Configured ceiling.
+        limit: u128,
+    },
+    /// Mismatched dimensionality between dataset and preferences.
+    DimsMismatch {
+        /// Dataset dimensionality.
+        data: usize,
+        /// Preference vector length.
+        prefs: usize,
+    },
+}
+
+impl std::fmt::Display for SkyDiverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkyDiverError::KTooSmall { k } => write!(f, "k must be >= 2, got {k}"),
+            SkyDiverError::KExceedsSkyline { k, m } => {
+                write!(f, "k = {k} exceeds skyline cardinality m = {m}")
+            }
+            SkyDiverError::EmptySkyline => write!(f, "the skyline set is empty"),
+            SkyDiverError::ZeroSignatureSize => write!(f, "signature size must be positive"),
+            SkyDiverError::NoLshFactorisation { t } => {
+                write!(f, "no zones × rows factorisation for signature size {t}")
+            }
+            SkyDiverError::ZeroBuckets => write!(f, "LSH needs at least one bucket per zone"),
+            SkyDiverError::BruteForceTooLarge {
+                combinations,
+                limit,
+            } => write!(
+                f,
+                "brute force would enumerate {combinations} subsets (limit {limit})"
+            ),
+            SkyDiverError::DimsMismatch { data, prefs } => write!(
+                f,
+                "dataset has {data} dimensions but {prefs} preferences were given"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SkyDiverError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SkyDiverError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(SkyDiverError, &str)> = vec![
+            (SkyDiverError::KTooSmall { k: 1 }, "k must be >= 2"),
+            (
+                SkyDiverError::KExceedsSkyline { k: 9, m: 3 },
+                "exceeds skyline cardinality",
+            ),
+            (SkyDiverError::EmptySkyline, "empty"),
+            (SkyDiverError::ZeroSignatureSize, "positive"),
+            (SkyDiverError::NoLshFactorisation { t: 1 }, "factorisation"),
+            (SkyDiverError::ZeroBuckets, "bucket"),
+            (
+                SkyDiverError::BruteForceTooLarge {
+                    combinations: 10,
+                    limit: 5,
+                },
+                "enumerate",
+            ),
+            (
+                SkyDiverError::DimsMismatch { data: 3, prefs: 2 },
+                "preferences",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Materialised dominated sets `Γ(p)` and domination scores.
+//!
+//! The conceptual *domination matrix* `M` of the paper (§3.2) — rows are
+//! data points, columns are skyline points, `M[i][j] = 1` iff `sⱼ ≺ pᵢ` —
+//! is "used only for illustration purposes and … not constructed in
+//! practice" by the SkyDiver fingerprinting path. The exact baselines
+//! (Brute-Force, k-max-coverage) and the quality re-scoring of the
+//! experiments *do* need real `Γ` sets though, so this module builds them
+//! as one bitset per skyline point in a single scan.
+
+use skydiver_data::{Dataset, DominanceOrd};
+
+use crate::bitset::BitSet;
+
+/// One bitset of dominated point ids per skyline point, plus the
+/// domination scores `|Γ(p)|`.
+#[derive(Debug, Clone)]
+pub struct GammaSets {
+    rows: usize,
+    sets: Vec<BitSet>,
+}
+
+impl GammaSets {
+    /// Builds the Γ sets for `skyline` (dataset indices) by one scan over
+    /// `ds`. `O(n · m · d)` time, `O(n · m / 8)` bytes.
+    pub fn build<O>(ds: &Dataset, ord: &O, skyline: &[usize]) -> Self
+    where
+        O: DominanceOrd<Item = [f64]>,
+    {
+        let mut sets: Vec<BitSet> = skyline.iter().map(|_| BitSet::new(ds.len())).collect();
+        for (i, q) in ds.iter().enumerate() {
+            for (j, &s) in skyline.iter().enumerate() {
+                if s == i {
+                    continue;
+                }
+                if ord.dominates(ds.point(s), q) {
+                    sets[j].set(i);
+                }
+            }
+        }
+        GammaSets {
+            rows: ds.len(),
+            sets,
+        }
+    }
+
+    /// Builds Γ sets directly from explicit edge lists: `edges[j]` holds
+    /// the dominated-point ids of skyline point `j`, ids in `0..rows`.
+    /// This is the entry point for the dominance-graph setting (paper
+    /// Fig. 1) where only the relation — not coordinates — is known.
+    pub fn from_edges(rows: usize, edges: &[Vec<usize>]) -> Self {
+        let mut sets = Vec::with_capacity(edges.len());
+        for dominated in edges {
+            let mut b = BitSet::new(rows);
+            for &i in dominated {
+                b.set(i);
+            }
+            sets.push(b);
+        }
+        GammaSets { rows, sets }
+    }
+
+    /// Number of skyline points `m`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` when there are no skyline points.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Number of candidate dominated rows (`|D|` or the graph's
+    /// right-side cardinality).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The bitset `Γ(sⱼ)`.
+    pub fn set(&self, j: usize) -> &BitSet {
+        &self.sets[j]
+    }
+
+    /// Domination score `|Γ(sⱼ)|`.
+    pub fn score(&self, j: usize) -> u64 {
+        self.sets[j].count() as u64
+    }
+
+    /// All domination scores.
+    pub fn scores(&self) -> Vec<u64> {
+        (0..self.len()).map(|j| self.score(j)).collect()
+    }
+
+    /// Exact Jaccard similarity of `Γ(sᵢ)` and `Γ(sⱼ)`.
+    ///
+    /// Two empty sets are defined as identical (`Js = 1`), matching the
+    /// MinHash estimate where two all-∞ signatures agree everywhere.
+    pub fn jaccard_similarity(&self, i: usize, j: usize) -> f64 {
+        let inter = self.sets[i].intersection_count(&self.sets[j]);
+        let uni = self.sets[i].union_count(&self.sets[j]);
+        if uni == 0 {
+            1.0
+        } else {
+            inter as f64 / uni as f64
+        }
+    }
+
+    /// Exact Jaccard distance `Jd = 1 − Js`.
+    pub fn jaccard_distance(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.jaccard_similarity(i, j)
+    }
+
+    /// Number of distinct points dominated by at least one member of
+    /// `selection` (the max-coverage objective).
+    pub fn union_coverage(&self, selection: &[usize]) -> usize {
+        if selection.is_empty() {
+            return 0;
+        }
+        let mut acc = BitSet::new(self.rows);
+        for &j in selection {
+            acc.union_with(&self.sets[j]);
+        }
+        acc.count()
+    }
+
+    /// Number of points dominated by at least one skyline point — the
+    /// denominator of the coverage percentages in Table 1 (equals
+    /// `n − m` for numeric skylines, where every non-skyline point is
+    /// dominated by some skyline point).
+    pub fn total_dominated(&self) -> usize {
+        self.union_coverage(&(0..self.len()).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::independent;
+    use skydiver_skyline::naive_skyline;
+
+    /// Figure 1 of the paper: skyline {a,b,c,d} over p1..p11 with the
+    /// drawn edges (a→p1; b→p1..p6; c→p4..p10; d→p5..p8 roughly — we use
+    /// a faithful reading of the figure).
+    fn figure1() -> GammaSets {
+        GammaSets::from_edges(
+            11,
+            &[
+                vec![0],                // a → p1
+                vec![0, 1, 2, 3, 4, 5], // b
+                vec![3, 4, 5, 6, 7, 8, 9, 10], // c
+                vec![6, 7, 8, 9],       // d
+            ],
+        )
+    }
+
+    #[test]
+    fn scores_and_sets() {
+        let g = figure1();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.rows(), 11);
+        assert_eq!(g.scores(), vec![1, 6, 8, 4]);
+        assert!(g.set(1).get(0));
+        assert!(!g.set(3).get(0));
+    }
+
+    #[test]
+    fn jaccard_of_figure1_pairs() {
+        let g = figure1();
+        // b and c share p4,p5,p6 (ids 3,4,5): |∩| = 3, |∪| = 11.
+        assert!((g.jaccard_similarity(1, 2) - 3.0 / 11.0).abs() < 1e-12);
+        // a and c share nothing.
+        assert_eq!(g.jaccard_distance(0, 2), 1.0);
+        // d ⊂ c: |∩| = 4, |∪| = 8.
+        assert!((g.jaccard_similarity(3, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_are_identical() {
+        let g = GammaSets::from_edges(5, &[vec![], vec![], vec![0]]);
+        assert_eq!(g.jaccard_similarity(0, 1), 1.0);
+        assert_eq!(g.jaccard_distance(0, 1), 0.0);
+        assert_eq!(g.jaccard_similarity(0, 2), 0.0);
+    }
+
+    #[test]
+    fn build_matches_scan_semantics() {
+        let ds = independent(400, 3, 77);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        assert_eq!(g.len(), sky.len());
+        for (j, &s) in sky.iter().enumerate() {
+            let expect = ds.dominated_by_scan(&MinDominance, ds.point(s));
+            assert_eq!(g.set(j).iter_ones().collect::<Vec<_>>(), expect);
+        }
+    }
+
+    #[test]
+    fn skyline_rows_never_dominated() {
+        let ds = independent(300, 2, 78);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        for j in 0..g.len() {
+            for &s in &sky {
+                assert!(!g.set(j).get(s), "skyline point marked dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn total_dominated_is_n_minus_m_for_numeric_skylines() {
+        let ds = independent(500, 3, 79);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        assert_eq!(g.total_dominated(), ds.len() - sky.len());
+    }
+
+    #[test]
+    fn union_coverage_of_subsets() {
+        let g = figure1();
+        assert_eq!(g.union_coverage(&[0]), 1);
+        assert_eq!(g.union_coverage(&[1, 2]), 11);
+        assert_eq!(g.union_coverage(&[0, 3]), 5);
+        assert_eq!(g.union_coverage(&[]), 0);
+    }
+}

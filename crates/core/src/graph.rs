@@ -1,0 +1,210 @@
+//! Diversification from a bare dominance graph (paper Fig. 1).
+//!
+//! "The entire representation only relies on the dominance relation
+//! because this may be all we have" — product reviews, web pages, click
+//! preferences, or third-party data that is anonymised down to the
+//! relation. This module accepts such a bipartite graph (skyline nodes →
+//! dominated nodes) and drives both the exact and the MinHash pipelines
+//! without any coordinates or index.
+
+use crate::error::{Result, SkyDiverError};
+use crate::gamma::GammaSets;
+use crate::minhash::{HashFamily, SigGenOutput, SignatureMatrix};
+
+/// A bipartite dominance graph: `m` skyline nodes on the left, `rows`
+/// dominated candidates on the right, an edge per dominance pair.
+///
+/// ```
+/// use skydiver_core::{DominanceGraph, SkyDiver};
+///
+/// // The paper's Figure 1: documents a..d over p1..p11.
+/// let graph = DominanceGraph::from_edges(11, vec![
+///     vec![0],
+///     vec![0, 1, 2, 3, 4, 5],
+///     vec![3, 4, 5, 6, 7, 8, 9, 10],
+///     vec![6, 7, 8, 9],
+/// ]);
+/// let result = SkyDiver::new(2).signature_size(256).run_graph(&graph).unwrap();
+/// assert_eq!(result.selected, vec![2, 0]); // (c, a)
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DominanceGraph {
+    rows: usize,
+    edges: Vec<Vec<usize>>,
+}
+
+impl DominanceGraph {
+    /// An empty graph over `rows` right-side nodes.
+    pub fn new(rows: usize) -> Self {
+        DominanceGraph {
+            rows,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from per-skyline-point edge lists.
+    ///
+    /// # Panics
+    /// Panics if any edge references a right-side node `>= rows`.
+    pub fn from_edges(rows: usize, edges: Vec<Vec<usize>>) -> Self {
+        for (j, dominated) in edges.iter().enumerate() {
+            for &i in dominated {
+                assert!(i < rows, "skyline node {j} has edge to out-of-range node {i}");
+            }
+        }
+        DominanceGraph { rows, edges }
+    }
+
+    /// Appends a skyline node with the given dominated set; returns its
+    /// index.
+    pub fn add_skyline_node(&mut self, dominated: Vec<usize>) -> usize {
+        for &i in &dominated {
+            assert!(i < self.rows, "edge to out-of-range node {i}");
+        }
+        self.edges.push(dominated);
+        self.edges.len() - 1
+    }
+
+    /// Number of skyline (left) nodes.
+    pub fn num_skyline(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of dominated-candidate (right) nodes.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Domination score of skyline node `j` (its out-degree).
+    pub fn score(&self, j: usize) -> u64 {
+        self.edges[j].len() as u64
+    }
+
+    /// All domination scores.
+    pub fn scores(&self) -> Vec<u64> {
+        (0..self.num_skyline()).map(|j| self.score(j)).collect()
+    }
+
+    /// Materialises exact Γ bitsets.
+    pub fn gamma_sets(&self) -> GammaSets {
+        GammaSets::from_edges(self.rows, &self.edges)
+    }
+
+    /// MinHash fingerprints straight from the edge lists — the
+    /// index-free pass when only the relation is known. Returns an error
+    /// if the graph has no skyline nodes.
+    pub fn fingerprint(&self, family: &HashFamily) -> Result<SigGenOutput> {
+        if self.edges.is_empty() {
+            return Err(SkyDiverError::EmptySkyline);
+        }
+        let t = family.len();
+        let mut matrix = SignatureMatrix::new(t, self.num_skyline());
+        let mut row_hashes = vec![0u64; t];
+        // Iterate rows so each right-side node is hashed once even when
+        // several skyline nodes dominate it.
+        let mut dominators: Vec<Vec<usize>> = vec![Vec::new(); self.rows];
+        for (j, dominated) in self.edges.iter().enumerate() {
+            for &i in dominated {
+                dominators[i].push(j);
+            }
+        }
+        for (row, doms) in dominators.iter().enumerate() {
+            if doms.is_empty() {
+                continue;
+            }
+            family.hash_all(row as u64, &mut row_hashes);
+            for &j in doms {
+                matrix.update_column(j, &row_hashes);
+            }
+        }
+        Ok(SigGenOutput {
+            matrix,
+            scores: self.scores(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispersion::{select_diverse, SeedRule, TieBreak};
+    use crate::diversity::{ExactJaccardDistance, SignatureDistance};
+
+    fn figure1() -> DominanceGraph {
+        DominanceGraph::from_edges(
+            11,
+            vec![
+                vec![0],
+                vec![0, 1, 2, 3, 4, 5],
+                vec![3, 4, 5, 6, 7, 8, 9, 10],
+                vec![6, 7, 8, 9],
+            ],
+        )
+    }
+
+    #[test]
+    fn scores_are_out_degrees() {
+        let g = figure1();
+        assert_eq!(g.scores(), vec![1, 6, 8, 4]);
+        assert_eq!(g.num_skyline(), 4);
+        assert_eq!(g.rows(), 11);
+    }
+
+    #[test]
+    fn exact_pipeline_returns_c_a() {
+        let g = figure1();
+        let gamma = g.gamma_sets();
+        let mut dist = ExactJaccardDistance::new(&gamma);
+        let sel = select_diverse(
+            &mut dist,
+            &g.scores(),
+            2,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )
+        .unwrap();
+        assert_eq!(sel, vec![2, 0]);
+    }
+
+    #[test]
+    fn minhash_pipeline_agrees_with_exact_on_figure1() {
+        let g = figure1();
+        let fam = HashFamily::new(256, 200);
+        let out = g.fingerprint(&fam).unwrap();
+        assert_eq!(out.scores, vec![1, 6, 8, 4]);
+        let mut dist = SignatureDistance::new(&out.matrix);
+        let sel = select_diverse(
+            &mut dist,
+            &out.scores,
+            2,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )
+        .unwrap();
+        // With 256 slots the estimate is easily sharp enough to pick the
+        // fully disjoint pair.
+        assert_eq!(sel, vec![2, 0]);
+    }
+
+    #[test]
+    fn incremental_construction() {
+        let mut g = DominanceGraph::new(3);
+        assert_eq!(g.add_skyline_node(vec![0, 1]), 0);
+        assert_eq!(g.add_skyline_node(vec![2]), 1);
+        assert_eq!(g.num_skyline(), 2);
+        assert_eq!(g.gamma_sets().jaccard_distance(0, 1), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_fingerprint_errors() {
+        let g = DominanceGraph::new(5);
+        let fam = HashFamily::new(4, 0);
+        assert_eq!(g.fingerprint(&fam).unwrap_err(), SkyDiverError::EmptySkyline);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_edges_rejected() {
+        let _ = DominanceGraph::from_edges(2, vec![vec![5]]);
+    }
+}

@@ -1,0 +1,146 @@
+//! `SigGen-IF` — index-free signature generation (paper Fig. 3).
+//!
+//! One sequential pass over the data: each non-skyline point is checked
+//! against every skyline point; where dominance holds, the point's row
+//! hashes are folded into that skyline point's signature. Works for any
+//! [`DominanceOrd`], which is the point — no index, no numeric attributes
+//! required.
+
+use skydiver_data::{Dataset, DominanceOrd};
+
+use super::{HashFamily, SigGenOutput, SignatureMatrix};
+
+/// Runs the index-free pass.
+///
+/// * `ds` — the full data set,
+/// * `ord` — dominance order (canonical min-space for numeric data),
+/// * `skyline` — skyline point indices; columns of the output follow
+///   this order,
+/// * `family` — `t` hash functions; `t` becomes the signature size.
+///
+/// Row hashes are computed once per dominated data point (a hoisted form
+/// of the paper's per-`(row, column)` `UpdateMatrix` loop with identical
+/// semantics) and the domination scores `|Γ(p)|` are collected in the
+/// same pass.
+pub fn sig_gen_if<O>(
+    ds: &Dataset,
+    ord: &O,
+    skyline: &[usize],
+    family: &HashFamily,
+) -> SigGenOutput
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    let t = family.len();
+    let m = skyline.len();
+    let mut matrix = SignatureMatrix::new(t, m);
+    let mut scores = vec![0u64; m];
+
+    let mut is_skyline = vec![false; ds.len()];
+    for &s in skyline {
+        is_skyline[s] = true;
+    }
+
+    let mut row_hashes = vec![0u64; t];
+    let mut dominators: Vec<usize> = Vec::with_capacity(m);
+
+    for (row, p) in ds.iter().enumerate() {
+        if is_skyline[row] {
+            continue;
+        }
+        dominators.clear();
+        for (j, &s) in skyline.iter().enumerate() {
+            if ord.dominates(ds.point(s), p) {
+                dominators.push(j);
+            }
+        }
+        if dominators.is_empty() {
+            continue;
+        }
+        family.hash_all(row as u64, &mut row_hashes);
+        for &j in &dominators {
+            matrix.update_column(j, &row_hashes);
+            scores[j] += 1;
+        }
+    }
+
+    SigGenOutput { matrix, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::GammaSets;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::independent;
+    use skydiver_skyline::naive_skyline;
+
+    #[test]
+    fn scores_match_exact_gamma() {
+        let ds = independent(500, 3, 90);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(32, 1);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        assert_eq!(out.scores, g.scores());
+    }
+
+    #[test]
+    fn estimates_concentrate_around_exact_jaccard() {
+        let ds = independent(2000, 2, 91);
+        let sky = naive_skyline(&ds, &MinDominance);
+        assert!(sky.len() >= 4, "need a few skyline points");
+        let fam = HashFamily::new(512, 2);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        let mut worst: f64 = 0.0;
+        for i in 0..sky.len() {
+            for j in (i + 1)..sky.len() {
+                let est = out.matrix.estimated_similarity(i, j);
+                let exact = g.jaccard_similarity(i, j);
+                worst = worst.max((est - exact).abs());
+            }
+        }
+        // 512 slots → standard error ≈ sqrt(s(1-s)/512) ≤ 0.023; allow 5σ.
+        assert!(worst < 0.12, "worst estimation error {worst}");
+    }
+
+    #[test]
+    fn identical_gamma_sets_give_identical_signatures() {
+        // Two duplicate skyline points dominate exactly the same set.
+        let mut rows = vec![[0.0, 0.5], [0.5, 0.0]];
+        for i in 0..50 {
+            rows.push([0.6 + (i as f64) * 0.001, 0.6]);
+        }
+        let ds = Dataset::from_rows(2, &rows);
+        let sky = naive_skyline(&ds, &MinDominance);
+        assert_eq!(sky, vec![0, 1]);
+        let fam = HashFamily::new(64, 3);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        // Both dominate exactly rows 2..52 → identical signatures.
+        assert_eq!(out.matrix.column(0), out.matrix.column(1));
+        assert_eq!(out.matrix.estimated_similarity(0, 1), 1.0);
+    }
+
+    #[test]
+    fn undominating_skyline_point_keeps_inf_signature() {
+        // An isolated skyline point that dominates nothing (paper Fig. 1
+        // point `a` is close: it dominates a single node; here: none).
+        let ds = Dataset::from_rows(2, &[[0.0, 1.0], [1.0, 0.0], [1.5, 0.5]]);
+        let sky = naive_skyline(&ds, &MinDominance);
+        assert_eq!(sky, vec![0, 1]);
+        let fam = HashFamily::new(16, 4);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        // Point 0 dominates nothing: all-∞ column, score 0.
+        assert_eq!(out.scores[0], 0);
+        assert!(out
+            .matrix
+            .column(0)
+            .iter()
+            .all(|&v| v == super::super::INF_SLOT));
+        // Point 1 dominates row 2.
+        assert_eq!(out.scores[1], 1);
+    }
+
+    use skydiver_data::Dataset;
+}

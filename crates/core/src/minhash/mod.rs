@@ -1,0 +1,48 @@
+//! Phase 1 — fingerprinting with MinHashing (paper §4.1).
+//!
+//! Every skyline point's dominated set `Γ(p)` (a column of the conceptual
+//! domination matrix) is compressed into a signature of `t` slots using
+//! min-wise hashing: slot `i` keeps the minimum of `hᵢ(row)` over all
+//! rows dominated by the point. For each hash function,
+//! `Prob[hᵢ(p) = hᵢ(q)] = Js(p, q)` (Broder et al.), so the fraction of
+//! agreeing slots estimates the Jaccard similarity.
+//!
+//! Generation comes in three flavours:
+//! * [`sig_gen_if`] — index-free single pass (Fig. 3),
+//! * [`sig_gen_ib`] — aggregate-R*-tree traversal that updates whole
+//!   fully-dominated MBRs without opening them (Fig. 4),
+//! * [`sig_gen_parallel`] — sharded variant of `sig_gen_if` (the paper's
+//!   future-work item ii), merging per-shard matrices by element-wise
+//!   minimum,
+//! * [`sig_gen_ib_active`] — an engineering refinement of `sig_gen_ib`
+//!   that inherits dominance classifications down the tree
+//!   (bit-identical output, much less CPU for large skylines).
+
+mod family;
+mod generic;
+mod index_based;
+mod index_based_active;
+mod index_free;
+mod parallel;
+pub mod persist;
+mod signature;
+pub mod theory;
+
+pub use family::HashFamily;
+pub use generic::{diversify_generic, sig_gen_if_generic};
+pub use index_based::{sig_gen_ib, IbStats};
+pub use index_based_active::sig_gen_ib_active;
+pub use index_free::sig_gen_if;
+pub use parallel::sig_gen_parallel;
+pub use signature::{SignatureMatrix, INF_SLOT};
+
+/// Output of a signature-generation pass: the signature matrix plus the
+/// exact domination scores `|Γ(p)|` gathered along the way (used to seed
+/// and tie-break the selection phase).
+#[derive(Debug, Clone)]
+pub struct SigGenOutput {
+    /// `t × m` signature matrix (column per skyline point).
+    pub matrix: SignatureMatrix,
+    /// `|Γ(sⱼ)|` per skyline point.
+    pub scores: Vec<u64>,
+}

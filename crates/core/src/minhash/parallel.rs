@@ -1,0 +1,135 @@
+//! Parallel index-free signature generation.
+//!
+//! The paper's future work lists "parallelization aspects of our
+//! methodology, aiming for scalable skyline diversification over massive
+//! data". MinHash signatures merge associatively — the slot-wise minimum
+//! of two partial matrices is the matrix of the combined rows — so the
+//! index-free pass shards the data across threads and merges at the end.
+//! Row ids are the global dataset indices in every shard, so the result
+//! is **bit-identical** to the sequential [`sig_gen_if`].
+
+use skydiver_data::{Dataset, DominanceOrd};
+
+use super::{HashFamily, SigGenOutput, SignatureMatrix};
+
+/// Sharded `SigGen-IF`. `threads == 1` falls back to the sequential
+/// implementation; results are identical for any thread count.
+pub fn sig_gen_parallel<O>(
+    ds: &Dataset,
+    ord: &O,
+    skyline: &[usize],
+    family: &HashFamily,
+    threads: usize,
+) -> SigGenOutput
+where
+    O: DominanceOrd<Item = [f64]> + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || ds.len() < 2 * threads {
+        return super::sig_gen_if(ds, ord, skyline, family);
+    }
+
+    let t = family.len();
+    let m = skyline.len();
+    let mut is_skyline = vec![false; ds.len()];
+    for &s in skyline {
+        is_skyline[s] = true;
+    }
+    let is_skyline = &is_skyline;
+
+    let chunk = ds.len().div_ceil(threads);
+    let mut partials: Vec<SigGenOutput> = Vec::with_capacity(threads);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for shard in 0..threads {
+            let lo = shard * chunk;
+            let hi = ((shard + 1) * chunk).min(ds.len());
+            handles.push(scope.spawn(move |_| {
+                let mut matrix = SignatureMatrix::new(t, m);
+                let mut scores = vec![0u64; m];
+                let mut row_hashes = vec![0u64; t];
+                let mut dominators: Vec<usize> = Vec::with_capacity(m);
+                #[allow(clippy::needless_range_loop)]
+                for row in lo..hi {
+                    if is_skyline[row] {
+                        continue;
+                    }
+                    let p = ds.point(row);
+                    dominators.clear();
+                    for (j, &s) in skyline.iter().enumerate() {
+                        if ord.dominates(ds.point(s), p) {
+                            dominators.push(j);
+                        }
+                    }
+                    if dominators.is_empty() {
+                        continue;
+                    }
+                    family.hash_all(row as u64, &mut row_hashes);
+                    for &j in &dominators {
+                        matrix.update_column(j, &row_hashes);
+                        scores[j] += 1;
+                    }
+                }
+                SigGenOutput { matrix, scores }
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("siggen shard panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut iter = partials.into_iter();
+    let mut acc = iter.next().expect("threads >= 1");
+    for p in iter {
+        acc.matrix.merge_min(&p.matrix);
+        for (a, b) in acc.scores.iter_mut().zip(&p.scores) {
+            *a += b;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::sig_gen_if;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::{anticorrelated, independent};
+    use skydiver_skyline::naive_skyline;
+
+    #[test]
+    fn identical_to_sequential() {
+        for threads in [2, 3, 8] {
+            let ds = independent(1200, 3, 110);
+            let sky = naive_skyline(&ds, &MinDominance);
+            let fam = HashFamily::new(64, 10);
+            let seq = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+            let par = sig_gen_parallel(&ds, &MinDominance, &sky, &fam, threads);
+            assert_eq!(seq.matrix, par.matrix, "threads = {threads}");
+            assert_eq!(seq.scores, par.scores);
+        }
+    }
+
+    #[test]
+    fn identical_on_anticorrelated_many_skyline_points() {
+        let ds = anticorrelated(900, 3, 111);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(32, 11);
+        let seq = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let par = sig_gen_parallel(&ds, &MinDominance, &sky, &fam, 4);
+        assert_eq!(seq.matrix, par.matrix);
+        assert_eq!(seq.scores, par.scores);
+    }
+
+    #[test]
+    fn tiny_input_falls_back() {
+        let ds = independent(6, 2, 112);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(8, 12);
+        let seq = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let par = sig_gen_parallel(&ds, &MinDominance, &sky, &fam, 16);
+        assert_eq!(seq.matrix, par.matrix);
+    }
+}

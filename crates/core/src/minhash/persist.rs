@@ -1,0 +1,135 @@
+//! Persistence of fingerprints.
+//!
+//! Fingerprinting is the expensive phase (one pass over the data);
+//! selection is `O(k²m)` and cheap. Persisting the signature matrix and
+//! domination scores lets a user fingerprint once and re-run selection
+//! for many `k`, thresholds, or LSH configurations — without touching
+//! the data again. Format: `SKYSIG01` magic, `u64` t / m, column-major
+//! `u64` slots, then `u64` scores, all little-endian.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use super::{SigGenOutput, SignatureMatrix};
+
+const MAGIC: &[u8; 8] = b"SKYSIG01";
+
+/// Writes a fingerprint bundle (matrix + scores) to `path`.
+pub fn write_signatures<P: AsRef<Path>>(out: &SigGenOutput, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(out.matrix.t() as u64).to_le_bytes())?;
+    w.write_all(&(out.matrix.m() as u64).to_le_bytes())?;
+    for j in 0..out.matrix.m() {
+        for &slot in out.matrix.column(j) {
+            w.write_all(&slot.to_le_bytes())?;
+        }
+    }
+    for &s in &out.scores {
+        w.write_all(&s.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a fingerprint bundle written by [`write_signatures`].
+pub fn read_signatures<P: AsRef<Path>>(path: P) -> io::Result<SigGenOutput> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a SkyDiver signature bundle",
+        ));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let t = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8) as usize;
+    if t == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bundle declares zero signature size",
+        ));
+    }
+    let mut matrix = SignatureMatrix::new(t, m);
+    let mut col = vec![0u64; t];
+    for j in 0..m {
+        for slot in col.iter_mut() {
+            r.read_exact(&mut b8)?;
+            *slot = u64::from_le_bytes(b8);
+        }
+        matrix.update_column(j, &col);
+    }
+    let mut scores = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut b8)?;
+        scores.push(u64::from_le_bytes(b8));
+    }
+    Ok(SigGenOutput { matrix, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::{sig_gen_if, HashFamily};
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::independent;
+    use skydiver_skyline::naive_skyline;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skydiver-sig-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = independent(500, 3, 180);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(64, 181);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let path = tmp("roundtrip");
+        write_signatures(&out, &path).unwrap();
+        let back = read_signatures(&path).unwrap();
+        assert_eq!(out.matrix, back.matrix);
+        assert_eq!(out.scores, back.scores);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn round_trip_keeps_inf_slots() {
+        // A skyline point dominating nothing has an all-∞ column; ∞ is
+        // u64::MAX and must survive the trip (update_column minimum with
+        // a fresh matrix keeps MAX).
+        let ds = skydiver_data::Dataset::from_rows(2, &[[0.0, 1.0], [1.0, 0.0], [1.5, 0.5]]);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(8, 182);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let path = tmp("inf");
+        write_signatures(&out, &path).unwrap();
+        let back = read_signatures(&path).unwrap();
+        assert_eq!(out.matrix, back.matrix);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a signature bundle").unwrap();
+        assert!(read_signatures(&path).is_err());
+
+        // Truncated bundle: write valid then chop.
+        let ds = independent(100, 2, 183);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(16, 184);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        write_signatures(&out, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_signatures(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,148 @@
+//! The signature matrix `M̂` (t rows × m columns, column-major).
+
+/// Sentinel for "no row hashed yet" (the `∞` of the paper's Fig. 3).
+pub const INF_SLOT: u64 = u64::MAX;
+
+/// A `t × m` MinHash signature matrix, one column per skyline point,
+/// stored column-major so per-point signatures are contiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureMatrix {
+    t: usize,
+    m: usize,
+    data: Vec<u64>,
+}
+
+impl SignatureMatrix {
+    /// An all-`∞` matrix for `m` skyline points and signature size `t`.
+    pub fn new(t: usize, m: usize) -> Self {
+        assert!(t > 0, "signature size must be positive");
+        SignatureMatrix {
+            t,
+            m,
+            data: vec![INF_SLOT; t * m],
+        }
+    }
+
+    /// Signature size `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of skyline points `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The signature of skyline point `j` (length `t`).
+    #[inline]
+    pub fn column(&self, j: usize) -> &[u64] {
+        &self.data[j * self.t..(j + 1) * self.t]
+    }
+
+    /// Folds the row hashes of one dominated point into column `j`
+    /// (the paper's `UpdateMatrix`): slot-wise minimum.
+    #[inline]
+    pub fn update_column(&mut self, j: usize, row_hashes: &[u64]) {
+        debug_assert_eq!(row_hashes.len(), self.t);
+        let col = &mut self.data[j * self.t..(j + 1) * self.t];
+        for (slot, &h) in col.iter_mut().zip(row_hashes) {
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+
+    /// Estimated Jaccard similarity `Ĵs(i, j)`: the fraction of slots
+    /// where the two signatures agree. Two `∞` slots agree — consistent
+    /// with the convention that two empty dominated sets are identical.
+    pub fn estimated_similarity(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (self.column(i), self.column(j));
+        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
+        agree as f64 / self.t as f64
+    }
+
+    /// Estimated Jaccard distance `Ĵd = 1 − Ĵs`.
+    pub fn estimated_distance(&self, i: usize, j: usize) -> f64 {
+        1.0 - self.estimated_similarity(i, j)
+    }
+
+    /// Merges another matrix (from a parallel shard) by element-wise
+    /// minimum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge_min(&mut self, other: &SignatureMatrix) {
+        assert_eq!((self.t, self.m), (other.t, other.m), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            if b < *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Bytes consumed by the signatures (`t · m · 8`) — the MinHash side
+    /// of the paper's Figure 13 memory comparison.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_infinity() {
+        let m = SignatureMatrix::new(4, 3);
+        assert!(m.column(0).iter().all(|&v| v == INF_SLOT));
+        assert_eq!(m.t(), 4);
+        assert_eq!(m.m(), 3);
+        assert_eq!(m.memory_bytes(), 4 * 3 * 8);
+    }
+
+    #[test]
+    fn update_takes_minimum() {
+        let mut m = SignatureMatrix::new(3, 2);
+        m.update_column(0, &[5, 7, 9]);
+        m.update_column(0, &[6, 2, 9]);
+        assert_eq!(m.column(0), &[5, 2, 9]);
+        assert_eq!(m.column(1), &[INF_SLOT; 3]);
+    }
+
+    #[test]
+    fn similarity_counts_agreeing_slots() {
+        let mut m = SignatureMatrix::new(4, 2);
+        m.update_column(0, &[1, 2, 3, 4]);
+        m.update_column(1, &[1, 2, 9, 9]);
+        assert_eq!(m.estimated_similarity(0, 1), 0.5);
+        assert_eq!(m.estimated_distance(0, 1), 0.5);
+        // Self-similarity is 1.
+        assert_eq!(m.estimated_similarity(0, 0), 1.0);
+    }
+
+    #[test]
+    fn empty_columns_are_identical() {
+        let m = SignatureMatrix::new(5, 2);
+        assert_eq!(m.estimated_similarity(0, 1), 1.0);
+    }
+
+    #[test]
+    fn merge_min_is_elementwise() {
+        let mut a = SignatureMatrix::new(2, 2);
+        let mut b = SignatureMatrix::new(2, 2);
+        a.update_column(0, &[5, 1]);
+        b.update_column(0, &[2, 8]);
+        b.update_column(1, &[7, 7]);
+        a.merge_min(&b);
+        assert_eq!(a.column(0), &[2, 1]);
+        assert_eq!(a.column(1), &[7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = SignatureMatrix::new(2, 2);
+        let b = SignatureMatrix::new(3, 2);
+        a.merge_min(&b);
+    }
+}

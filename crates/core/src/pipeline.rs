@@ -1,0 +1,357 @@
+//! The end-to-end SkyDiver pipeline: fingerprint, then select.
+//!
+//! [`SkyDiver`] is the builder-style entry point a downstream user
+//! reaches for: configure `k`, the signature size, MinHash vs LSH and
+//! optional parallelism; then run it index-free over a dataset
+//! ([`SkyDiver::run`]), index-based over an aggregate R*-tree
+//! ([`SkyDiver::run_index_based`]), or over a bare dominance graph
+//! ([`SkyDiver::run_graph`]).
+
+use std::time::Instant;
+
+use skydiver_data::{Dataset, Preference};
+use skydiver_rtree::{BufferPool, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
+use skydiver_skyline::{bbs, sfs};
+
+use crate::canonical::canonicalise;
+use crate::dispersion::{select_diverse, SeedRule, TieBreak};
+use crate::diversity::{LshDistance, SignatureDistance};
+use crate::error::{Result, SkyDiverError};
+use crate::graph::DominanceGraph;
+use crate::lsh::{LshIndex, LshParams};
+use crate::minhash::{sig_gen_if, sig_gen_parallel, HashFamily, SigGenOutput};
+
+/// Which phase-2 representation drives the selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SelectionMethod {
+    /// Greedy dispersion over MinHash signatures (SkyDiver-MH).
+    MinHash,
+    /// Greedy dispersion over LSH bucket bit-vectors (SkyDiver-LSH):
+    /// less memory, slightly lower accuracy (Figure 13).
+    Lsh {
+        /// Similarity threshold `ξ` governing the banding `ζ·r ≤ t`.
+        threshold: f64,
+        /// Buckets per zone `B`.
+        buckets: usize,
+    },
+}
+
+/// Result of one diversification run.
+#[derive(Debug, Clone)]
+pub struct DiverseResult {
+    /// Skyline point indices into the input dataset (ascending), or the
+    /// left-node indices for graph inputs.
+    pub skyline: Vec<usize>,
+    /// Positions *within* `skyline` of the `k` selected points, in
+    /// selection order.
+    pub selected_positions: Vec<usize>,
+    /// Dataset indices of the `k` selected points, in selection order.
+    pub selected: Vec<usize>,
+    /// Domination scores `|Γ(p)|` per skyline point.
+    pub scores: Vec<u64>,
+    /// Bytes held by the phase-2 representation (signatures or LSH
+    /// bit-vectors).
+    pub memory_bytes: usize,
+    /// Wall-clock milliseconds of the fingerprinting phase.
+    pub fingerprint_ms: f64,
+    /// Wall-clock milliseconds of the selection phase.
+    pub selection_ms: f64,
+}
+
+/// Builder for the SkyDiver pipeline.
+#[derive(Debug, Clone)]
+pub struct SkyDiver {
+    k: usize,
+    signature_size: usize,
+    method: SelectionMethod,
+    hash_seed: u64,
+    seed_rule: SeedRule,
+    tie_break: TieBreak,
+    threads: usize,
+}
+
+impl SkyDiver {
+    /// A pipeline returning `k` diverse skyline points with the paper's
+    /// defaults: signature size 100, MinHash selection, max-domination
+    /// seeding and tie-breaking, sequential fingerprinting.
+    pub fn new(k: usize) -> Self {
+        SkyDiver {
+            k,
+            signature_size: 100,
+            method: SelectionMethod::MinHash,
+            hash_seed: 0,
+            seed_rule: SeedRule::MaxDominance,
+            tie_break: TieBreak::MaxDominance,
+            threads: 1,
+        }
+    }
+
+    /// Sets the signature size `t` (default 100, the paper's default).
+    pub fn signature_size(mut self, t: usize) -> Self {
+        self.signature_size = t;
+        self
+    }
+
+    /// Selects with MinHash signatures (the default).
+    pub fn minhash(mut self) -> Self {
+        self.method = SelectionMethod::MinHash;
+        self
+    }
+
+    /// Selects with LSH (threshold `ξ`, `buckets` per zone).
+    pub fn lsh(mut self, threshold: f64, buckets: usize) -> Self {
+        self.method = SelectionMethod::Lsh { threshold, buckets };
+        self
+    }
+
+    /// Seeds the hash family (reproducibility).
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Overrides the selection seed rule (ablation).
+    pub fn seed_rule(mut self, rule: SeedRule) -> Self {
+        self.seed_rule = rule;
+        self
+    }
+
+    /// Overrides the tie-break rule (ablation).
+    pub fn tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie_break = tie;
+        self
+    }
+
+    /// Shards the index-free fingerprinting pass over `threads` threads
+    /// (bit-identical to sequential; the paper's future-work item).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Index-free run: canonicalise, compute the skyline (SFS), run
+    /// `SigGen-IF`, select.
+    pub fn run(&self, ds: &Dataset, prefs: &[Preference]) -> Result<DiverseResult> {
+        if self.signature_size == 0 {
+            return Err(SkyDiverError::ZeroSignatureSize);
+        }
+        let canon = canonicalise(ds, prefs)?;
+        let ord = skydiver_data::dominance::MinDominance;
+        let skyline = sfs(&canon, &ord);
+        if skyline.is_empty() {
+            return Err(SkyDiverError::EmptySkyline);
+        }
+        let family = HashFamily::new(self.signature_size, self.hash_seed);
+        let t0 = Instant::now();
+        let out = if self.threads > 1 {
+            sig_gen_parallel(&canon, &ord, &skyline, &family, self.threads)
+        } else {
+            sig_gen_if(&canon, &ord, &skyline, &family)
+        };
+        let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.finish(skyline, out, fingerprint_ms)
+    }
+
+    /// Index-based run: bulk-load an aggregate R*-tree (paper defaults:
+    /// 4 KiB pages, 20 % buffer pool), compute the skyline with BBS, run
+    /// `SigGen-IB`, select. Returns the result plus the I/O counters so
+    /// callers can apply the 8 ms/fault cost model.
+    pub fn run_index_based(
+        &self,
+        ds: &Dataset,
+        prefs: &[Preference],
+    ) -> Result<(DiverseResult, skydiver_rtree::IoStats)> {
+        if self.signature_size == 0 {
+            return Err(SkyDiverError::ZeroSignatureSize);
+        }
+        let canon = canonicalise(ds, prefs)?;
+        let tree = RTree::bulk_load(&canon, DEFAULT_PAGE_SIZE);
+        let mut pool = BufferPool::for_index(tree.num_pages(), DEFAULT_CACHE_FRACTION);
+        let skyline = bbs(&tree, &mut pool);
+        if skyline.is_empty() {
+            return Err(SkyDiverError::EmptySkyline);
+        }
+        let family = HashFamily::new(self.signature_size, self.hash_seed);
+        let pts: Vec<&[f64]> = skyline.iter().map(|&s| canon.point(s)).collect();
+        let t0 = Instant::now();
+        let (out, _) = crate::minhash::sig_gen_ib(&tree, &mut pool, &pts, &family);
+        let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let result = self.finish(skyline, out, fingerprint_ms)?;
+        Ok((result, pool.stats()))
+    }
+
+    /// Runs over a bare dominance graph (paper Fig. 1): fingerprints the
+    /// edge lists and selects. `selected` holds left-node indices.
+    pub fn run_graph(&self, graph: &DominanceGraph) -> Result<DiverseResult> {
+        if self.signature_size == 0 {
+            return Err(SkyDiverError::ZeroSignatureSize);
+        }
+        let family = HashFamily::new(self.signature_size, self.hash_seed);
+        let t0 = Instant::now();
+        let out = graph.fingerprint(&family)?;
+        let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let skyline: Vec<usize> = (0..graph.num_skyline()).collect();
+        self.finish(skyline, out, fingerprint_ms)
+    }
+
+    fn finish(
+        &self,
+        skyline: Vec<usize>,
+        out: SigGenOutput,
+        fingerprint_ms: f64,
+    ) -> Result<DiverseResult> {
+        let t1 = Instant::now();
+        let (positions, memory_bytes) = match self.method {
+            SelectionMethod::MinHash => {
+                let mut dist = SignatureDistance::new(&out.matrix);
+                let sel = select_diverse(
+                    &mut dist,
+                    &out.scores,
+                    self.k,
+                    self.seed_rule,
+                    self.tie_break,
+                )?;
+                (sel, out.matrix.memory_bytes())
+            }
+            SelectionMethod::Lsh { threshold, buckets } => {
+                let params = LshParams::from_threshold(out.matrix.t(), threshold)?;
+                let idx = LshIndex::build(&out.matrix, params, buckets, self.hash_seed)?;
+                let mut dist = LshDistance::new(&idx);
+                let sel = select_diverse(
+                    &mut dist,
+                    &out.scores,
+                    self.k,
+                    self.seed_rule,
+                    self.tie_break,
+                )?;
+                (sel, idx.memory_bytes())
+            }
+        };
+        let selection_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let selected = positions.iter().map(|&p| skyline[p]).collect();
+        Ok(DiverseResult {
+            skyline,
+            selected_positions: positions,
+            selected,
+            scores: out.scores,
+            memory_bytes,
+            fingerprint_ms,
+            selection_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_data::generators::{anticorrelated, independent};
+
+    #[test]
+    fn index_free_end_to_end() {
+        let ds = anticorrelated(3000, 3, 150);
+        let r = SkyDiver::new(5)
+            .signature_size(128)
+            .hash_seed(1)
+            .run(&ds, &Preference::all_min(3))
+            .unwrap();
+        assert_eq!(r.selected.len(), 5);
+        assert_eq!(r.selected_positions.len(), 5);
+        // Selected points are skyline members.
+        for (&pos, &idx) in r.selected_positions.iter().zip(&r.selected) {
+            assert_eq!(r.skyline[pos], idx);
+        }
+        assert!(r.memory_bytes > 0);
+        // First selected point carries the max domination score.
+        let max = r.scores.iter().copied().max().unwrap();
+        assert_eq!(r.scores[r.selected_positions[0]], max);
+    }
+
+    #[test]
+    fn index_based_matches_index_free_skyline() {
+        let ds = independent(2000, 3, 151);
+        let cfg = SkyDiver::new(4).signature_size(64).hash_seed(2);
+        let a = cfg.run(&ds, &Preference::all_min(3)).unwrap();
+        let (b, io) = cfg.run_index_based(&ds, &Preference::all_min(3)).unwrap();
+        assert_eq!(a.skyline, b.skyline, "BBS and SFS agree");
+        assert_eq!(a.scores, b.scores, "IB and IF count Γ identically");
+        assert!(io.accesses() > 0);
+    }
+
+    #[test]
+    fn lsh_method_runs_and_uses_less_memory() {
+        let ds = anticorrelated(3000, 4, 152);
+        let mh = SkyDiver::new(5).signature_size(100).hash_seed(3);
+        let lsh = mh.clone().lsh(0.2, 20);
+        let rm = mh.run(&ds, &Preference::all_min(4)).unwrap();
+        let rl = lsh.run(&ds, &Preference::all_min(4)).unwrap();
+        assert_eq!(rl.selected.len(), 5);
+        assert!(
+            rl.memory_bytes < rm.memory_bytes,
+            "LSH {} !< MH {}",
+            rl.memory_bytes,
+            rm.memory_bytes
+        );
+    }
+
+    #[test]
+    fn max_preferences_are_honoured() {
+        // Maximise both dims: the skyline flips to the upper-right.
+        let ds = Dataset::from_rows(2, &[[0.1, 0.1], [0.9, 0.9], [0.8, 0.95]]);
+        let r = SkyDiver::new(2)
+            .signature_size(16)
+            .run(&ds, &Preference::all_max(2));
+        // Skyline = {1, 2}; k = 2 selects both.
+        let r = r.unwrap();
+        assert_eq!(r.skyline, vec![1, 2]);
+    }
+
+    #[test]
+    fn graph_run_selects_c_then_a() {
+        let g = crate::graph::DominanceGraph::from_edges(
+            11,
+            vec![
+                vec![0],
+                vec![0, 1, 2, 3, 4, 5],
+                vec![3, 4, 5, 6, 7, 8, 9, 10],
+                vec![6, 7, 8, 9],
+            ],
+        );
+        let r = SkyDiver::new(2).signature_size(256).run_graph(&g).unwrap();
+        assert_eq!(r.selected, vec![2, 0]);
+    }
+
+    #[test]
+    fn config_errors_propagate() {
+        let ds = independent(100, 2, 153);
+        let prefs = Preference::all_min(2);
+        assert!(matches!(
+            SkyDiver::new(2).signature_size(0).run(&ds, &prefs),
+            Err(SkyDiverError::ZeroSignatureSize)
+        ));
+        assert!(matches!(
+            SkyDiver::new(1).run(&ds, &prefs),
+            Err(SkyDiverError::KTooSmall { .. })
+        ));
+        assert!(matches!(
+            SkyDiver::new(2).run(&ds, &Preference::all_min(3)),
+            Err(SkyDiverError::DimsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_threads_do_not_change_result() {
+        let ds = anticorrelated(2000, 3, 154);
+        let prefs = Preference::all_min(3);
+        let seq = SkyDiver::new(4).signature_size(64).hash_seed(5).run(&ds, &prefs).unwrap();
+        let par = SkyDiver::new(4)
+            .signature_size(64)
+            .hash_seed(5)
+            .threads(4)
+            .run(&ds, &prefs)
+            .unwrap();
+        assert_eq!(seq.selected, par.selected);
+        assert_eq!(seq.scores, par.scores);
+    }
+
+    use skydiver_data::Dataset;
+}

@@ -1,0 +1,13 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on independent (`IND`) and anticorrelated (`ANT`)
+//! data "using the methodology presented in \[4\]" (Börzsönyi et al., *The
+//! Skyline Operator*). This module reproduces those generators plus the
+//! correlated and clustered distributions commonly used in the skyline
+//! literature, all deterministically seeded.
+
+mod rng;
+mod synthetic;
+
+pub use rng::NormalSampler;
+pub use synthetic::{anticorrelated, clustered, correlated, independent};

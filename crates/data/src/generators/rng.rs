@@ -1,0 +1,109 @@
+//! Minimal distribution samplers on top of `rand`.
+//!
+//! `rand_distr` is not part of the approved offline dependency set, so the
+//! Gaussian sampler (Box–Muller) lives here. It is more than adequate for
+//! workload generation.
+
+use rand::Rng;
+
+/// Box–Muller Gaussian sampler with a one-value cache.
+#[derive(Debug, Clone, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one `N(mean, sd²)` variate.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.standard(rng)
+    }
+
+    /// Draws one standard normal variate.
+    pub fn standard<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws an `N(mean, sd²)` variate clamped to `[lo, hi]`.
+    pub fn sample_clamped<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        mean: f64,
+        sd: f64,
+        lo: f64,
+        hi: f64,
+    ) -> f64 {
+        self.sample(rng, mean, sd).clamp(lo, hi)
+    }
+
+    /// Draws one log-normal variate with the given parameters of the
+    /// underlying normal.
+    pub fn sample_lognormal<R: Rng>(&mut self, rng: &mut R, mu: f64, sigma: f64) -> f64 {
+        self.sample(rng, mu, sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ns = NormalSampler::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| ns.standard(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn clamped_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ns = NormalSampler::new();
+        for _ in 0..1000 {
+            let v = ns.sample_clamped(&mut rng, 0.5, 10.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ns = NormalSampler::new();
+        for _ in 0..1000 {
+            assert!(ns.sample_lognormal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let draw = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut ns = NormalSampler::new();
+            (0..10).map(|_| ns.standard(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

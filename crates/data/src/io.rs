@@ -1,0 +1,179 @@
+//! Dataset persistence: CSV for interoperability and a compact
+//! little-endian binary snapshot for fast reloads.
+//!
+//! The binary layout also serves as the *record format* assumed by the
+//! paged-scan I/O cost model (`skydiver-rtree`): one point is `d` × 8
+//! bytes, stored sequentially — "the data file is stored sequentially on
+//! the disk" (paper §4.1.1).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Magic bytes of the binary snapshot format.
+const MAGIC: &[u8; 8] = b"SKYDIVE1";
+
+/// Writes a dataset as a binary snapshot (`SKYDIVE1` header, `u64` dims,
+/// `u64` count, then row-major `f64` little-endian coordinates).
+pub fn write_binary<P: AsRef<Path>>(ds: &Dataset, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(ds.dims() as u64).to_le_bytes())?;
+    w.write_all(&(ds.len() as u64).to_le_bytes())?;
+    for &v in ds.as_flat() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a binary snapshot written by [`write_binary`].
+pub fn read_binary<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a SkyDiver binary snapshot",
+        ));
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let dims = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    if dims == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot declares zero dimensions",
+        ));
+    }
+    let mut coords = Vec::with_capacity(n * dims);
+    for _ in 0..n * dims {
+        r.read_exact(&mut b8)?;
+        coords.push(f64::from_le_bytes(b8));
+    }
+    Ok(Dataset::from_flat(dims, coords))
+}
+
+/// Writes a dataset as headerless CSV (one point per line).
+pub fn write_csv<P: AsRef<Path>>(ds: &Dataset, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in ds.iter() {
+        let mut first = true;
+        for v in p {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads a headerless CSV of floats. Dimensionality is inferred from the
+/// first line; short/long/malformed lines are an error.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
+    let r = BufReader::new(File::open(path)?);
+    let mut dims = 0usize;
+    let mut coords = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        for field in line.split(',') {
+            let v: f64 = field.trim().parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad float {:?}: {e}", lineno + 1, field),
+                )
+            })?;
+            coords.push(v);
+            count += 1;
+        }
+        if dims == 0 {
+            dims = count;
+        } else if count != dims {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {dims} fields, found {count}",
+                    lineno + 1
+                ),
+            ));
+        }
+    }
+    if dims == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty CSV"));
+    }
+    Ok(Dataset::from_flat(dims, coords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::independent;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skydiver-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let ds = independent(123, 4, 5);
+        let path = tmp("bin");
+        write_binary(&ds, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = independent(50, 3, 6);
+        let path = tmp("csv");
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.dims(), ds.dims());
+        for (a, b) in ds.iter().zip(back.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let path = tmp("ragged");
+        std::fs::write(&path, "1,2,3\n4,5\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_rejects_bad_floats() {
+        let path = tmp("badfloat");
+        std::fs::write(&path, "1,banana\n").unwrap();
+        assert!(read_csv(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic surrogates for the paper's real-life data sets.
+//!
+//! The paper evaluates on two real data sets we cannot redistribute:
+//!
+//! * **Forest Cover (FC)** — ≈ 581 012 cartographic observations from the
+//!   UCI repository with 10 quantitative attributes (elevation, aspect,
+//!   slope, distances to hydrology/roads/fire points, hillshades, …), used
+//!   at 4, 5 and 7 dimensions.
+//! * **Recipes (REC)** — ≈ 365 000 recipes crawled from Sparkrecipes.com
+//!   where attributes are nutritional values (calories, fat, carbohydrates,
+//!   protein, sodium, calcium, …), used at 4, 5 and 7 dimensions.
+//!
+//! Every SkyDiver experiment depends only on the *dominance structure* of
+//! the input — skyline cardinality, the overlap pattern of dominated sets,
+//! and spatial clustering for the R-tree — which is governed by
+//! cardinality, dimensionality and inter-attribute correlation. The
+//! surrogates reproduce those: matching cardinalities, marginals of the
+//! right family (mixtures / log-normals), and a low-rank latent-factor
+//! correlation structure. Absolute attribute values are irrelevant to the
+//! algorithms. This substitution is recorded in `DESIGN.md` §5.
+
+mod forest_cover;
+mod recipes;
+
+pub use forest_cover::{forest_cover, FC_CARDINALITY, FC_DIMS};
+pub use recipes::{recipes, REC_CARDINALITY, REC_DIMS};

@@ -1,0 +1,130 @@
+//! Node and entry types of the aggregate R*-tree.
+
+use crate::mbr::Mbr;
+
+/// Identifier of a tree node; doubles as the page id for the buffer pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The page id as a buffer-pool key.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// The page id as a slab index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What an entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Child {
+    /// An internal child node.
+    Node(PageId),
+    /// A data point, identified by its dataset index.
+    Point(u32),
+}
+
+/// One slot of a node: bounding box, aggregate count of data points in
+/// the subtree (1 for leaf entries), and the child reference.
+///
+/// The aggregate `count` is what makes this an *aggregate* R-tree: both
+/// `SigGen-IB` (paper Fig. 4, `e.count`) and the Simple-Greedy baseline's
+/// range-count queries read it to avoid descending fully-covered
+/// subtrees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Bounding box of the subtree (degenerate for leaf entries).
+    pub mbr: Mbr,
+    /// Number of data points below this entry.
+    pub count: u64,
+    /// Child node or data point.
+    pub child: Child,
+}
+
+impl Entry {
+    /// A leaf entry for data point `id` at coordinates `p`.
+    pub fn point(p: &[f64], id: u32) -> Self {
+        Entry {
+            mbr: Mbr::point(p),
+            count: 1,
+            child: Child::Point(id),
+        }
+    }
+}
+
+/// A tree node. `level == 0` means leaf (entries reference points);
+/// higher levels reference nodes one level down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Height of this node above the leaves.
+    pub level: u32,
+    /// Slots, at most the tree's `max_entries`.
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` when this node references data points.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Union of all entry MBRs (empty identity when the node is empty).
+    pub fn mbr(&self, dims: usize) -> Mbr {
+        let mut m = Mbr::empty(dims);
+        for e in &self.entries {
+            m.expand(&e.mbr);
+        }
+        m
+    }
+
+    /// Sum of entry counts.
+    pub fn count(&self) -> u64 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_entry_is_degenerate() {
+        let e = Entry::point(&[1.0, 2.0], 7);
+        assert_eq!(e.mbr.lo(), e.mbr.hi());
+        assert_eq!(e.count, 1);
+        assert_eq!(e.child, Child::Point(7));
+    }
+
+    #[test]
+    fn node_mbr_and_count_aggregate() {
+        let mut n = Node::new(0);
+        n.entries.push(Entry::point(&[0.0, 0.0], 0));
+        n.entries.push(Entry::point(&[2.0, 1.0], 1));
+        let m = n.mbr(2);
+        assert_eq!(m.lo(), &[0.0, 0.0]);
+        assert_eq!(m.hi(), &[2.0, 1.0]);
+        assert_eq!(n.count(), 2);
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    fn page_id_conversions() {
+        let p = PageId(5);
+        assert_eq!(p.as_u64(), 5);
+        assert_eq!(p.index(), 5);
+    }
+}

@@ -1,0 +1,169 @@
+//! R*-tree node split (Beckmann et al.'s topological split).
+//!
+//! The split picks the axis minimising the summed margins of all
+//! candidate distributions, then the distribution on that axis with the
+//! least overlap between the two groups (ties: least total area).
+
+use crate::mbr::Mbr;
+use crate::node::Entry;
+
+/// Splits `entries` (an overflowing node's slots, `len > max`) into two
+/// groups, each with at least `min_entries` slots.
+pub fn r_star_split(entries: Vec<Entry>, min_entries: usize, dims: usize) -> (Vec<Entry>, Vec<Entry>) {
+    debug_assert!(entries.len() >= 2 * min_entries, "not enough entries to split");
+
+    // Choose the split axis: minimise the margin sum over all candidate
+    // distributions of both sortings of each axis.
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dims {
+        let mut margin = 0.0;
+        for by_hi in [false, true] {
+            let order = sorted_order(&entries, axis, by_hi);
+            for k in split_points(entries.len(), min_entries) {
+                let (m1, m2) = group_mbrs(&entries, &order, k, dims);
+                margin += m1.margin() + m2.margin();
+            }
+        }
+        if margin < best_margin {
+            best_margin = margin;
+            best_axis = axis;
+        }
+    }
+
+    // Choose the distribution on that axis: minimise overlap, tie-break
+    // on total area.
+    let mut best: Option<(f64, f64, Vec<usize>, usize)> = None;
+    for by_hi in [false, true] {
+        let order = sorted_order(&entries, best_axis, by_hi);
+        for k in split_points(entries.len(), min_entries) {
+            let (m1, m2) = group_mbrs(&entries, &order, k, dims);
+            let overlap = m1.overlap(&m2);
+            let area = m1.area() + m2.area();
+            let better = match &best {
+                None => true,
+                Some((bo, ba, _, _)) => {
+                    overlap < *bo || (overlap == *bo && area < *ba)
+                }
+            };
+            if better {
+                best = Some((overlap, area, order.clone(), k));
+            }
+        }
+    }
+
+    let (_, _, order, k) = best.expect("at least one distribution exists");
+    distribute(entries, &order, k)
+}
+
+/// Valid first-group sizes: `min ..= len - min`.
+fn split_points(len: usize, min_entries: usize) -> std::ops::RangeInclusive<usize> {
+    min_entries..=(len - min_entries)
+}
+
+/// Index permutation of `entries` sorted along `axis` by `(lo, hi)` or
+/// `(hi, lo)`.
+fn sorted_order(entries: &[Entry], axis: usize, by_hi: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ka, kb) = if by_hi {
+            (
+                (entries[a].mbr.hi()[axis], entries[a].mbr.lo()[axis]),
+                (entries[b].mbr.hi()[axis], entries[b].mbr.lo()[axis]),
+            )
+        } else {
+            (
+                (entries[a].mbr.lo()[axis], entries[a].mbr.hi()[axis]),
+                (entries[b].mbr.lo()[axis], entries[b].mbr.hi()[axis]),
+            )
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Bounding boxes of the first `k` and remaining entries under `order`.
+fn group_mbrs(entries: &[Entry], order: &[usize], k: usize, dims: usize) -> (Mbr, Mbr) {
+    let mut m1 = Mbr::empty(dims);
+    let mut m2 = Mbr::empty(dims);
+    for (pos, &i) in order.iter().enumerate() {
+        if pos < k {
+            m1.expand(&entries[i].mbr);
+        } else {
+            m2.expand(&entries[i].mbr);
+        }
+    }
+    (m1, m2)
+}
+
+/// Materialises the two groups from the chosen order/split point.
+fn distribute(entries: Vec<Entry>, order: &[usize], k: usize) -> (Vec<Entry>, Vec<Entry>) {
+    let mut slots: Vec<Option<Entry>> = entries.into_iter().map(Some).collect();
+    let mut g1 = Vec::with_capacity(k);
+    let mut g2 = Vec::with_capacity(order.len() - k);
+    for (pos, &i) in order.iter().enumerate() {
+        let e = slots[i].take().expect("each index used once");
+        if pos < k {
+            g1.push(e);
+        } else {
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Child;
+    use crate::node::Entry;
+
+    fn pt(x: f64, y: f64, id: u32) -> Entry {
+        Entry::point(&[x, y], id)
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clear clusters on the x axis must be split between them.
+        let entries = vec![
+            pt(0.0, 0.0, 0),
+            pt(0.1, 0.2, 1),
+            pt(0.2, 0.1, 2),
+            pt(9.0, 0.0, 3),
+            pt(9.1, 0.2, 4),
+            pt(9.2, 0.1, 5),
+        ];
+        let (g1, g2) = r_star_split(entries, 2, 2);
+        assert_eq!(g1.len() + g2.len(), 6);
+        let xs1: Vec<f64> = g1.iter().map(|e| e.mbr.lo()[0]).collect();
+        let xs2: Vec<f64> = g2.iter().map(|e| e.mbr.lo()[0]).collect();
+        let max1 = xs1.iter().cloned().fold(f64::MIN, f64::max);
+        let min2 = xs2.iter().cloned().fold(f64::MAX, f64::min);
+        // One group entirely left of the other (either orientation).
+        assert!(max1 < min2 || xs2.iter().cloned().fold(f64::MIN, f64::max) < xs1.iter().cloned().fold(f64::MAX, f64::min));
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let entries: Vec<Entry> = (0..10).map(|i| pt(i as f64, 0.0, i as u32)).collect();
+        let (g1, g2) = r_star_split(entries, 4, 2);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+        assert_eq!(g1.len() + g2.len(), 10);
+    }
+
+    #[test]
+    fn split_preserves_all_children() {
+        let entries: Vec<Entry> = (0..9).map(|i| pt((i * 7 % 9) as f64, (i * 4 % 9) as f64, i as u32)).collect();
+        let (g1, g2) = r_star_split(entries, 3, 2);
+        let mut ids: Vec<u32> = g1
+            .iter()
+            .chain(&g2)
+            .map(|e| match e.child {
+                Child::Point(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,134 @@
+//! Divide-&-conquer skyline.
+//!
+//! Splits the input in halves, computes the partial skylines recursively
+//! and merges them by mutual cross-filtering. This is the simple (always
+//! correct) merge variant rather than the median-partition one: the merge
+//! compares the two partial skylines in both directions, so no ordering
+//! assumptions are needed.
+
+use skydiver_data::dominance::Dominance;
+use skydiver_data::{Dataset, DominanceOrd};
+
+/// Cut-off below which recursion bottoms out into a window scan.
+const LEAF_SIZE: usize = 64;
+
+/// Divide-&-conquer skyline. Returns skyline indices in ascending order.
+pub fn dc<O>(ds: &Dataset, ord: &O) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let mut out = dc_rec(ds, ord, &idx);
+    out.sort_unstable();
+    out
+}
+
+fn dc_rec<O>(ds: &Dataset, ord: &O, idx: &[usize]) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    if idx.len() <= LEAF_SIZE {
+        return window_scan(ds, ord, idx);
+    }
+    let (a, b) = idx.split_at(idx.len() / 2);
+    let sa = dc_rec(ds, ord, a);
+    let sb = dc_rec(ds, ord, b);
+    merge(ds, ord, sa, sb)
+}
+
+/// BNL-style scan over an index subset.
+fn window_scan<O>(ds: &Dataset, ord: &O, idx: &[usize]) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    let mut window: Vec<usize> = Vec::new();
+    'points: for &i in idx {
+        let p = ds.point(i);
+        let mut w = 0;
+        while w < window.len() {
+            match ord.dom_cmp(ds.point(window[w]), p) {
+                Dominance::Dominates => continue 'points,
+                Dominance::DominatedBy => {
+                    window.swap_remove(w);
+                }
+                _ => w += 1,
+            }
+        }
+        window.push(i);
+    }
+    window
+}
+
+/// Skyline of the union of two partial skylines.
+fn merge<O>(ds: &Dataset, ord: &O, sa: Vec<usize>, sb: Vec<usize>) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    // Members of each side are mutually non-dominated, so only
+    // cross-side comparisons are needed.
+    let keep_b: Vec<usize> = sb
+        .iter()
+        .copied()
+        .filter(|&j| !sa.iter().any(|&i| ord.dominates(ds.point(i), ds.point(j))))
+        .collect();
+    let mut out: Vec<usize> = sa
+        .into_iter()
+        .filter(|&i| {
+            !keep_b
+                .iter()
+                .any(|&j| ord.dominates(ds.point(j), ds.point(i)))
+        })
+        .collect();
+    out.extend(keep_b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_skyline;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::{anticorrelated, correlated, independent};
+
+    #[test]
+    fn matches_naive_across_distributions() {
+        for (seed, ds) in [
+            (0, independent(700, 3, 50)),
+            (1, anticorrelated(700, 3, 51)),
+            (2, correlated(700, 3, 52)),
+        ] {
+            assert_eq!(
+                dc(&ds, &MinDominance),
+                naive_skyline(&ds, &MinDominance),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_inputs_hit_leaf_path() {
+        let ds = independent(10, 2, 53);
+        assert_eq!(dc(&ds, &MinDominance), naive_skyline(&ds, &MinDominance));
+        let empty = Dataset::new(3);
+        assert!(dc(&empty, &MinDominance).is_empty());
+    }
+
+    #[test]
+    fn cross_filter_removes_both_directions() {
+        // Construct halves so that dominance flows both ways across the
+        // recursion boundary (index order matters for the split).
+        let ds = Dataset::from_rows(
+            2,
+            &(0..200)
+                .map(|i| {
+                    if i < 100 {
+                        [1.0 + (i as f64) * 0.01, 2.0]
+                    } else {
+                        [0.5, 1.0 + ((i - 100) as f64) * 0.01]
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(dc(&ds, &MinDominance), naive_skyline(&ds, &MinDominance));
+    }
+}

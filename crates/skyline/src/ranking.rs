@@ -1,0 +1,104 @@
+//! Top-k dominating queries (Yiu & Mamoulis, VLDB'07 — the paper's
+//! reference \[36\] for dominance-based ranking).
+//!
+//! The domination score `|Γ(p)|` is "an established approach for
+//! dominance-based ranking" and the quantity SkyDiver uses to seed and
+//! tie-break its selection. This module answers the standalone query:
+//! the `k` points of highest domination score. Unlike the skyline, the
+//! answer may contain dominated points.
+
+use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_rtree::{BufferPool, RTree};
+
+/// Top-k dominating points by exhaustive scoring (`O(n²·d)`); ground
+/// truth for tests and fine for small data.
+///
+/// Returns `(index, score)` pairs, best first; ties broken by index.
+pub fn top_k_dominating_scan<O>(ds: &Dataset, ord: &O, k: usize) -> Vec<(usize, u64)>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    let mut scored: Vec<(usize, u64)> = (0..ds.len())
+        .map(|i| {
+            let p = ds.point(i);
+            let score = ds.iter().filter(|q| ord.dominates(p, q)).count() as u64;
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Top-k dominating via aggregate R-tree counts: one dominance-region
+/// count query per point, charged to `pool`. Same output as the scan;
+/// far fewer comparisons when the tree prunes well.
+pub fn top_k_dominating_tree(
+    ds: &Dataset,
+    tree: &RTree,
+    pool: &mut BufferPool,
+    k: usize,
+) -> Vec<(usize, u64)> {
+    let mut scored: Vec<(usize, u64)> = (0..ds.len())
+        .map(|i| (i, tree.count_dominated(pool, ds.point(i))))
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::independent;
+
+    #[test]
+    fn scan_hand_checked() {
+        let ds = Dataset::from_rows(
+            2,
+            &[
+                [0.1, 0.1], // dominates everyone below
+                [0.5, 0.5],
+                [0.6, 0.6],
+                [0.9, 0.2], // dominates nobody (0.2 < others' y? 0.9 too big)
+            ],
+        );
+        let top = top_k_dominating_scan(&ds, &MinDominance, 2);
+        assert_eq!(top, vec![(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn tree_matches_scan() {
+        let ds = independent(1500, 3, 80);
+        let tree = RTree::bulk_load(&ds, 1024);
+        let mut pool = BufferPool::new(1 << 20);
+        let a = top_k_dominating_scan(&ds, &MinDominance, 10);
+        let b = top_k_dominating_tree(&ds, &tree, &mut pool, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_point_need_not_be_skyline_unique() {
+        // The top dominating point is always a skyline point in
+        // min-space? No: a point dominated by another can still have a
+        // high score, but the maximum-score point is never dominated by
+        // one with a *lower* score... Verify the basic sanity instead:
+        // the best scorer's score equals its Γ cardinality.
+        let ds = independent(400, 2, 81);
+        let top = top_k_dominating_scan(&ds, &MinDominance, 1);
+        let (i, s) = top[0];
+        assert_eq!(
+            s as usize,
+            ds.dominated_by_scan(&MinDominance, ds.point(i)).len()
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let ds = independent(7, 2, 82);
+        assert_eq!(top_k_dominating_scan(&ds, &MinDominance, 100).len(), 7);
+    }
+
+    use skydiver_data::Dataset;
+}

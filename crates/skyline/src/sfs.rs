@@ -1,0 +1,85 @@
+//! Sort-Filter-Skyline (Chomicki et al.).
+//!
+//! Presorting by a score that is *monotone with dominance* (if `p ≺ q`
+//! then `score(p) < score(q)`) guarantees that no point can be dominated
+//! by a later one, so the window only grows and each point is compared
+//! against confirmed skyline members only.
+
+use skydiver_data::{Dataset, DominanceOrd};
+
+/// SFS with the canonical coordinate-sum score (monotone for
+/// min-dominance). Returns skyline indices in ascending order.
+pub fn sfs<O>(ds: &Dataset, ord: &O) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    sfs_with_score(ds, ord, |p| p.iter().sum())
+}
+
+/// SFS with a caller-supplied monotone score.
+///
+/// The correctness contract is the caller's: `ord.dominates(p, q)` must
+/// imply `score(p) <= score(q)` (strict scores give the best filtering;
+/// ties are handled correctly either way because equal-score points are
+/// still compared).
+pub fn sfs_with_score<O, F>(ds: &Dataset, ord: &O, score: F) -> Vec<usize>
+where
+    O: DominanceOrd<Item = [f64]>,
+    F: Fn(&[f64]) -> f64,
+{
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    order.sort_by(|&a, &b| {
+        score(ds.point(a))
+            .partial_cmp(&score(ds.point(b)))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut skyline: Vec<usize> = Vec::new();
+    'points: for &i in &order {
+        let p = ds.point(i);
+        for &s in &skyline {
+            if ord.dominates(ds.point(s), p) {
+                continue 'points;
+            }
+        }
+        skyline.push(i);
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_skyline;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::{anticorrelated, independent};
+
+    #[test]
+    fn matches_naive() {
+        for seed in 0..3 {
+            let ds = independent(600, 3, seed + 40);
+            assert_eq!(sfs(&ds, &MinDominance), naive_skyline(&ds, &MinDominance));
+        }
+    }
+
+    #[test]
+    fn matches_naive_anticorrelated_high_dim() {
+        let ds = anticorrelated(300, 5, 44);
+        assert_eq!(sfs(&ds, &MinDominance), naive_skyline(&ds, &MinDominance));
+    }
+
+    #[test]
+    fn custom_score_still_correct() {
+        let ds = independent(400, 2, 45);
+        // Weighted sum is also monotone.
+        let got = sfs_with_score(&ds, &MinDominance, |p| 2.0 * p[0] + p[1]);
+        assert_eq!(got, naive_skyline(&ds, &MinDominance));
+    }
+
+    #[test]
+    fn equal_score_ties_handled() {
+        // Points on an anti-diagonal share the same sum.
+        let ds = Dataset::from_rows(2, &[[0.5, 0.5], [0.3, 0.7], [0.7, 0.3], [0.5, 0.5]]);
+        assert_eq!(sfs(&ds, &MinDominance), vec![0, 1, 2, 3]);
+    }
+}

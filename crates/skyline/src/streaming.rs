@@ -1,0 +1,196 @@
+//! Randomized multi-pass streaming skyline (Das Sarma, Lall, Nanongkai,
+//! Xu — *Randomized multi-pass streaming skyline algorithms*, PVLDB'09;
+//! the paper's reference \[11\] for index-free skyline computation).
+//!
+//! The algorithm keeps only `s` candidate points in memory and makes
+//! repeated passes over the (simulated) stream:
+//!
+//! 1. **Sample** `s` alive points uniformly (reservoir sampling).
+//! 2. **Promote**: scan the stream; whenever a point dominates a
+//!    candidate's current value, it replaces it — candidates drift
+//!    toward the skyline.
+//! 3. **Eliminate**: scan again; every alive point dominated by a
+//!    candidate dies. A candidate that ended the promote pass
+//!    unreplaced was dominated by nobody, so it is emitted as a skyline
+//!    point.
+//!
+//! Each round retires at least the sampled points, so the algorithm
+//! terminates with the **exact** skyline; randomness only affects the
+//! number of passes (O(log n) w.h.p. for random orders).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use skydiver_data::{Dataset, DominanceOrd};
+
+/// Resource usage of a streaming run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamingStats {
+    /// Number of full passes over the stream.
+    pub passes: u64,
+    /// Number of sample/eliminate rounds.
+    pub rounds: u64,
+    /// Maximum number of candidate points held in memory.
+    pub peak_candidates: usize,
+}
+
+/// Computes the exact skyline with `O(sample_size)` working memory and
+/// multiple passes. Returns skyline indices (ascending) plus pass/memory
+/// statistics.
+///
+/// ```
+/// use skydiver_data::{generators, dominance::MinDominance};
+/// use skydiver_skyline::{naive_skyline, streaming_skyline};
+/// let ds = generators::independent(500, 2, 1);
+/// let (sky, stats) = streaming_skyline(&ds, &MinDominance, 8, 0);
+/// assert_eq!(sky, naive_skyline(&ds, &MinDominance));
+/// assert!(stats.peak_candidates <= 8);
+/// ```
+///
+/// # Panics
+/// Panics if `sample_size == 0`.
+pub fn streaming_skyline<O>(
+    ds: &Dataset,
+    ord: &O,
+    sample_size: usize,
+    seed: u64,
+) -> (Vec<usize>, StreamingStats)
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    assert!(sample_size > 0, "need at least one candidate slot");
+    let n = ds.len();
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut skyline: Vec<usize> = Vec::new();
+    let mut stats = StreamingStats::default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57EA_A11E);
+
+    while alive_count > 0 {
+        stats.rounds += 1;
+
+        // Pass 1: reservoir-sample candidates among alive points.
+        stats.passes += 1;
+        let s = sample_size.min(alive_count);
+        let mut candidates: Vec<usize> = Vec::with_capacity(s);
+        for (seen, i) in (0..n).filter(|&i| alive[i]).enumerate() {
+            if candidates.len() < s {
+                candidates.push(i);
+            } else {
+                let j = rng.gen_range(0..=seen);
+                if j < s {
+                    candidates[j] = i;
+                }
+            }
+        }
+        stats.peak_candidates = stats.peak_candidates.max(candidates.len());
+        let originals = candidates.clone();
+
+        // Pass 2: promote candidates toward the skyline.
+        stats.passes += 1;
+        let mut replaced = vec![false; candidates.len()];
+        for i in (0..n).filter(|&i| alive[i]) {
+            for (c, r) in candidates.iter_mut().enumerate() {
+                if i != *r && ord.dominates(ds.point(i), ds.point(*r)) {
+                    *r = i;
+                    replaced[c] = true;
+                }
+            }
+        }
+
+        // Pass 3: eliminate dominated points; emit unreplaced
+        // candidates (nothing alive dominated them).
+        stats.passes += 1;
+        for (i, alive_i) in alive.iter_mut().enumerate() {
+            if !*alive_i {
+                continue;
+            }
+            if candidates
+                .iter()
+                .any(|&r| ord.dominates(ds.point(r), ds.point(i)))
+            {
+                *alive_i = false;
+                alive_count -= 1;
+            }
+        }
+        for (c, &r) in candidates.iter().enumerate() {
+            if !replaced[c] {
+                // Never dominated during the promote pass → skyline.
+                if alive[r] {
+                    skyline.push(r);
+                    alive[r] = false;
+                    alive_count -= 1;
+                }
+            } else if alive[r] {
+                // A promoted candidate may itself still be dominated by
+                // an earlier stream point; it stays alive. Its original
+                // sample, however, is dominated by it and already died
+                // in the elimination scan above.
+                debug_assert!(!alive[originals[c]] || originals[c] == r);
+            }
+        }
+    }
+
+    skyline.sort_unstable();
+    (skyline, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_skyline;
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::{anticorrelated, correlated, independent};
+
+    #[test]
+    fn exact_across_distributions_and_sample_sizes() {
+        for ds in [
+            independent(800, 3, 70),
+            anticorrelated(600, 3, 71),
+            correlated(600, 3, 72),
+        ] {
+            let expect = naive_skyline(&ds, &MinDominance);
+            for s in [1usize, 4, 16, 64] {
+                let (got, _) = streaming_skyline(&ds, &MinDominance, s, 7);
+                assert_eq!(got, expect, "sample_size {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let ds = independent(2000, 2, 73);
+        let (_, stats) = streaming_skyline(&ds, &MinDominance, 8, 1);
+        assert!(stats.peak_candidates <= 8);
+        assert!(stats.passes >= 3);
+    }
+
+    #[test]
+    fn bigger_samples_need_fewer_rounds() {
+        let ds = anticorrelated(3000, 3, 74);
+        let (_, small) = streaming_skyline(&ds, &MinDominance, 2, 2);
+        let (_, large) = streaming_skyline(&ds, &MinDominance, 256, 2);
+        assert!(
+            large.rounds <= small.rounds,
+            "s=256 rounds {} > s=2 rounds {}",
+            large.rounds,
+            small.rounds
+        );
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let ds = Dataset::from_rows(2, &[[0.2, 0.2], [0.2, 0.2], [0.5, 0.5]]);
+        let (got, _) = streaming_skyline(&ds, &MinDominance, 2, 3);
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new(2);
+        let (got, stats) = streaming_skyline(&ds, &MinDominance, 4, 4);
+        assert!(got.is_empty());
+        assert_eq!(stats.rounds, 0);
+    }
+
+    use skydiver_data::Dataset;
+}

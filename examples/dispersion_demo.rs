@@ -1,0 +1,56 @@
+//! Max–min vs max–sum dispersion (paper Example 1 / Figure 2).
+//!
+//! SkyDiver formulates k-diversification as k-MMDP (max–min) rather than
+//! k-MSDP (max–sum) because max–sum "compensates" a close pair with long
+//! edges, while max–min never tolerates one. This demo solves both
+//! exactly on a small 2-D instance and prints the two solutions.
+//!
+//! ```sh
+//! cargo run --release --example dispersion_demo
+//! ```
+
+use skydiver::core::{brute_force_mmdp, brute_force_msdp, DiversityDistance};
+
+/// Euclidean distances over fixed 2-D points.
+struct Euclid(Vec<(f64, f64)>);
+
+impl DiversityDistance for Euclid {
+    fn num_points(&self) -> usize {
+        self.0.len()
+    }
+    fn distance(&mut self, i: usize, j: usize) -> f64 {
+        let (dx, dy) = (self.0[i].0 - self.0[j].0, self.0[i].1 - self.0[j].1);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+fn main() {
+    // Figure-2-like layout: a and b far apart, c near a (vertically
+    // offset, so its long edge to b inflates the sum), d well-separated
+    // from everything.
+    let labels = ["a", "b", "c", "d"];
+    let pts = vec![(0.0, 0.0), (10.0, 0.0), (0.0, 3.0), (5.0, 3.0)];
+    let k = 3;
+
+    let mut d = Euclid(pts.clone());
+    let (mmdp, mmdp_val) = brute_force_mmdp(&mut d, k, 1 << 20).expect("tiny instance");
+    let (msdp, msdp_val) = brute_force_msdp(&mut d, k, 1 << 20).expect("tiny instance");
+
+    println!("points:");
+    for (l, (x, y)) in labels.iter().zip(&pts) {
+        println!("  {l} = ({x:.1}, {y:.1})");
+    }
+    let names = |sel: &[usize]| {
+        sel.iter().map(|&i| labels[i]).collect::<Vec<_>>().join(", ")
+    };
+    println!("\n{k}-MMDP (max-min, SkyDiver's objective): {{{}}}", names(&mmdp));
+    println!("   minimum pairwise distance = {mmdp_val:.2}");
+    println!("{k}-MSDP (max-sum):                       {{{}}}", names(&msdp));
+    println!("   sum of pairwise distances = {msdp_val:.2}");
+    println!(
+        "\nmax-sum keeps the close pair (a, c) because the long edges\n\
+         compensate; max-min replaces c with d and spreads out — the\n\
+         reason SkyDiver optimises k-MMDP (and gets a 2-approximation\n\
+         instead of max-sum's 4-approximation)."
+    );
+}

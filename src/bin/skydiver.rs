@@ -1,0 +1,263 @@
+//! `skydiver` — command-line interface to the framework.
+//!
+//! ```text
+//! skydiver generate --family ant --n 100000 --d 4 --out data.csv
+//! skydiver skyline  --input data.csv --algo sfs
+//! skydiver diversify --input data.csv --k 5 [--method lsh --xi 0.2 --buckets 20]
+//!                    [--prefs min,min,max,min]
+//! skydiver fingerprint --input data.csv --t 100 --out data.skysig
+//! skydiver select   --signatures data.skysig --k 5
+//! skydiver info     --input data.csv
+//! ```
+//!
+//! `fingerprint` runs the expensive one-pass phase once; `select` then
+//! answers any number of `k` / LSH configurations from the saved
+//! signature bundle without touching the data again.
+//!
+//! CSV files are headerless rows of floats (one point per line); the
+//! binary `.sky` snapshot format of `skydiver::data::io` is also
+//! accepted (detected by extension).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use skydiver::data::dominance::MinDominance;
+use skydiver::data::{generators, io, surrogates};
+use skydiver::skyline as sky;
+use skydiver::{Dataset, Preference, SkyDiver};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "skyline" => cmd_skyline(&flags),
+        "diversify" => cmd_diversify(&flags),
+        "fingerprint" => cmd_fingerprint(&flags),
+        "select" => cmd_select(&flags),
+        "info" => cmd_info(&flags),
+        _ => {
+            eprintln!("unknown command {cmd:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  skydiver generate  --family ind|ant|cor|fc|rec --n N --d D [--seed S] --out FILE
+  skydiver skyline   --input FILE [--algo bnl|sfs|dc|streaming] [--prefs min,max,...]
+  skydiver diversify --input FILE --k K [--t 100] [--method mh|lsh]
+                     [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
+  skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--prefs ...]
+  skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
+                     [--xi 0.2] [--buckets 20]
+  skydiver info      --input FILE";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut flags = HashMap::new();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--")?.to_string();
+        let val = it.next()?.clone();
+        flags.insert(key, val);
+    }
+    Some((cmd, flags))
+}
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    msg.into().into()
+}
+
+fn flag<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, Box<dyn std::error::Error>> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| err(format!("missing --{key}")))
+}
+
+fn num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
+    if path.ends_with(".sky") {
+        Ok(io::read_binary(path)?)
+    } else {
+        Ok(io::read_csv(path)?)
+    }
+}
+
+fn prefs_for(flags: &Flags, dims: usize) -> Result<Vec<Preference>, Box<dyn std::error::Error>> {
+    match flags.get("prefs") {
+        None => Ok(Preference::all_min(dims)),
+        Some(spec) => {
+            let prefs: Result<Vec<Preference>, _> = spec
+                .split(',')
+                .map(|tok| match tok.trim() {
+                    "min" => Ok(Preference::Min),
+                    "max" => Ok(Preference::Max),
+                    other => Err(err(format!("bad preference {other:?} (min|max)"))),
+                })
+                .collect();
+            let prefs = prefs?;
+            if prefs.len() != dims {
+                return Err(err(format!(
+                    "{} preferences for {dims}-dimensional data",
+                    prefs.len()
+                )));
+            }
+            Ok(prefs)
+        }
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let family = flag(flags, "family")?;
+    let n: usize = num(flags, "n", 100_000);
+    let d: usize = num(flags, "d", 4);
+    let seed: u64 = num(flags, "seed", 42);
+    let out = flag(flags, "out")?;
+    let ds = match family {
+        "ind" => generators::independent(n, d, seed),
+        "ant" => generators::anticorrelated(n, d, seed),
+        "cor" => generators::correlated(n, d, seed),
+        "fc" => surrogates::forest_cover(n, seed).project(d.min(surrogates::FC_DIMS)),
+        "rec" => surrogates::recipes(n, seed).project(d.min(surrogates::REC_DIMS)),
+        other => return Err(err(format!("unknown family {other:?}"))),
+    };
+    if out.ends_with(".sky") {
+        io::write_binary(&ds, out)?;
+    } else {
+        io::write_csv(&ds, out)?;
+    }
+    println!("wrote {} points ({}D) to {out}", ds.len(), ds.dims());
+    Ok(())
+}
+
+fn cmd_skyline(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = load(flag(flags, "input")?)?;
+    let prefs = prefs_for(flags, ds.dims())?;
+    let canon = skydiver::core::canonicalise(&ds, &prefs)?;
+    let algo = flags.get("algo").map(|s| s.as_str()).unwrap_or("sfs");
+    let skyline = match algo {
+        "bnl" => sky::bnl(&canon, &MinDominance),
+        "sfs" => sky::sfs(&canon, &MinDominance),
+        "dc" => sky::dc(&canon, &MinDominance),
+        "streaming" => sky::streaming_skyline(&canon, &MinDominance, 64, 1).0,
+        other => return Err(err(format!("unknown algorithm {other:?}"))),
+    };
+    // Lock + buffer stdout; treat a closed pipe (e.g. `| head`) as a
+    // normal early exit.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let _ = writeln!(out, "# skyline: {} of {} points ({algo})", skyline.len(), ds.len());
+    for &i in &skyline {
+        let row: Vec<String> = ds.point(i).iter().map(|v| v.to_string()).collect();
+        if writeln!(out, "{i},{}", row.join(",")).is_err() {
+            break;
+        }
+    }
+    let _ = out.flush();
+    Ok(())
+}
+
+fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = load(flag(flags, "input")?)?;
+    let prefs = prefs_for(flags, ds.dims())?;
+    let k: usize = flag(flags, "k")?.parse()?;
+    let t: usize = num(flags, "t", 100);
+    let threads: usize = num(flags, "threads", 1);
+    let mut pipeline = SkyDiver::new(k)
+        .signature_size(t)
+        .hash_seed(num(flags, "seed", 0))
+        .threads(threads);
+    if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
+        pipeline = pipeline.lsh(num(flags, "xi", 0.2), num(flags, "buckets", 20));
+    }
+    let r = pipeline.run(&ds, &prefs)?;
+    println!(
+        "# skyline {} points; {k} most diverse below (fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
+        r.skyline.len(),
+        r.fingerprint_ms,
+        r.selection_ms,
+        r.memory_bytes
+    );
+    for (&idx, &pos) in r.selected.iter().zip(&r.selected_positions) {
+        let row: Vec<String> = ds.point(idx).iter().map(|v| v.to_string()).collect();
+        println!("{idx},{},gamma={}", row.join(","), r.scores[pos]);
+    }
+    Ok(())
+}
+
+fn cmd_fingerprint(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    use skydiver::core::minhash::persist;
+    let ds = load(flag(flags, "input")?)?;
+    let prefs = prefs_for(flags, ds.dims())?;
+    let out_path = flag(flags, "out")?;
+    let t: usize = num(flags, "t", 100);
+    let canon = skydiver::core::canonicalise(&ds, &prefs)?;
+    let skyline = sky::sfs(&canon, &MinDominance);
+    let fam = skydiver::HashFamily::new(t, num(flags, "seed", 0));
+    let out = skydiver::core::sig_gen_if(&canon, &MinDominance, &skyline, &fam);
+    persist::write_signatures(&out, out_path)?;
+    println!(
+        "fingerprinted {} skyline points of {} (t = {t}) into {out_path}",
+        skyline.len(),
+        ds.len()
+    );
+    Ok(())
+}
+
+fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    use skydiver::core::minhash::persist;
+    use skydiver::core::{
+        select_diverse, LshDistance, LshIndex, LshParams, SeedRule, SignatureDistance, TieBreak,
+    };
+    let out = persist::read_signatures(flag(flags, "signatures")?)?;
+    let k: usize = flag(flags, "k")?.parse()?;
+    let positions = if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
+        let params = LshParams::from_threshold(out.matrix.t(), num(flags, "xi", 0.2))?;
+        let idx = LshIndex::build(&out.matrix, params, num(flags, "buckets", 20), 0)?;
+        let mut dist = LshDistance::new(&idx);
+        select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)?
+    } else {
+        let mut dist = SignatureDistance::new(&out.matrix);
+        select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)?
+    };
+    println!(
+        "# {k} most diverse of {} skyline points (skyline position, gamma):",
+        out.matrix.m()
+    );
+    for &p in &positions {
+        println!("{p},gamma={}", out.scores[p]);
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = load(flag(flags, "input")?)?;
+    println!("points: {}", ds.len());
+    println!("dims:   {}", ds.dims());
+    if let Some((lo, hi)) = ds.bounding_box() {
+        println!("bbox lo: {lo:?}");
+        println!("bbox hi: {hi:?}");
+    }
+    Ok(())
+}

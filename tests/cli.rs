@@ -1,0 +1,149 @@
+//! End-to-end tests of the `skydiver` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_skydiver"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("skydiver-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_info_skyline_diversify_round_trip() {
+    let csv = tmp("roundtrip.csv");
+    let out = bin()
+        .args(["generate", "--family", "ant", "--n", "5000", "--d", "3"])
+        .args(["--seed", "1", "--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["info", "--input", csv.to_str().unwrap()])
+        .output()
+        .expect("run info");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("points: 5000"), "{text}");
+    assert!(text.contains("dims:   3"), "{text}");
+
+    let out = bin()
+        .args(["skyline", "--input", csv.to_str().unwrap(), "--algo", "bnl"])
+        .output()
+        .expect("run skyline");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let header = text.lines().next().unwrap();
+    assert!(header.starts_with("# skyline:"), "{header}");
+
+    let out = bin()
+        .args(["diversify", "--input", csv.to_str().unwrap(), "--k", "3"])
+        .output()
+        .expect("run diversify");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 4, "header + 3 rows: {text}");
+    assert!(text.contains("gamma="));
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn binary_snapshot_format_accepted() {
+    let sky = tmp("snapshot.sky");
+    let out = bin()
+        .args(["generate", "--family", "ind", "--n", "2000", "--d", "2"])
+        .args(["--out", sky.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = bin()
+        .args(["diversify", "--input", sky.to_str().unwrap(), "--k", "2"])
+        .args(["--method", "lsh", "--xi", "0.2", "--buckets", "10"])
+        .output()
+        .expect("run diversify lsh");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(sky).ok();
+}
+
+#[test]
+fn max_preferences_flip_the_skyline() {
+    let csv = tmp("prefs.csv");
+    std::fs::write(&csv, "0.1,0.1\n0.9,0.9\n").unwrap();
+    let min_out = bin()
+        .args(["skyline", "--input", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let max_out = bin()
+        .args(["skyline", "--input", csv.to_str().unwrap(), "--prefs", "max,max"])
+        .output()
+        .unwrap();
+    let min_text = String::from_utf8_lossy(&min_out.stdout);
+    let max_text = String::from_utf8_lossy(&max_out.stdout);
+    assert!(min_text.contains("\n0,"), "min skyline is point 0: {min_text}");
+    assert!(max_text.contains("\n1,"), "max skyline is point 1: {max_text}");
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn fingerprint_then_select_round_trip() {
+    let csv = tmp("fpsel.csv");
+    let sig = tmp("fpsel.skysig");
+    let out = bin()
+        .args(["generate", "--family", "ant", "--n", "3000", "--d", "3"])
+        .args(["--seed", "4", "--out", csv.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["fingerprint", "--input", csv.to_str().unwrap()])
+        .args(["--t", "64", "--out", sig.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fingerprinted"));
+
+    // Two selections from one bundle — different k and method.
+    for extra in [vec!["--k", "3"], vec!["--k", "5", "--method", "lsh"]] {
+        let mut cmd = bin();
+        cmd.args(["select", "--signatures", sig.to_str().unwrap()]);
+        cmd.args(&extra);
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        let rows = text.lines().count() - 1;
+        assert_eq!(rows.to_string(), extra[1], "{text}");
+    }
+
+    std::fs::remove_file(csv).ok();
+    std::fs::remove_file(sig).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing required flag.
+    let out = bin().args(["diversify", "--k", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+
+    // k too small propagates the library error.
+    let csv = tmp("err.csv");
+    std::fs::write(&csv, "0.1,0.2\n0.3,0.4\n0.2,0.1\n").unwrap();
+    let out = bin()
+        .args(["diversify", "--input", csv.to_str().unwrap(), "--k", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("k must be >= 2"));
+    std::fs::remove_file(csv).ok();
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the extension modules: persistence, dynamic
+//! maintenance, cross-set diversification, generic categorical
+//! pipeline, streaming skyline + theory bounds — exercised together,
+//! across crates.
+
+use skydiver::core::dynamic::from_batch;
+use skydiver::core::minhash::{persist, theory};
+use skydiver::core::{
+    cross_gamma_sets, diversify_cross, diversify_generic, min_pairwise, select_diverse,
+    ExactJaccardDistance, GammaSets, SeedRule, SignatureDistance, TieBreak,
+};
+use skydiver::data::dominance::MinDominance;
+use skydiver::data::generators::{anticorrelated, independent};
+use skydiver::skyline::{naive_skyline, streaming_skyline, top_k_dominating_scan};
+use skydiver::HashFamily;
+
+#[test]
+fn persisted_fingerprints_reproduce_the_same_selection() {
+    let ds = anticorrelated(4000, 3, 300);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let fam = HashFamily::new(100, 301);
+    let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("skydiver-ext-{}.sig", std::process::id()));
+    persist::write_signatures(&out, &path).unwrap();
+    let back = persist::read_signatures(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let k = 5.min(sky.len());
+    let mut d1 = SignatureDistance::new(&out.matrix);
+    let mut d2 = SignatureDistance::new(&back.matrix);
+    let s1 = select_diverse(&mut d1, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)
+        .unwrap();
+    let s2 = select_diverse(&mut d2, &back.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)
+        .unwrap();
+    assert_eq!(s1, s2, "selection from disk must match in-memory");
+}
+
+#[test]
+fn dynamic_from_batch_matches_reasonable_quality() {
+    let ds = anticorrelated(3000, 3, 302);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let fam = HashFamily::new(64, 303);
+    let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    let k = 4.min(sky.len());
+
+    let dynamic = from_batch(&out.matrix, &out.scores, k);
+    assert_eq!(dynamic.current().len(), k);
+
+    let mut dist = SignatureDistance::new(&out.matrix);
+    let batch = select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)
+        .unwrap();
+    let batch_div = min_pairwise(&mut dist, &batch);
+    assert!(dynamic.min_diversity() >= 0.5 * batch_div);
+}
+
+#[test]
+fn cross_set_agrees_with_graph_semantics() {
+    // Diversifying the skyline of D against D itself must equal the
+    // standard pipeline's Γ sets.
+    let ds = independent(1500, 3, 304);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let candidates = skydiver::Dataset::from_rows(
+        3,
+        &sky.iter().map(|&s| {
+            let p = ds.point(s);
+            [p[0], p[1], p[2]]
+        }).collect::<Vec<_>>(),
+    );
+    let cross = cross_gamma_sets(&candidates, &ds, &MinDominance);
+    let direct = GammaSets::build(&ds, &MinDominance, &sky);
+    assert_eq!(cross.len(), direct.len());
+    for j in 0..cross.len() {
+        // Candidate j is a *copy* of skyline point sky[j]; the copy is
+        // not in `ds`, so it dominates sky[j]'s Γ set exactly (the copy
+        // does not dominate the original — equal points don't dominate).
+        assert_eq!(cross.score(j), direct.score(j));
+    }
+    let sel = diversify_cross(&candidates, &ds, &MinDominance, 3, 128, 305).unwrap();
+    assert_eq!(sel.len(), 3);
+}
+
+#[test]
+fn generic_pipeline_handles_numeric_rows_like_the_dataset_one() {
+    let ds = anticorrelated(1200, 2, 306);
+    let rows: Vec<Vec<f64>> = ds.iter().map(|p| p.to_vec()).collect();
+    let (sky_g, sel_g) = diversify_generic(&rows, &MinDominance, 3, 64, 307).unwrap();
+    assert_eq!(sky_g, naive_skyline(&ds, &MinDominance));
+    assert_eq!(sel_g.len(), 3);
+    for &s in &sel_g {
+        assert!(sky_g.contains(&s));
+    }
+}
+
+#[test]
+fn streaming_skyline_feeds_the_pipeline() {
+    // End-to-end with the bounded-memory skyline instead of SFS.
+    let ds = independent(2500, 3, 308);
+    let (sky, stats) = streaming_skyline(&ds, &MinDominance, 32, 309);
+    assert_eq!(sky, naive_skyline(&ds, &MinDominance));
+    assert!(stats.peak_candidates <= 32);
+    let fam = HashFamily::new(64, 310);
+    let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    let k = 3.min(sky.len());
+    let mut dist = SignatureDistance::new(&out.matrix);
+    let sel = select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)
+        .unwrap();
+    assert_eq!(sel.len(), k);
+}
+
+#[test]
+fn theory_bound_holds_empirically() {
+    // Run the greedy on signatures sized by the (ε, β, δ) rule and
+    // verify Corollary 1's guarantee against the true optimum on a
+    // small instance where brute force is exact.
+    let ds = independent(700, 3, 311);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let gamma = GammaSets::build(&ds, &MinDominance, &sky);
+    let mut exact = ExactJaccardDistance::new(&gamma);
+    let k = 3.min(sky.len());
+    let (_, opt) = skydiver::core::brute_force_mmdp(&mut exact, k, 1 << 34).unwrap();
+
+    let eps = 0.25;
+    let t = theory::signature_size(eps, 0.5, 0.05, 1.0);
+    let fam = HashFamily::new(t, 312);
+    let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    let mut sig = SignatureDistance::new(&out.matrix);
+    let sel = select_diverse(&mut sig, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)
+        .unwrap();
+    let achieved = min_pairwise(&mut exact, &sel);
+    let bound = theory::corollary1_bound(opt, eps);
+    assert!(
+        achieved >= bound - 1e-9,
+        "achieved {achieved} below Corollary 1 bound {bound} (OPT {opt}, t {t})"
+    );
+}
+
+#[test]
+fn top_k_dominating_seeds_match_selection_seeds() {
+    // The selection's seed (max domination score) is exactly the top-1
+    // dominating *skyline* point.
+    let ds = independent(1000, 3, 313);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let gamma = GammaSets::build(&ds, &MinDominance, &sky);
+    let scores = gamma.scores();
+    let top = top_k_dominating_scan(&ds, &MinDominance, 1)[0];
+    let best_pos = (0..sky.len()).max_by_key(|&j| scores[j]).unwrap();
+    // The global top dominator is always a skyline point (any dominator
+    // of it would have a strictly larger dominated set).
+    assert_eq!(sky[best_pos], top.0);
+    assert_eq!(scores[best_pos], top.1);
+}

@@ -1,0 +1,223 @@
+//! Property-based tests of the framework's core invariants.
+
+use proptest::prelude::*;
+
+use skydiver::core::{min_pairwise, select_diverse, ExactJaccardDistance, GammaSets, SeedRule, TieBreak};
+use skydiver::data::dominance::{Dominance, DominanceOrd, MinDominance};
+use skydiver::rtree::{BufferPool, RTree};
+use skydiver::skyline::{bbs, bnl, dc, naive_skyline, sfs};
+use skydiver::{Dataset, HashFamily};
+
+/// Strategy: a small dataset with coordinates on a coarse grid (to force
+/// ties, duplicates and boundary cases).
+fn dataset(max_n: usize, dims: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..8, dims),
+        1..max_n,
+    )
+    .prop_map(move |rows| {
+        let flat: Vec<f64> = rows.iter().flatten().map(|&v| v as f64 / 7.0).collect();
+        Dataset::from_flat(dims, flat)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominance_is_a_strict_partial_order(ds in dataset(24, 3)) {
+        let n = ds.len();
+        for i in 0..n {
+            // Irreflexive.
+            prop_assert_eq!(MinDominance.dom_cmp(ds.point(i), ds.point(i)), Dominance::Equal);
+            for j in 0..n {
+                // Asymmetric.
+                let ij = MinDominance.dom_cmp(ds.point(i), ds.point(j));
+                let ji = MinDominance.dom_cmp(ds.point(j), ds.point(i));
+                match ij {
+                    Dominance::Dominates => prop_assert_eq!(ji, Dominance::DominatedBy),
+                    Dominance::DominatedBy => prop_assert_eq!(ji, Dominance::Dominates),
+                    Dominance::Equal => prop_assert_eq!(ji, Dominance::Equal),
+                    Dominance::Incomparable => prop_assert_eq!(ji, Dominance::Incomparable),
+                }
+                // Transitive.
+                for l in 0..n {
+                    if MinDominance.dominates(ds.point(i), ds.point(j))
+                        && MinDominance.dominates(ds.point(j), ds.point(l))
+                    {
+                        prop_assert!(MinDominance.dominates(ds.point(i), ds.point(l)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_algorithms_agree(ds in dataset(60, 3), seed in 0u64..100) {
+        let expect = naive_skyline(&ds, &MinDominance);
+        prop_assert_eq!(bnl(&ds, &MinDominance), expect.clone());
+        prop_assert_eq!(sfs(&ds, &MinDominance), expect.clone());
+        prop_assert_eq!(dc(&ds, &MinDominance), expect.clone());
+        let tree = RTree::bulk_load(&ds, 256);
+        let mut pool = BufferPool::new(1 << 16);
+        prop_assert_eq!(bbs(&tree, &mut pool), expect.clone());
+        // Bounded-memory and external variants are exact too.
+        let (stream, _) = skydiver::skyline::streaming_skyline(&ds, &MinDominance, 4, seed);
+        prop_assert_eq!(stream, expect.clone());
+        let (less, _) = skydiver::skyline::less_skyline(
+            &ds,
+            skydiver::skyline::ExternalConfig { memory_pages: 3, page_size: 256 },
+        );
+        prop_assert_eq!(less, expect);
+    }
+
+    #[test]
+    fn selection_is_invariant_under_monotone_transforms(
+        ds in dataset(50, 2),
+        k in 2usize..4,
+        scale0 in 1u32..1000,
+    ) {
+        // SkyDiver's measure only sees dominance, so any strictly
+        // monotone per-attribute transform leaves the selection
+        // unchanged — the property Lp-based techniques lack.
+        let sky = naive_skyline(&ds, &MinDominance);
+        prop_assume!(sky.len() >= k);
+        let mut transformed = Dataset::with_capacity(2, ds.len());
+        for p in ds.iter() {
+            transformed.push(&[(p[0] * scale0 as f64).exp(), p[1].powi(3)]);
+        }
+        prop_assert_eq!(&naive_skyline(&transformed, &MinDominance), &sky);
+        let g1 = GammaSets::build(&ds, &MinDominance, &sky);
+        let g2 = GammaSets::build(&transformed, &MinDominance, &sky);
+        let scores = g1.scores();
+        prop_assert_eq!(&scores, &g2.scores());
+        let mut d1 = ExactJaccardDistance::new(&g1);
+        let mut d2 = ExactJaccardDistance::new(&g2);
+        let s1 = select_diverse(&mut d1, &scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance).unwrap();
+        let s2 = select_diverse(&mut d2, &scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn rtree_counts_match_scans(ds in dataset(80, 2), qx in 0u8..8, qy in 0u8..8) {
+        let tree = RTree::bulk_load(&ds, 256);
+        tree.validate(true).unwrap();
+        let mut pool = BufferPool::new(1 << 16);
+        let q = [qx as f64 / 7.0, qy as f64 / 7.0];
+        let strict = ds.iter().filter(|p| MinDominance.dominates(&q, p)).count() as u64;
+        prop_assert_eq!(tree.count_dominated(&mut pool, &q), strict);
+        let weak = ds.iter().filter(|p| q[0] <= p[0] && q[1] <= p[1]).count() as u64;
+        prop_assert_eq!(tree.count_weak_region(&mut pool, &q), weak);
+    }
+
+    #[test]
+    fn exact_jaccard_is_a_metric(ds in dataset(40, 3)) {
+        let sky = naive_skyline(&ds, &MinDominance);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        let m = g.len();
+        for i in 0..m {
+            prop_assert_eq!(g.jaccard_distance(i, i), 0.0);
+            for j in 0..m {
+                let dij = g.jaccard_distance(i, j);
+                prop_assert!((0.0..=1.0).contains(&dij));
+                prop_assert_eq!(dij, g.jaccard_distance(j, i));
+                for l in 0..m {
+                    prop_assert!(
+                        g.jaccard_distance(i, l) <= dij + g.jaccard_distance(j, l) + 1e-12
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_jaccard_is_a_pseudometric(ds in dataset(40, 2), seed in 0u64..1000) {
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(16, seed);
+        let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let m = sky.len();
+        let d = |i: usize, j: usize| out.matrix.estimated_distance(i, j);
+        for i in 0..m {
+            prop_assert_eq!(d(i, i), 0.0);
+            for j in 0..m {
+                prop_assert_eq!(d(i, j), d(j, i));
+                for l in 0..m {
+                    // Lemma 3: signature distance obeys the triangle
+                    // inequality (agreement counts are submodular).
+                    prop_assert!(d(i, l) <= d(i, j) + d(j, l) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_returns_k_distinct_skyline_members(
+        ds in dataset(60, 3),
+        k in 2usize..6,
+    ) {
+        let sky = naive_skyline(&ds, &MinDominance);
+        prop_assume!(sky.len() >= k);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        let scores = g.scores();
+        let mut dist = ExactJaccardDistance::new(&g);
+        let sel = select_diverse(&mut dist, &scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance).unwrap();
+        prop_assert_eq!(sel.len(), k);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "selection must be distinct");
+        prop_assert!(sel.iter().all(|&p| p < sky.len()));
+        // Seed really is a max-score point.
+        let max = *scores.iter().max().unwrap();
+        prop_assert_eq!(scores[sel[0]], max);
+    }
+
+    #[test]
+    fn greedy_never_below_half_optimum(ds in dataset(30, 2), k in 2usize..4) {
+        let sky = naive_skyline(&ds, &MinDominance);
+        prop_assume!(sky.len() >= k && sky.len() <= 12);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        let scores = g.scores();
+        let mut dist = ExactJaccardDistance::new(&g);
+        let sel = select_diverse(&mut dist, &scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance).unwrap();
+        let got = min_pairwise(&mut dist, &sel);
+        let (_, opt) = skydiver::core::brute_force_mmdp(&mut dist, k, 1 << 32).unwrap();
+        prop_assert!(got >= opt / 2.0 - 1e-9, "greedy {} < OPT/2 {}", got, opt / 2.0);
+    }
+
+    #[test]
+    fn minhash_estimate_within_statistical_bounds(ds in dataset(60, 2)) {
+        let sky = naive_skyline(&ds, &MinDominance);
+        prop_assume!(sky.len() >= 2);
+        let g = GammaSets::build(&ds, &MinDominance, &sky);
+        // t = 1024 slots → se ≤ 0.016; allow 6σ.
+        let fam = HashFamily::new(1024, 99);
+        let out = skydiver::core::sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        for i in 0..sky.len() {
+            for j in (i + 1)..sky.len() {
+                let est = out.matrix.estimated_similarity(i, j);
+                let exact = g.jaccard_similarity(i, j);
+                prop_assert!((est - exact).abs() < 0.1, "est {} exact {}", est, exact);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_built_tree_equals_bulk_loaded_semantics(ds in dataset(120, 2)) {
+        let bulk = RTree::bulk_load(&ds, 256);
+        let mut dynamic = RTree::new(2, 256);
+        for (i, p) in ds.iter().enumerate() {
+            dynamic.insert(p, i as u32);
+        }
+        dynamic.validate(true).unwrap();
+        bulk.validate(true).unwrap();
+        let mut pool = BufferPool::new(1 << 16);
+        // Same query answers from both trees.
+        for corner in [[0.0, 0.0], [0.3, 0.6], [1.0, 1.0]] {
+            prop_assert_eq!(
+                bulk.count_dominated(&mut pool, &corner),
+                dynamic.count_dominated(&mut pool, &corner)
+            );
+        }
+    }
+}
