@@ -1,9 +1,15 @@
-//! Criterion micro-benchmarks of the framework's hot paths: hash
-//! family, signature generation (IF vs IB vs parallel), the selection
-//! backends, LSH construction, skyline algorithms, and the aggregate
-//! R-tree queries that dominate Simple-Greedy.
+//! Micro-benchmarks of the framework's hot paths: hash family,
+//! signature generation (IF vs IB vs parallel), the selection backends,
+//! LSH construction, skyline algorithms, and the aggregate R-tree
+//! queries that dominate Simple-Greedy.
+//!
+//! Hand-rolled harness (`harness = false`): the offline build
+//! environment has no criterion, so each case is timed with
+//! `std::time::Instant` over a fixed number of iterations after a
+//! warm-up pass. Run with `cargo bench -p skydiver-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use skydiver_core::minhash::{sig_gen_ib, sig_gen_if, sig_gen_parallel, HashFamily};
 use skydiver_core::{
@@ -15,135 +21,125 @@ use skydiver_data::generators::{anticorrelated, independent};
 use skydiver_rtree::{BufferPool, RTree};
 use skydiver_skyline::{bbs, bnl, dc, sfs};
 
-fn bench_hash_family(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after one warm-up) and prints the mean.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_secs_f64() / iters as f64;
+    if per_iter >= 1e-3 {
+        println!("{name:<40} {:>12.3} ms/iter", per_iter * 1e3);
+    } else {
+        println!("{name:<40} {:>12.3} µs/iter", per_iter * 1e6);
+    }
+}
+
+fn bench_hash_family() {
     let fam = HashFamily::new(100, 1);
     let mut out = vec![0u64; 100];
-    c.bench_function("hash_family/hash_all_t100", |b| {
-        b.iter(|| {
-            fam.hash_all(std::hint::black_box(123_456_789), &mut out);
-            std::hint::black_box(&out);
-        })
+    bench("hash_family/hash_all_t100", 100_000, || {
+        fam.hash_all(black_box(123_456_789), &mut out);
+        out[0]
     });
 }
 
-fn bench_siggen(c: &mut Criterion) {
+fn bench_siggen() {
     let ds = anticorrelated(50_000, 4, 1);
     let skyline = sfs(&ds, &MinDominance);
     let fam = HashFamily::new(100, 2);
-    let mut g = c.benchmark_group("siggen_50k_ant4d");
-    g.sample_size(10);
-    g.bench_function("index_free", |b| {
-        b.iter(|| sig_gen_if(&ds, &MinDominance, &skyline, &fam))
+    bench("siggen_50k_ant4d/index_free", 3, || {
+        sig_gen_if(&ds, &MinDominance, &skyline, &fam)
     });
-    g.bench_function("parallel_4", |b| {
-        b.iter(|| sig_gen_parallel(&ds, &MinDominance, &skyline, &fam, 4))
+    bench("siggen_50k_ant4d/parallel_4", 3, || {
+        sig_gen_parallel(&ds, &MinDominance, &skyline, &fam, 4)
     });
     let tree = RTree::bulk_load(&ds, 4096);
     let pts: Vec<&[f64]> = skyline.iter().map(|&s| ds.point(s)).collect();
-    g.bench_function("index_based", |b| {
-        b.iter(|| {
-            let mut pool = BufferPool::new(1 << 20);
-            sig_gen_ib(&tree, &mut pool, &pts, &fam)
-        })
+    bench("siggen_50k_ant4d/index_based", 3, || {
+        let mut pool = BufferPool::new(1 << 20);
+        sig_gen_ib(&tree, &mut pool, &pts, &fam)
     });
-    g.finish();
 }
 
-fn bench_selection(c: &mut Criterion) {
+fn bench_selection() {
     let ds = anticorrelated(50_000, 4, 3);
     let skyline = sfs(&ds, &MinDominance);
     let fam = HashFamily::new(100, 4);
     let out = sig_gen_if(&ds, &MinDominance, &skyline, &fam);
-    let mut g = c.benchmark_group("selection");
     for k in [2usize, 10, 50] {
-        g.bench_with_input(BenchmarkId::new("mh_greedy", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut dist = SignatureDistance::new(&out.matrix);
-                select_diverse(
-                    &mut dist,
-                    &out.scores,
-                    k,
-                    SeedRule::MaxDominance,
-                    TieBreak::MaxDominance,
-                )
-                .unwrap()
-            })
-        });
-    }
-    let params = LshParams::from_threshold(100, 0.2).unwrap();
-    let idx = LshIndex::build(&out.matrix, params, 20, 5).unwrap();
-    g.bench_function("lsh_greedy_k10", |b| {
-        b.iter(|| {
-            let mut dist = LshDistance::new(&idx);
+        bench(&format!("selection/mh_greedy_k{k}"), 10, || {
+            let mut dist = SignatureDistance::new(&out.matrix);
             select_diverse(
                 &mut dist,
                 &out.scores,
-                10,
+                k,
                 SeedRule::MaxDominance,
                 TieBreak::MaxDominance,
             )
             .unwrap()
-        })
+        });
+    }
+    let params = LshParams::from_threshold(100, 0.2).unwrap();
+    let idx = LshIndex::build(&out.matrix, params, 20, 5).unwrap();
+    bench("selection/lsh_greedy_k10", 10, || {
+        let mut dist = LshDistance::new(&idx);
+        select_diverse(
+            &mut dist,
+            &out.scores,
+            10,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )
+        .unwrap()
     });
-    g.bench_function("lsh_build", |b| {
-        b.iter(|| LshIndex::build(&out.matrix, params, 20, 5).unwrap())
+    bench("selection/lsh_build", 10, || {
+        LshIndex::build(&out.matrix, params, 20, 5).unwrap()
     });
-    g.finish();
 }
 
-fn bench_skyline(c: &mut Criterion) {
+fn bench_skyline() {
     let ds = independent(20_000, 4, 6);
-    let mut g = c.benchmark_group("skyline_20k_ind4d");
-    g.sample_size(10);
-    g.bench_function("bnl", |b| b.iter(|| bnl(&ds, &MinDominance)));
-    g.bench_function("sfs", |b| b.iter(|| sfs(&ds, &MinDominance)));
-    g.bench_function("dc", |b| b.iter(|| dc(&ds, &MinDominance)));
+    bench("skyline_20k_ind4d/bnl", 5, || bnl(&ds, &MinDominance));
+    bench("skyline_20k_ind4d/sfs", 5, || sfs(&ds, &MinDominance));
+    bench("skyline_20k_ind4d/dc", 5, || dc(&ds, &MinDominance));
     let tree = RTree::bulk_load(&ds, 4096);
-    g.bench_function("bbs", |b| {
-        b.iter(|| {
-            let mut pool = BufferPool::new(1 << 20);
-            bbs(&tree, &mut pool)
-        })
+    bench("skyline_20k_ind4d/bbs", 5, || {
+        let mut pool = BufferPool::new(1 << 20);
+        bbs(&tree, &mut pool)
     });
-    g.finish();
 }
 
-fn bench_rtree_queries(c: &mut Criterion) {
+fn bench_rtree_queries() {
     let ds = independent(100_000, 4, 7);
     let tree = RTree::bulk_load(&ds, 4096);
     let skyline = sfs(&ds, &MinDominance);
     let p = ds.point(skyline[skyline.len() / 2]).to_vec();
-    let mut g = c.benchmark_group("rtree_100k");
-    g.bench_function("count_dominated", |b| {
-        b.iter(|| {
-            let mut pool = BufferPool::new(1 << 20);
-            tree.count_dominated(&mut pool, &p)
-        })
+    bench("rtree_100k/count_dominated", 20, || {
+        let mut pool = BufferPool::new(1 << 20);
+        tree.count_dominated(&mut pool, &p)
     });
-    g.sample_size(10);
-    g.bench_function("bulk_load_20k", |b| {
-        let small = independent(20_000, 4, 8);
-        b.iter(|| RTree::bulk_load(&small, 4096))
+    let small = independent(20_000, 4, 8);
+    bench("rtree_100k/bulk_load_20k", 5, || {
+        RTree::bulk_load(&small, 4096)
     });
-    g.finish();
 }
 
-fn bench_exact_jaccard(c: &mut Criterion) {
+fn bench_exact_jaccard() {
     let ds = independent(30_000, 3, 9);
     let skyline = sfs(&ds, &MinDominance);
     let gamma = GammaSets::build(&ds, &MinDominance, &skyline);
-    c.bench_function("exact_jaccard_pair_30k_rows", |b| {
-        b.iter(|| gamma.jaccard_distance(0, skyline.len() - 1))
+    bench("exact_jaccard_pair_30k_rows", 100, || {
+        gamma.jaccard_distance(0, skyline.len() - 1)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_hash_family,
-    bench_siggen,
-    bench_selection,
-    bench_skyline,
-    bench_rtree_queries,
-    bench_exact_jaccard
-);
-criterion_main!(benches);
+fn main() {
+    bench_hash_family();
+    bench_siggen();
+    bench_selection();
+    bench_skyline();
+    bench_rtree_queries();
+    bench_exact_jaccard();
+}

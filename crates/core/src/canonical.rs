@@ -13,12 +13,25 @@ use crate::error::{Result, SkyDiverError};
 
 /// Returns a dataset in canonical min-space: maximised attributes are
 /// negated; an all-[`Preference::Min`] input is borrowed unchanged.
+///
+/// Rejects NaN and ±∞ coordinates with
+/// [`SkyDiverError::NonFiniteCoordinate`]: dominance comparisons (and
+/// the downstream R-tree geometry) are only defined over finite values,
+/// and `dom_cmp` implementations assume finite inputs. Validating once
+/// here keeps the hot loops free of per-comparison checks.
 pub fn canonicalise<'a>(ds: &'a Dataset, prefs: &[Preference]) -> Result<Cow<'a, Dataset>> {
     if prefs.len() != ds.dims() {
         return Err(SkyDiverError::DimsMismatch {
             data: ds.dims(),
             prefs: prefs.len(),
         });
+    }
+    for (row, p) in ds.iter().enumerate() {
+        for (dim, &v) in p.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(SkyDiverError::NonFiniteCoordinate { row, dim });
+            }
+        }
     }
     if prefs.iter().all(|&p| p == Preference::Min) {
         return Ok(Cow::Borrowed(ds));
@@ -59,6 +72,29 @@ mod tests {
             ord.dominates(ds.point(0), ds.point(1)),
             dominates_min(c.point(0), c.point(1))
         );
+    }
+
+    #[test]
+    fn non_finite_coordinates_rejected() {
+        // NaN in the borrowed (all-Min) path.
+        let ds = Dataset::from_rows(2, &[[1.0, 2.0], [f64::NAN, 0.5]]);
+        assert_eq!(
+            canonicalise(&ds, &Preference::all_min(2)).unwrap_err(),
+            SkyDiverError::NonFiniteCoordinate { row: 1, dim: 0 }
+        );
+        // Infinity in the owned (negating) path.
+        let ds = Dataset::from_rows(2, &[[1.0, f64::INFINITY]]);
+        let prefs = vec![Preference::Min, Preference::Max];
+        assert_eq!(
+            canonicalise(&ds, &prefs).unwrap_err(),
+            SkyDiverError::NonFiniteCoordinate { row: 0, dim: 1 }
+        );
+        // Negative infinity too.
+        let ds = Dataset::from_rows(1, &[[f64::NEG_INFINITY]]);
+        assert!(matches!(
+            canonicalise(&ds, &Preference::all_min(1)),
+            Err(SkyDiverError::NonFiniteCoordinate { row: 0, dim: 0 })
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! "treating coverage as a secondary objective". [`brute_force_mmdp`]
 //! and the **k-MSDP** (max-sum) variants exist as baselines/ablations.
 
+use crate::budget::{ExecContext, ExecPhase, Interrupt};
 use crate::diversity::DiversityDistance;
 use crate::error::{Result, SkyDiverError};
 
@@ -52,9 +53,36 @@ pub fn select_diverse<D: DiversityDistance>(
     seed: SeedRule,
     tie: TieBreak,
 ) -> Result<Vec<usize>> {
+    let ctx = ExecContext::unlimited();
+    let (selected, interrupt) = select_diverse_budgeted(dist, scores, k, seed, tie, &ctx)?;
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    Ok(selected)
+}
+
+/// Budget-aware [`select_diverse`]: checks `ctx` once per greedy round
+/// (and once per outer row of the [`SeedRule::FarthestPair`] seed scan).
+///
+/// A tripped budget is not an error: because the greedy selection is
+/// incremental, the prefix selected so far **is** the greedy diverse set
+/// for its own size, so the function returns it together with the
+/// [`Interrupt`] describing the stop. The prefix is bitwise equal to the
+/// first `len` selections of an unbudgeted run with the same inputs.
+pub fn select_diverse_budgeted<D: DiversityDistance>(
+    dist: &mut D,
+    scores: &[u64],
+    k: usize,
+    seed: SeedRule,
+    tie: TieBreak,
+    ctx: &ExecContext,
+) -> Result<(Vec<usize>, Option<Interrupt>)> {
     let m = dist.num_points();
     validate_k(k, m)?;
-    assert_eq!(scores.len(), m, "need one domination score per point");
+    if scores.len() != m {
+        return Err(SkyDiverError::ScoresLengthMismatch {
+            scores: scores.len(),
+            points: m,
+        });
+    }
 
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     let mut in_set = vec![false; m];
@@ -63,6 +91,9 @@ pub fn select_diverse<D: DiversityDistance>(
 
     match seed {
         SeedRule::MaxDominance => {
+            if let Err(int) = ctx.check(ExecPhase::Selection) {
+                return Ok((selected, Some(int)));
+            }
             let first = (0..m)
                 .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
                 .expect("m >= 2");
@@ -71,6 +102,11 @@ pub fn select_diverse<D: DiversityDistance>(
         SeedRule::FarthestPair => {
             let (mut bi, mut bj, mut bd) = (0, 1, f64::NEG_INFINITY);
             for i in 0..m {
+                if let Err(int) = ctx.check(ExecPhase::Selection) {
+                    // Nothing selected yet: an empty prefix is the only
+                    // honest partial answer mid-seed.
+                    return Ok((selected, Some(int)));
+                }
                 for j in (i + 1)..m {
                     let d = dist.distance(i, j);
                     if d > bd {
@@ -86,6 +122,9 @@ pub fn select_diverse<D: DiversityDistance>(
     }
 
     while selected.len() < k {
+        if let Err(int) = ctx.check(ExecPhase::Selection) {
+            return Ok((selected, Some(int)));
+        }
         let mut best: Option<usize> = None;
         for x in 0..m {
             if in_set[x] {
@@ -107,7 +146,7 @@ pub fn select_diverse<D: DiversityDistance>(
         let x = best.expect("k <= m guarantees a candidate");
         push(x, dist, &mut selected, &mut in_set, &mut min_dist);
     }
-    Ok(selected)
+    Ok((selected, None))
 }
 
 fn push<D: DiversityDistance>(
@@ -190,7 +229,12 @@ pub fn greedy_msdp<D: DiversityDistance>(
 ) -> Result<Vec<usize>> {
     let m = dist.num_points();
     validate_k(k, m)?;
-    assert_eq!(scores.len(), m);
+    if scores.len() != m {
+        return Err(SkyDiverError::ScoresLengthMismatch {
+            scores: scores.len(),
+            points: m,
+        });
+    }
     let first = (0..m)
         .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
         .expect("m >= 2");
@@ -496,6 +540,71 @@ mod tests {
                 .unwrap_err(),
             SkyDiverError::EmptySkyline
         );
+    }
+
+    #[test]
+    fn scores_length_mismatch_is_a_typed_error() {
+        let mut d = line(4);
+        assert_eq!(
+            select_diverse(&mut d, &[1, 2], 2, SeedRule::MaxDominance, TieBreak::MaxDominance)
+                .unwrap_err(),
+            SkyDiverError::ScoresLengthMismatch { scores: 2, points: 4 }
+        );
+        assert!(matches!(
+            greedy_msdp(&mut d, &[1], 2),
+            Err(SkyDiverError::ScoresLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn budgeted_selection_returns_exact_greedy_prefix() {
+        use crate::budget::{CancelToken, RunBudget, StopReason};
+        let scores = vec![1u64; 11];
+        let mut d = line(11);
+        let full = select_diverse(&mut d, &scores, 6, SeedRule::MaxDominance, TieBreak::FirstIndex)
+            .unwrap();
+        // The fused token trips on the 4th poll: one poll for the seed,
+        // then one per greedy round → 3 points selected.
+        let ctx = ExecContext::new(
+            RunBudget::none().with_cancel_token(CancelToken::after_polls(4)),
+        );
+        let mut d2 = line(11);
+        let (partial, int) = select_diverse_budgeted(
+            &mut d2,
+            &scores,
+            6,
+            SeedRule::MaxDominance,
+            TieBreak::FirstIndex,
+            &ctx,
+        )
+        .unwrap();
+        let int = int.expect("budget must trip");
+        assert_eq!(int.phase, ExecPhase::Selection);
+        assert_eq!(int.reason, StopReason::Cancelled);
+        assert_eq!(partial.len(), 3);
+        assert_eq!(partial, full[..3], "prefix equals the unbudgeted run");
+    }
+
+    #[test]
+    fn budgeted_selection_without_budget_matches_plain() {
+        let scores = vec![1u64; 9];
+        let mut a = line(9);
+        let plain =
+            select_diverse(&mut a, &scores, 4, SeedRule::FarthestPair, TieBreak::MaxDominance)
+                .unwrap();
+        let mut b = line(9);
+        let ctx = ExecContext::unlimited();
+        let (budgeted, int) = select_diverse_budgeted(
+            &mut b,
+            &scores,
+            4,
+            SeedRule::FarthestPair,
+            TieBreak::MaxDominance,
+            &ctx,
+        )
+        .unwrap();
+        assert!(int.is_none());
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

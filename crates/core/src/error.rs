@@ -1,7 +1,12 @@
 //! Error type of the SkyDiver core.
 
 /// Errors surfaced by the diversification framework.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every invalid configuration or unreadable input reachable through the
+/// public API maps to one of these variants — builder inputs never
+/// panic. (No `Eq`: [`SkyDiverError::InvalidLshThreshold`] carries the
+/// offending `f64`.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum SkyDiverError {
     /// `k` must be at least 2 (diversity of a single point is undefined;
     /// the paper requires `k ≥ 2`).
@@ -42,6 +47,45 @@ pub enum SkyDiverError {
         /// Preference vector length.
         prefs: usize,
     },
+    /// The LSH similarity threshold `ξ` must lie in `[0, 1]`.
+    InvalidLshThreshold {
+        /// The offending threshold.
+        xi: f64,
+    },
+    /// The banding `ζ·r` does not fit into the signature size `t`.
+    BandingExceedsSignature {
+        /// Zones `ζ`.
+        zones: usize,
+        /// Rows per zone `r`.
+        rows_per_zone: usize,
+        /// Signature size `t`.
+        t: usize,
+    },
+    /// A dataset coordinate was NaN or infinite. Dominance comparisons
+    /// are only defined over finite values, so canonicalisation rejects
+    /// the input up front.
+    NonFiniteCoordinate {
+        /// Row (point index) of the offending value.
+        row: usize,
+        /// Dimension of the offending value.
+        dim: usize,
+    },
+    /// The domination-score vector does not match the point count.
+    ScoresLengthMismatch {
+        /// Scores supplied.
+        scores: usize,
+        /// Points in the distance backend.
+        points: usize,
+    },
+    /// A simulated page read failed (fault injection); the index-based
+    /// pipeline cannot trust partially-read structures and aborts. See
+    /// `SkyDiver::run_auto` for the graceful index-free fallback.
+    IndexReadFailure {
+        /// Page whose read failed.
+        page: u64,
+        /// 0-based access index at which the failure struck.
+        access: u64,
+    },
 }
 
 impl std::fmt::Display for SkyDiverError {
@@ -67,6 +111,29 @@ impl std::fmt::Display for SkyDiverError {
             SkyDiverError::DimsMismatch { data, prefs } => write!(
                 f,
                 "dataset has {data} dimensions but {prefs} preferences were given"
+            ),
+            SkyDiverError::InvalidLshThreshold { xi } => {
+                write!(f, "LSH threshold must be in [0, 1], got {xi}")
+            }
+            SkyDiverError::BandingExceedsSignature {
+                zones,
+                rows_per_zone,
+                t,
+            } => write!(
+                f,
+                "banding {zones} zones x {rows_per_zone} rows exceeds signature size {t}"
+            ),
+            SkyDiverError::NonFiniteCoordinate { row, dim } => write!(
+                f,
+                "non-finite coordinate at row {row}, dimension {dim} (NaN/infinity are not comparable under dominance)"
+            ),
+            SkyDiverError::ScoresLengthMismatch { scores, points } => write!(
+                f,
+                "{scores} domination scores supplied for {points} points"
+            ),
+            SkyDiverError::IndexReadFailure { page, access } => write!(
+                f,
+                "page {page} could not be read (access #{access})"
             ),
         }
     }
@@ -103,6 +170,30 @@ mod tests {
             (
                 SkyDiverError::DimsMismatch { data: 3, prefs: 2 },
                 "preferences",
+            ),
+            (
+                SkyDiverError::InvalidLshThreshold { xi: 1.5 },
+                "[0, 1]",
+            ),
+            (
+                SkyDiverError::BandingExceedsSignature {
+                    zones: 5,
+                    rows_per_zone: 3,
+                    t: 8,
+                },
+                "exceeds signature size",
+            ),
+            (
+                SkyDiverError::NonFiniteCoordinate { row: 7, dim: 1 },
+                "non-finite",
+            ),
+            (
+                SkyDiverError::ScoresLengthMismatch { scores: 2, points: 3 },
+                "scores",
+            ),
+            (
+                SkyDiverError::IndexReadFailure { page: 12, access: 99 },
+                "could not be read",
             ),
         ];
         for (e, needle) in cases {

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod budget;
 pub mod canonical;
 pub mod coverage;
 pub mod cross;
@@ -50,12 +51,16 @@ pub mod lsh;
 pub mod minhash;
 pub mod pipeline;
 
+pub use budget::{
+    CancelToken, Degradation, DegradationEvent, ExecContext, ExecPhase, Interrupt, RunBudget,
+    StopReason,
+};
 pub use canonical::canonicalise;
 pub use coverage::{coverage_fraction, greedy_max_coverage};
 pub use cross::{cross_fingerprint, cross_gamma_sets, diversify_cross};
 pub use dispersion::{
-    brute_force_mmdp, brute_force_msdp, greedy_msdp, min_pairwise, select_diverse, SeedRule,
-    TieBreak,
+    brute_force_mmdp, brute_force_msdp, greedy_msdp, min_pairwise, select_diverse,
+    select_diverse_budgeted, SeedRule, TieBreak,
 };
 pub use dynamic::DynamicDiversifier;
 pub use diversity::{
@@ -67,7 +72,8 @@ pub use graph::DominanceGraph;
 pub use lp_baselines::{distance_based_representatives, EuclideanDistance};
 pub use lsh::{LshIndex, LshParams};
 pub use minhash::{
-    diversify_generic, sig_gen_ib, sig_gen_ib_active, sig_gen_if, sig_gen_if_generic,
-    sig_gen_parallel, HashFamily, SigGenOutput, SignatureMatrix,
+    diversify_generic, sig_gen_ib, sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_if,
+    sig_gen_if_budgeted, sig_gen_if_generic, sig_gen_parallel, sig_gen_parallel_budgeted,
+    HashFamily, SigGenOutput, SignatureMatrix,
 };
 pub use pipeline::{DiverseResult, SelectionMethod, SkyDiver};

@@ -35,6 +35,13 @@ impl LshParams {
     /// Picks `ζ, r` with `ζ·r ≤ t` whose induced threshold
     /// `(1/ζ)^(1/r)` is closest to `xi` (ties prefer using more slots).
     ///
+    /// Fails with [`SkyDiverError::InvalidLshThreshold`] for `ξ` outside
+    /// `[0, 1]` (including NaN) and with
+    /// [`SkyDiverError::NoLshFactorisation`] when the signature admits
+    /// only the degenerate `ζ = r = 1` banding (`t = 1`), which hashes
+    /// the whole one-slot signature into a single zone and carries no
+    /// banding signal.
+    ///
     /// ```
     /// use skydiver_core::LshParams;
     /// let p = LshParams::from_threshold(100, 0.4).unwrap();
@@ -44,7 +51,12 @@ impl LshParams {
         if t == 0 {
             return Err(SkyDiverError::ZeroSignatureSize);
         }
-        assert!((0.0..=1.0).contains(&xi), "threshold must be in [0, 1]");
+        if !(0.0..=1.0).contains(&xi) {
+            return Err(SkyDiverError::InvalidLshThreshold { xi });
+        }
+        if t == 1 {
+            return Err(SkyDiverError::NoLshFactorisation { t });
+        }
         let mut best: Option<(f64, usize, LshParams)> = None;
         for r in 1..=t {
             let zones = t / r;
@@ -103,7 +115,13 @@ impl LshIndex {
         }
         let m = sig.m();
         let (z, r) = (params.zones, params.rows_per_zone);
-        assert!(z * r <= sig.t(), "banding exceeds signature size");
+        if z * r > sig.t() {
+            return Err(SkyDiverError::BandingExceedsSignature {
+                zones: z,
+                rows_per_zone: r,
+                t: sig.t(),
+            });
+        }
         let mut assignment = Vec::with_capacity(m * z);
         for j in 0..m {
             let col = sig.column(j);
@@ -287,6 +305,36 @@ mod tests {
         // m·ζ·B bits = 40 · 50 · 20 / 8 bytes.
         assert_eq!(idx.memory_bytes(), 40 * 50 * 20 / 8);
         assert!(idx.memory_bytes() < sig.memory_bytes());
+    }
+
+    #[test]
+    fn invalid_builder_inputs_are_errors_not_panics() {
+        // Threshold outside [0, 1] — including NaN — is a typed error.
+        for xi in [-0.1, 1.1, f64::NAN] {
+            assert!(matches!(
+                LshParams::from_threshold(100, xi),
+                Err(SkyDiverError::InvalidLshThreshold { .. })
+            ));
+        }
+        // t = 1 admits only the degenerate 1 × 1 banding.
+        assert_eq!(
+            LshParams::from_threshold(1, 0.5).unwrap_err(),
+            SkyDiverError::NoLshFactorisation { t: 1 }
+        );
+        // Banding larger than the signature is a typed error.
+        let sig = SignatureMatrix::new(4, 2);
+        let params = LshParams {
+            zones: 3,
+            rows_per_zone: 2,
+        };
+        assert_eq!(
+            LshIndex::build(&sig, params, 8, 0).unwrap_err(),
+            SkyDiverError::BandingExceedsSignature {
+                zones: 3,
+                rows_per_zone: 2,
+                t: 4
+            }
+        );
     }
 
     #[test]

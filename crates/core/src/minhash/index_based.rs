@@ -17,6 +17,8 @@
 
 use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, PageId, RTree};
 
+use crate::budget::{ExecContext, ExecPhase, Interrupt};
+
 use super::{HashFamily, SigGenOutput, SignatureMatrix};
 
 /// Traversal counters of one `SigGen-IB` run.
@@ -43,13 +45,36 @@ pub fn sig_gen_ib(
     skyline_pts: &[&[f64]],
     family: &HashFamily,
 ) -> (SigGenOutput, IbStats) {
+    let ctx = ExecContext::unlimited();
+    let (out, stats, _, interrupt) = sig_gen_ib_budgeted(tree, pool, skyline_pts, family, &ctx);
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    (out, stats)
+}
+
+/// Budget-aware [`sig_gen_ib`]: charges `m` dominance classifications
+/// per index entry against `ctx` and stops at the first exhausted
+/// limit. Also cooperates with fault injection — a poisoned `pool` (an
+/// injected page-read failure) stops the traversal immediately;
+/// callers must check `pool.failure()` afterwards, as the pipeline
+/// does.
+///
+/// Returns `(output, stats, rows_consumed, interrupt)` where
+/// `rows_consumed` counts the synthetic row ids assigned before the
+/// stop (≤ the number of data points).
+pub fn sig_gen_ib_budgeted(
+    tree: &RTree,
+    pool: &mut BufferPool,
+    skyline_pts: &[&[f64]],
+    family: &HashFamily,
+    ctx: &ExecContext,
+) -> (SigGenOutput, IbStats, usize, Option<Interrupt>) {
     let t = family.len();
     let m = skyline_pts.len();
     let mut matrix = SignatureMatrix::new(t, m);
     let mut scores = vec![0u64; m];
     let mut stats = IbStats::default();
     if tree.is_empty() || m == 0 {
-        return (SigGenOutput { matrix, scores }, stats);
+        return (SigGenOutput { matrix, scores }, stats, 0, None);
     }
 
     let mut rowcount: u64 = 0;
@@ -58,9 +83,20 @@ pub fn sig_gen_ib(
 
     let mut frontier: Vec<PageId> = vec![tree.root()];
     while let Some(pid) = frontier.pop() {
+        if pool.poisoned() {
+            break;
+        }
         let node = tree.read_node(pool, pid);
         stats.nodes_read += 1;
         for e in &node.entries {
+            if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+                return (
+                    SigGenOutput { matrix, scores },
+                    stats,
+                    rowcount as usize,
+                    Some(int),
+                );
+            }
             full.clear();
             let mut any_partial = false;
             for (j, s) in skyline_pts.iter().enumerate() {
@@ -77,7 +113,12 @@ pub fn sig_gen_ib(
                         continue;
                     }
                     Child::Point(_) => {
-                        unreachable!("degenerate MBRs are never partially dominated")
+                        debug_assert!(false, "degenerate MBRs are never partially dominated");
+                        // Release builds: treat as unclassifiable and
+                        // skip rather than corrupt the traversal.
+                        rowcount += e.count;
+                        stats.skipped += 1;
+                        continue;
                     }
                 }
             }
@@ -103,7 +144,7 @@ pub fn sig_gen_ib(
         }
     }
 
-    (SigGenOutput { matrix, scores }, stats)
+    (SigGenOutput { matrix, scores }, stats, rowcount as usize, None)
 }
 
 #[cfg(test)]
@@ -167,6 +208,50 @@ mod tests {
             "IB read {} of {} pages",
             stats.nodes_read,
             tree.num_pages()
+        );
+    }
+
+    #[test]
+    fn budgeted_traversal_stops_on_dominance_budget() {
+        use crate::budget::{ExecContext, RunBudget, StopReason};
+        let ds = independent(3000, 3, 103);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let mut pool = BufferPool::new(1 << 20);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(8, 7);
+        // Fund only a handful of entry classifications.
+        let ctx = ExecContext::new(
+            RunBudget::none().with_max_dominance_tests(5 * sky.len() as u64),
+        );
+        let (_, stats, rows, int) = sig_gen_ib_budgeted(&tree, &mut pool, &pts, &fam, &ctx);
+        let int = int.expect("budget must trip");
+        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert!(rows < ds.len(), "stopped early at {rows} rows");
+        assert!(stats.nodes_read >= 1);
+    }
+
+    #[test]
+    fn poisoned_pool_stops_the_traversal() {
+        use skydiver_rtree::FaultInjection;
+        let ds = independent(3000, 3, 104);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(8, 7);
+        let mut clean = BufferPool::new(1 << 20);
+        let (_, full_stats) = sig_gen_ib(&tree, &mut clean, &pts, &fam);
+        let mut pool = BufferPool::new(1 << 20);
+        pool.inject_faults(FaultInjection::at_access(1));
+        let ctx = ExecContext::unlimited();
+        let (_, stats, _, int) = sig_gen_ib_budgeted(&tree, &mut pool, &pts, &fam, &ctx);
+        assert!(int.is_none(), "a fault is not a budget interrupt");
+        assert!(pool.poisoned(), "injected fault must register");
+        assert!(
+            stats.nodes_read < full_stats.nodes_read || full_stats.nodes_read <= 2,
+            "traversal bailed early: {} vs {}",
+            stats.nodes_read,
+            full_stats.nodes_read
         );
     }
 

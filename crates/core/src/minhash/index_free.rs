@@ -8,6 +8,8 @@
 
 use skydiver_data::{Dataset, DominanceOrd};
 
+use crate::budget::{ExecContext, ExecPhase, Interrupt};
+
 use super::{HashFamily, SigGenOutput, SignatureMatrix};
 
 /// Runs the index-free pass.
@@ -31,6 +33,31 @@ pub fn sig_gen_if<O>(
 where
     O: DominanceOrd<Item = [f64]>,
 {
+    let ctx = ExecContext::unlimited();
+    let (out, _, interrupt) = sig_gen_if_budgeted(ds, ord, skyline, family, &ctx);
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    out
+}
+
+/// Budget-aware [`sig_gen_if`]: charges `m` dominance tests per data row
+/// against `ctx` and stops at the first exhausted limit.
+///
+/// Returns `(output, rows_scanned, interrupt)`. When `interrupt` is
+/// `Some`, the signatures and scores cover exactly the first
+/// `rows_scanned` data rows — a consistent fingerprint of a data prefix,
+/// usable for inspection but not for selection (the Jaccard estimates
+/// are biased toward the scanned prefix), which is why the pipeline
+/// skips selection after a fingerprint-phase interrupt.
+pub fn sig_gen_if_budgeted<O>(
+    ds: &Dataset,
+    ord: &O,
+    skyline: &[usize],
+    family: &HashFamily,
+    ctx: &ExecContext,
+) -> (SigGenOutput, usize, Option<Interrupt>)
+where
+    O: DominanceOrd<Item = [f64]>,
+{
     let t = family.len();
     let m = skyline.len();
     let mut matrix = SignatureMatrix::new(t, m);
@@ -45,6 +72,9 @@ where
     let mut dominators: Vec<usize> = Vec::with_capacity(m);
 
     for (row, p) in ds.iter().enumerate() {
+        if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+            return (SigGenOutput { matrix, scores }, row, Some(int));
+        }
         if is_skyline[row] {
             continue;
         }
@@ -64,7 +94,7 @@ where
         }
     }
 
-    SigGenOutput { matrix, scores }
+    (SigGenOutput { matrix, scores }, ds.len(), None)
 }
 
 #[cfg(test)]
@@ -140,6 +170,25 @@ mod tests {
             .all(|&v| v == super::super::INF_SLOT));
         // Point 1 dominates row 2.
         assert_eq!(out.scores[1], 1);
+    }
+
+    #[test]
+    fn budgeted_pass_stops_on_dominance_budget() {
+        use crate::budget::{ExecContext, RunBudget, StopReason};
+        let ds = independent(500, 3, 92);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let m = sky.len() as u64;
+        let fam = HashFamily::new(16, 1);
+        // Budget covers exactly 100 rows' worth of dominance tests.
+        let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(100 * m));
+        let (out, rows, int) = sig_gen_if_budgeted(&ds, &MinDominance, &sky, &fam, &ctx);
+        let int = int.expect("budget must trip");
+        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert_eq!(rows, 100, "stops after the funded prefix");
+        // Scores count only the scanned prefix.
+        let total: u64 = out.scores.iter().sum();
+        let full = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        assert!(total <= full.scores.iter().sum::<u64>());
     }
 
     use skydiver_data::Dataset;

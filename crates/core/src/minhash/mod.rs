@@ -30,10 +30,10 @@ pub mod theory;
 
 pub use family::HashFamily;
 pub use generic::{diversify_generic, sig_gen_if_generic};
-pub use index_based::{sig_gen_ib, IbStats};
+pub use index_based::{sig_gen_ib, sig_gen_ib_budgeted, IbStats};
 pub use index_based_active::sig_gen_ib_active;
-pub use index_free::sig_gen_if;
-pub use parallel::sig_gen_parallel;
+pub use index_free::{sig_gen_if, sig_gen_if_budgeted};
+pub use parallel::{sig_gen_parallel, sig_gen_parallel_budgeted};
 pub use signature::{SignatureMatrix, INF_SLOT};
 
 /// Output of a signature-generation pass: the signature matrix plus the

@@ -10,6 +10,8 @@
 
 use skydiver_data::{Dataset, DominanceOrd};
 
+use crate::budget::{ExecContext, ExecPhase, Interrupt};
+
 use super::{HashFamily, SigGenOutput, SignatureMatrix};
 
 /// Sharded `SigGen-IF`. `threads == 1` falls back to the sequential
@@ -24,9 +26,34 @@ pub fn sig_gen_parallel<O>(
 where
     O: DominanceOrd<Item = [f64]> + Sync,
 {
+    let ctx = ExecContext::unlimited();
+    let (out, _, interrupt) = sig_gen_parallel_budgeted(ds, ord, skyline, family, threads, &ctx);
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    out
+}
+
+/// Budget-aware [`sig_gen_parallel`]: every shard charges the shared
+/// [`ExecContext`], so a tripped budget stops all shards within one
+/// row's work. Returns `(output, rows_scanned, interrupt)` like
+/// [`sig_gen_if_budgeted`](super::sig_gen_if_budgeted); `rows_scanned`
+/// sums over shards. Uninterrupted output is bit-identical to the
+/// sequential pass; an interrupted one covers a timing-dependent subset
+/// of rows, which is why the pipeline skips selection after a
+/// fingerprint-phase interrupt.
+pub fn sig_gen_parallel_budgeted<O>(
+    ds: &Dataset,
+    ord: &O,
+    skyline: &[usize],
+    family: &HashFamily,
+    threads: usize,
+    ctx: &ExecContext,
+) -> (SigGenOutput, usize, Option<Interrupt>)
+where
+    O: DominanceOrd<Item = [f64]> + Sync,
+{
     let threads = threads.max(1);
     if threads == 1 || ds.len() < 2 * threads {
-        return super::sig_gen_if(ds, ord, skyline, family);
+        return super::sig_gen_if_budgeted(ds, ord, skyline, family, ctx);
     }
 
     let t = family.len();
@@ -38,20 +65,30 @@ where
     let is_skyline = &is_skyline;
 
     let chunk = ds.len().div_ceil(threads);
-    let mut partials: Vec<SigGenOutput> = Vec::with_capacity(threads);
+    let mut partials: Vec<(SigGenOutput, usize, Option<Interrupt>)> =
+        Vec::with_capacity(threads);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for shard in 0..threads {
             let lo = shard * chunk;
             let hi = ((shard + 1) * chunk).min(ds.len());
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut matrix = SignatureMatrix::new(t, m);
                 let mut scores = vec![0u64; m];
                 let mut row_hashes = vec![0u64; t];
                 let mut dominators: Vec<usize> = Vec::with_capacity(m);
+                let mut rows_scanned = 0usize;
+                let mut interrupt = None;
                 #[allow(clippy::needless_range_loop)]
                 for row in lo..hi {
+                    if let Err(int) =
+                        ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint)
+                    {
+                        interrupt = Some(int);
+                        break;
+                    }
+                    rows_scanned += 1;
                     if is_skyline[row] {
                         continue;
                     }
@@ -71,24 +108,27 @@ where
                         scores[j] += 1;
                     }
                 }
-                SigGenOutput { matrix, scores }
+                (SigGenOutput { matrix, scores }, rows_scanned, interrupt)
             }));
         }
         for h in handles {
             partials.push(h.join().expect("siggen shard panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut iter = partials.into_iter();
-    let mut acc = iter.next().expect("threads >= 1");
-    for p in iter {
+    let (mut acc, mut rows, mut interrupt) = iter.next().expect("threads >= 1");
+    for (p, r, int) in iter {
         acc.matrix.merge_min(&p.matrix);
         for (a, b) in acc.scores.iter_mut().zip(&p.scores) {
             *a += b;
         }
+        rows += r;
+        if interrupt.is_none() {
+            interrupt = int;
+        }
     }
-    acc
+    (acc, rows, interrupt)
 }
 
 #[cfg(test)]
@@ -121,6 +161,22 @@ mod tests {
         let par = sig_gen_parallel(&ds, &MinDominance, &sky, &fam, 4);
         assert_eq!(seq.matrix, par.matrix);
         assert_eq!(seq.scores, par.scores);
+    }
+
+    #[test]
+    fn budgeted_run_stops_all_shards_promptly() {
+        use crate::budget::{ExecContext, RunBudget, StopReason};
+        let ds = independent(2000, 3, 113);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let m = sky.len() as u64;
+        let fam = HashFamily::new(16, 13);
+        // Budget funds ~200 rows across all shards combined.
+        let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(200 * m));
+        let (_, rows, int) =
+            sig_gen_parallel_budgeted(&ds, &MinDominance, &sky, &fam, 4, &ctx);
+        let int = int.expect("shared budget must trip");
+        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert!(rows < 2000, "shards stopped early, scanned {rows}");
     }
 
     #[test]

@@ -4,22 +4,38 @@
 //! reaches for: configure `k`, the signature size, MinHash vs LSH and
 //! optional parallelism; then run it index-free over a dataset
 //! ([`SkyDiver::run`]), index-based over an aggregate R*-tree
-//! ([`SkyDiver::run_index_based`]), or over a bare dominance graph
+//! ([`SkyDiver::run_index_based`]), with automatic index-free fallback
+//! ([`SkyDiver::run_auto`]), or over a bare dominance graph
 //! ([`SkyDiver::run_graph`]).
+//!
+//! # Resilient execution
+//!
+//! Every run can carry a [`RunBudget`] (wall-clock deadline, memory
+//! ceiling, dominance-test ceiling, cancellation token). A tripped
+//! budget does not discard completed work: the run returns a partial
+//! [`DiverseResult`] whose [`Degradation`] report records which phase
+//! stopped and what was curtailed. Because the greedy selection is
+//! incremental, a selection-phase interrupt yields the exact prefix an
+//! unbudgeted run would have selected; a fingerprint-phase interrupt
+//! yields the skyline plus partial scores with an empty selection.
 
 use std::time::Instant;
 
 use skydiver_data::{Dataset, Preference};
-use skydiver_rtree::{BufferPool, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
+use skydiver_rtree::{BufferPool, FaultInjection, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
 use skydiver_skyline::{bbs, sfs};
 
+use crate::budget::{
+    CancelToken, Degradation, DegradationEvent, ExecContext, ExecPhase, Interrupt, RunBudget,
+    StopReason,
+};
 use crate::canonical::canonicalise;
-use crate::dispersion::{select_diverse, SeedRule, TieBreak};
+use crate::dispersion::{select_diverse_budgeted, SeedRule, TieBreak};
 use crate::diversity::{LshDistance, SignatureDistance};
 use crate::error::{Result, SkyDiverError};
 use crate::graph::DominanceGraph;
 use crate::lsh::{LshIndex, LshParams};
-use crate::minhash::{sig_gen_if, sig_gen_parallel, HashFamily, SigGenOutput};
+use crate::minhash::{sig_gen_if_budgeted, sig_gen_parallel_budgeted, HashFamily, SigGenOutput};
 
 /// Which phase-2 representation drives the selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,12 +58,14 @@ pub struct DiverseResult {
     /// Skyline point indices into the input dataset (ascending), or the
     /// left-node indices for graph inputs.
     pub skyline: Vec<usize>,
-    /// Positions *within* `skyline` of the `k` selected points, in
-    /// selection order.
+    /// Positions *within* `skyline` of the selected points, in
+    /// selection order. Holds `k` entries for a complete run, fewer
+    /// when the budget curtailed the selection (see `degradation`).
     pub selected_positions: Vec<usize>,
-    /// Dataset indices of the `k` selected points, in selection order.
+    /// Dataset indices of the selected points, in selection order.
     pub selected: Vec<usize>,
-    /// Domination scores `|Γ(p)|` per skyline point.
+    /// Domination scores `|Γ(p)|` per skyline point. Partial (a prefix
+    /// of the data counted) when fingerprinting was curtailed.
     pub scores: Vec<u64>,
     /// Bytes held by the phase-2 representation (signatures or LSH
     /// bit-vectors).
@@ -56,6 +74,16 @@ pub struct DiverseResult {
     pub fingerprint_ms: f64,
     /// Wall-clock milliseconds of the selection phase.
     pub selection_ms: f64,
+    /// What, if anything, was curtailed or substituted during the run.
+    /// [`Degradation::is_degraded`] is `false` for a complete run.
+    pub degradation: Degradation,
+}
+
+impl DiverseResult {
+    /// `true` when the run completed without budget trips or fallbacks.
+    pub fn is_complete(&self) -> bool {
+        !self.degradation.is_degraded()
+    }
 }
 
 /// Builder for the SkyDiver pipeline.
@@ -68,12 +96,15 @@ pub struct SkyDiver {
     seed_rule: SeedRule,
     tie_break: TieBreak,
     threads: usize,
+    budget: RunBudget,
+    lsh_minhash_fallback: bool,
+    fault_injection: Option<FaultInjection>,
 }
 
 impl SkyDiver {
     /// A pipeline returning `k` diverse skyline points with the paper's
     /// defaults: signature size 100, MinHash selection, max-domination
-    /// seeding and tie-breaking, sequential fingerprinting.
+    /// seeding and tie-breaking, sequential fingerprinting, no budget.
     pub fn new(k: usize) -> Self {
         SkyDiver {
             k,
@@ -83,6 +114,9 @@ impl SkyDiver {
             seed_rule: SeedRule::MaxDominance,
             tie_break: TieBreak::MaxDominance,
             threads: 1,
+            budget: RunBudget::none(),
+            lsh_minhash_fallback: false,
+            fault_injection: None,
         }
     }
 
@@ -129,60 +163,178 @@ impl SkyDiver {
         self
     }
 
+    /// Attaches a [`RunBudget`]. A tripped budget returns a partial
+    /// result with a [`Degradation`] report instead of an error.
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Convenience: attaches only a [`CancelToken`] (keeps any other
+    /// budget limits already configured).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.budget = self.budget.with_cancel_token(token);
+        self
+    }
+
+    /// Opt-in: when the requested LSH configuration admits no usable
+    /// banding ([`SkyDiverError::NoLshFactorisation`]), fall back to
+    /// MinHash selection instead of failing. The substitution is
+    /// recorded as [`DegradationEvent::MinHashFallback`].
+    pub fn lsh_minhash_fallback(mut self, enabled: bool) -> Self {
+        self.lsh_minhash_fallback = enabled;
+        self
+    }
+
+    /// Testing hook: injects deterministic page-read failures into the
+    /// buffer pool of the index-based path (the pool is created
+    /// internally, so the plan is configured here). The index-free path
+    /// performs no page reads and ignores this.
+    pub fn fault_injection(mut self, plan: FaultInjection) -> Self {
+        self.fault_injection = Some(plan);
+        self
+    }
+
     /// Index-free run: canonicalise, compute the skyline (SFS), run
     /// `SigGen-IF`, select.
     pub fn run(&self, ds: &Dataset, prefs: &[Preference]) -> Result<DiverseResult> {
+        let ctx = ExecContext::new(self.budget.clone());
         if self.signature_size == 0 {
             return Err(SkyDiverError::ZeroSignatureSize);
         }
         let canon = canonicalise(ds, prefs)?;
         let ord = skydiver_data::dominance::MinDominance;
+        if let Err(int) = ctx.check(ExecPhase::Skyline) {
+            return Ok(Self::partial(vec![], vec![], 0, 0.0, int, vec![]));
+        }
         let skyline = sfs(&canon, &ord);
         if skyline.is_empty() {
             return Err(SkyDiverError::EmptySkyline);
         }
-        let family = HashFamily::new(self.signature_size, self.hash_seed);
+        let (t_eff, mut events) = match self.effective_signature_size(skyline.len()) {
+            Ok(pair) => pair,
+            Err(int) => {
+                let m = skyline.len();
+                return Ok(Self::partial(skyline, vec![0; m], 0, 0.0, int, vec![]));
+            }
+        };
+        let family = HashFamily::new(t_eff, self.hash_seed);
         let t0 = Instant::now();
-        let out = if self.threads > 1 {
-            sig_gen_parallel(&canon, &ord, &skyline, &family, self.threads)
+        let (out, rows_scanned, interrupt) = if self.threads > 1 {
+            sig_gen_parallel_budgeted(&canon, &ord, &skyline, &family, self.threads, &ctx)
         } else {
-            sig_gen_if(&canon, &ord, &skyline, &family)
+            sig_gen_if_budgeted(&canon, &ord, &skyline, &family, &ctx)
         };
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
-        self.finish(skyline, out, fingerprint_ms)
+        if let Some(int) = interrupt {
+            events.push(DegradationEvent::FingerprintCurtailed {
+                rows_scanned,
+                rows_total: canon.len(),
+            });
+            let mem = out.matrix.memory_bytes();
+            return Ok(Self::partial(skyline, out.scores, mem, fingerprint_ms, int, events));
+        }
+        self.finish(skyline, out, fingerprint_ms, events, &ctx)
     }
 
     /// Index-based run: bulk-load an aggregate R*-tree (paper defaults:
     /// 4 KiB pages, 20 % buffer pool), compute the skyline with BBS, run
     /// `SigGen-IB`, select. Returns the result plus the I/O counters so
     /// callers can apply the 8 ms/fault cost model.
+    ///
+    /// A page-read failure (fault injection) aborts with
+    /// [`SkyDiverError::IndexReadFailure`]; use [`SkyDiver::run_auto`]
+    /// to fall back to the index-free pipeline instead.
     pub fn run_index_based(
         &self,
         ds: &Dataset,
         prefs: &[Preference],
     ) -> Result<(DiverseResult, skydiver_rtree::IoStats)> {
+        let ctx = ExecContext::new(self.budget.clone());
         if self.signature_size == 0 {
             return Err(SkyDiverError::ZeroSignatureSize);
         }
         let canon = canonicalise(ds, prefs)?;
         let tree = RTree::bulk_load(&canon, DEFAULT_PAGE_SIZE);
         let mut pool = BufferPool::for_index(tree.num_pages(), DEFAULT_CACHE_FRACTION);
+        if let Some(plan) = self.fault_injection {
+            pool.inject_faults(plan);
+        }
+        if let Err(int) = ctx.check(ExecPhase::Skyline) {
+            return Ok((Self::partial(vec![], vec![], 0, 0.0, int, vec![]), pool.stats()));
+        }
         let skyline = bbs(&tree, &mut pool);
+        if let Some(fail) = pool.failure() {
+            return Err(SkyDiverError::IndexReadFailure {
+                page: fail.page_id,
+                access: fail.access_index,
+            });
+        }
         if skyline.is_empty() {
             return Err(SkyDiverError::EmptySkyline);
         }
-        let family = HashFamily::new(self.signature_size, self.hash_seed);
+        let (t_eff, mut events) = match self.effective_signature_size(skyline.len()) {
+            Ok(pair) => pair,
+            Err(int) => {
+                let m = skyline.len();
+                let r = Self::partial(skyline, vec![0; m], 0, 0.0, int, vec![]);
+                return Ok((r, pool.stats()));
+            }
+        };
+        let family = HashFamily::new(t_eff, self.hash_seed);
         let pts: Vec<&[f64]> = skyline.iter().map(|&s| canon.point(s)).collect();
         let t0 = Instant::now();
-        let (out, _) = crate::minhash::sig_gen_ib(&tree, &mut pool, &pts, &family);
+        let (out, _, rows_consumed, interrupt) =
+            crate::minhash::sig_gen_ib_budgeted(&tree, &mut pool, &pts, &family, &ctx);
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let result = self.finish(skyline, out, fingerprint_ms)?;
+        if let Some(fail) = pool.failure() {
+            return Err(SkyDiverError::IndexReadFailure {
+                page: fail.page_id,
+                access: fail.access_index,
+            });
+        }
+        if let Some(int) = interrupt {
+            events.push(DegradationEvent::FingerprintCurtailed {
+                rows_scanned: rows_consumed,
+                rows_total: canon.len(),
+            });
+            let mem = out.matrix.memory_bytes();
+            let r = Self::partial(skyline, out.scores, mem, fingerprint_ms, int, events);
+            return Ok((r, pool.stats()));
+        }
+        let result = self.finish(skyline, out, fingerprint_ms, events, &ctx)?;
         Ok((result, pool.stats()))
+    }
+
+    /// Graceful-fallback entry point: tries the index-based pipeline
+    /// first and, when it fails with an index read failure, reruns
+    /// index-free (which performs no page reads). The fallback is
+    /// recorded as [`DegradationEvent::IndexFreeFallback`] in the
+    /// returned report. Non-I/O errors propagate unchanged.
+    ///
+    /// Note the budget applies to each attempt separately: a deadline
+    /// restarts for the fallback run.
+    pub fn run_auto(&self, ds: &Dataset, prefs: &[Preference]) -> Result<DiverseResult> {
+        match self.run_index_based(ds, prefs) {
+            Ok((result, _)) => Ok(result),
+            Err(cause @ SkyDiverError::IndexReadFailure { .. }) => {
+                let mut result = self.run(ds, prefs)?;
+                result.degradation.events.insert(
+                    0,
+                    DegradationEvent::IndexFreeFallback {
+                        cause: cause.to_string(),
+                    },
+                );
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Runs over a bare dominance graph (paper Fig. 1): fingerprints the
     /// edge lists and selects. `selected` holds left-node indices.
     pub fn run_graph(&self, graph: &DominanceGraph) -> Result<DiverseResult> {
+        let ctx = ExecContext::new(self.budget.clone());
         if self.signature_size == 0 {
             return Err(SkyDiverError::ZeroSignatureSize);
         }
@@ -191,7 +343,109 @@ impl SkyDiver {
         let out = graph.fingerprint(&family)?;
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
         let skyline: Vec<usize> = (0..graph.num_skyline()).collect();
-        self.finish(skyline, out, fingerprint_ms)
+        self.finish(skyline, out, fingerprint_ms, vec![], &ctx)
+    }
+
+    /// Shrinks the signature size to fit the memory budget, if one is
+    /// set. `Err` means even one slot per skyline point does not fit —
+    /// the run stops before fingerprinting with a memory interrupt.
+    fn effective_signature_size(
+        &self,
+        m: usize,
+    ) -> std::result::Result<(usize, Vec<DegradationEvent>), Interrupt> {
+        let t = self.signature_size;
+        let Some(limit) = self.budget.max_memory_bytes() else {
+            return Ok((t, vec![]));
+        };
+        let per_slot = m * std::mem::size_of::<u64>();
+        let needed = t * per_slot;
+        if needed <= limit {
+            return Ok((t, vec![]));
+        }
+        let t_eff = limit / per_slot;
+        if t_eff == 0 {
+            return Err(Interrupt {
+                phase: ExecPhase::Fingerprint,
+                reason: StopReason::MemoryBudgetExhausted {
+                    needed: per_slot,
+                    limit,
+                },
+            });
+        }
+        Ok((
+            t_eff,
+            vec![DegradationEvent::SignatureSizeReduced { from: t, to: t_eff }],
+        ))
+    }
+
+    /// Shrinks the LSH buckets-per-zone to fit the memory budget
+    /// (best-effort: never below 2 buckets).
+    fn effective_buckets(
+        &self,
+        m: usize,
+        zones: usize,
+        buckets: usize,
+        events: &mut Vec<DegradationEvent>,
+    ) -> usize {
+        let Some(limit) = self.budget.max_memory_bytes() else {
+            return buckets;
+        };
+        let bits_budget = limit.saturating_mul(8);
+        let per_bucket = m * zones; // bits per bucket-per-zone increment
+        if per_bucket == 0 || per_bucket * buckets <= bits_budget {
+            return buckets;
+        }
+        let reduced = (bits_budget / per_bucket).max(2);
+        if reduced < buckets {
+            events.push(DegradationEvent::LshBucketsReduced {
+                from: buckets,
+                to: reduced,
+            });
+            return reduced;
+        }
+        buckets
+    }
+
+    /// A partial result: completed phases are kept, the selection is
+    /// empty or a prefix, and the report names the interrupted phase.
+    fn partial(
+        skyline: Vec<usize>,
+        scores: Vec<u64>,
+        memory_bytes: usize,
+        fingerprint_ms: f64,
+        interrupt: Interrupt,
+        events: Vec<DegradationEvent>,
+    ) -> DiverseResult {
+        DiverseResult {
+            skyline,
+            selected_positions: vec![],
+            selected: vec![],
+            scores,
+            memory_bytes,
+            fingerprint_ms,
+            selection_ms: 0.0,
+            degradation: Degradation {
+                interrupt: Some(interrupt),
+                events,
+            },
+        }
+    }
+
+    fn select_minhash(
+        &self,
+        out: &SigGenOutput,
+        ctx: &ExecContext,
+    ) -> Result<(Vec<usize>, usize, Option<Interrupt>)> {
+        let mut dist = SignatureDistance::new(&out.matrix);
+        let (sel, int) = select_diverse_budgeted(
+            &mut dist,
+            &out.scores,
+            self.k,
+            self.seed_rule,
+            self.tie_break,
+            ctx,
+        )?;
+        Ok((sel, out.matrix.memory_bytes(), int))
     }
 
     fn finish(
@@ -199,34 +453,47 @@ impl SkyDiver {
         skyline: Vec<usize>,
         out: SigGenOutput,
         fingerprint_ms: f64,
+        mut events: Vec<DegradationEvent>,
+        ctx: &ExecContext,
     ) -> Result<DiverseResult> {
         let t1 = Instant::now();
-        let (positions, memory_bytes) = match self.method {
-            SelectionMethod::MinHash => {
-                let mut dist = SignatureDistance::new(&out.matrix);
-                let sel = select_diverse(
-                    &mut dist,
-                    &out.scores,
-                    self.k,
-                    self.seed_rule,
-                    self.tie_break,
-                )?;
-                (sel, out.matrix.memory_bytes())
-            }
+        let (positions, memory_bytes, interrupt) = match self.method {
+            SelectionMethod::MinHash => self.select_minhash(&out, ctx)?,
             SelectionMethod::Lsh { threshold, buckets } => {
-                let params = LshParams::from_threshold(out.matrix.t(), threshold)?;
-                let idx = LshIndex::build(&out.matrix, params, buckets, self.hash_seed)?;
-                let mut dist = LshDistance::new(&idx);
-                let sel = select_diverse(
-                    &mut dist,
-                    &out.scores,
-                    self.k,
-                    self.seed_rule,
-                    self.tie_break,
-                )?;
-                (sel, idx.memory_bytes())
+                match LshParams::from_threshold(out.matrix.t(), threshold) {
+                    Ok(params) => {
+                        let buckets =
+                            self.effective_buckets(out.matrix.m(), params.zones, buckets, &mut events);
+                        let idx = LshIndex::build(&out.matrix, params, buckets, self.hash_seed)?;
+                        let mut dist = LshDistance::new(&idx);
+                        let (sel, int) = select_diverse_budgeted(
+                            &mut dist,
+                            &out.scores,
+                            self.k,
+                            self.seed_rule,
+                            self.tie_break,
+                            ctx,
+                        )?;
+                        (sel, idx.memory_bytes(), int)
+                    }
+                    Err(cause @ SkyDiverError::NoLshFactorisation { .. })
+                        if self.lsh_minhash_fallback =>
+                    {
+                        events.push(DegradationEvent::MinHashFallback {
+                            cause: cause.to_string(),
+                        });
+                        self.select_minhash(&out, ctx)?
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         };
+        if interrupt.is_some() {
+            events.push(DegradationEvent::SelectionCurtailed {
+                selected: positions.len(),
+                requested: self.k,
+            });
+        }
         let selection_ms = t1.elapsed().as_secs_f64() * 1e3;
         let selected = positions.iter().map(|&p| skyline[p]).collect();
         Ok(DiverseResult {
@@ -237,6 +504,7 @@ impl SkyDiver {
             memory_bytes,
             fingerprint_ms,
             selection_ms,
+            degradation: Degradation { interrupt, events },
         })
     }
 }
@@ -244,6 +512,7 @@ impl SkyDiver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::StopReason;
     use skydiver_data::generators::{anticorrelated, independent};
 
     #[test]
@@ -264,6 +533,9 @@ mod tests {
         // First selected point carries the max domination score.
         let max = r.scores.iter().copied().max().unwrap();
         assert_eq!(r.scores[r.selected_positions[0]], max);
+        // An unbudgeted run reports no degradation.
+        assert!(r.is_complete());
+        assert_eq!(r.degradation.summary(), "complete");
     }
 
     #[test]
@@ -351,6 +623,134 @@ mod tests {
             .unwrap();
         assert_eq!(seq.selected, par.selected);
         assert_eq!(seq.scores, par.scores);
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_empty_partial() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ds = independent(500, 2, 155);
+        let r = SkyDiver::new(3)
+            .budget(RunBudget::none().with_cancel_token(token))
+            .run(&ds, &Preference::all_min(2))
+            .unwrap();
+        assert!(r.selected.is_empty());
+        let int = r.degradation.interrupt.as_ref().unwrap();
+        assert_eq!(int.phase, ExecPhase::Skyline);
+        assert_eq!(int.reason, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn dominance_budget_curtails_fingerprinting() {
+        let ds = independent(2000, 3, 156);
+        let prefs = Preference::all_min(3);
+        let full = SkyDiver::new(3).signature_size(32).run(&ds, &prefs).unwrap();
+        let m = full.skyline.len() as u64;
+        let r = SkyDiver::new(3)
+            .signature_size(32)
+            .budget(RunBudget::none().with_max_dominance_tests(50 * m))
+            .run(&ds, &prefs)
+            .unwrap();
+        assert_eq!(r.skyline, full.skyline, "skyline phase completed");
+        assert!(r.selected.is_empty(), "selection skipped after interrupt");
+        let int = r.degradation.interrupt.as_ref().unwrap();
+        assert_eq!(int.phase, ExecPhase::Fingerprint);
+        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert!(r
+            .degradation
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::FingerprintCurtailed { .. })));
+    }
+
+    #[test]
+    fn memory_budget_shrinks_signature_size() {
+        let ds = anticorrelated(2000, 3, 157);
+        let prefs = Preference::all_min(3);
+        let full = SkyDiver::new(3).signature_size(100).run(&ds, &prefs).unwrap();
+        let m = full.skyline.len();
+        // Allow only 10 slots per skyline point.
+        let r = SkyDiver::new(3)
+            .signature_size(100)
+            .budget(RunBudget::none().with_max_memory_bytes(10 * m * 8))
+            .run(&ds, &prefs)
+            .unwrap();
+        assert_eq!(r.selected.len(), 3, "run completes at reduced fidelity");
+        assert!(r.degradation.interrupt.is_none());
+        assert!(matches!(
+            r.degradation.events[..],
+            [DegradationEvent::SignatureSizeReduced { from: 100, to: 10 }]
+        ));
+        assert!(r.memory_bytes <= 10 * m * 8);
+    }
+
+    #[test]
+    fn memory_budget_too_small_for_anything_interrupts() {
+        let ds = independent(500, 2, 158);
+        let r = SkyDiver::new(2)
+            .budget(RunBudget::none().with_max_memory_bytes(4))
+            .run(&ds, &Preference::all_min(2))
+            .unwrap();
+        let int = r.degradation.interrupt.as_ref().unwrap();
+        assert_eq!(int.phase, ExecPhase::Fingerprint);
+        assert!(matches!(int.reason, StopReason::MemoryBudgetExhausted { .. }));
+        assert!(r.selected.is_empty());
+        assert!(!r.skyline.is_empty(), "completed phases are kept");
+    }
+
+    #[test]
+    fn lsh_falls_back_to_minhash_when_opted_in() {
+        let ds = anticorrelated(1500, 3, 159);
+        let prefs = Preference::all_min(3);
+        // t = 1 admits no usable banding.
+        let strict = SkyDiver::new(3).signature_size(1).lsh(0.5, 16);
+        assert!(matches!(
+            strict.run(&ds, &prefs),
+            Err(SkyDiverError::NoLshFactorisation { t: 1 })
+        ));
+        let lenient = strict.clone().lsh_minhash_fallback(true);
+        let r = lenient.run(&ds, &prefs).unwrap();
+        assert_eq!(r.selected.len(), 3);
+        assert!(r
+            .degradation
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::MinHashFallback { .. })));
+        // The fallback selects exactly as plain MinHash would.
+        let mh = SkyDiver::new(3).signature_size(1).run(&ds, &prefs).unwrap();
+        assert_eq!(r.selected, mh.selected);
+    }
+
+    #[test]
+    fn injected_page_fault_fails_index_based_and_run_auto_recovers() {
+        let ds = independent(3000, 3, 160);
+        let prefs = Preference::all_min(3);
+        let cfg = SkyDiver::new(4)
+            .signature_size(32)
+            .hash_seed(9)
+            .fault_injection(FaultInjection::at_access(3));
+        let err = cfg.run_index_based(&ds, &prefs).unwrap_err();
+        assert!(matches!(err, SkyDiverError::IndexReadFailure { .. }));
+        // run_auto degrades to the index-free pipeline.
+        let r = cfg.run_auto(&ds, &prefs).unwrap();
+        assert_eq!(r.selected.len(), 4);
+        assert!(matches!(
+            r.degradation.events[0],
+            DegradationEvent::IndexFreeFallback { .. }
+        ));
+        // And matches a plain index-free run bit for bit.
+        let plain = SkyDiver::new(4).signature_size(32).hash_seed(9).run(&ds, &prefs).unwrap();
+        assert_eq!(r.selected, plain.selected);
+        assert_eq!(r.scores, plain.scores);
+    }
+
+    #[test]
+    fn run_auto_without_faults_uses_the_index() {
+        let ds = independent(1000, 2, 161);
+        let prefs = Preference::all_min(2);
+        let r = SkyDiver::new(3).signature_size(32).run_auto(&ds, &prefs).unwrap();
+        assert_eq!(r.selected.len(), 3);
+        assert!(r.is_complete());
     }
 
     use skydiver_data::Dataset;

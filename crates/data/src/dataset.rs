@@ -1,7 +1,5 @@
 //! Flat, cache-friendly storage for multidimensional point sets.
 
-use serde::{Deserialize, Serialize};
-
 use crate::dominance::{Dominance, DominanceOrd, MinDominance};
 
 /// A set of `d`-dimensional points stored row-major in one contiguous
@@ -20,7 +18,7 @@ use crate::dominance::{Dominance, DominanceOrd, MinDominance};
 /// SkyDiver structures (skyline sets, Γ sets, signatures) refer to points
 /// by these indices, mirroring the paper's domination-matrix view where
 /// rows are data points and columns are skyline points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dims: usize,
     coords: Vec<f64>,

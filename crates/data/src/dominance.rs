@@ -47,6 +47,16 @@ pub trait DominanceOrd {
 ///
 /// This is the canonical order of the paper (§3.1). Use
 /// [`MinMaxDominance`] when some attributes are maximised instead.
+///
+/// # Precondition: finite inputs
+///
+/// [`DominanceOrd::dom_cmp`] assumes every coordinate is finite. NaN
+/// compares neither `<` nor `≥`, which silently breaks the strict
+/// partial-order axioms (a NaN-carrying point ends up `Incomparable`
+/// with everything, including itself in surprising ways), and ±∞ breaks
+/// the R-tree MBR geometry. The pipeline enforces this once up front —
+/// `skydiver_core::canonicalise` rejects non-finite coordinates with a
+/// typed error — so the hot comparison loop carries no checks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinDominance;
 

@@ -78,7 +78,21 @@ pub fn write_csv<P: AsRef<Path>>(ds: &Dataset, path: P) -> io::Result<()> {
 /// Reads a headerless CSV of floats. Dimensionality is inferred from the
 /// first line; short/long/malformed lines are an error.
 pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
-    let r = BufReader::new(File::open(path)?);
+    read_csv_reader(BufReader::new(File::open(path)?))
+}
+
+/// Reads a headerless CSV of floats from any buffered reader.
+///
+/// Hardened against the usual edge cases:
+/// * error messages carry **1-based** line numbers,
+/// * a trailing newline (or any number of blank lines, anywhere) is
+///   fine — blank lines are skipped, not parsed as empty records,
+/// * an input with no data lines at all is a clean
+///   [`io::ErrorKind::InvalidData`] error ("empty CSV"), never a
+///   zero-dimension dataset,
+/// * an I/O error from the underlying reader propagates unchanged
+///   (see [`FailingReader`] for testing that path).
+pub fn read_csv_reader<R: BufRead>(r: R) -> io::Result<Dataset> {
     let mut dims = 0usize;
     let mut coords = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
@@ -114,6 +128,44 @@ pub fn read_csv<P: AsRef<Path>>(path: P) -> io::Result<Dataset> {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "empty CSV"));
     }
     Ok(Dataset::from_flat(dims, coords))
+}
+
+/// A reader shim that serves `limit` bytes from an underlying source and
+/// then fails every read with [`io::ErrorKind::Other`] — a deterministic
+/// stand-in for a disk that dies mid-file. Used by the resilience tests
+/// to drive the reader-failure branch of [`read_csv_reader`].
+#[derive(Debug)]
+pub struct FailingReader<R> {
+    inner: R,
+    remaining: usize,
+}
+
+impl<R: Read> FailingReader<R> {
+    /// Fails after `limit` bytes have been served.
+    pub fn new(inner: R, limit: usize) -> Self {
+        FailingReader {
+            inner,
+            remaining: limit,
+        }
+    }
+}
+
+impl<R: Read> Read for FailingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            // Only fail if the source still has data: reaching the
+            // limit exactly at EOF is a clean end, not a failure.
+            let mut probe = [0u8; 1];
+            return match self.inner.read(&mut probe)? {
+                0 => Ok(0),
+                _ => Err(io::Error::other("injected read failure")),
+            };
+        }
+        let cap = buf.len().min(self.remaining);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.remaining -= n;
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +227,45 @@ mod tests {
         std::fs::write(&path, "1,banana\n").unwrap();
         assert!(read_csv(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn csv_errors_use_one_based_line_numbers() {
+        let e = read_csv_reader(&b"1,2\n3,oops\n"[..]).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "got: {e}");
+        let e = read_csv_reader(&b"1,2\n3,4\n5,6,7\n"[..]).unwrap_err();
+        assert!(e.to_string().contains("line 3"), "got: {e}");
+    }
+
+    #[test]
+    fn csv_tolerates_trailing_newline_and_blank_lines() {
+        // Trailing newline, a blank final line, and interior blanks all
+        // parse to the same two points.
+        for input in ["1,2\n3,4\n", "1,2\n3,4\n\n", "1,2\n\n3,4"] {
+            let ds = read_csv_reader(input.as_bytes()).unwrap();
+            assert_eq!(ds.len(), 2, "input {input:?}");
+            assert_eq!(ds.dims(), 2);
+        }
+    }
+
+    #[test]
+    fn csv_empty_input_is_a_clean_error() {
+        for input in ["", "\n", "\n  \n"] {
+            let e = read_csv_reader(input.as_bytes()).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "input {input:?}");
+            assert!(e.to_string().contains("empty CSV"));
+        }
+    }
+
+    #[test]
+    fn csv_propagates_reader_failures() {
+        let data = b"1,2\n3,4\n5,6\n";
+        let e = read_csv_reader(BufReader::new(FailingReader::new(&data[..], 5))).unwrap_err();
+        assert_ne!(e.kind(), io::ErrorKind::InvalidData, "an I/O error, not a parse error");
+        assert!(e.to_string().contains("injected read failure"));
+        // With enough budget the same reader succeeds.
+        let ds = read_csv_reader(BufReader::new(FailingReader::new(&data[..], data.len())))
+            .unwrap();
+        assert_eq!(ds.len(), 3);
     }
 }

@@ -1,13 +1,11 @@
 //! Per-attribute optimisation preferences.
 
-use serde::{Deserialize, Serialize};
-
 /// Direction in which an attribute is preferred.
 ///
 /// Skylines perform multi-objective optimisation where the only user input
 /// is whether each attribute should be minimised (e.g. *price*) or
 /// maximised (e.g. *quality*).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Preference {
     /// Smaller values are better.
     Min,

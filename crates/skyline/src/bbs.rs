@@ -51,6 +51,13 @@ impl Ord for HeapItem {
 ///
 /// The tree must index the data in canonical min-space (as produced by
 /// `RTree::bulk_load` on a canonicalised dataset).
+///
+/// Cooperates with fault injection: when `pool` becomes poisoned (an
+/// injected page-read failure, see `BufferPool::poisoned`), the
+/// traversal stops immediately and returns whatever it has found so
+/// far. Callers that need a complete skyline must check
+/// `pool.failure()` afterwards — the SkyDiver pipeline does, converting
+/// a poisoned pool into a typed `IndexReadFailure` error.
 pub fn bbs(tree: &RTree, pool: &mut BufferPool) -> Vec<usize> {
     let mut skyline_coords: Vec<Vec<f64>> = Vec::new();
     let mut skyline_ids: Vec<usize> = Vec::new();
@@ -65,6 +72,9 @@ pub fn bbs(tree: &RTree, pool: &mut BufferPool) -> Vec<usize> {
     });
 
     while let Some(item) = heap.pop() {
+        if pool.poisoned() {
+            break;
+        }
         match item.target {
             Target::Node(pid) => {
                 let node = tree.read_node(pool, pid);
@@ -138,6 +148,25 @@ mod tests {
         let tree = RTree::with_default_pages(2);
         let mut pool = BufferPool::new(16);
         assert!(bbs(&tree, &mut pool).is_empty());
+    }
+
+    #[test]
+    fn poisoned_pool_stops_the_traversal() {
+        use skydiver_rtree::FaultInjection;
+        let ds = independent(5000, 3, 64);
+        let tree = RTree::bulk_load(&ds, 1024);
+        let mut clean = BufferPool::new(1 << 20);
+        let full = bbs(&tree, &mut clean);
+        let mut pool = BufferPool::new(1 << 20);
+        pool.inject_faults(FaultInjection::at_access(1));
+        let partial = bbs(&tree, &mut pool);
+        assert!(pool.poisoned(), "injected fault must register");
+        assert!(
+            partial.len() < full.len(),
+            "traversal bailed early: {} vs {}",
+            partial.len(),
+            full.len()
+        );
     }
 
     #[test]

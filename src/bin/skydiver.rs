@@ -58,6 +58,7 @@ const USAGE: &str = "usage:
   skydiver skyline   --input FILE [--algo bnl|sfs|dc|streaming] [--prefs min,max,...]
   skydiver diversify --input FILE --k K [--t 100] [--method mh|lsh]
                      [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
+                     [--timeout-ms MS] [--max-memory BYTES]
   skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--prefs ...]
   skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
                      [--xi 0.2] [--buckets 20]
@@ -191,14 +192,28 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
         pipeline = pipeline.lsh(num(flags, "xi", 0.2), num(flags, "buckets", 20));
     }
+    // Optional run budget: a tripped budget yields a partial result with
+    // a degradation report, not an error.
+    let mut budget = skydiver::RunBudget::none();
+    if let Some(ms) = flags.get("timeout-ms").and_then(|v| v.parse::<u64>().ok()) {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(bytes) = flags.get("max-memory").and_then(|v| v.parse::<usize>().ok()) {
+        budget = budget.with_max_memory_bytes(bytes);
+    }
+    pipeline = pipeline.budget(budget);
     let r = pipeline.run(&ds, &prefs)?;
     println!(
-        "# skyline {} points; {k} most diverse below (fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
+        "# skyline {} points; {} most diverse below (fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
         r.skyline.len(),
+        r.selected.len(),
         r.fingerprint_ms,
         r.selection_ms,
         r.memory_bytes
     );
+    if !r.is_complete() {
+        eprintln!("warning: degraded run — {}", r.degradation.summary());
+    }
     for (&idx, &pos) in r.selected.iter().zip(&r.selected_positions) {
         let row: Vec<String> = ds.point(idx).iter().map(|v| v.to_string()).collect();
         println!("{idx},{},gamma={}", row.join(","), r.scores[pos]);

@@ -30,7 +30,9 @@ pub use skydiver_rtree as rtree;
 pub use skydiver_skyline as skyline;
 
 pub use skydiver_core::{
-    DiverseResult, DominanceGraph, GammaSets, HashFamily, LshIndex, LshParams, Result, SeedRule,
-    SelectionMethod, SignatureMatrix, SkyDiver, SkyDiverError, TieBreak,
+    CancelToken, Degradation, DegradationEvent, DiverseResult, DominanceGraph, ExecPhase,
+    GammaSets, HashFamily, Interrupt, LshIndex, LshParams, Result, RunBudget, SeedRule,
+    SelectionMethod, SignatureMatrix, SkyDiver, SkyDiverError, StopReason, TieBreak,
 };
 pub use skydiver_data::{Dataset, Preference};
+pub use skydiver_rtree::{FaultInjection, ReadFailure};
