@@ -1,0 +1,413 @@
+//! `kernels` — before/after benchmark of the PR 2 hot-path kernels.
+//!
+//! Measures, on one machine and one binary, each optimised kernel
+//! against its scalar/sequential reference:
+//!
+//! * **dominance** — the packed + blocked + monomorphic `n × m`
+//!   dominance scan ([`SkylinePack::dominators_block`]) vs the scalar
+//!   per-pair `dom_cmp` loop it replaced,
+//! * **fingerprint** — the full `SigGen-IF` pass with the packed
+//!   kernel vs the generic scalar path (forced through a dominance
+//!   order that hides the canonical-min hook); the pass also spends
+//!   time in hashing and slot updates common to both sides, so its
+//!   speedup is a diluted view of the dominance entry above,
+//! * **agreement / hamming** — the shared slot-agreement kernel vs an
+//!   inline per-slot loop,
+//! * **selection / SigGen-IB / run_auto** — sequential vs 4-thread
+//!   parallel (informational: the speedup depends on the core count).
+//!
+//! ```text
+//! kernels [--scale 0.1] [--out BENCH_pr2.json] [--check BENCH_pr2.json]
+//! ```
+//!
+//! `--out` writes the JSON report; `--check BASELINE` instead compares
+//! the *within-run* speedups against a committed baseline and exits
+//! non-zero if any checked kernel's speedup fell below half the
+//! baseline's — a machine-independent regression gate (both numbers of
+//! each ratio come from the same machine and build).
+
+use std::hint::black_box;
+use std::process::ExitCode;
+
+use skydiver_bench::{time_ms, Args, Family};
+use skydiver_core::dispersion::{select_diverse, select_diverse_parallel, SeedRule, TieBreak};
+use skydiver_core::diversity::SignatureDistance;
+use skydiver_core::kernels::{agreement_count, agreement_count_u32, SkylinePack, ROW_BLOCK};
+use skydiver_core::minhash::{sig_gen_ib, sig_gen_ib_parallel, sig_gen_if, HashFamily};
+use skydiver_core::SkyDiver;
+use skydiver_data::dominance::{DominanceOrd, MinDominance};
+use skydiver_data::{Dataset, Preference};
+use skydiver_rtree::{BufferPool, RTree};
+use skydiver_skyline::sfs;
+
+/// Skyline points used by the kernel benchmarks (capped so the scalar
+/// reference finishes quickly at any scale).
+const SKY_CAP: usize = 512;
+/// Points sampled for the capped skyline computation.
+const SKY_SAMPLE: usize = 50_000;
+/// Thread count of the parallel-vs-sequential comparisons.
+const PAR_THREADS: usize = 4;
+
+/// Delegates to [`MinDominance`] but hides the canonical-min hook,
+/// forcing `sig_gen_if` down the generic scalar path (the pre-PR 2
+/// hot loop).
+struct HiddenMin;
+impl DominanceOrd for HiddenMin {
+    type Item = [f64];
+    fn dom_cmp(&self, a: &[f64], b: &[f64]) -> skydiver_data::Dominance {
+        MinDominance.dom_cmp(a, b)
+    }
+}
+
+/// A before/after pair in milliseconds.
+struct Pair {
+    name: &'static str,
+    before_ms: f64,
+    after_ms: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.before_ms / self.after_ms.max(1e-9)
+    }
+}
+
+/// Benchmark "skyline": successive skyline layers (onion peeling) of a
+/// prefix sample until [`SKY_CAP`] points are gathered. The passes only
+/// require the given points to be the columns of the matrix, so a
+/// capped, layered set keeps the scalar reference tractable and gives
+/// every family the same column count — the kernel cost being measured.
+fn capped_skyline(ds: &Dataset) -> Vec<usize> {
+    let sample_len = ds.len().min(SKY_SAMPLE);
+    let mut remaining: Vec<usize> = (0..sample_len).collect();
+    let mut picked = Vec::new();
+    while picked.len() < SKY_CAP && !remaining.is_empty() {
+        let rows: Vec<&[f64]> = remaining.iter().map(|&i| ds.point(i)).collect();
+        let layer_ds = Dataset::from_rows(ds.dims(), &rows);
+        let layer = sfs(&layer_ds, &MinDominance);
+        let mut in_layer = vec![false; remaining.len()];
+        for &l in &layer {
+            in_layer[l] = true;
+            if picked.len() < SKY_CAP {
+                picked.push(remaining[l]);
+            }
+        }
+        remaining = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(pos, _)| !in_layer[pos])
+            .map(|(_, &i)| i)
+            .collect();
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Minimum wall time of `runs` executions of `f` (warm caches, stable
+/// against scheduler noise).
+fn best_of(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (_, ms) = time_ms(&mut f);
+        best = best.min(ms);
+    }
+    best
+}
+
+/// Which benchmark skyline the fingerprint pass runs against.
+enum SkyMode {
+    /// The dataset's true skyline (IND: small enough at any scale).
+    True,
+    /// Layer-peeled cap (ANT: the true skyline is intractably large for
+    /// the scalar reference).
+    Capped,
+}
+
+/// The dominance kernel proper: the `n × m` scan that classifies every
+/// dataset row against the skyline. Before: the scalar per-pair
+/// `dom_cmp` loop (the pre-PR 2 inner loop). After:
+/// [`SkylinePack::dominators_block`] — packed coordinates, tiled to L1,
+/// monomorphized on `d`.
+fn bench_dominance(name: &'static str, family: Family, n: usize, seed: u64, mode: SkyMode) -> Pair {
+    let ds = family.generate(n, 3, seed);
+    let sky = match mode {
+        SkyMode::True => sfs(&ds, &MinDominance),
+        SkyMode::Capped => capped_skyline(&ds),
+    };
+    let sky_pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+    let before_ms = best_of(2, || {
+        let mut doms = Vec::new();
+        let mut total = 0usize;
+        for i in 0..ds.len() {
+            let p = ds.point(i);
+            doms.clear();
+            for (j, s) in sky_pts.iter().enumerate() {
+                if HiddenMin.dominates(s, p) {
+                    doms.push(j);
+                }
+            }
+            total = total.wrapping_add(doms.len());
+        }
+        black_box(total);
+    });
+    let after_ms = best_of(2, || {
+        let pack = SkylinePack::pack(ds.dims(), sky_pts.iter().copied());
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); ROW_BLOCK];
+        let mut total = 0usize;
+        let mut lo = 0;
+        while lo < ds.len() {
+            let hi = (lo + ROW_BLOCK).min(ds.len());
+            let rows: Vec<&[f64]> = (lo..hi).map(|i| ds.point(i)).collect();
+            for v in &mut out[..rows.len()] {
+                v.clear();
+            }
+            pack.dominators_block(&rows, &mut out[..rows.len()]);
+            for v in &out[..rows.len()] {
+                total = total.wrapping_add(v.len());
+            }
+            lo = hi;
+        }
+        black_box(total);
+    });
+    Pair { name, before_ms, after_ms }
+}
+
+fn bench_fingerprint(name: &'static str, family: Family, n: usize, seed: u64, mode: SkyMode) -> Pair {
+    let ds = family.generate(n, 3, seed);
+    let sky = match mode {
+        SkyMode::True => sfs(&ds, &MinDominance),
+        SkyMode::Capped => capped_skyline(&ds),
+    };
+    let fam = HashFamily::new(32, seed);
+    let before_ms = best_of(2, || {
+        black_box(sig_gen_if(&ds, &HiddenMin, &sky, &fam));
+    });
+    let after_ms = best_of(2, || {
+        black_box(sig_gen_if(&ds, &MinDominance, &sky, &fam));
+    });
+    Pair { name, before_ms, after_ms }
+}
+
+fn bench_agreement() -> (Pair, Pair) {
+    // A pool of pseudo-random signature columns with frequent ties.
+    let t = 128;
+    let cols = 64;
+    let mut state = 0x5D33_A9F1_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let pool64: Vec<Vec<u64>> = (0..cols).map(|_| (0..t).map(|_| next() % 16).collect()).collect();
+    let pool32: Vec<Vec<u32>> =
+        (0..cols).map(|_| (0..t).map(|_| (next() % 16) as u32).collect()).collect();
+    let iters = 40_000;
+
+    let naive64 = |a: &[u64], b: &[u64]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+    let naive32 = |a: &[u32], b: &[u32]| a.iter().zip(b).filter(|(x, y)| x == y).count();
+
+    let run = |f: &dyn Fn(usize, usize) -> usize| {
+        let mut acc = 0usize;
+        for it in 0..iters {
+            let i = it % cols;
+            let j = (it * 7 + 1) % cols;
+            acc = acc.wrapping_add(f(i, j));
+        }
+        black_box(acc)
+    };
+
+    let naive64_ms = best_of(5, || {
+        run(&|i, j| naive64(&pool64[i], &pool64[j]));
+    });
+    let kernel64_ms = best_of(5, || {
+        run(&|i, j| agreement_count(&pool64[i], &pool64[j]));
+    });
+    let naive32_ms = best_of(5, || {
+        run(&|i, j| naive32(&pool32[i], &pool32[j]));
+    });
+    let kernel32_ms = best_of(5, || {
+        run(&|i, j| agreement_count_u32(&pool32[i], &pool32[j]));
+    });
+    (
+        Pair { name: "minhash_agreement", before_ms: naive64_ms, after_ms: kernel64_ms },
+        Pair { name: "lsh_hamming", before_ms: naive32_ms, after_ms: kernel32_ms },
+    )
+}
+
+fn bench_selection(ds: &Dataset, seed: u64) -> Pair {
+    let sky = capped_skyline(ds);
+    let fam = HashFamily::new(128, seed);
+    let out = sig_gen_if(ds, &MinDominance, &sky, &fam);
+    let k = 64.min(sky.len());
+    let iters = 10;
+    let (_, before_ms) = time_ms(|| {
+        for _ in 0..iters {
+            let mut dist = SignatureDistance::new(&out.matrix);
+            black_box(
+                select_diverse(
+                    &mut dist,
+                    &out.scores,
+                    k,
+                    SeedRule::MaxDominance,
+                    TieBreak::MaxDominance,
+                )
+                .expect("sequential selection"),
+            );
+        }
+    });
+    let (_, after_ms) = time_ms(|| {
+        for _ in 0..iters {
+            let dist = SignatureDistance::new(&out.matrix);
+            black_box(
+                select_diverse_parallel(
+                    &dist,
+                    &out.scores,
+                    k,
+                    SeedRule::MaxDominance,
+                    TieBreak::MaxDominance,
+                    PAR_THREADS,
+                )
+                .expect("parallel selection"),
+            );
+        }
+    });
+    Pair { name: "selection_seq_vs_par4", before_ms, after_ms }
+}
+
+fn bench_ib(ds: &Dataset, seed: u64) -> Pair {
+    let sky = capped_skyline(ds);
+    let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+    let fam = HashFamily::new(32, seed);
+    let tree = RTree::bulk_load(ds, 4096);
+    let (_, before_ms) = time_ms(|| {
+        let mut pool = BufferPool::new(1 << 24);
+        black_box(sig_gen_ib(&tree, &mut pool, &pts, &fam));
+    });
+    let (_, after_ms) = time_ms(|| {
+        let mut pool = BufferPool::new(1 << 24);
+        black_box(sig_gen_ib_parallel(&tree, &mut pool, &pts, &fam, PAR_THREADS));
+    });
+    Pair { name: "siggen_ib_seq_vs_par4", before_ms, after_ms }
+}
+
+fn bench_run_auto(ds: &Dataset, threads: usize) -> f64 {
+    let prefs = Preference::all_min(ds.dims());
+    let cfg = SkyDiver::new(10).signature_size(64).hash_seed(3).threads(threads);
+    let (_, ms) = time_ms(|| black_box(cfg.run_auto(ds, &prefs).expect("run_auto")));
+    ms
+}
+
+fn json_pair(p: &Pair) -> String {
+    format!(
+        "    \"{}\": {{\"before_ms\": {:.3}, \"after_ms\": {:.3}, \"speedup\": {:.3}}}",
+        p.name,
+        p.before_ms,
+        p.after_ms,
+        p.speedup()
+    )
+}
+
+fn report(scale: f64, checked: &[Pair], info: &[Pair], auto1_ms: f64, auto4_ms: f64) -> String {
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"pr2-kernels\",\n");
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"nproc\": {nproc},\n"));
+    s.push_str("  \"checked\": {\n");
+    let rows: Vec<String> = checked.iter().map(json_pair).collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  },\n  \"informational\": {\n");
+    let mut rows: Vec<String> = info.iter().map(json_pair).collect();
+    rows.push(format!("    \"run_auto_threads1\": {{\"ms\": {auto1_ms:.3}}}"));
+    rows.push(format!(
+        "    \"run_auto_threads{PAR_THREADS}\": {{\"ms\": {:.3}, \"speedup\": {:.3}}}",
+        auto4_ms,
+        auto1_ms / auto4_ms.max(1e-9)
+    ));
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+/// Extracts `"speedup": <f64>` of the named kernel from a report.
+fn baseline_speedup(json: &str, name: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{name}\""))?;
+    let rest = &json[start..];
+    let sp = rest.find("\"speedup\":")?;
+    let tail = &rest[sp + "\"speedup\":".len()..];
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let n = ((5_000_000f64 * args.scale) as usize).max(2_000);
+
+    eprintln!("# kernels: scale {} (n = {n}), threads {PAR_THREADS}", args.scale);
+    let ind = Family::Ind.generate(n, 3, 71);
+    let (agreement, hamming) = bench_agreement();
+    let checked = vec![
+        bench_dominance("dominance_kernel_ind_d3", Family::Ind, n, 71, SkyMode::True),
+        bench_dominance("dominance_kernel_ant_d3", Family::Ant, n, 72, SkyMode::Capped),
+        bench_fingerprint("fingerprint_ind_d3", Family::Ind, n, 71, SkyMode::True),
+        bench_fingerprint("fingerprint_ant_d3", Family::Ant, n, 72, SkyMode::Capped),
+        agreement,
+        hamming,
+    ];
+    let info = vec![bench_selection(&ind, 73), bench_ib(&ind, 74)];
+    let auto_ds = Family::Ind.generate(n.min(100_000), 3, 75);
+    let auto1 = bench_run_auto(&auto_ds, 1);
+    let auto4 = bench_run_auto(&auto_ds, PAR_THREADS);
+
+    for p in checked.iter().chain(&info) {
+        eprintln!(
+            "{:>24}: before {:>9.2}ms  after {:>9.2}ms  speedup {:.2}x",
+            p.name,
+            p.before_ms,
+            p.after_ms,
+            p.speedup()
+        );
+    }
+    eprintln!("{:>24}: threads 1 {auto1:.2}ms, threads {PAR_THREADS} {auto4:.2}ms", "run_auto");
+
+    let json = report(args.scale, &checked, &info, auto1, auto4);
+
+    if let Some(baseline_path) = args.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut failed = false;
+        for p in &checked {
+            let Some(base) = baseline_speedup(&baseline, p.name) else {
+                eprintln!("CHECK {:>22}: missing from baseline — failing", p.name);
+                failed = true;
+                continue;
+            };
+            let floor = base / 2.0;
+            let ok = p.speedup() >= floor;
+            eprintln!(
+                "CHECK {:>22}: {:.2}x vs baseline {:.2}x (floor {:.2}x) — {}",
+                p.name,
+                p.speedup(),
+                base,
+                floor,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr2.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}

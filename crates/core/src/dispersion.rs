@@ -11,7 +11,7 @@
 //! and the **k-MSDP** (max-sum) variants exist as baselines/ablations.
 
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
-use crate::diversity::DiversityDistance;
+use crate::diversity::{DiversityDistance, SyncDiversityDistance};
 use crate::error::{Result, SkyDiverError};
 
 /// How the first point(s) of the greedy selection are chosen.
@@ -101,16 +101,20 @@ pub fn select_diverse_budgeted<D: DiversityDistance>(
         }
         SeedRule::FarthestPair => {
             let (mut bi, mut bj, mut bd) = (0, 1, f64::NEG_INFINITY);
+            // Row buffer so backends can hoist the per-`i` fetch (the
+            // signature column / LSH zone row) out of the inner loop.
+            let mut row = vec![0.0f64; m];
             for i in 0..m {
                 if let Err(int) = ctx.check(ExecPhase::Selection) {
                     // Nothing selected yet: an empty prefix is the only
                     // honest partial answer mid-seed.
                     return Ok((selected, Some(int)));
                 }
-                for j in (i + 1)..m {
-                    let d = dist.distance(i, j);
+                let out = &mut row[..m - i - 1];
+                dist.distances_row(i, i + 1, out);
+                for (jj, &d) in out.iter().enumerate() {
                     if d > bd {
-                        (bi, bj, bd) = (i, j, d);
+                        (bi, bj, bd) = (i, i + 1 + jj, d);
                     }
                 }
             }
@@ -166,6 +170,215 @@ fn push<D: DiversityDistance>(
             }
         }
     }
+}
+
+/// Runs a [`SyncDiversityDistance`] through the sequential `&mut` API —
+/// the `threads <= 1` fallback of the parallel selection.
+struct SyncAsMut<'a, D: SyncDiversityDistance>(&'a D);
+
+impl<D: SyncDiversityDistance> DiversityDistance for SyncAsMut<'_, D> {
+    fn num_points(&self) -> usize {
+        self.0.num_points()
+    }
+
+    fn distance(&mut self, i: usize, j: usize) -> f64 {
+        self.0.distance_shared(i, j)
+    }
+}
+
+/// Parallel [`select_diverse`] over a thread-safe distance backend.
+///
+/// Each greedy round fuses the `min_dist` maintenance for the previously
+/// selected point with the candidate scan, splitting the `m` candidates
+/// across `threads` scoped threads. Per-chunk winners are folded in
+/// ascending chunk order under the *exact* sequential comparison —
+/// `min_dist` strictly greater, or equal `min_dist` and strictly greater
+/// domination score under [`TieBreak::MaxDominance`] — so the selection
+/// is **bit-identical** to [`select_diverse`] for every thread count.
+/// (`min_dist` entries are never NaN — the `d < min_dist` fold discards
+/// NaN distances exactly as the sequential code does — so the strict
+/// comparison is a total tournament and the fold order is immaterial to
+/// correctness, only to tie-breaking, which matches the sequential
+/// first-index-wins scan.)
+pub fn select_diverse_parallel<D: SyncDiversityDistance>(
+    dist: &D,
+    scores: &[u64],
+    k: usize,
+    seed: SeedRule,
+    tie: TieBreak,
+    threads: usize,
+) -> Result<Vec<usize>> {
+    let ctx = ExecContext::unlimited();
+    let (selected, interrupt) =
+        select_diverse_parallel_budgeted(dist, scores, k, seed, tie, threads, &ctx)?;
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    Ok(selected)
+}
+
+/// Budget-aware [`select_diverse_parallel`]: polls `ctx` once per greedy
+/// round like the sequential pass, so a tripped budget returns the same
+/// greedy prefix. The [`SeedRule::FarthestPair`] seed polls once for the
+/// whole `O(m²)` scan (the sequential pass polls once per row — the
+/// cadence differs, the selected points do not).
+#[allow(clippy::too_many_arguments)]
+pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
+    dist: &D,
+    scores: &[u64],
+    k: usize,
+    seed: SeedRule,
+    tie: TieBreak,
+    threads: usize,
+    ctx: &ExecContext,
+) -> Result<(Vec<usize>, Option<Interrupt>)> {
+    let m = dist.num_points();
+    let threads = threads.max(1);
+    if threads == 1 || m < 2 * threads {
+        return select_diverse_budgeted(&mut SyncAsMut(dist), scores, k, seed, tie, ctx);
+    }
+    validate_k(k, m)?;
+    if scores.len() != m {
+        return Err(SkyDiverError::ScoresLengthMismatch {
+            scores: scores.len(),
+            points: m,
+        });
+    }
+
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut in_set = vec![false; m];
+    let mut min_dist = vec![f64::INFINITY; m];
+
+    match seed {
+        SeedRule::MaxDominance => {
+            if let Err(int) = ctx.check(ExecPhase::Selection) {
+                return Ok((selected, Some(int)));
+            }
+            let first = (0..m)
+                .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+                .expect("m >= 2");
+            selected.push(first);
+            in_set[first] = true;
+        }
+        SeedRule::FarthestPair => {
+            if let Err(int) = ctx.check(ExecPhase::Selection) {
+                return Ok((selected, Some(int)));
+            }
+            let chunk = m.div_ceil(threads);
+            let mut bests: Vec<(usize, usize, f64)> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(m);
+                    handles.push(scope.spawn(move || {
+                        let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
+                        for i in lo..hi {
+                            for j in (i + 1)..m {
+                                let d = dist.distance_shared(i, j);
+                                if d > bd {
+                                    (bi, bj, bd) = (i, j, d);
+                                }
+                            }
+                        }
+                        (bi, bj, bd)
+                    }));
+                }
+                for h in handles {
+                    bests.push(h.join().expect("seed scan panicked"));
+                }
+            });
+            // Strict `>` fold in ascending chunk order keeps the first
+            // pair attaining the maximum — the sequential scan's pick.
+            let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
+            for (i, j, d) in bests {
+                if d > bd {
+                    (bi, bj, bd) = (i, j, d);
+                }
+            }
+            selected.push(bi);
+            in_set[bi] = true;
+            update_and_scan(dist, bi, scores, tie, threads, &in_set, &mut min_dist, false);
+            if k >= 2 {
+                selected.push(bj);
+                in_set[bj] = true;
+            }
+        }
+    }
+
+    while selected.len() < k {
+        if let Err(int) = ctx.check(ExecPhase::Selection) {
+            return Ok((selected, Some(int)));
+        }
+        let last = *selected.last().expect("seeded above");
+        let best = update_and_scan(dist, last, scores, tie, threads, &in_set, &mut min_dist, true)
+            .expect("k <= m guarantees a candidate");
+        selected.push(best);
+        in_set[best] = true;
+    }
+    Ok((selected, None))
+}
+
+/// One fused parallel greedy round: folds `distance(i, last)` into
+/// `min_dist[i]` for every unselected `i` and, when `select`, returns
+/// the candidate the sequential scan would pick. Chunk winners are
+/// folded in ascending chunk order under the sequential strictly-better
+/// predicate, preserving first-index-wins tie semantics.
+#[allow(clippy::too_many_arguments)]
+fn update_and_scan<D: SyncDiversityDistance>(
+    dist: &D,
+    last: usize,
+    scores: &[u64],
+    tie: TieBreak,
+    threads: usize,
+    in_set: &[bool],
+    min_dist: &mut [f64],
+    select: bool,
+) -> Option<usize> {
+    let m = in_set.len();
+    let chunk = m.div_ceil(threads);
+    let better = |cand: (f64, u64), best: Option<(f64, u64, usize)>| match best {
+        None => true,
+        Some((bd, bs, _)) => {
+            cand.0 > bd
+                || (cand.0 == bd && matches!(tie, TieBreak::MaxDominance) && cand.1 > bs)
+        }
+    };
+    let mut chunk_bests: Vec<Option<(f64, u64, usize)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (ci, md_chunk) in min_dist.chunks_mut(chunk).enumerate() {
+            let lo = ci * chunk;
+            handles.push(scope.spawn(move || {
+                let mut best: Option<(f64, u64, usize)> = None;
+                for (off, slot) in md_chunk.iter_mut().enumerate() {
+                    let i = lo + off;
+                    if in_set[i] {
+                        continue;
+                    }
+                    let d = dist.distance_shared(i, last);
+                    if d < *slot {
+                        *slot = d;
+                    }
+                    if better((*slot, scores[i]), best) {
+                        best = Some((*slot, scores[i], i));
+                    }
+                }
+                best
+            }));
+        }
+        for h in handles {
+            chunk_bests.push(h.join().expect("selection round panicked"));
+        }
+    });
+    if !select {
+        return None;
+    }
+    let mut best: Option<(f64, u64, usize)> = None;
+    for cb in chunk_bests.into_iter().flatten() {
+        if better((cb.0, cb.1), best) {
+            best = Some(cb);
+        }
+    }
+    best.map(|(_, _, i)| i)
 }
 
 /// Exact k-MMDP by exhaustive enumeration with branch-and-bound
@@ -605,6 +818,151 @@ mod tests {
         .unwrap();
         assert!(int.is_none());
         assert_eq!(plain, budgeted);
+    }
+
+    /// A thread-safe matrix backend for the parallel selection tests.
+    struct SyncMatrix(Vec<Vec<f64>>);
+    impl DiversityDistance for SyncMatrix {
+        fn num_points(&self) -> usize {
+            self.0.len()
+        }
+        fn distance(&mut self, i: usize, j: usize) -> f64 {
+            self.0[i][j]
+        }
+    }
+    impl SyncDiversityDistance for SyncMatrix {
+        fn distance_shared(&self, i: usize, j: usize) -> f64 {
+            self.0[i][j]
+        }
+    }
+
+    fn random_euclidean(m: usize, seed: u64) -> Vec<Vec<f64>> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..m).map(|_| (rng.gen(), rng.gen())).collect();
+        (0..m)
+            .map(|i| {
+                (0..m)
+                    .map(|j| {
+                        ((pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2)).sqrt()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_selection_bit_identical_to_sequential() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(150);
+        for trial in 0..6 {
+            let m = 20 + trial * 7;
+            let mat = random_euclidean(m, 151 + trial as u64);
+            let scores: Vec<u64> = (0..m).map(|_| rng.gen_range(0..5)).collect();
+            for seed in [SeedRule::MaxDominance, SeedRule::FarthestPair] {
+                for tie in [TieBreak::MaxDominance, TieBreak::FirstIndex] {
+                    let mut d = Matrix(mat.clone());
+                    let seq = select_diverse(&mut d, &scores, 7, seed, tie).unwrap();
+                    let sd = SyncMatrix(mat.clone());
+                    for threads in [2, 3, 8] {
+                        let par =
+                            select_diverse_parallel(&sd, &scores, 7, seed, tie, threads)
+                                .unwrap();
+                        assert_eq!(
+                            seq, par,
+                            "m={m} seed={seed:?} tie={tie:?} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_selection_with_tied_distances_matches_sequential() {
+        // Integer-valued distances manufacture exact f64 ties, the case
+        // where fold order could diverge if the reduction were sloppy.
+        let m = 24;
+        let mat: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..m).map(|j| ((i + j) % 5) as f64).collect())
+            .collect();
+        let scores: Vec<u64> = (0..m as u64).map(|i| i % 3).collect();
+        for tie in [TieBreak::MaxDominance, TieBreak::FirstIndex] {
+            let mut d = Matrix(mat.clone());
+            let seq = select_diverse(&mut d, &scores, 6, SeedRule::MaxDominance, tie).unwrap();
+            let sd = SyncMatrix(mat.clone());
+            for threads in [2, 3, 8] {
+                let par = select_diverse_parallel(
+                    &sd,
+                    &scores,
+                    6,
+                    SeedRule::MaxDominance,
+                    tie,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(seq, par, "tie={tie:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budgeted_returns_exact_greedy_prefix() {
+        use crate::budget::{CancelToken, RunBudget, StopReason};
+        let mat = random_euclidean(30, 160);
+        let scores = vec![1u64; 30];
+        let sd = SyncMatrix(mat.clone());
+        let full =
+            select_diverse_parallel(&sd, &scores, 8, SeedRule::MaxDominance, TieBreak::FirstIndex, 4)
+                .unwrap();
+        // Same poll cadence as the sequential pass: one for the seed,
+        // one per round → the 4th poll trips with 3 points selected.
+        let ctx = ExecContext::new(
+            RunBudget::none().with_cancel_token(CancelToken::after_polls(4)),
+        );
+        let (partial, int) = select_diverse_parallel_budgeted(
+            &sd,
+            &scores,
+            8,
+            SeedRule::MaxDominance,
+            TieBreak::FirstIndex,
+            4,
+            &ctx,
+        )
+        .unwrap();
+        let int = int.expect("token must trip");
+        assert_eq!(int.reason, StopReason::Cancelled);
+        assert_eq!(partial.len(), 3);
+        assert_eq!(partial, full[..3]);
+    }
+
+    #[test]
+    fn parallel_selection_small_input_falls_back() {
+        let mat = random_euclidean(5, 161);
+        let scores = vec![1u64; 5];
+        let mut d = Matrix(mat.clone());
+        let seq =
+            select_diverse(&mut d, &scores, 3, SeedRule::FarthestPair, TieBreak::MaxDominance)
+                .unwrap();
+        let sd = SyncMatrix(mat);
+        let par =
+            select_diverse_parallel(&sd, &scores, 3, SeedRule::FarthestPair, TieBreak::MaxDominance, 16)
+                .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_selection_validates_inputs() {
+        let sd = SyncMatrix(random_euclidean(10, 162));
+        assert_eq!(
+            select_diverse_parallel(&sd, &[1; 10], 11, SeedRule::MaxDominance, TieBreak::MaxDominance, 4)
+                .unwrap_err(),
+            SkyDiverError::KExceedsSkyline { k: 11, m: 10 }
+        );
+        assert!(matches!(
+            select_diverse_parallel(&sd, &[1; 3], 4, SeedRule::MaxDominance, TieBreak::MaxDominance, 4),
+            Err(SkyDiverError::ScoresLengthMismatch { .. })
+        ));
     }
 
     #[test]

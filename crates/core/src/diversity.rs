@@ -29,6 +29,30 @@ pub trait DiversityDistance {
     /// and satisfy the triangle inequality for the greedy heuristic's
     /// 2-approximation guarantee to hold.
     fn distance(&mut self, i: usize, j: usize) -> f64;
+
+    /// Writes `distance(i, lo + jj)` into `out[jj]` for every `jj` in
+    /// `0..out.len()`. Backends override this to hoist per-`i` work —
+    /// the signature column or LSH zone-row fetch — out of the inner
+    /// loop; the default simply loops [`DiversityDistance::distance`].
+    fn distances_row(&mut self, i: usize, lo: usize, out: &mut [f64]) {
+        for (jj, slot) in out.iter_mut().enumerate() {
+            *slot = self.distance(i, lo + jj);
+        }
+    }
+}
+
+/// A [`DiversityDistance`] whose evaluations are pure shared reads, safe
+/// to run from several threads at once: the parallel greedy selection
+/// requires `&self` distance evaluation plus [`Sync`].
+///
+/// Implemented by the signature and LSH backends (their distance is a
+/// pure function of immutable buffers). [`RTreeJaccardDistance`] cannot
+/// implement it — its evaluations mutate the buffer pool to charge I/O.
+pub trait SyncDiversityDistance: DiversityDistance + Sync {
+    /// Distance between skyline points `i` and `j` through a shared
+    /// reference — must return exactly what
+    /// [`DiversityDistance::distance`] would.
+    fn distance_shared(&self, i: usize, j: usize) -> f64;
 }
 
 /// Exact Jaccard distance over materialised Γ sets.
@@ -54,6 +78,12 @@ impl DiversityDistance for ExactJaccardDistance<'_> {
     }
 }
 
+impl SyncDiversityDistance for ExactJaccardDistance<'_> {
+    fn distance_shared(&self, i: usize, j: usize) -> f64 {
+        self.gamma.jaccard_distance(i, j)
+    }
+}
+
 /// Estimated Jaccard distance from MinHash signatures (`Ĵd`).
 #[derive(Debug)]
 pub struct SignatureDistance<'a> {
@@ -73,6 +103,19 @@ impl DiversityDistance for SignatureDistance<'_> {
     }
 
     fn distance(&mut self, i: usize, j: usize) -> f64 {
+        self.sig.estimated_distance(i, j)
+    }
+
+    fn distances_row(&mut self, i: usize, lo: usize, out: &mut [f64]) {
+        let col_i = self.sig.column(i);
+        for (jj, slot) in out.iter_mut().enumerate() {
+            *slot = 1.0 - SignatureMatrix::similarity_between(col_i, self.sig.column(lo + jj));
+        }
+    }
+}
+
+impl SyncDiversityDistance for SignatureDistance<'_> {
+    fn distance_shared(&self, i: usize, j: usize) -> f64 {
         self.sig.estimated_distance(i, j)
     }
 }
@@ -96,6 +139,20 @@ impl DiversityDistance for LshDistance<'_> {
     }
 
     fn distance(&mut self, i: usize, j: usize) -> f64 {
+        self.idx.hamming(i, j) as f64
+    }
+
+    fn distances_row(&mut self, i: usize, lo: usize, out: &mut [f64]) {
+        let row_i = self.idx.zone_row(i);
+        let zones = self.idx.zones();
+        for (jj, slot) in out.iter_mut().enumerate() {
+            *slot = LshIndex::hamming_between(row_i, self.idx.zone_row(lo + jj), zones) as f64;
+        }
+    }
+}
+
+impl SyncDiversityDistance for LshDistance<'_> {
+    fn distance_shared(&self, i: usize, j: usize) -> f64 {
         self.idx.hamming(i, j) as f64
     }
 }
@@ -227,5 +284,42 @@ mod tests {
         let sig = SignatureMatrix::new(8, 5);
         let d = SignatureDistance::new(&sig);
         assert_eq!(d.num_points(), 5);
+    }
+
+    #[test]
+    fn hoisted_rows_match_pairwise_distance() {
+        use crate::lsh::{LshIndex, LshParams};
+        let mut sig = SignatureMatrix::new(8, 6);
+        for j in 0..6 {
+            let vals: Vec<u64> = (0..8).map(|i| ((j * i + j) % 5) as u64).collect();
+            sig.update_column(j, &vals);
+        }
+        let mut sd = SignatureDistance::new(&sig);
+        let idx = LshIndex::build(
+            &sig,
+            LshParams {
+                zones: 4,
+                rows_per_zone: 2,
+            },
+            16,
+            9,
+        )
+        .unwrap();
+        let mut ld = LshDistance::new(&idx);
+        let mut row = [0.0f64; 6];
+        for i in 0..6 {
+            for lo in 0..6 {
+                let out = &mut row[..6 - lo];
+                sd.distances_row(i, lo, out);
+                for (jj, &d) in out.iter().enumerate() {
+                    assert_eq!(d, sd.distance(i, lo + jj));
+                    assert_eq!(d, sd.distance_shared(i, lo + jj));
+                }
+                ld.distances_row(i, lo, out);
+                for (jj, &d) in out.iter().enumerate() {
+                    assert_eq!(d, ld.distance(i, lo + jj));
+                }
+            }
+        }
     }
 }

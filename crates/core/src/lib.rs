@@ -46,6 +46,7 @@ pub mod diversity;
 pub mod error;
 pub mod gamma;
 pub mod graph;
+pub mod kernels;
 pub mod lp_baselines;
 pub mod lsh;
 pub mod minhash;
@@ -60,11 +61,13 @@ pub use coverage::{coverage_fraction, greedy_max_coverage};
 pub use cross::{cross_fingerprint, cross_gamma_sets, diversify_cross};
 pub use dispersion::{
     brute_force_mmdp, brute_force_msdp, greedy_msdp, min_pairwise, select_diverse,
-    select_diverse_budgeted, SeedRule, TieBreak,
+    select_diverse_budgeted, select_diverse_parallel, select_diverse_parallel_budgeted, SeedRule,
+    TieBreak,
 };
 pub use dynamic::DynamicDiversifier;
 pub use diversity::{
     DiversityDistance, ExactJaccardDistance, LshDistance, RTreeJaccardDistance, SignatureDistance,
+    SyncDiversityDistance,
 };
 pub use error::{Result, SkyDiverError};
 pub use gamma::GammaSets;
@@ -72,8 +75,8 @@ pub use graph::DominanceGraph;
 pub use lp_baselines::{distance_based_representatives, EuclideanDistance};
 pub use lsh::{LshIndex, LshParams};
 pub use minhash::{
-    diversify_generic, sig_gen_ib, sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_if,
-    sig_gen_if_budgeted, sig_gen_if_generic, sig_gen_parallel, sig_gen_parallel_budgeted,
-    HashFamily, SigGenOutput, SignatureMatrix,
+    diversify_generic, sig_gen_ib, sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_ib_parallel,
+    sig_gen_ib_parallel_budgeted, sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic,
+    sig_gen_parallel, sig_gen_parallel_budgeted, HashFamily, SigGenOutput, SignatureMatrix,
 };
 pub use pipeline::{DiverseResult, SelectionMethod, SkyDiver};

@@ -163,13 +163,28 @@ impl LshIndex {
         self.assignment[j * self.zones + zone]
     }
 
+    /// The per-zone bucket assignments of point `j` (length `ζ`) — the
+    /// kernel entry point for callers that hoist the row fetch out of an
+    /// inner loop over partners.
+    #[inline]
+    pub fn zone_row(&self, j: usize) -> &[u32] {
+        &self.assignment[j * self.zones..(j + 1) * self.zones]
+    }
+
     /// Hamming distance between the bit-vector representations — twice
     /// the number of zones whose buckets disagree (each point sets
     /// exactly one bit per zone).
+    #[inline]
     pub fn hamming(&self, i: usize, j: usize) -> u64 {
-        let a = &self.assignment[i * self.zones..(i + 1) * self.zones];
-        let b = &self.assignment[j * self.zones..(j + 1) * self.zones];
-        2 * a.iter().zip(b).filter(|(x, y)| x != y).count() as u64
+        Self::hamming_between(self.zone_row(i), self.zone_row(j), self.zones)
+    }
+
+    /// Hamming distance between two explicit zone rows.
+    #[inline]
+    pub fn hamming_between(a: &[u32], b: &[u32], zones: usize) -> u64 {
+        debug_assert_eq!(a.len(), zones);
+        debug_assert_eq!(b.len(), zones);
+        2 * (zones - crate::kernels::agreement_count_u32(a, b)) as u64
     }
 
     /// The explicit `ζ·B`-bit vector of point `j` (Example 3 of the

@@ -12,6 +12,25 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// The Mersenne prime `2⁶¹ − 1`.
 pub const P: u64 = (1u64 << 61) - 1;
 
+/// Reduces `v` modulo the Mersenne prime `P = 2⁶¹ − 1` without a u128
+/// division, using the standard fold `v ≡ (v mod 2⁶¹) + (v div 2⁶¹)`.
+///
+/// For `v < 2¹²²` (always true for `a·x + b` with `a, b < P` and
+/// `x < 2⁶¹`), one fold brings `v` below `2⁶⁵`, a second below `P + 16`,
+/// and one conditional subtract lands in `[0, P)` — bit-identical to
+/// `(v % P as u128) as u64`, which the tests assert.
+#[inline]
+fn mod_p(v: u128) -> u64 {
+    const MASK: u128 = (1u128 << 61) - 1;
+    let folded = (v & MASK) + (v >> 61);
+    let r = ((folded & MASK) + (folded >> 61)) as u64;
+    if r >= P {
+        r - P
+    } else {
+        r
+    }
+}
+
 /// A family of `t` affine hash functions over row ids.
 #[derive(Debug, Clone)]
 pub struct HashFamily {
@@ -46,7 +65,7 @@ impl HashFamily {
     #[inline]
     pub fn hash(&self, i: usize, x: u64) -> u64 {
         let (a, b) = self.coeffs[i];
-        ((a as u128 * x as u128 + b as u128) % P as u128) as u64
+        mod_p(a as u128 * x as u128 + b as u128)
     }
 
     /// Applies every function to `x`, writing into `out`
@@ -55,7 +74,7 @@ impl HashFamily {
     pub fn hash_all(&self, x: u64, out: &mut [u64]) {
         debug_assert_eq!(out.len(), self.coeffs.len());
         for (slot, &(a, b)) in out.iter_mut().zip(&self.coeffs) {
-            *slot = ((a as u128 * x as u128 + b as u128) % P as u128) as u64;
+            *slot = mod_p(a as u128 * x as u128 + b as u128);
         }
     }
 }
@@ -112,5 +131,29 @@ mod tests {
     #[should_panic(expected = "at least one hash function")]
     fn zero_functions_rejected() {
         let _ = HashFamily::new(0, 0);
+    }
+
+    #[test]
+    fn folded_reduction_matches_division() {
+        // Edge values plus a pseudo-random sweep of the full u122 range
+        // reachable by a·x + b.
+        let cases = [
+            0u128,
+            1,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            (P as u128) * (P as u128),
+            (P as u128 - 1) * (u64::MAX as u128) + P as u128 - 1,
+        ];
+        for &v in &cases {
+            assert_eq!(mod_p(v), (v % P as u128) as u64, "v = {v}");
+        }
+        let mut state = 0x9E37_79B9_7F4A_7C15u128;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = state & ((1u128 << 122) - 1);
+            assert_eq!(mod_p(v), (v % P as u128) as u64, "v = {v}");
+        }
     }
 }

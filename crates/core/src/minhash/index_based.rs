@@ -8,12 +8,19 @@
 //! subtree, saving both I/O and dominance checks. Entries with any
 //! partial dominator are expanded.
 //!
-//! Row ids are assigned in traversal order; any bijective row-id
+//! Row ids are assigned by a **deterministic range scheme**: every
+//! frontier entry owns the contiguous id range
+//! `[base, base + e.count)`, where `base` is the parent's base plus the
+//! `count` aggregates of the preceding siblings. Any bijective row-id
 //! assignment yields a valid min-wise permutation, and all skyline
 //! points dominating a given data point observe the same id, so the
-//! Jaccard estimator is unchanged. (The paper keeps the expansion
-//! frontier in a priority queue without specifying a priority; we use a
-//! LIFO frontier — the processing order does not affect the result.)
+//! Jaccard estimator is unchanged — but unlike traversal-order ids the
+//! ranges are independent of processing order, which lets
+//! [`sig_gen_ib_parallel`](super::sig_gen_ib_parallel) process disjoint
+//! frontier partitions on separate threads and still merge to the exact
+//! sequential matrix. (The paper keeps the expansion frontier in a
+//! priority queue without specifying a priority; we use a LIFO
+//! frontier — the processing order does not affect the result.)
 
 use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, PageId, RTree};
 
@@ -59,8 +66,9 @@ pub fn sig_gen_ib(
 /// does.
 ///
 /// Returns `(output, stats, rows_consumed, interrupt)` where
-/// `rows_consumed` counts the synthetic row ids assigned before the
-/// stop (≤ the number of data points).
+/// `rows_consumed` counts the data rows whose classification was
+/// decided — skipped or bulk-updated — before the stop (≤ the number of
+/// data points).
 pub fn sig_gen_ib_budgeted(
     tree: &RTree,
     pool: &mut BufferPool,
@@ -77,23 +85,28 @@ pub fn sig_gen_ib_budgeted(
         return (SigGenOutput { matrix, scores }, stats, 0, None);
     }
 
-    let mut rowcount: u64 = 0;
+    let mut rows_decided: u64 = 0;
     let mut row_hashes = vec![0u64; t];
     let mut full: Vec<usize> = Vec::with_capacity(m);
 
-    let mut frontier: Vec<PageId> = vec![tree.root()];
-    while let Some(pid) = frontier.pop() {
+    // Each frontier entry owns the contiguous row-id range starting at
+    // its recorded base; sibling ranges follow in entry order.
+    let mut frontier: Vec<(PageId, u64)> = vec![(tree.root(), 0)];
+    while let Some((pid, node_base)) = frontier.pop() {
         if pool.poisoned() {
             break;
         }
         let node = tree.read_node(pool, pid);
         stats.nodes_read += 1;
+        let mut base = node_base;
         for e in &node.entries {
+            let entry_base = base;
+            base += e.count;
             if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
                 return (
                     SigGenOutput { matrix, scores },
                     stats,
-                    rowcount as usize,
+                    rows_decided as usize,
                     Some(int),
                 );
             }
@@ -109,14 +122,14 @@ pub fn sig_gen_ib_budgeted(
             if any_partial {
                 match e.child {
                     Child::Node(c) => {
-                        frontier.push(c);
+                        frontier.push((c, entry_base));
                         continue;
                     }
                     Child::Point(_) => {
                         debug_assert!(false, "degenerate MBRs are never partially dominated");
                         // Release builds: treat as unclassifiable and
                         // skip rather than corrupt the traversal.
-                        rowcount += e.count;
+                        rows_decided += e.count;
                         stats.skipped += 1;
                         continue;
                     }
@@ -125,26 +138,30 @@ pub fn sig_gen_ib_budgeted(
             // Exclusive full dominance (or none): update without
             // expanding — the paper's UpdateFullDominance.
             if full.is_empty() {
-                // No enclosed point is dominated; advance the row ids.
-                rowcount += e.count;
+                rows_decided += e.count;
                 stats.skipped += 1;
                 continue;
             }
             stats.bulk_updates += 1;
-            for _ in 0..e.count {
-                family.hash_all(rowcount, &mut row_hashes);
+            for r in entry_base..entry_base + e.count {
+                family.hash_all(r, &mut row_hashes);
                 for &j in &full {
                     matrix.update_column(j, &row_hashes);
                 }
-                rowcount += 1;
             }
             for &j in &full {
                 scores[j] += e.count;
             }
+            rows_decided += e.count;
         }
     }
 
-    (SigGenOutput { matrix, scores }, stats, rowcount as usize, None)
+    (
+        SigGenOutput { matrix, scores },
+        stats,
+        rows_decided as usize,
+        None,
+    )
 }
 
 #[cfg(test)]

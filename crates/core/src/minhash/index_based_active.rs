@@ -13,9 +13,12 @@
 //!
 //! So the frontier carries (a) the set of still-partial "active" points
 //! to re-classify and (b) an immutable chain of already-full ancestors.
-//! The output is bit-identical to [`sig_gen_ib`](super::sig_gen_ib)
-//! (same traversal order, same row ids, same updates) — only the CPU
-//! profile changes. The `ablation` harness quantifies the speed-up.
+//! Row ids follow the same deterministic range scheme as
+//! [`sig_gen_ib`](super::sig_gen_ib) — each entry owns
+//! `[base, base + e.count)` derived from sibling `count` prefix sums —
+//! so the output is bit-identical to `sig_gen_ib` (same row ids, same
+//! updates); only the CPU profile changes. The `ablation` harness
+//! quantifies the speed-up.
 
 use std::sync::Arc;
 
@@ -62,21 +65,23 @@ pub fn sig_gen_ib_active(
         return (SigGenOutput { matrix, scores }, stats);
     }
 
-    let mut rowcount: u64 = 0;
     let mut row_hashes = vec![0u64; t];
 
-    type Frontier = Vec<(PageId, Arc<FullChain>, Arc<Vec<usize>>)>;
+    type Frontier = Vec<(PageId, u64, Arc<FullChain>, Arc<Vec<usize>>)>;
     let root_chain = Arc::new(FullChain {
         fulls: Vec::new(),
         parent: None,
     });
     let all_active: Arc<Vec<usize>> = Arc::new((0..m).collect());
-    let mut frontier: Frontier = vec![(tree.root(), root_chain, all_active)];
+    let mut frontier: Frontier = vec![(tree.root(), 0, root_chain, all_active)];
 
-    while let Some((pid, chain, active)) = frontier.pop() {
+    while let Some((pid, node_base, chain, active)) = frontier.pop() {
         let node = tree.read_node(pool, pid);
         stats.nodes_read += 1;
+        let mut base = node_base;
         for e in &node.entries {
+            let entry_base = base;
+            base += e.count;
             let mut newly_full: Vec<usize> = Vec::new();
             let mut still_partial: Vec<usize> = Vec::new();
             for &j in active.iter() {
@@ -93,7 +98,7 @@ pub fn sig_gen_ib_active(
                             fulls: newly_full,
                             parent: Some(chain.clone()),
                         });
-                        frontier.push((c, child_chain, Arc::new(still_partial)));
+                        frontier.push((c, entry_base, child_chain, Arc::new(still_partial)));
                         continue;
                     }
                     Child::Point(_) => {
@@ -105,19 +110,17 @@ pub fn sig_gen_ib_active(
             // the newly full ones.
             let full_count = newly_full.len() + chain.count();
             if full_count == 0 {
-                rowcount += e.count;
                 stats.skipped += 1;
                 continue;
             }
             stats.bulk_updates += 1;
-            for _ in 0..e.count {
-                family.hash_all(rowcount, &mut row_hashes);
+            for r in entry_base..entry_base + e.count {
+                family.hash_all(r, &mut row_hashes);
                 for &j in &newly_full {
                     matrix.update_column(j, &row_hashes);
                 }
                 let mut apply = |j: usize| matrix.update_column(j, &row_hashes);
                 chain.for_each(&mut apply);
-                rowcount += 1;
             }
             for &j in &newly_full {
                 scores[j] += e.count;

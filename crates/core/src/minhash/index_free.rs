@@ -9,6 +9,7 @@
 use skydiver_data::{Dataset, DominanceOrd};
 
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
+use crate::kernels::{SkylinePack, ROW_BLOCK};
 
 use super::{HashFamily, SigGenOutput, SignatureMatrix};
 
@@ -39,8 +40,11 @@ where
     out
 }
 
-/// Budget-aware [`sig_gen_if`]: charges `m` dominance tests per data row
-/// against `ctx` and stops at the first exhausted limit.
+/// Budget-aware [`sig_gen_if`]: charges `m` dominance tests per
+/// *non-skyline* data row against `ctx` and stops at the first exhausted
+/// limit. Skyline rows are skipped before any dominance test runs, so
+/// they cost nothing — the charge reflects work actually performed, and
+/// the sequential and sharded passes charge identically.
 ///
 /// Returns `(output, rows_scanned, interrupt)`. When `interrupt` is
 /// `Some`, the signatures and scores cover exactly the first
@@ -67,17 +71,123 @@ where
     for &s in skyline {
         is_skyline[s] = true;
     }
+    let pack = ord
+        .is_canonical_min()
+        .then(|| SkylinePack::pack(ds.dims(), skyline.iter().map(|&s| ds.point(s))));
 
+    let (scanned, interrupt) = scan_rows(
+        ds,
+        ord,
+        skyline,
+        &is_skyline,
+        pack.as_ref(),
+        family,
+        ctx,
+        0,
+        ds.len(),
+        &mut matrix,
+        &mut scores,
+    );
+    (SigGenOutput { matrix, scores }, scanned, interrupt)
+}
+
+/// Scans data rows `lo..hi`, folding every dominated row into `matrix` /
+/// `scores`. The workhorse shared by the sequential pass and each shard
+/// of [`sig_gen_parallel`](super::sig_gen_parallel).
+///
+/// With `pack` present (canonical all-min orders) the scan runs blocked:
+/// up to [`ROW_BLOCK`] funded rows are admitted, then tested against the
+/// packed skyline one L1-sized tile at a time. Otherwise the generic
+/// per-row [`DominanceOrd`] loop runs. Both paths produce per-row
+/// dominator lists in ascending skyline order, so the folded matrix is
+/// bit-identical either way.
+///
+/// Returns `(rows_scanned, interrupt)` where `rows_scanned` is the
+/// length of the fully-processed prefix of `lo..hi`. Dominance tests are
+/// charged per non-skyline row, *after* the skyline check; every charged
+/// row is processed before returning, so on a trip the output covers
+/// exactly the funded prefix.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn scan_rows<O>(
+    ds: &Dataset,
+    ord: &O,
+    skyline: &[usize],
+    is_skyline: &[bool],
+    pack: Option<&SkylinePack>,
+    family: &HashFamily,
+    ctx: &ExecContext,
+    lo: usize,
+    hi: usize,
+    matrix: &mut SignatureMatrix,
+    scores: &mut [u64],
+) -> (usize, Option<Interrupt>)
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    let t = family.len();
+    let m = skyline.len();
     let mut row_hashes = vec![0u64; t];
-    let mut dominators: Vec<usize> = Vec::with_capacity(m);
 
-    for (row, p) in ds.iter().enumerate() {
-        if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
-            return (SigGenOutput { matrix, scores }, row, Some(int));
+    if let Some(pack) = pack {
+        let mut block_rows: Vec<usize> = Vec::with_capacity(ROW_BLOCK);
+        let mut block_pts: Vec<&[f64]> = Vec::with_capacity(ROW_BLOCK);
+        let mut block_doms: Vec<Vec<usize>> = vec![Vec::new(); ROW_BLOCK];
+        let mut row = lo;
+        loop {
+            block_rows.clear();
+            block_pts.clear();
+            let mut interrupt = None;
+            while row < hi && block_rows.len() < ROW_BLOCK {
+                if is_skyline[row] {
+                    row += 1;
+                    continue;
+                }
+                match ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+                    Ok(()) => {
+                        block_rows.push(row);
+                        block_pts.push(ds.point(row));
+                        row += 1;
+                    }
+                    Err(int) => {
+                        interrupt = Some(int);
+                        break;
+                    }
+                }
+            }
+            let doms = &mut block_doms[..block_rows.len()];
+            for d in doms.iter_mut() {
+                d.clear();
+            }
+            pack.dominators_block(&block_pts, doms);
+            for (bi, &r) in block_rows.iter().enumerate() {
+                if doms[bi].is_empty() {
+                    continue;
+                }
+                family.hash_all(r as u64, &mut row_hashes);
+                for &j in &doms[bi] {
+                    matrix.update_column(j, &row_hashes);
+                    scores[j] += 1;
+                }
+            }
+            if let Some(int) = interrupt {
+                return (row - lo, Some(int));
+            }
+            if row >= hi {
+                return (hi - lo, None);
+            }
         }
-        if is_skyline[row] {
+    }
+
+    let mut dominators: Vec<usize> = Vec::with_capacity(m);
+    for (off, &on_skyline) in is_skyline[lo..hi].iter().enumerate() {
+        let row = lo + off;
+        if on_skyline {
             continue;
         }
+        if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+            return (row - lo, Some(int));
+        }
+        let p = ds.point(row);
         dominators.clear();
         for (j, &s) in skyline.iter().enumerate() {
             if ord.dominates(ds.point(s), p) {
@@ -93,8 +203,7 @@ where
             scores[j] += 1;
         }
     }
-
-    (SigGenOutput { matrix, scores }, ds.len(), None)
+    (hi - lo, None)
 }
 
 #[cfg(test)]
@@ -179,16 +288,77 @@ mod tests {
         let sky = naive_skyline(&ds, &MinDominance);
         let m = sky.len() as u64;
         let fam = HashFamily::new(16, 1);
-        // Budget covers exactly 100 rows' worth of dominance tests.
+        // Budget covers exactly 100 non-skyline rows' worth of dominance
+        // tests — skyline rows are skipped before any test, so they are
+        // free.
         let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(100 * m));
         let (out, rows, int) = sig_gen_if_budgeted(&ds, &MinDominance, &sky, &fam, &ctx);
         let int = int.expect("budget must trip");
         assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
-        assert_eq!(rows, 100, "stops after the funded prefix");
+        // The funded prefix ends right before the 101st non-skyline row.
+        let mut is_sky = vec![false; ds.len()];
+        for &s in &sky {
+            is_sky[s] = true;
+        }
+        let mut funded = 0usize;
+        let mut expect_rows = ds.len();
+        for (i, &sk) in is_sky.iter().enumerate() {
+            if !sk {
+                if funded == 100 {
+                    expect_rows = i;
+                    break;
+                }
+                funded += 1;
+            }
+        }
+        assert_eq!(rows, expect_rows, "stops after the funded prefix");
+        assert!(rows >= 100);
         // Scores count only the scanned prefix.
         let total: u64 = out.scores.iter().sum();
         let full = sig_gen_if(&ds, &MinDominance, &sky, &fam);
         assert!(total <= full.scores.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn charges_reflect_only_tested_rows() {
+        use crate::budget::{ExecContext, RunBudget};
+        let ds = independent(400, 3, 93);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(8, 2);
+        // A counting (non-unlimited) context that never trips.
+        let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(u64::MAX));
+        let (_, rows, int) = sig_gen_if_budgeted(&ds, &MinDominance, &sky, &fam, &ctx);
+        assert!(int.is_none());
+        assert_eq!(rows, ds.len());
+        let non_sky = (ds.len() - sky.len()) as u64;
+        assert_eq!(
+            ctx.dominance_tests(),
+            non_sky * sky.len() as u64,
+            "skyline rows must not be charged"
+        );
+    }
+
+    /// Delegates to [`MinDominance`] but hides the canonical-min hook,
+    /// forcing the generic scalar path for equivalence testing.
+    struct HiddenMin;
+    impl DominanceOrd for HiddenMin {
+        type Item = [f64];
+        fn dom_cmp(&self, a: &[f64], b: &[f64]) -> skydiver_data::Dominance {
+            MinDominance.dom_cmp(a, b)
+        }
+    }
+
+    #[test]
+    fn packed_path_identical_to_generic_path() {
+        for (n, d) in [(700, 2), (600, 3), (500, 4), (400, 5), (300, 6)] {
+            let ds = independent(n, d, 94 + d as u64);
+            let sky = naive_skyline(&ds, &MinDominance);
+            let fam = HashFamily::new(32, 5);
+            let packed = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+            let generic = sig_gen_if(&ds, &HiddenMin, &sky, &fam);
+            assert_eq!(packed.matrix, generic.matrix, "d = {d}");
+            assert_eq!(packed.scores, generic.scores, "d = {d}");
+        }
     }
 
     use skydiver_data::Dataset;

@@ -16,7 +16,10 @@
 //!   minimum,
 //! * [`sig_gen_ib_active`] — an engineering refinement of `sig_gen_ib`
 //!   that inherits dominance classifications down the tree
-//!   (bit-identical output, much less CPU for large skylines).
+//!   (bit-identical output, much less CPU for large skylines),
+//! * [`sig_gen_ib_parallel`] — `sig_gen_ib` over disjoint subtree
+//!   partitions on scoped threads, bit-identical thanks to the
+//!   deterministic row-id range scheme.
 
 mod family;
 mod generic;
@@ -24,6 +27,7 @@ mod index_based;
 mod index_based_active;
 mod index_free;
 mod parallel;
+mod parallel_ib;
 pub mod persist;
 mod signature;
 pub mod theory;
@@ -34,6 +38,7 @@ pub use index_based::{sig_gen_ib, sig_gen_ib_budgeted, IbStats};
 pub use index_based_active::sig_gen_ib_active;
 pub use index_free::{sig_gen_if, sig_gen_if_budgeted};
 pub use parallel::{sig_gen_parallel, sig_gen_parallel_budgeted};
+pub use parallel_ib::{sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted};
 pub use signature::{SignatureMatrix, INF_SLOT};
 
 /// Output of a signature-generation pass: the signature matrix plus the

@@ -10,8 +10,10 @@
 
 use skydiver_data::{Dataset, DominanceOrd};
 
-use crate::budget::{ExecContext, ExecPhase, Interrupt};
+use crate::budget::{ExecContext, Interrupt};
+use crate::kernels::SkylinePack;
 
+use super::index_free::scan_rows;
 use super::{HashFamily, SigGenOutput, SignatureMatrix};
 
 /// Sharded `SigGen-IF`. `threads == 1` falls back to the sequential
@@ -33,8 +35,10 @@ where
 }
 
 /// Budget-aware [`sig_gen_parallel`]: every shard charges the shared
-/// [`ExecContext`], so a tripped budget stops all shards within one
-/// row's work. Returns `(output, rows_scanned, interrupt)` like
+/// [`ExecContext`] — `m` dominance tests per *non-skyline* row, after
+/// the skyline check, exactly like the sequential pass — so a tripped
+/// budget stops all shards within one row's work and the total charge
+/// matches the sequential run. Returns `(output, rows_scanned, interrupt)` like
 /// [`sig_gen_if_budgeted`](super::sig_gen_if_budgeted); `rows_scanned`
 /// sums over shards. Uninterrupted output is bit-identical to the
 /// sequential pass; an interrupted one covers a timing-dependent subset
@@ -63,6 +67,10 @@ where
         is_skyline[s] = true;
     }
     let is_skyline = &is_skyline;
+    let pack = ord
+        .is_canonical_min()
+        .then(|| SkylinePack::pack(ds.dims(), skyline.iter().map(|&s| ds.point(s))));
+    let pack = pack.as_ref();
 
     let chunk = ds.len().div_ceil(threads);
     let mut partials: Vec<(SigGenOutput, usize, Option<Interrupt>)> =
@@ -76,38 +84,19 @@ where
             handles.push(scope.spawn(move || {
                 let mut matrix = SignatureMatrix::new(t, m);
                 let mut scores = vec![0u64; m];
-                let mut row_hashes = vec![0u64; t];
-                let mut dominators: Vec<usize> = Vec::with_capacity(m);
-                let mut rows_scanned = 0usize;
-                let mut interrupt = None;
-                #[allow(clippy::needless_range_loop)]
-                for row in lo..hi {
-                    if let Err(int) =
-                        ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint)
-                    {
-                        interrupt = Some(int);
-                        break;
-                    }
-                    rows_scanned += 1;
-                    if is_skyline[row] {
-                        continue;
-                    }
-                    let p = ds.point(row);
-                    dominators.clear();
-                    for (j, &s) in skyline.iter().enumerate() {
-                        if ord.dominates(ds.point(s), p) {
-                            dominators.push(j);
-                        }
-                    }
-                    if dominators.is_empty() {
-                        continue;
-                    }
-                    family.hash_all(row as u64, &mut row_hashes);
-                    for &j in &dominators {
-                        matrix.update_column(j, &row_hashes);
-                        scores[j] += 1;
-                    }
-                }
+                let (rows_scanned, interrupt) = scan_rows(
+                    ds,
+                    ord,
+                    skyline,
+                    is_skyline,
+                    pack,
+                    family,
+                    ctx,
+                    lo,
+                    hi,
+                    &mut matrix,
+                    &mut scores,
+                );
                 (SigGenOutput { matrix, scores }, rows_scanned, interrupt)
             }));
         }
@@ -177,6 +166,32 @@ mod tests {
         let int = int.expect("shared budget must trip");
         assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
         assert!(rows < 2000, "shards stopped early, scanned {rows}");
+    }
+
+    #[test]
+    fn budget_charges_agree_with_sequential() {
+        use crate::budget::{ExecContext, RunBudget};
+        use crate::minhash::sig_gen_if_budgeted;
+        let ds = independent(800, 3, 114);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(16, 5);
+        let counting =
+            || ExecContext::new(RunBudget::none().with_max_dominance_tests(u64::MAX));
+        let ctx_seq = counting();
+        sig_gen_if_budgeted(&ds, &MinDominance, &sky, &fam, &ctx_seq);
+        let ctx_par = counting();
+        sig_gen_parallel_budgeted(&ds, &MinDominance, &sky, &fam, 4, &ctx_par);
+        let non_sky = (ds.len() - sky.len()) as u64;
+        assert_eq!(
+            ctx_seq.dominance_tests(),
+            non_sky * sky.len() as u64,
+            "skyline rows are free in the sequential pass"
+        );
+        assert_eq!(
+            ctx_par.dominance_tests(),
+            ctx_seq.dominance_tests(),
+            "sharded pass must charge exactly what the sequential pass does"
+        );
     }
 
     #[test]

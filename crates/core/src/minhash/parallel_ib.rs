@@ -1,0 +1,386 @@
+//! Parallel `SigGen-IB` — the index-based pass over disjoint subtree
+//! partitions on scoped threads.
+//!
+//! The deterministic row-id ranges of [`sig_gen_ib`](super::sig_gen_ib)
+//! (every entry owns `[base, base + e.count)` from the subtree `count`
+//! aggregates) make the traversal order-independent: any partition of
+//! the frontier processes the exact same `(row id, dominator set)`
+//! pairs, and MinHash matrices merge associatively by slot-wise minimum.
+//! So the pass seeds a frontier of independent subtrees breadth-first,
+//! splits it round-robin across threads, and merges the per-thread
+//! partial matrices with
+//! [`merge_min`](super::SignatureMatrix::merge_min) — **bit-identical**
+//! to the sequential pass for every thread count.
+//!
+//! The buffer pool stays shared behind a mutex (one lock per node read),
+//! so I/O statistics, fault injection, and poisoning behave exactly as
+//! in the sequential pass, and every thread charges the shared
+//! [`ExecContext`] so run budgets keep working.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, Node, PageId, RTree};
+
+use crate::budget::{ExecContext, ExecPhase, Interrupt};
+
+use super::{HashFamily, IbStats, SigGenOutput, SignatureMatrix};
+
+/// How many independent subtrees the breadth-first seed phase gathers
+/// per thread before handing the frontier to the workers.
+const SEED_FACTOR: usize = 4;
+
+/// Per-thread accumulator of one traversal partition.
+struct Acc {
+    matrix: SignatureMatrix,
+    scores: Vec<u64>,
+    stats: IbStats,
+    rows_decided: u64,
+    row_hashes: Vec<u64>,
+    full: Vec<usize>,
+}
+
+impl Acc {
+    fn new(t: usize, m: usize) -> Self {
+        Acc {
+            matrix: SignatureMatrix::new(t, m),
+            scores: vec![0u64; m],
+            stats: IbStats::default(),
+            rows_decided: 0,
+            row_hashes: vec![0u64; t],
+            full: Vec::with_capacity(m),
+        }
+    }
+}
+
+/// Processes one node's entries exactly like the sequential pass:
+/// charge, classify, then bulk-update / skip / expand (via `expand`).
+/// Returns the interrupt if the shared budget trips mid-node.
+fn process_node(
+    node: &Node,
+    node_base: u64,
+    skyline_pts: &[&[f64]],
+    family: &HashFamily,
+    ctx: &ExecContext,
+    acc: &mut Acc,
+    expand: &mut dyn FnMut(PageId, u64),
+) -> Option<Interrupt> {
+    let m = skyline_pts.len();
+    let mut base = node_base;
+    for e in &node.entries {
+        let entry_base = base;
+        base += e.count;
+        if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+            return Some(int);
+        }
+        acc.full.clear();
+        let mut any_partial = false;
+        for (j, s) in skyline_pts.iter().enumerate() {
+            match classify_dominance(s, &e.mbr) {
+                MbrDominance::Full => acc.full.push(j),
+                MbrDominance::Partial => any_partial = true,
+                MbrDominance::None => {}
+            }
+        }
+        if any_partial {
+            match e.child {
+                Child::Node(c) => {
+                    expand(c, entry_base);
+                    continue;
+                }
+                Child::Point(_) => {
+                    debug_assert!(false, "degenerate MBRs are never partially dominated");
+                    acc.rows_decided += e.count;
+                    acc.stats.skipped += 1;
+                    continue;
+                }
+            }
+        }
+        if acc.full.is_empty() {
+            acc.rows_decided += e.count;
+            acc.stats.skipped += 1;
+            continue;
+        }
+        acc.stats.bulk_updates += 1;
+        for r in entry_base..entry_base + e.count {
+            family.hash_all(r, &mut acc.row_hashes);
+            for &j in &acc.full {
+                acc.matrix.update_column(j, &acc.row_hashes);
+            }
+        }
+        for &j in &acc.full {
+            acc.scores[j] += e.count;
+        }
+        acc.rows_decided += e.count;
+    }
+    None
+}
+
+/// Parallel [`sig_gen_ib`](super::sig_gen_ib): identical arguments plus
+/// a thread count; bit-identical output for every thread count.
+pub fn sig_gen_ib_parallel(
+    tree: &RTree,
+    pool: &mut BufferPool,
+    skyline_pts: &[&[f64]],
+    family: &HashFamily,
+    threads: usize,
+) -> (SigGenOutput, IbStats) {
+    let ctx = ExecContext::unlimited();
+    let (out, stats, _, interrupt) =
+        sig_gen_ib_parallel_budgeted(tree, pool, skyline_pts, family, threads, &ctx);
+    debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
+    (out, stats)
+}
+
+/// Budget-aware [`sig_gen_ib_parallel`]: same contract as
+/// [`sig_gen_ib_budgeted`](super::sig_gen_ib_budgeted) — every thread
+/// charges the shared `ctx` (`m` classifications per entry) and checks
+/// the shared pool for poisoning before each node read, so budgets and
+/// injected page faults stop all workers within one node's work.
+///
+/// Uninterrupted output (matrix, scores, stats, rows) is bit-identical
+/// to the sequential pass; an interrupted or faulted run covers a
+/// timing-dependent subset of entries, exactly like the sharded
+/// index-free pass.
+pub fn sig_gen_ib_parallel_budgeted(
+    tree: &RTree,
+    pool: &mut BufferPool,
+    skyline_pts: &[&[f64]],
+    family: &HashFamily,
+    threads: usize,
+    ctx: &ExecContext,
+) -> (SigGenOutput, IbStats, usize, Option<Interrupt>) {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return super::sig_gen_ib_budgeted(tree, pool, skyline_pts, family, ctx);
+    }
+    let t = family.len();
+    let m = skyline_pts.len();
+    if tree.is_empty() || m == 0 {
+        return (
+            SigGenOutput {
+                matrix: SignatureMatrix::new(t, m),
+                scores: vec![0u64; m],
+            },
+            IbStats::default(),
+            0,
+            None,
+        );
+    }
+
+    // Seed phase: expand breadth-first through the shared pool until the
+    // frontier holds enough independent subtrees to keep every thread
+    // busy. Non-expandable entries are folded into the seed accumulator
+    // inline — identical work to the sequential pass, just node by node.
+    let mut seed_acc = Acc::new(t, m);
+    let mut interrupt: Option<Interrupt> = None;
+    let target = threads * SEED_FACTOR;
+    let mut queue: VecDeque<(PageId, u64)> = VecDeque::from([(tree.root(), 0)]);
+    while queue.len() < target {
+        let Some((pid, base)) = queue.pop_front() else {
+            break;
+        };
+        if pool.poisoned() {
+            break;
+        }
+        let node = tree.read_node(pool, pid);
+        seed_acc.stats.nodes_read += 1;
+        if let Some(int) = process_node(node, base, skyline_pts, family, ctx, &mut seed_acc, &mut |c, b| {
+            queue.push_back((c, b))
+        }) {
+            interrupt = Some(int);
+            break;
+        }
+    }
+
+    let mut partials: Vec<(Acc, Option<Interrupt>)> = Vec::new();
+    if interrupt.is_none() && !queue.is_empty() && !pool.poisoned() {
+        let mut buckets: Vec<Vec<(PageId, u64)>> = vec![Vec::new(); threads];
+        for (idx, item) in queue.into_iter().enumerate() {
+            buckets[idx % threads].push(item);
+        }
+        let pool_mx = Mutex::new(pool);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+                let pool_mx = &pool_mx;
+                handles.push(scope.spawn(move || {
+                    let mut acc = Acc::new(t, m);
+                    let mut interrupt = None;
+                    let mut frontier = bucket;
+                    while let Some((pid, base)) = frontier.pop() {
+                        let node = {
+                            let mut guard = pool_mx.lock().expect("pool mutex poisoned");
+                            if guard.poisoned() {
+                                break;
+                            }
+                            tree.read_node(&mut guard, pid)
+                        };
+                        acc.stats.nodes_read += 1;
+                        if let Some(int) = process_node(
+                            node,
+                            base,
+                            skyline_pts,
+                            family,
+                            ctx,
+                            &mut acc,
+                            &mut |c, b| frontier.push((c, b)),
+                        ) {
+                            interrupt = Some(int);
+                            break;
+                        }
+                    }
+                    (acc, interrupt)
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("ib partition panicked"));
+            }
+        });
+    }
+
+    let mut acc = seed_acc;
+    for (p, int) in partials {
+        acc.matrix.merge_min(&p.matrix);
+        for (a, b) in acc.scores.iter_mut().zip(&p.scores) {
+            *a += b;
+        }
+        acc.stats.nodes_read += p.stats.nodes_read;
+        acc.stats.bulk_updates += p.stats.bulk_updates;
+        acc.stats.skipped += p.stats.skipped;
+        acc.rows_decided += p.rows_decided;
+        if interrupt.is_none() {
+            interrupt = int;
+        }
+    }
+    (
+        SigGenOutput {
+            matrix: acc.matrix,
+            scores: acc.scores,
+        },
+        acc.stats,
+        acc.rows_decided as usize,
+        interrupt,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::{sig_gen_ib, sig_gen_ib_budgeted};
+    use skydiver_data::dominance::MinDominance;
+    use skydiver_data::generators::{anticorrelated, clustered, independent};
+    use skydiver_data::Dataset;
+    use skydiver_skyline::naive_skyline;
+
+    fn seq_and_par(
+        ds: &Dataset,
+        t: usize,
+        threads: usize,
+    ) -> ((SigGenOutput, IbStats), (SigGenOutput, IbStats)) {
+        let sky = naive_skyline(ds, &MinDominance);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(t, 5);
+        let tree = skydiver_rtree::RTree::bulk_load(ds, 1024);
+        let mut pool_a = BufferPool::new(1 << 20);
+        let seq = sig_gen_ib(&tree, &mut pool_a, &pts, &fam);
+        let mut pool_b = BufferPool::new(1 << 20);
+        let par = sig_gen_ib_parallel(&tree, &mut pool_b, &pts, &fam, threads);
+        (seq, par)
+    }
+
+    #[test]
+    fn bit_identical_to_sequential() {
+        for threads in [2, 3, 8] {
+            for ds in [
+                independent(2000, 3, 170),
+                anticorrelated(1200, 3, 171),
+                clustered(2500, 2, 6, 0.05, 172),
+            ] {
+                let ((a, sa), (b, sb)) = seq_and_par(&ds, 32, threads);
+                assert_eq!(a.matrix, b.matrix, "threads = {threads}");
+                assert_eq!(a.scores, b.scores, "threads = {threads}");
+                assert_eq!(sa, sb, "stats must match: threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_run_trips_across_threads() {
+        use crate::budget::{ExecContext, RunBudget, StopReason};
+        let ds = independent(4000, 3, 173);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(8, 7);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let mut pool = BufferPool::new(1 << 20);
+        let ctx = ExecContext::new(
+            RunBudget::none().with_max_dominance_tests(5 * sky.len() as u64),
+        );
+        let (_, _, rows, int) =
+            sig_gen_ib_parallel_budgeted(&tree, &mut pool, &pts, &fam, 4, &ctx);
+        let int = int.expect("budget must trip");
+        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert!(rows < ds.len(), "stopped early at {rows} rows");
+    }
+
+    #[test]
+    fn poisoned_pool_stops_all_workers() {
+        use skydiver_rtree::FaultInjection;
+        let ds = independent(4000, 3, 174);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(8, 7);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let mut clean = BufferPool::new(1 << 20);
+        let (_, full_stats) = sig_gen_ib(&tree, &mut clean, &pts, &fam);
+        let mut pool = BufferPool::new(1 << 20);
+        pool.inject_faults(FaultInjection::at_access(2));
+        let ctx = ExecContext::unlimited();
+        let (_, stats, _, int) =
+            sig_gen_ib_parallel_budgeted(&tree, &mut pool, &pts, &fam, 4, &ctx);
+        assert!(int.is_none(), "a fault is not a budget interrupt");
+        assert!(pool.poisoned(), "injected fault must register");
+        assert!(
+            stats.nodes_read < full_stats.nodes_read || full_stats.nodes_read <= 3,
+            "workers bailed early: {} vs {}",
+            stats.nodes_read,
+            full_stats.nodes_read
+        );
+    }
+
+    #[test]
+    fn node_reads_counted_once_across_partitions() {
+        // The shared pool's I/O statistics must equal the sequential
+        // pass: every node is read by exactly one partition.
+        let ds = clustered(8000, 3, 8, 0.03, 175);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(8, 9);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let mut pool_a = BufferPool::new(1 << 20);
+        let (_, seq_stats, _, _) = {
+            let ctx = ExecContext::unlimited();
+            sig_gen_ib_budgeted(&tree, &mut pool_a, &pts, &fam, &ctx)
+        };
+        let mut pool_b = BufferPool::new(1 << 20);
+        let (_, par_stats) = sig_gen_ib_parallel(&tree, &mut pool_b, &pts, &fam, 4);
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(
+            pool_a.stats().accesses(),
+            pool_b.stats().accesses(),
+            "shared pool must see the same access count"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ds = Dataset::new(2);
+        let tree = skydiver_rtree::RTree::bulk_load(&ds, 1024);
+        let mut pool = BufferPool::new(16);
+        let fam = HashFamily::new(4, 8);
+        let (out, stats) = sig_gen_ib_parallel(&tree, &mut pool, &[], &fam, 4);
+        assert_eq!(out.matrix.m(), 0);
+        assert_eq!(stats, IbStats::default());
+    }
+}

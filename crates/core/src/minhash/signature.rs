@@ -55,13 +55,22 @@ impl SignatureMatrix {
     /// Estimated Jaccard similarity `Ĵs(i, j)`: the fraction of slots
     /// where the two signatures agree. Two `∞` slots agree — consistent
     /// with the convention that two empty dominated sets are identical.
+    #[inline]
     pub fn estimated_similarity(&self, i: usize, j: usize) -> f64 {
-        let (a, b) = (self.column(i), self.column(j));
-        let agree = a.iter().zip(b).filter(|(x, y)| x == y).count();
-        agree as f64 / self.t as f64
+        Self::similarity_between(self.column(i), self.column(j))
+    }
+
+    /// Agreement fraction of two explicit signature columns — the kernel
+    /// entry point for callers that hoist `column(i)` out of an inner
+    /// loop over `j` (e.g. the FarthestPair seed scan).
+    #[inline]
+    pub fn similarity_between(a: &[u64], b: &[u64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        crate::kernels::agreement_count(a, b) as f64 / a.len() as f64
     }
 
     /// Estimated Jaccard distance `Ĵd = 1 − Ĵs`.
+    #[inline]
     pub fn estimated_distance(&self, i: usize, j: usize) -> f64 {
         1.0 - self.estimated_similarity(i, j)
     }

@@ -30,7 +30,9 @@ use crate::budget::{
     StopReason,
 };
 use crate::canonical::canonicalise;
-use crate::dispersion::{select_diverse_budgeted, SeedRule, TieBreak};
+use crate::dispersion::{
+    select_diverse_budgeted, select_diverse_parallel_budgeted, SeedRule, TieBreak,
+};
 use crate::diversity::{LshDistance, SignatureDistance};
 use crate::error::{Result, SkyDiverError};
 use crate::graph::DominanceGraph;
@@ -156,8 +158,11 @@ impl SkyDiver {
         self
     }
 
-    /// Shards the index-free fingerprinting pass over `threads` threads
-    /// (bit-identical to sequential; the paper's future-work item).
+    /// Parallelises the pipeline over `threads` threads: the index-free
+    /// pass is sharded by rows, the index-based pass partitions subtree
+    /// frontiers, and the greedy selection scans candidates in chunks.
+    /// Every parallel path is bit-identical to sequential (the paper's
+    /// future-work item ii).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -284,8 +289,14 @@ impl SkyDiver {
         let family = HashFamily::new(t_eff, self.hash_seed);
         let pts: Vec<&[f64]> = skyline.iter().map(|&s| canon.point(s)).collect();
         let t0 = Instant::now();
-        let (out, _, rows_consumed, interrupt) =
-            crate::minhash::sig_gen_ib_budgeted(&tree, &mut pool, &pts, &family, &ctx);
+        let (out, _, rows_consumed, interrupt) = crate::minhash::sig_gen_ib_parallel_budgeted(
+            &tree,
+            &mut pool,
+            &pts,
+            &family,
+            self.threads,
+            &ctx,
+        );
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
         if let Some(fail) = pool.failure() {
             return Err(SkyDiverError::IndexReadFailure {
@@ -431,20 +442,36 @@ impl SkyDiver {
         }
     }
 
+    /// Greedy selection over any shareable distance, parallel when
+    /// `threads > 1` — bit-identical either way.
+    fn select<D: crate::diversity::SyncDiversityDistance>(
+        &self,
+        mut dist: D,
+        scores: &[u64],
+        ctx: &ExecContext,
+    ) -> Result<(Vec<usize>, Option<Interrupt>)> {
+        if self.threads > 1 {
+            select_diverse_parallel_budgeted(
+                &dist,
+                scores,
+                self.k,
+                self.seed_rule,
+                self.tie_break,
+                self.threads,
+                ctx,
+            )
+        } else {
+            select_diverse_budgeted(&mut dist, scores, self.k, self.seed_rule, self.tie_break, ctx)
+        }
+    }
+
     fn select_minhash(
         &self,
         out: &SigGenOutput,
         ctx: &ExecContext,
     ) -> Result<(Vec<usize>, usize, Option<Interrupt>)> {
-        let mut dist = SignatureDistance::new(&out.matrix);
-        let (sel, int) = select_diverse_budgeted(
-            &mut dist,
-            &out.scores,
-            self.k,
-            self.seed_rule,
-            self.tie_break,
-            ctx,
-        )?;
+        let dist = SignatureDistance::new(&out.matrix);
+        let (sel, int) = self.select(dist, &out.scores, ctx)?;
         Ok((sel, out.matrix.memory_bytes(), int))
     }
 
@@ -465,15 +492,8 @@ impl SkyDiver {
                         let buckets =
                             self.effective_buckets(out.matrix.m(), params.zones, buckets, &mut events);
                         let idx = LshIndex::build(&out.matrix, params, buckets, self.hash_seed)?;
-                        let mut dist = LshDistance::new(&idx);
-                        let (sel, int) = select_diverse_budgeted(
-                            &mut dist,
-                            &out.scores,
-                            self.k,
-                            self.seed_rule,
-                            self.tie_break,
-                            ctx,
-                        )?;
+                        let dist = LshDistance::new(&idx);
+                        let (sel, int) = self.select(dist, &out.scores, ctx)?;
                         (sel, idx.memory_bytes(), int)
                     }
                     Err(cause @ SkyDiverError::NoLshFactorisation { .. })
@@ -751,6 +771,49 @@ mod tests {
         let r = SkyDiver::new(3).signature_size(32).run_auto(&ds, &prefs).unwrap();
         assert_eq!(r.selected.len(), 3);
         assert!(r.is_complete());
+    }
+
+    #[test]
+    fn parallel_index_based_matches_sequential() {
+        let ds = anticorrelated(3000, 3, 162);
+        let prefs = Preference::all_min(3);
+        let cfg = SkyDiver::new(5).signature_size(64).hash_seed(6);
+        let (seq, _) = cfg.run_index_based(&ds, &prefs).unwrap();
+        for threads in [2, 4] {
+            let (par, _) = cfg.clone().threads(threads).run_index_based(&ds, &prefs).unwrap();
+            assert_eq!(seq.selected, par.selected, "threads = {threads}");
+            assert_eq!(seq.scores, par.scores, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_lsh_selection_matches_sequential() {
+        let ds = anticorrelated(2500, 3, 163);
+        let prefs = Preference::all_min(3);
+        let cfg = SkyDiver::new(5).signature_size(100).hash_seed(7).lsh(0.2, 16);
+        let seq = cfg.run(&ds, &prefs).unwrap();
+        let par = cfg.clone().threads(3).run(&ds, &prefs).unwrap();
+        assert_eq!(seq.selected, par.selected);
+        assert_eq!(seq.scores, par.scores);
+    }
+
+    #[test]
+    fn parallel_run_auto_recovers_from_faults_identically() {
+        let ds = independent(3000, 3, 164);
+        let prefs = Preference::all_min(3);
+        let cfg = SkyDiver::new(4)
+            .signature_size(32)
+            .hash_seed(8)
+            .threads(4)
+            .fault_injection(FaultInjection::at_access(3));
+        let r = cfg.run_auto(&ds, &prefs).unwrap();
+        assert!(matches!(
+            r.degradation.events[0],
+            DegradationEvent::IndexFreeFallback { .. }
+        ));
+        let plain = SkyDiver::new(4).signature_size(32).hash_seed(8).run(&ds, &prefs).unwrap();
+        assert_eq!(r.selected, plain.selected);
+        assert_eq!(r.scores, plain.scores);
     }
 
     use skydiver_data::Dataset;

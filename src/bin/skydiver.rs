@@ -5,6 +5,7 @@
 //! skydiver skyline  --input data.csv --algo sfs
 //! skydiver diversify --input data.csv --k 5 [--method lsh --xi 0.2 --buckets 20]
 //!                    [--prefs min,min,max,min]
+//! skydiver run      --input data.csv --k 5 --threads 4 [--timeout-ms 5000]
 //! skydiver fingerprint --input data.csv --t 100 --out data.skysig
 //! skydiver select   --signatures data.skysig --k 5
 //! skydiver info     --input data.csv
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "skyline" => cmd_skyline(&flags),
         "diversify" => cmd_diversify(&flags),
+        "run" => cmd_run(&flags),
         "fingerprint" => cmd_fingerprint(&flags),
         "select" => cmd_select(&flags),
         "info" => cmd_info(&flags),
@@ -59,6 +61,9 @@ const USAGE: &str = "usage:
   skydiver diversify --input FILE --k K [--t 100] [--method mh|lsh]
                      [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
                      [--timeout-ms MS] [--max-memory BYTES]
+  skydiver run       --input FILE --k K [--t 100] [--method mh|lsh]
+                     [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
+                     [--timeout-ms MS] [--max-memory BYTES] [--max-dominance-tests N]
   skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--prefs ...]
   skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
                      [--xi 0.2] [--buckets 20]
@@ -205,6 +210,52 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let r = pipeline.run(&ds, &prefs)?;
     println!(
         "# skyline {} points; {} most diverse below (fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
+        r.skyline.len(),
+        r.selected.len(),
+        r.fingerprint_ms,
+        r.selection_ms,
+        r.memory_bytes
+    );
+    if !r.is_complete() {
+        eprintln!("warning: degraded run — {}", r.degradation.summary());
+    }
+    for (&idx, &pos) in r.selected.iter().zip(&r.selected_positions) {
+        let row: Vec<String> = ds.point(idx).iter().map(|v| v.to_string()).collect();
+        println!("{idx},{},gamma={}", row.join(","), r.scores[pos]);
+    }
+    Ok(())
+}
+
+/// `skydiver run` — the full auto pipeline: index-based fingerprinting
+/// with automatic index-free fallback (`run_auto`), parallel over
+/// `--threads`, under an optional run budget.
+fn cmd_run(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = load(flag(flags, "input")?)?;
+    let prefs = prefs_for(flags, ds.dims())?;
+    let k: usize = flag(flags, "k")?.parse()?;
+    let t: usize = num(flags, "t", 100);
+    let threads: usize = num(flags, "threads", 1);
+    let mut pipeline = SkyDiver::new(k)
+        .signature_size(t)
+        .hash_seed(num(flags, "seed", 0))
+        .threads(threads);
+    if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
+        pipeline = pipeline.lsh(num(flags, "xi", 0.2), num(flags, "buckets", 20));
+    }
+    let mut budget = skydiver::RunBudget::none();
+    if let Some(ms) = flags.get("timeout-ms").and_then(|v| v.parse::<u64>().ok()) {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(bytes) = flags.get("max-memory").and_then(|v| v.parse::<usize>().ok()) {
+        budget = budget.with_max_memory_bytes(bytes);
+    }
+    if let Some(n) = flags.get("max-dominance-tests").and_then(|v| v.parse::<u64>().ok()) {
+        budget = budget.with_max_dominance_tests(n);
+    }
+    pipeline = pipeline.budget(budget);
+    let r = pipeline.run_auto(&ds, &prefs)?;
+    println!(
+        "# skyline {} points; {} most diverse below (threads {threads}, fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
         r.skyline.len(),
         r.selected.len(),
         r.fingerprint_ms,

@@ -125,6 +125,42 @@ fn fingerprint_then_select_round_trip() {
 }
 
 #[test]
+fn run_subcommand_is_parallel_deterministic() {
+    let csv = tmp("run.csv");
+    let out = bin()
+        .args(["generate", "--family", "ant", "--n", "4000", "--d", "3"])
+        .args(["--seed", "7", "--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let run_with = |threads: &str| {
+        let out = bin()
+            .args(["run", "--input", csv.to_str().unwrap(), "--k", "4"])
+            .args(["--t", "64", "--threads", threads])
+            .output()
+            .expect("run run");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        assert_eq!(text.lines().count(), 5, "header + 4 rows: {text}");
+        // Strip the header (it reports thread count and timings).
+        text.lines().skip(1).map(String::from).collect::<Vec<_>>()
+    };
+    assert_eq!(run_with("1"), run_with("4"), "parallel run must be bit-identical");
+
+    // A tiny dominance-test budget degrades gracefully, not fatally.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "4"])
+        .args(["--max-dominance-tests", "50"])
+        .output()
+        .expect("run run budgeted");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("degraded run"));
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
 fn helpful_errors() {
     // Unknown command.
     let out = bin().arg("frobnicate").output().unwrap();

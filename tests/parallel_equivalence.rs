@@ -1,0 +1,193 @@
+//! Cross-crate equivalence suite for every parallel path (PR 2).
+//!
+//! Every parallel kernel in the pipeline — sharded `SigGen-IF`,
+//! partitioned `SigGen-IB`, and chunked greedy selection — promises
+//! **bit-identical** results to its sequential counterpart for every
+//! thread count. These tests exercise that promise end-to-end through
+//! the public facade, across adversarial skyline shapes, and verify
+//! that run budgets still trip on each parallel path.
+
+use skydiver::core::dispersion::{
+    select_diverse, select_diverse_parallel, SeedRule, TieBreak,
+};
+use skydiver::core::diversity::SignatureDistance;
+use skydiver::core::minhash::{
+    sig_gen_ib, sig_gen_ib_parallel, sig_gen_if, sig_gen_parallel,
+};
+use skydiver::core::ExecContext;
+use skydiver::data::dominance::MinDominance;
+use skydiver::data::generators;
+use skydiver::rtree::{BufferPool, RTree};
+use skydiver::skyline::naive_skyline;
+use skydiver::{Dataset, HashFamily, Preference, RunBudget, SkyDiver, StopReason};
+
+const THREADS: [usize; 3] = [2, 3, 8];
+
+/// Adversarial skyline shapes: a singleton skyline (one point dominates
+/// everything), an all-skyline dataset (nothing dominates anything), and
+/// the standard correlated/anticorrelated mixes.
+fn adversarial_datasets() -> Vec<(&'static str, Dataset)> {
+    // Singleton skyline: the origin dominates every other point.
+    let mut rows = vec![[0.0f64, 0.0, 0.0]];
+    for i in 0..600 {
+        let v = 0.2 + (i as f64) * 1e-3;
+        rows.push([v, v + 0.1, v + 0.2]);
+    }
+    let singleton = Dataset::from_rows(3, &rows);
+
+    // Everything on the skyline: points on an antichain diagonal.
+    let anti: Vec<[f64; 3]> = (0..400)
+        .map(|i| {
+            let x = (i as f64) * 1e-3;
+            [x, 0.5 - x, 0.4]
+        })
+        .collect();
+    let all_skyline = Dataset::from_rows(3, &anti);
+
+    vec![
+        ("singleton-skyline", singleton),
+        ("all-skyline", all_skyline),
+        ("independent", generators::independent(3000, 3, 1801)),
+        ("anticorrelated", generators::anticorrelated(2000, 3, 1802)),
+        ("correlated", generators::correlated(3000, 3, 1803)),
+    ]
+}
+
+#[test]
+fn sharded_index_free_is_bit_identical() {
+    for (name, ds) in adversarial_datasets() {
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(32, 11);
+        let seq = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        for threads in THREADS {
+            let par = sig_gen_parallel(&ds, &MinDominance, &sky, &fam, threads);
+            assert_eq!(seq.matrix, par.matrix, "{name}, threads = {threads}");
+            assert_eq!(seq.scores, par.scores, "{name}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn partitioned_index_based_is_bit_identical() {
+    for (name, ds) in adversarial_datasets() {
+        let sky = naive_skyline(&ds, &MinDominance);
+        let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(32, 12);
+        let tree = RTree::bulk_load(&ds, 1024);
+        let mut pool = BufferPool::new(1 << 20);
+        let (seq, seq_stats) = sig_gen_ib(&tree, &mut pool, &pts, &fam);
+        for threads in THREADS {
+            let mut pool = BufferPool::new(1 << 20);
+            let (par, par_stats) = sig_gen_ib_parallel(&tree, &mut pool, &pts, &fam, threads);
+            assert_eq!(seq.matrix, par.matrix, "{name}, threads = {threads}");
+            assert_eq!(seq.scores, par.scores, "{name}, threads = {threads}");
+            assert_eq!(seq_stats, par_stats, "{name}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_selection_is_bit_identical() {
+    for (name, ds) in adversarial_datasets() {
+        let sky = naive_skyline(&ds, &MinDominance);
+        let fam = HashFamily::new(64, 13);
+        let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        let k = 5.min(sky.len());
+        if k < 2 {
+            continue;
+        }
+        for seed in [SeedRule::MaxDominance, SeedRule::FarthestPair] {
+            for tie in [TieBreak::MaxDominance, TieBreak::FirstIndex] {
+                let mut dist = SignatureDistance::new(&out.matrix);
+                let seq = select_diverse(&mut dist, &out.scores, k, seed, tie).unwrap();
+                for threads in THREADS {
+                    let dist = SignatureDistance::new(&out.matrix);
+                    let par =
+                        select_diverse_parallel(&dist, &out.scores, k, seed, tie, threads).unwrap();
+                    assert_eq!(seq, par, "{name}, {seed:?}/{tie:?}, threads = {threads}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_is_bit_identical_across_thread_counts() {
+    let prefs = Preference::all_min(3);
+    for (name, ds) in [
+        ("independent", generators::independent(4000, 3, 1804)),
+        ("anticorrelated", generators::anticorrelated(2500, 3, 1805)),
+    ] {
+        let cfg = SkyDiver::new(5).signature_size(64).hash_seed(14);
+        let seq = cfg.run(&ds, &prefs).unwrap();
+        let (seq_ib, _) = cfg.run_index_based(&ds, &prefs).unwrap();
+        for threads in THREADS {
+            let t_cfg = cfg.clone().threads(threads);
+            let par = t_cfg.run(&ds, &prefs).unwrap();
+            assert_eq!(seq.selected, par.selected, "{name} run, threads = {threads}");
+            assert_eq!(seq.scores, par.scores, "{name} run, threads = {threads}");
+            let (par_ib, _) = t_cfg.run_index_based(&ds, &prefs).unwrap();
+            assert_eq!(seq_ib.selected, par_ib.selected, "{name} IB, threads = {threads}");
+            assert_eq!(seq_ib.scores, par_ib.scores, "{name} IB, threads = {threads}");
+            let auto = t_cfg.run_auto(&ds, &prefs).unwrap();
+            assert_eq!(seq_ib.selected, auto.selected, "{name} auto, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn budgets_trip_on_every_parallel_path() {
+    let ds = generators::independent(4000, 3, 1806);
+    let prefs = Preference::all_min(3);
+
+    // Index-free parallel fingerprinting under a dominance budget.
+    let r = SkyDiver::new(4)
+        .signature_size(32)
+        .threads(4)
+        .budget(RunBudget::none().with_max_dominance_tests(500))
+        .run(&ds, &prefs)
+        .unwrap();
+    let int = r.degradation.interrupt.as_ref().expect("IF budget must trip");
+    assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+
+    // Index-based parallel fingerprinting under the same budget.
+    let (r, _) = SkyDiver::new(4)
+        .signature_size(32)
+        .threads(4)
+        .budget(RunBudget::none().with_max_dominance_tests(500))
+        .run_index_based(&ds, &prefs)
+        .unwrap();
+    let int = r.degradation.interrupt.as_ref().expect("IB budget must trip");
+    assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+
+    // Parallel selection under cancellation: the selection is cut to the
+    // exact prefix the sequential greedy would have chosen.
+    let sky = naive_skyline(&ds, &MinDominance);
+    let fam = HashFamily::new(64, 15);
+    let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    let mut dist = SignatureDistance::new(&out.matrix);
+    let full = select_diverse(
+        &mut dist,
+        &out.scores,
+        6,
+        SeedRule::MaxDominance,
+        TieBreak::MaxDominance,
+    )
+    .unwrap();
+    let token = skydiver::CancelToken::after_polls(3);
+    let ctx = ExecContext::new(RunBudget::none().with_cancel_token(token));
+    let dist = SignatureDistance::new(&out.matrix);
+    let (prefix, int) = skydiver::core::dispersion::select_diverse_parallel_budgeted(
+        &dist,
+        &out.scores,
+        6,
+        SeedRule::MaxDominance,
+        TieBreak::MaxDominance,
+        4,
+        &ctx,
+    )
+    .unwrap();
+    assert!(int.is_some(), "cancellation must interrupt the selection");
+    assert!(prefix.len() < 6, "selection was curtailed");
+    assert_eq!(prefix[..], full[..prefix.len()], "exact greedy prefix");
+}
