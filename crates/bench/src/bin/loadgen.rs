@@ -1,0 +1,204 @@
+//! `loadgen` — serving-path benchmark: cold-vs-warm query latency and
+//! concurrent throughput against an in-process `skydiver-serve`.
+//!
+//! ```text
+//! loadgen [--scale 0.1] [--conns 4] [--queries 25] [--k 10] [--t 64]
+//!         [--threads N] [--out BENCH_pr3.json] [--check BENCH_pr3.json]
+//! ```
+//!
+//! Starts a real TCP server (ephemeral port, `--threads` workers,
+//! default = `--conns`), installs an anticorrelated dataset, then
+//! measures:
+//!
+//! 1. **cold_ms** — the first `QUERY`, which fingerprints the dataset;
+//! 2. **warm_ms** — the best of a few repeat queries served from the
+//!    fingerprint cache;
+//! 3. **throughput** — `--conns` client threads each firing `--queries`
+//!    warm queries; per-query latency is measured client-side.
+//!
+//! Every response's selected set is checked against the first one —
+//! concurrency must not change answers.
+//!
+//! `--out` writes the JSON report; `--check BASELINE` instead gates on
+//! the committed report: the measured cold/warm ratio must stay above a
+//! quarter of the baseline's, pro-rated by cardinality (cold cost grows
+//! at least linearly in `n` while a cache hit is O(1), so the linear
+//! pro-rate keeps the floor conservative when CI checks at a smaller
+//! scale than the committed baseline). The ratio is within-run, so the
+//! gate is machine-independent (absolute times are informational).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use skydiver_bench::{Args, Family};
+use skydiver_serve::protocol::{json_u64, json_u64_array, QuerySpec};
+use skydiver_serve::{Client, Server, ServerConfig};
+
+fn query_once(client: &mut Client, spec: &QuerySpec) -> (Vec<u64>, f64) {
+    let t0 = Instant::now();
+    let payload = client.query(spec).expect("query");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let selected = json_u64_array(&payload, "selected").expect("selected array");
+    (selected, ms)
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+/// Extracts `"key": <f64>` from a flat baseline report.
+fn baseline_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let tail = &json[at + needle.len()..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report(
+    scale: f64,
+    n: usize,
+    conns: usize,
+    queries: usize,
+    threads: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    qps: f64,
+    p50: f64,
+    p99: f64,
+    hits: u64,
+    misses: u64,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"pr3-loadgen\",\n  \"scale\": {scale},\n  \"n\": {n},\n  \
+         \"conns\": {conns},\n  \"queries_per_conn\": {queries},\n  \
+         \"server_threads\": {threads},\n  \"cold_ms\": {cold_ms:.3},\n  \
+         \"warm_ms\": {warm_ms:.3},\n  \"cold_over_warm\": {:.3},\n  \
+         \"throughput_qps\": {qps:.1},\n  \"p50_ms\": {p50:.3},\n  \"p99_ms\": {p99:.3},\n  \
+         \"cache_hits\": {hits},\n  \"cache_misses\": {misses}\n}}\n",
+        cold_ms / warm_ms.max(1e-9),
+    )
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let conns: usize = args.get_or("conns", 4);
+    let queries: usize = args.get_or("queries", 25);
+    let k: usize = args.get_or("k", 10);
+    let t: usize = args.get_or("t", 64);
+    let threads: usize = args.get_or("threads", conns);
+
+    eprintln!("# loadgen: scale {} (n = {n}), {conns} conns x {queries} queries, {threads} server threads", args.scale);
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        cache_bytes: 64 << 20,
+    })
+    .expect("bind");
+    server.registry().insert_dataset("bench", Family::Ant.generate(n, 3, 91));
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let mut spec = QuerySpec::new("bench", k);
+    spec.t = t;
+    spec.seed = 7;
+
+    // Cold: the first query fingerprints; warm: best of 5 cache hits.
+    let mut probe = Client::connect(addr).expect("connect");
+    let (expected, cold_ms) = query_once(&mut probe, &spec);
+    assert_eq!(expected.len(), k.min(expected.len()), "query returned a selection");
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let (sel, ms) = query_once(&mut probe, &spec);
+        assert_eq!(sel, expected, "warm query changed the answer");
+        warm_ms = warm_ms.min(ms);
+    }
+
+    // Concurrent load: conns clients x queries warm queries each.
+    let t0 = Instant::now();
+    let mut all_ms: Vec<f64> = Vec::with_capacity(conns * queries);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..conns {
+            let spec = spec.clone();
+            let expected = &expected;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(queries);
+                for _ in 0..queries {
+                    let (sel, ms) = query_once(&mut client, &spec);
+                    assert_eq!(&sel, expected, "concurrent query changed the answer");
+                    lat.push(ms);
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            all_ms.extend(h.join().expect("client thread"));
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let qps = (conns * queries) as f64 / wall_s.max(1e-9);
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (percentile(&all_ms, 0.50), percentile(&all_ms, 0.99));
+
+    let stats = probe.stats().expect("stats");
+    let hits = json_u64(&stats, "cache_hits").unwrap_or(0);
+    let misses = json_u64(&stats, "cache_misses").unwrap_or(0);
+    probe.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+
+    eprintln!(
+        "cold {cold_ms:.2}ms  warm {warm_ms:.2}ms  (ratio {:.1}x)  throughput {qps:.0} q/s  p50 {p50:.2}ms  p99 {p99:.2}ms  cache {hits}h/{misses}m",
+        cold_ms / warm_ms.max(1e-9)
+    );
+    assert!(hits > 0, "warm queries must hit the fingerprint cache");
+
+    let json = report(
+        args.scale, n, conns, queries, threads, cold_ms, warm_ms, qps, p50, p99, hits, misses,
+    );
+
+    if let Some(baseline_path) = args.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (Some(base_ratio), Some(base_n)) = (
+            baseline_f64(&baseline, "cold_over_warm"),
+            baseline_f64(&baseline, "n"),
+        ) else {
+            eprintln!("baseline {baseline_path} lacks cold_over_warm / n");
+            return ExitCode::FAILURE;
+        };
+        let ratio = cold_ms / warm_ms.max(1e-9);
+        // Pro-rate by cardinality, never below 4x: even the tiniest run
+        // must show the cache clearly beating re-fingerprinting.
+        let floor = (base_ratio / 4.0 * (n as f64 / base_n.max(1.0))).max(4.0);
+        let ok = ratio >= floor;
+        eprintln!(
+            "CHECK cold_over_warm: {ratio:.2}x at n={n} vs baseline {base_ratio:.2}x at n={base_n} (floor {floor:.2}x) — {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr3.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}

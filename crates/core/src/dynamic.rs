@@ -343,4 +343,115 @@ mod tests {
         let mut d = DynamicDiversifier::new(2, 8);
         d.insert(vec![1, 2, 3], 0);
     }
+
+    #[test]
+    fn removing_a_selected_point_reselects_correctly() {
+        let t = 10;
+        let k = 3;
+        let mut d = DynamicDiversifier::new(k, t);
+        // Five mutually distinct points; three get selected, two archive.
+        let ids: Vec<usize> = (0..5).map(|i| d.insert(sig(t, i as u64, 0), i as u64)).collect();
+        assert_eq!(d.current().len(), k);
+        // Remove selected members one at a time; each repair must keep the
+        // selection maximal, unique and alive-only.
+        let mut removed = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let victim = d.current()[0];
+            d.remove(victim);
+            removed.insert(victim);
+            let alive: Vec<usize> =
+                ids.iter().copied().filter(|id| !removed.contains(id)).collect();
+            let members: std::collections::HashSet<usize> =
+                d.current().iter().copied().collect();
+            assert_eq!(members.len(), d.current().len(), "duplicate ids in selection");
+            assert_eq!(d.current().len(), k.min(alive.len()), "selection not refilled");
+            assert!(
+                members.iter().all(|m| alive.contains(m)),
+                "selection {members:?} holds removed ids (removed {removed:?})"
+            );
+            // All five are mutually distinct (distance 1), so the repaired
+            // selection must stay at full diversity.
+            assert_eq!(d.min_diversity(), 1.0);
+        }
+    }
+
+    #[test]
+    fn insert_after_remove_never_reuses_ids() {
+        let t = 8;
+        let mut d = DynamicDiversifier::new(2, t);
+        let a = d.insert(sig(t, 1, 0), 1);
+        let b = d.insert(sig(t, 2, 0), 1);
+        d.remove(a);
+        // A new arrival — even one with the dead point's exact signature —
+        // must get a fresh id, never resurrect `a`.
+        let c = d.insert(sig(t, 1, 0), 1);
+        assert!(c > b, "ids are monotone; removal must not free slots");
+        assert_eq!(d.archive_len(), 3);
+        assert!(!d.current().contains(&a), "dead id back in the selection");
+        assert!(d.current().contains(&c));
+        assert_eq!(d.min_diversity(), 1.0);
+        // And removing the dead id again stays a no-op.
+        let before = d.current().to_vec();
+        d.remove(a);
+        assert_eq!(d.current(), before.as_slice());
+    }
+
+    #[test]
+    fn remove_all_then_reinsert_recovers() {
+        let t = 8;
+        let mut d = DynamicDiversifier::new(3, t);
+        let ids: Vec<usize> = (0..4).map(|i| d.insert(sig(t, i as u64, 0), 1)).collect();
+        for &id in &ids {
+            d.remove(id);
+        }
+        assert!(d.current().is_empty(), "empty window must empty the selection");
+        assert_eq!(d.min_diversity(), f64::INFINITY);
+        // Fresh arrivals rebuild the selection from nothing.
+        let fresh: Vec<usize> = (10..13).map(|i| d.insert(sig(t, i as u64, 0), 1)).collect();
+        assert_eq!(d.current().len(), 3);
+        let members: std::collections::HashSet<usize> = d.current().iter().copied().collect();
+        assert_eq!(members, fresh.iter().copied().collect());
+    }
+
+    #[test]
+    fn random_churn_preserves_selection_invariants() {
+        let t = 12;
+        let k = 4;
+        let mut d = DynamicDiversifier::new(k, t);
+        let mut alive: Vec<usize> = Vec::new();
+        let mut rng: u64 = 0x5eed_cafe;
+        let mut next = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for step in 0..400 {
+            match next() % 10 {
+                // 60 % inserts, 30 % removals, 10 % full reselects.
+                0..=5 => {
+                    let tag = next();
+                    let shared = (next() % t as u64) as usize;
+                    let id = d.insert(sig(t, tag, shared), next() % 100);
+                    alive.push(id);
+                }
+                6..=8 if !alive.is_empty() => {
+                    let victim = alive.swap_remove((next() % alive.len() as u64) as usize);
+                    d.remove(victim);
+                }
+                _ => d.reselect(),
+            }
+            let members: std::collections::HashSet<usize> =
+                d.current().iter().copied().collect();
+            assert_eq!(members.len(), d.current().len(), "step {step}: duplicate ids");
+            assert_eq!(
+                d.current().len(),
+                k.min(alive.len()),
+                "step {step}: selection size vs {} alive",
+                alive.len()
+            );
+            assert!(
+                members.iter().all(|m| alive.contains(m)),
+                "step {step}: selection holds dead ids"
+            );
+        }
+    }
 }

@@ -79,4 +79,4 @@ pub use minhash::{
     sig_gen_ib_parallel_budgeted, sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic,
     sig_gen_parallel, sig_gen_parallel_budgeted, HashFamily, SigGenOutput, SignatureMatrix,
 };
-pub use pipeline::{DiverseResult, SelectionMethod, SkyDiver};
+pub use pipeline::{DiverseResult, Fingerprint, SelectionMethod, SkyDiver};

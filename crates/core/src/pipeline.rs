@@ -37,7 +37,9 @@ use crate::diversity::{LshDistance, SignatureDistance};
 use crate::error::{Result, SkyDiverError};
 use crate::graph::DominanceGraph;
 use crate::lsh::{LshIndex, LshParams};
-use crate::minhash::{sig_gen_if_budgeted, sig_gen_parallel_budgeted, HashFamily, SigGenOutput};
+use crate::minhash::{
+    sig_gen_if_budgeted, sig_gen_parallel_budgeted, HashFamily, SigGenOutput, SignatureMatrix,
+};
 
 /// Which phase-2 representation drives the selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +54,68 @@ pub enum SelectionMethod {
         /// Buckets per zone `B`.
         buckets: usize,
     },
+}
+
+/// The reusable phase-1 artefact: skyline, signature matrix and
+/// domination scores for one `(dataset, preferences, t, seed)`
+/// configuration.
+///
+/// Produced by [`SkyDiver::fingerprint`] and consumed — any number of
+/// times, with any `k`, selection method or budget — by
+/// [`SkyDiver::select_from`]. This is the unit a serving layer caches:
+/// fingerprinting costs one `O(n · m)` pass over the data, while each
+/// selection touches only the `t × m` matrix.
+///
+/// A `Fingerprint` may be *partial* when the producing run carried a
+/// budget that tripped mid-pass ([`Fingerprint::is_complete`] is then
+/// `false`); selecting from a partial fingerprint yields the same
+/// partial [`DiverseResult`] the one-shot [`SkyDiver::run`] would have
+/// returned. Caches should only retain complete fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    /// Skyline point indices into the input dataset (ascending).
+    pub skyline: Vec<usize>,
+    /// Signature matrix plus exact domination scores `|Γ(p)|`.
+    pub output: SigGenOutput,
+    /// Wall-clock milliseconds spent fingerprinting.
+    pub fingerprint_ms: f64,
+    /// Degradation steps taken while fingerprinting (e.g. the signature
+    /// size shrunk to fit a memory ceiling).
+    pub events: Vec<DegradationEvent>,
+    /// The budget trip that curtailed fingerprinting, if any.
+    pub interrupt: Option<Interrupt>,
+}
+
+impl Fingerprint {
+    /// `true` when fingerprinting ran to completion (the artefact is
+    /// safe to cache and reuse).
+    pub fn is_complete(&self) -> bool {
+        self.interrupt.is_none()
+    }
+
+    /// Skyline cardinality `m`.
+    pub fn m(&self) -> usize {
+        self.skyline.len()
+    }
+
+    /// The signature matrix.
+    pub fn matrix(&self) -> &SignatureMatrix {
+        &self.output.matrix
+    }
+
+    /// Domination scores `|Γ(p)|` per skyline point.
+    pub fn scores(&self) -> &[u64] {
+        &self.output.scores
+    }
+
+    /// Resident bytes of the artefact: signature matrix plus the score
+    /// and skyline vectors (what a cache should charge against its
+    /// ceiling).
+    pub fn memory_bytes(&self) -> usize {
+        self.output.matrix.memory_bytes()
+            + self.output.scores.len() * std::mem::size_of::<u64>()
+            + self.skyline.len() * std::mem::size_of::<usize>()
+    }
 }
 
 /// Result of one diversification run.
@@ -201,16 +265,62 @@ impl SkyDiver {
     }
 
     /// Index-free run: canonicalise, compute the skyline (SFS), run
-    /// `SigGen-IF`, select.
+    /// `SigGen-IF`, select. Equivalent to [`SkyDiver::fingerprint`]
+    /// followed by [`SkyDiver::select_from`], except that the budget
+    /// (deadline, cancellation) spans both phases as one run.
     pub fn run(&self, ds: &Dataset, prefs: &[Preference]) -> Result<DiverseResult> {
         let ctx = ExecContext::new(self.budget.clone());
+        let fp = self.fingerprint_ctx(ds, prefs, &ctx)?;
+        self.select_from_ctx(&fp, &ctx)
+    }
+
+    /// Phase 1 only: canonicalise, compute the skyline (SFS) and run
+    /// `SigGen-IF`, returning the reusable [`Fingerprint`] without
+    /// selecting anything. `k` plays no role in this phase; the same
+    /// artefact answers any subsequent [`SkyDiver::select_from`] with
+    /// any `k` or selection method — the contract a signature cache
+    /// relies on.
+    pub fn fingerprint(&self, ds: &Dataset, prefs: &[Preference]) -> Result<Fingerprint> {
+        let ctx = ExecContext::new(self.budget.clone());
+        self.fingerprint_ctx(ds, prefs, &ctx)
+    }
+
+    /// Phase 2 only: greedy selection over a previously computed (or
+    /// cached) [`Fingerprint`]. Skips canonicalisation, the skyline pass
+    /// and fingerprinting entirely — no dominance tests are charged to
+    /// this run's budget. Selecting from a partial fingerprint returns
+    /// the partial [`DiverseResult`] the producing run would have.
+    ///
+    /// The fingerprint's `hash_seed` and signature size are baked into
+    /// the matrix, so only `k`, the selection method, the seed/tie-break
+    /// rules, `threads` and the budget of `self` matter here.
+    pub fn select_from(&self, fp: &Fingerprint) -> Result<DiverseResult> {
+        let ctx = ExecContext::new(self.budget.clone());
+        self.select_from_ctx(fp, &ctx)
+    }
+
+    fn fingerprint_ctx(
+        &self,
+        ds: &Dataset,
+        prefs: &[Preference],
+        ctx: &ExecContext,
+    ) -> Result<Fingerprint> {
         if self.signature_size == 0 {
             return Err(SkyDiverError::ZeroSignatureSize);
         }
         let canon = canonicalise(ds, prefs)?;
         let ord = skydiver_data::dominance::MinDominance;
         if let Err(int) = ctx.check(ExecPhase::Skyline) {
-            return Ok(Self::partial(vec![], vec![], 0, 0.0, int, vec![]));
+            return Ok(Fingerprint {
+                skyline: vec![],
+                output: SigGenOutput {
+                    matrix: SignatureMatrix::new(self.signature_size, 0),
+                    scores: vec![],
+                },
+                fingerprint_ms: 0.0,
+                events: vec![],
+                interrupt: Some(int),
+            });
         }
         let skyline = sfs(&canon, &ord);
         if skyline.is_empty() {
@@ -220,26 +330,47 @@ impl SkyDiver {
             Ok(pair) => pair,
             Err(int) => {
                 let m = skyline.len();
-                return Ok(Self::partial(skyline, vec![0; m], 0, 0.0, int, vec![]));
+                return Ok(Fingerprint {
+                    skyline,
+                    output: SigGenOutput {
+                        matrix: SignatureMatrix::new(self.signature_size, 0),
+                        scores: vec![0; m],
+                    },
+                    fingerprint_ms: 0.0,
+                    events: vec![],
+                    interrupt: Some(int),
+                });
             }
         };
         let family = HashFamily::new(t_eff, self.hash_seed);
         let t0 = Instant::now();
         let (out, rows_scanned, interrupt) = if self.threads > 1 {
-            sig_gen_parallel_budgeted(&canon, &ord, &skyline, &family, self.threads, &ctx)
+            sig_gen_parallel_budgeted(&canon, &ord, &skyline, &family, self.threads, ctx)
         } else {
-            sig_gen_if_budgeted(&canon, &ord, &skyline, &family, &ctx)
+            sig_gen_if_budgeted(&canon, &ord, &skyline, &family, ctx)
         };
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
-        if let Some(int) = interrupt {
+        if interrupt.is_some() {
             events.push(DegradationEvent::FingerprintCurtailed {
                 rows_scanned,
                 rows_total: canon.len(),
             });
-            let mem = out.matrix.memory_bytes();
-            return Ok(Self::partial(skyline, out.scores, mem, fingerprint_ms, int, events));
         }
-        self.finish(skyline, out, fingerprint_ms, events, &ctx)
+        Ok(Fingerprint { skyline, output: out, fingerprint_ms, events, interrupt })
+    }
+
+    fn select_from_ctx(&self, fp: &Fingerprint, ctx: &ExecContext) -> Result<DiverseResult> {
+        if let Some(int) = fp.interrupt.clone() {
+            return Ok(Self::partial(
+                fp.skyline.clone(),
+                fp.output.scores.clone(),
+                fp.output.matrix.memory_bytes(),
+                fp.fingerprint_ms,
+                int,
+                fp.events.clone(),
+            ));
+        }
+        self.finish(&fp.skyline, &fp.output, fp.fingerprint_ms, fp.events.clone(), ctx)
     }
 
     /// Index-based run: bulk-load an aggregate R*-tree (paper defaults:
@@ -313,7 +444,7 @@ impl SkyDiver {
             let r = Self::partial(skyline, out.scores, mem, fingerprint_ms, int, events);
             return Ok((r, pool.stats()));
         }
-        let result = self.finish(skyline, out, fingerprint_ms, events, &ctx)?;
+        let result = self.finish(&skyline, &out, fingerprint_ms, events, &ctx)?;
         Ok((result, pool.stats()))
     }
 
@@ -354,7 +485,7 @@ impl SkyDiver {
         let out = graph.fingerprint(&family)?;
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
         let skyline: Vec<usize> = (0..graph.num_skyline()).collect();
-        self.finish(skyline, out, fingerprint_ms, vec![], &ctx)
+        self.finish(&skyline, &out, fingerprint_ms, vec![], &ctx)
     }
 
     /// Shrinks the signature size to fit the memory budget, if one is
@@ -477,15 +608,15 @@ impl SkyDiver {
 
     fn finish(
         &self,
-        skyline: Vec<usize>,
-        out: SigGenOutput,
+        skyline: &[usize],
+        out: &SigGenOutput,
         fingerprint_ms: f64,
         mut events: Vec<DegradationEvent>,
         ctx: &ExecContext,
     ) -> Result<DiverseResult> {
         let t1 = Instant::now();
         let (positions, memory_bytes, interrupt) = match self.method {
-            SelectionMethod::MinHash => self.select_minhash(&out, ctx)?,
+            SelectionMethod::MinHash => self.select_minhash(out, ctx)?,
             SelectionMethod::Lsh { threshold, buckets } => {
                 match LshParams::from_threshold(out.matrix.t(), threshold) {
                     Ok(params) => {
@@ -502,7 +633,7 @@ impl SkyDiver {
                         events.push(DegradationEvent::MinHashFallback {
                             cause: cause.to_string(),
                         });
-                        self.select_minhash(&out, ctx)?
+                        self.select_minhash(out, ctx)?
                     }
                     Err(e) => return Err(e),
                 }
@@ -517,10 +648,10 @@ impl SkyDiver {
         let selection_ms = t1.elapsed().as_secs_f64() * 1e3;
         let selected = positions.iter().map(|&p| skyline[p]).collect();
         Ok(DiverseResult {
-            skyline,
+            skyline: skyline.to_vec(),
             selected_positions: positions,
             selected,
-            scores: out.scores,
+            scores: out.scores.clone(),
             memory_bytes,
             fingerprint_ms,
             selection_ms,
@@ -556,6 +687,56 @@ mod tests {
         // An unbudgeted run reports no degradation.
         assert!(r.is_complete());
         assert_eq!(r.degradation.summary(), "complete");
+    }
+
+    #[test]
+    fn fingerprint_then_select_matches_run() {
+        let ds = anticorrelated(3000, 3, 165);
+        let prefs = Preference::all_min(3);
+        let cfg = SkyDiver::new(5).signature_size(64).hash_seed(11);
+        let fp = cfg.fingerprint(&ds, &prefs).unwrap();
+        assert!(fp.is_complete());
+        assert_eq!(fp.m(), fp.scores().len());
+        assert!(fp.memory_bytes() >= fp.matrix().memory_bytes());
+        let whole = cfg.run(&ds, &prefs).unwrap();
+        // The same fingerprint answers different k / method / threads
+        // bit-identically to the corresponding one-shot run.
+        let staged = cfg.select_from(&fp).unwrap();
+        assert_eq!(staged.selected, whole.selected);
+        assert_eq!(staged.scores, whole.scores);
+        assert_eq!(staged.skyline, whole.skyline);
+        for k in [2, 3, 7] {
+            let alt = SkyDiver::new(k).signature_size(64).hash_seed(11);
+            assert_eq!(
+                alt.select_from(&fp).unwrap().selected,
+                alt.run(&ds, &prefs).unwrap().selected,
+                "k = {k}"
+            );
+        }
+        let par = cfg.clone().threads(4);
+        assert_eq!(par.select_from(&fp).unwrap().selected, whole.selected);
+        let lsh = cfg.clone().lsh(0.2, 16);
+        assert_eq!(
+            lsh.select_from(&fp).unwrap().selected,
+            lsh.run(&ds, &prefs).unwrap().selected
+        );
+    }
+
+    #[test]
+    fn select_from_partial_fingerprint_matches_partial_run() {
+        let ds = independent(2000, 3, 166);
+        let prefs = Preference::all_min(3);
+        let full = SkyDiver::new(3).signature_size(32).run(&ds, &prefs).unwrap();
+        let m = full.skyline.len() as u64;
+        let cfg = SkyDiver::new(3)
+            .signature_size(32)
+            .budget(RunBudget::none().with_max_dominance_tests(50 * m));
+        let fp = cfg.fingerprint(&ds, &prefs).unwrap();
+        assert!(!fp.is_complete(), "budget must curtail the pass");
+        let r = cfg.select_from(&fp).unwrap();
+        assert!(r.selected.is_empty());
+        let int = r.degradation.interrupt.as_ref().unwrap();
+        assert_eq!(int.phase, ExecPhase::Fingerprint);
     }
 
     #[test]

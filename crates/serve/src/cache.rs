@@ -1,0 +1,209 @@
+//! Byte-bounded LRU cache of [`Fingerprint`] artefacts.
+//!
+//! The cache key is the full provenance of a signature matrix —
+//! `(dataset, preference subspace, t, seed)` — so a hit is guaranteed to
+//! reproduce, bit for bit, what re-fingerprinting would compute. Values
+//! are `Arc`-shared: an entry may be evicted while queries still hold
+//! it, eviction only drops the cache's own reference.
+//!
+//! Only *complete* fingerprints may be inserted: a budget-curtailed
+//! matrix covers a prefix of the data and would silently poison every
+//! later query with approximate-er-than-promised distances.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use skydiver_core::Fingerprint;
+
+/// Cache key: everything that determines the signature matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FingerprintKey {
+    /// Registry name of the dataset.
+    pub dataset: String,
+    /// Canonical preference string (`"min,max,..."`).
+    pub prefs: String,
+    /// Signature size `t`.
+    pub t: usize,
+    /// Hash-family seed.
+    pub seed: u64,
+}
+
+struct Entry {
+    fp: Arc<Fingerprint>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU fingerprint cache with a resident-byte ceiling.
+///
+/// Not internally synchronised — the registry wraps it in a `Mutex`.
+/// Recency is a monotonic tick; eviction scans for the minimum, which is
+/// O(entries) but entries are few (each is a whole `t × m` matrix).
+pub struct FingerprintCache {
+    ceiling: usize,
+    map: HashMap<FingerprintKey, Entry>,
+    bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl FingerprintCache {
+    /// A cache holding at most `ceiling` resident bytes.
+    pub fn new(ceiling: usize) -> Self {
+        FingerprintCache {
+            ceiling,
+            map: HashMap::new(),
+            bytes: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured byte ceiling.
+    pub fn ceiling(&self) -> usize {
+        self.ceiling
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached fingerprints.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up a fingerprint, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &FingerprintKey) -> Option<Arc<Fingerprint>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.fp)
+        })
+    }
+
+    /// Inserts a complete fingerprint, evicting least-recently-used
+    /// entries until the ceiling is respected. Returns `false` (and
+    /// caches nothing) if the fingerprint is partial or alone exceeds
+    /// the ceiling; re-inserting an existing key refreshes the entry.
+    pub fn insert(&mut self, key: FingerprintKey, fp: Arc<Fingerprint>) -> bool {
+        if !fp.is_complete() {
+            return false;
+        }
+        let bytes = fp.memory_bytes();
+        if bytes > self.ceiling {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.ceiling {
+            let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let dropped = self.map.remove(&lru).expect("key just observed");
+            self.bytes -= dropped.bytes;
+            self.evictions += 1;
+        }
+        self.map.insert(key, Entry { fp, bytes, last_used: self.tick });
+        self.bytes += bytes;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_core::minhash::{SigGenOutput, SignatureMatrix};
+
+    fn key(name: &str, t: usize) -> FingerprintKey {
+        FingerprintKey { dataset: name.into(), prefs: "min,min".into(), t, seed: 0 }
+    }
+
+    fn fp(t: usize, m: usize) -> Arc<Fingerprint> {
+        Arc::new(Fingerprint {
+            skyline: (0..m).collect(),
+            output: SigGenOutput {
+                matrix: SignatureMatrix::new(t, m),
+                scores: vec![1; m],
+            },
+            fingerprint_ms: 0.0,
+            events: vec![],
+            interrupt: None,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_byte_accounting() {
+        let mut c = FingerprintCache::new(1 << 20);
+        assert!(c.get(&key("a", 8)).is_none());
+        let f = fp(8, 10);
+        let bytes = f.memory_bytes();
+        assert!(c.insert(key("a", 8), f));
+        assert_eq!(c.bytes(), bytes);
+        assert!(c.get(&key("a", 8)).is_some());
+        assert!(c.get(&key("a", 16)).is_none(), "t is part of the key");
+        assert!(c.get(&key("b", 8)).is_none(), "dataset is part of the key");
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_pressure() {
+        let one = fp(8, 10).memory_bytes();
+        // Room for exactly two entries.
+        let mut c = FingerprintCache::new(2 * one);
+        assert!(c.insert(key("a", 8), fp(8, 10)));
+        assert!(c.insert(key("b", 8), fp(8, 10)));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(&key("a", 8)).is_some());
+        assert!(c.insert(key("c", 8), fp(8, 10)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&key("a", 8)).is_some());
+        assert!(c.get(&key("b", 8)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key("c", 8)).is_some());
+        assert!(c.bytes() <= c.ceiling());
+    }
+
+    #[test]
+    fn oversized_and_partial_entries_are_refused() {
+        let mut c = FingerprintCache::new(64);
+        assert!(!c.insert(key("big", 64), fp(64, 64)));
+        assert_eq!(c.len(), 0);
+        let mut partial = Fingerprint::clone(&fp(2, 2));
+        partial.interrupt = Some(skydiver_core::Interrupt {
+            phase: skydiver_core::ExecPhase::Fingerprint,
+            reason: skydiver_core::StopReason::Cancelled,
+        });
+        let mut c = FingerprintCache::new(1 << 20);
+        assert!(!c.insert(key("p", 2), Arc::new(partial)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = FingerprintCache::new(1 << 20);
+        assert!(c.insert(key("a", 8), fp(8, 10)));
+        let b1 = c.bytes();
+        assert!(c.insert(key("a", 8), fp(8, 10)));
+        assert_eq!(c.bytes(), b1);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Blocking line-protocol client.
+//!
+//! One request line out, one response line back — the transport really
+//! is that small. The typed helpers ([`Client::load`], [`Client::query`],
+//! [`Client::stats`], [`Client::shutdown`]) strip the `OK `/`ERR ` status
+//! prefix and hand back the payload.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{parse_response, QuerySpec};
+
+/// A connected client. Not thread-safe — open one client per thread
+/// (the server pairs one worker with one connection anyway).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Connects, retrying `attempts` times with `delay` between tries —
+    /// for scripts that race server startup.
+    pub fn connect_retry<A: ToSocketAddrs + Copy>(
+        addr: A,
+        attempts: usize,
+        delay: Duration,
+    ) -> std::io::Result<Client> {
+        let mut last = None;
+        for _ in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Sends one raw request line, returns the raw response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Sends one request line and splits the response into
+    /// `Ok(payload)` / `Err(message)`.
+    pub fn exchange(&mut self, line: &str) -> Result<String, String> {
+        let response = self.request(line).map_err(|e| format!("transport: {e}"))?;
+        parse_response(&response)
+    }
+
+    /// `LOAD name=<name> path=<path>` — returns the summary payload.
+    pub fn load(&mut self, name: &str, path: &str) -> Result<String, String> {
+        self.exchange(&format!("LOAD name={name} path={path}"))
+    }
+
+    /// Runs a query; returns the one-line JSON result payload.
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<String, String> {
+        self.exchange(&spec.to_line())
+    }
+
+    /// `STATS` — returns the one-line JSON metrics snapshot.
+    pub fn stats(&mut self) -> Result<String, String> {
+        self.exchange("STATS")
+    }
+
+    /// `SHUTDOWN` — asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<String, String> {
+        self.exchange("SHUTDOWN")
+    }
+}

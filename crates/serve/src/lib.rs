@@ -1,0 +1,43 @@
+//! `skydiver-serve` — a long-lived diversification query service with
+//! fingerprint reuse.
+//!
+//! The SkyDiver pipeline splits cleanly in two: *fingerprinting* (one
+//! `O(n · m)` pass that MinHashes every skyline point's dominated set
+//! into a [`SignatureMatrix`](skydiver_core::minhash::SignatureMatrix))
+//! and *selection* (greedy max–min dispersion over those signatures,
+//! cheap and `k`-dependent). The expensive artefact depends only on
+//! `(dataset, preference subspace, t, seed)` — not on `k`, not on the
+//! method — so a resident service can pay for it once and answer any
+//! number of `QUERY k=… method=…` requests from the cached matrix.
+//!
+//! Layering:
+//!
+//! - [`protocol`] — the line-delimited wire format (`LOAD`, `QUERY`,
+//!   `STATS`, `SHUTDOWN`) and its strict parser.
+//! - [`cache`] — byte-bounded LRU over complete fingerprints.
+//! - [`registry`] — named datasets + the shared cache; the
+//!   signature-reuse contract lives in [`Registry::fingerprint`].
+//! - [`metrics`] — lock-free counters and a fixed-bucket latency
+//!   histogram behind `STATS`.
+//! - [`server`] / [`client`] — a std-only TCP worker pool and its
+//!   blocking counterpart. No async runtime: the build is offline and
+//!   the protocol is one line per request.
+//!
+//! Every query runs under a per-request
+//! [`RunBudget`](skydiver_core::RunBudget) plus a server-wide
+//! cancellation token, so slow queries degrade to partial results and
+//! `SHUTDOWN` drains in-flight work promptly instead of hanging.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{FingerprintCache, FingerprintKey};
+pub use client::Client;
+pub use metrics::{LatencyHistogram, Metrics};
+pub use protocol::{parse_request, parse_response, Method, QuerySpec, Request};
+pub use registry::{parse_prefs, LoadedDataset, Registry};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,166 @@
+//! Lock-free serving metrics: atomic counters plus a fixed-bucket
+//! latency histogram.
+//!
+//! Counters are `Relaxed` — they are monotone tallies read only for
+//! reporting, so no ordering is needed. The histogram buckets latency by
+//! power-of-two microseconds (64 buckets cover 1 µs to ~2⁶³ µs), which
+//! keeps `record` to one atomic increment and makes p50/p99 a cumulative
+//! walk at `STATS` time; quantiles are upper bucket bounds, i.e. exact
+//! to within the 2× bucket resolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// Fixed-bucket latency histogram (power-of-two microsecond buckets).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        let idx = (64 - (micros | 1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) in milliseconds: the upper bound
+    /// of the bucket holding the `ceil(q · count)`-th observation.
+    /// Returns 0 when nothing has been recorded.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 2f64.powi(idx as i32) / 1_000.0;
+            }
+        }
+        unreachable!("cumulative count reaches total");
+    }
+}
+
+/// Counters the server exposes via `STATS` and dumps on shutdown.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `QUERY` requests answered (including degraded ones).
+    pub queries: AtomicU64,
+    /// `LOAD` requests served.
+    pub loads: AtomicU64,
+    /// Requests answered with `ERR`.
+    pub errors: AtomicU64,
+    /// Fingerprints served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Fingerprints computed because the cache missed.
+    pub cache_misses: AtomicU64,
+    /// Cache entries evicted under the byte ceiling.
+    pub cache_evictions: AtomicU64,
+    /// Queries that returned a degraded (budget-curtailed) result.
+    pub degraded: AtomicU64,
+    /// Bytes resident in the fingerprint cache (last observed).
+    pub bytes_resident: AtomicU64,
+    /// End-to-end `QUERY` latency.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Bumps a counter by 1.
+    pub fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One-line JSON snapshot (the `STATS` payload).
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"queries\":{},\"loads\":{},\"errors\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
+                "\"degraded\":{},\"bytes_resident\":{},",
+                "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
+            ),
+            self.get(&self.queries),
+            self.get(&self.loads),
+            self.get(&self.errors),
+            self.get(&self.cache_hits),
+            self.get(&self.cache_misses),
+            self.get(&self.cache_evictions),
+            self.get(&self.degraded),
+            self.get(&self.bytes_resident),
+            self.latency.count(),
+            self.latency.quantile_ms(0.50),
+            self.latency.quantile_ms(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_walk_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ms(0.5), 0.0, "empty histogram");
+        // 90 fast (≈100 µs) + 10 slow (≈100 ms) observations.
+        for _ in 0..90 {
+            h.record_micros(100);
+        }
+        for _ in 0..10 {
+            h.record_micros(100_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        assert!(p50 < 1.0, "p50 {p50} ms should be in the fast band");
+        assert!(p99 > 50.0, "p99 {p99} ms should be in the slow band");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn extreme_observations_clamp_to_end_buckets() {
+        let h = LatencyHistogram::default();
+        h.record_micros(0);
+        h.record_micros(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(1.0) > 0.0);
+    }
+
+    #[test]
+    fn snapshot_is_flat_json() {
+        let m = Metrics::new();
+        m.bump(&m.queries);
+        m.bump(&m.cache_hits);
+        m.latency.record_micros(1_000);
+        let j = m.snapshot_json();
+        assert_eq!(crate::protocol::json_u64(&j, "queries"), Some(1));
+        assert_eq!(crate::protocol::json_u64(&j, "cache_hits"), Some(1));
+        assert_eq!(crate::protocol::json_u64(&j, "cache_misses"), Some(0));
+        assert_eq!(crate::protocol::json_u64(&j, "latency_count"), Some(1));
+        assert!(crate::protocol::json_f64(&j, "p50_ms").is_some());
+    }
+}

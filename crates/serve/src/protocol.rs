@@ -1,0 +1,396 @@
+//! The line-delimited wire protocol.
+//!
+//! Every request and every response is one `\n`-terminated line of
+//! UTF-8. A request is a verb followed by `key=value` pairs in any
+//! order; a response starts with `OK` (optionally followed by a
+//! payload, which for `QUERY` and `STATS` is a one-line JSON object) or
+//! `ERR ` followed by a human-readable message.
+//!
+//! ```text
+//! LOAD name=<id> path=<file.csv|.sky> [prefs=min,max,...]
+//! QUERY dataset=<id> k=<k> [method=mh|lsh|greedy] [t=<t>] [seed=<s>]
+//!       [xi=<f>] [buckets=<b>] [prefs=min,max,...]
+//!       [timeout_ms=<ms>] [max_dominance_tests=<n>]
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! Unknown verbs and unknown or malformed `key=value` pairs are
+//! rejected with `ERR` — the protocol mirrors the CLI's strict flag
+//! policy so a misspelled parameter can never be silently ignored.
+
+use std::fmt;
+
+/// Default signature size `t` when a `QUERY` omits it (the paper's
+/// default).
+pub const DEFAULT_T: usize = 100;
+/// Default LSH similarity threshold `ξ`.
+pub const DEFAULT_XI: f64 = 0.2;
+/// Default LSH buckets per zone.
+pub const DEFAULT_BUCKETS: usize = 20;
+
+/// Phase-2 flavour a `QUERY` asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// Greedy dispersion over cached MinHash signatures (default).
+    MinHash,
+    /// Greedy dispersion over LSH bucket bit-vectors built from the
+    /// cached signatures.
+    Lsh {
+        /// Similarity threshold `ξ`.
+        xi: f64,
+        /// Buckets per zone.
+        buckets: usize,
+    },
+    /// Exact greedy baseline: dispersion over exact dominated-set
+    /// Jaccard distances (no signatures, never cached).
+    Greedy,
+}
+
+impl Method {
+    /// Protocol token for this method.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Method::MinHash => "mh",
+            Method::Lsh { .. } => "lsh",
+            Method::Greedy => "greedy",
+        }
+    }
+}
+
+/// A parsed `QUERY` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// Registry name of the dataset to query.
+    pub dataset: String,
+    /// Number of diverse points requested.
+    pub k: usize,
+    /// Selection method.
+    pub method: Method,
+    /// Signature size `t` (cache-key component).
+    pub t: usize,
+    /// Hash-family seed (cache-key component).
+    pub seed: u64,
+    /// Preference spec (`min,max,...`); `None` means all-min.
+    pub prefs: Option<String>,
+    /// Per-request wall-clock budget.
+    pub timeout_ms: Option<u64>,
+    /// Per-request dominance-test budget.
+    pub max_dominance_tests: Option<u64>,
+}
+
+impl QuerySpec {
+    /// A spec with the protocol defaults for `dataset` and `k`.
+    pub fn new(dataset: impl Into<String>, k: usize) -> Self {
+        QuerySpec {
+            dataset: dataset.into(),
+            k,
+            method: Method::MinHash,
+            t: DEFAULT_T,
+            seed: 0,
+            prefs: None,
+            timeout_ms: None,
+            max_dominance_tests: None,
+        }
+    }
+
+    /// Renders the spec as a wire-format `QUERY` line (no newline).
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "QUERY dataset={} k={} method={} t={} seed={}",
+            self.dataset,
+            self.k,
+            self.method.token(),
+            self.t,
+            self.seed
+        );
+        if let Method::Lsh { xi, buckets } = self.method {
+            line.push_str(&format!(" xi={xi} buckets={buckets}"));
+        }
+        if let Some(p) = &self.prefs {
+            line.push_str(&format!(" prefs={p}"));
+        }
+        if let Some(ms) = self.timeout_ms {
+            line.push_str(&format!(" timeout_ms={ms}"));
+        }
+        if let Some(n) = self.max_dominance_tests {
+            line.push_str(&format!(" max_dominance_tests={n}"));
+        }
+        line
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load a dataset file into the registry under a name.
+    Load {
+        /// Registry name.
+        name: String,
+        /// CSV (or `.sky` binary) file path on the server host.
+        path: String,
+    },
+    /// Answer a diversification query.
+    Query(QuerySpec),
+    /// Report the metrics snapshot.
+    Stats,
+    /// Stop accepting connections and exit after draining.
+    Shutdown,
+}
+
+/// A protocol-level parse failure (reported as an `ERR` line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn bad(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Splits `key=value` tokens, rejecting anything else.
+fn pairs(tokens: &[&str]) -> Result<Vec<(String, String)>, ParseError> {
+    tokens
+        .iter()
+        .map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| bad(format!("expected key=value, got {tok:?}")))
+        })
+        .collect()
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ParseError> {
+    value.parse().map_err(|_| bad(format!("invalid {key}={value:?}")))
+}
+
+/// Parses one request line. The verb is case-insensitive; keys are not.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| bad("empty request"))?;
+    let rest: Vec<&str> = tokens.collect();
+    match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let (mut name, mut path) = (None, None);
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "name" => name = Some(v),
+                    "path" => path = Some(v),
+                    other => return Err(bad(format!("unknown LOAD key {other:?}"))),
+                }
+            }
+            Ok(Request::Load {
+                name: name.ok_or_else(|| bad("LOAD requires name=<id>"))?,
+                path: path.ok_or_else(|| bad("LOAD requires path=<file>"))?,
+            })
+        }
+        "QUERY" => {
+            let mut dataset = None;
+            let mut k = None;
+            let mut method = "mh".to_string();
+            let mut t = DEFAULT_T;
+            let mut seed = 0u64;
+            let mut xi = DEFAULT_XI;
+            let mut buckets = DEFAULT_BUCKETS;
+            let mut prefs = None;
+            let mut timeout_ms = None;
+            let mut max_dominance_tests = None;
+            for (key, v) in pairs(&rest)? {
+                match key.as_str() {
+                    "dataset" => dataset = Some(v),
+                    "k" => k = Some(parse_num("k", &v)?),
+                    "method" => method = v,
+                    "t" => t = parse_num("t", &v)?,
+                    "seed" => seed = parse_num("seed", &v)?,
+                    "xi" => xi = parse_num("xi", &v)?,
+                    "buckets" => buckets = parse_num("buckets", &v)?,
+                    "prefs" => prefs = Some(v),
+                    "timeout_ms" => timeout_ms = Some(parse_num("timeout_ms", &v)?),
+                    "max_dominance_tests" => {
+                        max_dominance_tests = Some(parse_num("max_dominance_tests", &v)?)
+                    }
+                    other => return Err(bad(format!("unknown QUERY key {other:?}"))),
+                }
+            }
+            let method = match method.as_str() {
+                "mh" => Method::MinHash,
+                "lsh" => Method::Lsh { xi, buckets },
+                "greedy" => Method::Greedy,
+                other => return Err(bad(format!("unknown method {other:?} (mh|lsh|greedy)"))),
+            };
+            Ok(Request::Query(QuerySpec {
+                dataset: dataset.ok_or_else(|| bad("QUERY requires dataset=<id>"))?,
+                k: k.ok_or_else(|| bad("QUERY requires k=<k>"))?,
+                method,
+                t,
+                seed,
+                prefs,
+                timeout_ms,
+                max_dominance_tests,
+            }))
+        }
+        "STATS" => {
+            if !rest.is_empty() {
+                return Err(bad("STATS takes no arguments"));
+            }
+            Ok(Request::Stats)
+        }
+        "SHUTDOWN" => {
+            if !rest.is_empty() {
+                return Err(bad("SHUTDOWN takes no arguments"));
+            }
+            Ok(Request::Shutdown)
+        }
+        other => Err(bad(format!(
+            "unknown verb {other:?} (LOAD|QUERY|STATS|SHUTDOWN)"
+        ))),
+    }
+}
+
+/// Splits a response line into `Ok(payload)` / `Err(message)`.
+pub fn parse_response(line: &str) -> Result<String, String> {
+    if let Some(rest) = line.strip_prefix("OK") {
+        Ok(rest.trim_start().to_string())
+    } else if let Some(rest) = line.strip_prefix("ERR") {
+        Err(rest.trim_start().to_string())
+    } else {
+        Err(format!("malformed response line {line:?}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal hand-rolled JSON field extraction (the build is offline — no
+// serde). Good enough for the flat one-line objects this protocol emits.
+// ---------------------------------------------------------------------
+
+fn field_start<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    Some(json[at + needle.len()..].trim_start())
+}
+
+/// Extracts a numeric field (`"key": 12.5`) from a flat JSON object.
+pub fn json_f64(json: &str, key: &str) -> Option<f64> {
+    let rest = field_start(json, key)?;
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts an unsigned integer field from a flat JSON object.
+pub fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let rest = field_start(json, key)?;
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts a boolean field from a flat JSON object.
+pub fn json_bool(json: &str, key: &str) -> Option<bool> {
+    let rest = field_start(json, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts an array of unsigned integers (`"key":[1,2,3]`).
+pub fn json_u64_array(json: &str, key: &str) -> Option<Vec<u64>> {
+    let rest = field_start(json, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(vec![]);
+    }
+    body.split(',').map(|v| v.trim().parse().ok()).collect()
+}
+
+/// Escapes a string for embedding in a JSON value.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_query() {
+        let r = parse_request("QUERY dataset=hotels k=5").unwrap();
+        let Request::Query(q) = r else { panic!("not a query") };
+        assert_eq!(q.dataset, "hotels");
+        assert_eq!(q.k, 5);
+        assert_eq!(q.method, Method::MinHash);
+        assert_eq!(q.t, DEFAULT_T);
+    }
+
+    #[test]
+    fn query_round_trips_through_to_line() {
+        let mut q = QuerySpec::new("d", 4);
+        q.method = Method::Lsh { xi: 0.3, buckets: 8 };
+        q.timeout_ms = Some(250);
+        let Request::Query(back) = parse_request(&q.to_line()).unwrap() else {
+            panic!("not a query");
+        };
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_verbs() {
+        assert!(parse_request("QUERY dataset=d k=3 kk=4").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("QUERY dataset=d k=notanumber").is_err());
+        assert!(parse_request("QUERY dataset=d k=3 method=magic").is_err());
+        assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn load_requires_name_and_path() {
+        assert!(parse_request("LOAD name=x").is_err());
+        let r = parse_request("load name=x path=/tmp/x.csv").unwrap();
+        assert_eq!(
+            r,
+            Request::Load { name: "x".into(), path: "/tmp/x.csv".into() }
+        );
+    }
+
+    #[test]
+    fn response_split() {
+        assert_eq!(parse_response("OK {\"a\":1}").unwrap(), "{\"a\":1}");
+        assert_eq!(parse_response("ERR nope").unwrap_err(), "nope");
+        assert!(parse_response("???").is_err());
+    }
+
+    #[test]
+    fn json_extractors() {
+        let j = r#"{"a":1,"b":2.5,"c":true,"d":[3,4,5],"e":[],"s":"x"}"#;
+        assert_eq!(json_u64(j, "a"), Some(1));
+        assert_eq!(json_f64(j, "b"), Some(2.5));
+        assert_eq!(json_bool(j, "c"), Some(true));
+        assert_eq!(json_u64_array(j, "d"), Some(vec![3, 4, 5]));
+        assert_eq!(json_u64_array(j, "e"), Some(vec![]));
+        assert_eq!(json_u64(j, "missing"), None);
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

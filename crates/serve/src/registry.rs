@@ -1,0 +1,238 @@
+//! The dataset registry: named datasets plus the shared fingerprint
+//! cache.
+//!
+//! `LOAD` installs a dataset under a name; `QUERY` resolves the name,
+//! then asks [`Registry::fingerprint`] for the signature artefact — a
+//! cache hit returns the shared `Arc` without touching the data, a miss
+//! runs phase 1 under the request's budget and (only if it completed)
+//! caches the result for every later query over the same
+//! `(dataset, prefs, t, seed)` coordinate.
+//!
+//! Concurrency: datasets sit behind an `RwLock` (read-mostly), the
+//! cache behind a `Mutex` held only for lookups/inserts — never while
+//! fingerprinting, so concurrent cold misses on the same key may
+//! compute the same matrix twice. That costs duplicate work, not
+//! correctness: fingerprinting is deterministic in the key, so whichever
+//! insert lands last is bit-identical to the other.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use skydiver_core::{Fingerprint, RunBudget, SkyDiver};
+use skydiver_data::{io, Dataset, Preference};
+
+use crate::cache::{FingerprintCache, FingerprintKey};
+use crate::metrics::Metrics;
+
+/// A dataset installed in the registry.
+#[derive(Debug)]
+pub struct LoadedDataset {
+    /// Registry name.
+    pub name: String,
+    /// The points.
+    pub data: Dataset,
+}
+
+/// Parses a `min,max,...` preference spec against a dataset
+/// dimensionality, defaulting to all-min. Returns the preferences plus
+/// the canonical cache-key string.
+pub fn parse_prefs(spec: Option<&str>, dims: usize) -> Result<(Vec<Preference>, String), String> {
+    let prefs = match spec {
+        None => Preference::all_min(dims),
+        Some(s) => s
+            .split(',')
+            .map(|tok| match tok.trim() {
+                "min" => Ok(Preference::Min),
+                "max" => Ok(Preference::Max),
+                other => Err(format!("bad preference {other:?} (min|max)")),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if prefs.len() != dims {
+        return Err(format!("{} preferences for {dims}-dimensional data", prefs.len()));
+    }
+    let key = prefs
+        .iter()
+        .map(|p| if *p == Preference::Min { "min" } else { "max" })
+        .collect::<Vec<_>>()
+        .join(",");
+    Ok((prefs, key))
+}
+
+/// Named datasets + fingerprint cache + metrics. Shared (via `Arc`)
+/// between every worker thread of a [`Server`](crate::Server).
+pub struct Registry {
+    datasets: RwLock<HashMap<String, Arc<LoadedDataset>>>,
+    cache: Mutex<FingerprintCache>,
+    metrics: Arc<Metrics>,
+}
+
+impl Registry {
+    /// An empty registry whose fingerprint cache holds at most
+    /// `cache_bytes` resident bytes.
+    pub fn new(cache_bytes: usize, metrics: Arc<Metrics>) -> Self {
+        Registry {
+            datasets: RwLock::new(HashMap::new()),
+            cache: Mutex::new(FingerprintCache::new(cache_bytes)),
+            metrics,
+        }
+    }
+
+    /// The shared metrics block.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Installs an in-memory dataset (used by tests and the load
+    /// generator; the wire path is [`Registry::load_path`]). Replaces
+    /// any previous dataset of the same name — cached fingerprints keyed
+    /// to the old data are *not* invalidated, so reuse of a name with
+    /// different data is on the caller.
+    pub fn insert_dataset(&self, name: impl Into<String>, data: Dataset) -> (usize, usize) {
+        let name = name.into();
+        let (points, dims) = (data.len(), data.dims());
+        let entry = Arc::new(LoadedDataset { name: name.clone(), data });
+        self.datasets.write().expect("registry lock").insert(name, entry);
+        (points, dims)
+    }
+
+    /// Loads a dataset file (`.sky` binary snapshot or headerless CSV)
+    /// and installs it. Returns `(points, dims)`.
+    pub fn load_path(&self, name: &str, path: &str) -> Result<(usize, usize), String> {
+        let data = if path.ends_with(".sky") {
+            io::read_binary(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        } else {
+            io::read_csv(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        if data.is_empty() {
+            return Err(format!("{path} holds no points"));
+        }
+        Ok(self.insert_dataset(name, data))
+    }
+
+    /// Resolves a dataset by name.
+    pub fn dataset(&self, name: &str) -> Option<Arc<LoadedDataset>> {
+        self.datasets.read().expect("registry lock").get(name).cloned()
+    }
+
+    /// Names of the installed datasets (sorted, for reporting).
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.datasets.read().expect("registry lock").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The fingerprint for `(name, prefs, t, seed)` — cached if
+    /// available, otherwise computed under `budget` and cached when
+    /// complete. Returns the artefact plus whether it was a cache hit.
+    pub fn fingerprint(
+        &self,
+        name: &str,
+        prefs: &[Preference],
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        budget: RunBudget,
+    ) -> Result<(Arc<Fingerprint>, bool), String> {
+        let ds = self.dataset(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let key = FingerprintKey {
+            dataset: name.to_string(),
+            prefs: prefs_key.to_string(),
+            t,
+            seed,
+        };
+        if let Some(fp) = self.cache.lock().expect("cache lock").get(&key) {
+            self.metrics.bump(&self.metrics.cache_hits);
+            return Ok((fp, true));
+        }
+        self.metrics.bump(&self.metrics.cache_misses);
+        // `k` is irrelevant to phase 1; 2 is the smallest valid value.
+        let diver = SkyDiver::new(2).signature_size(t).hash_seed(seed).budget(budget);
+        let fp = Arc::new(diver.fingerprint(&ds.data, prefs).map_err(|e| e.to_string())?);
+        if fp.is_complete() {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache.insert(key, Arc::clone(&fp));
+            self.metrics
+                .bytes_resident
+                .store(cache.bytes() as u64, std::sync::atomic::Ordering::Relaxed);
+            self.metrics
+                .cache_evictions
+                .store(cache.evictions(), std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok((fp, false))
+    }
+
+    /// Cache occupancy snapshot: `(entries, resident bytes, ceiling)`.
+    pub fn cache_usage(&self) -> (usize, usize, usize) {
+        let cache = self.cache.lock().expect("cache lock");
+        (cache.len(), cache.bytes(), cache.ceiling())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skydiver_data::generators::anticorrelated;
+
+    #[test]
+    fn prefs_parse_and_canonicalise() {
+        let (p, key) = parse_prefs(None, 3).unwrap();
+        assert_eq!(p, Preference::all_min(3));
+        assert_eq!(key, "min,min,min");
+        let (p, key) = parse_prefs(Some("min, max ,min"), 3).unwrap();
+        assert_eq!(p, vec![Preference::Min, Preference::Max, Preference::Min]);
+        assert_eq!(key, "min,max,min");
+        assert!(parse_prefs(Some("min,up"), 2).is_err());
+        assert!(parse_prefs(Some("min"), 2).is_err());
+    }
+
+    #[test]
+    fn fingerprint_miss_then_hit_shares_the_artefact() {
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::new(1 << 24, Arc::clone(&metrics));
+        reg.insert_dataset("ant", anticorrelated(2000, 3, 17));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        let (cold, hit) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(!hit);
+        let (warm, hit) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&cold, &warm), "hit returns the same allocation");
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(metrics.cache_hits.load(Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Relaxed), 1);
+        assert!(metrics.bytes_resident.load(Relaxed) > 0);
+        // A different seed is a different cache coordinate.
+        let (_, hit) = reg.fingerprint("ant", &prefs, &key, 32, 8, RunBudget::none()).unwrap();
+        assert!(!hit);
+        assert_eq!(reg.cache_usage().0, 2);
+    }
+
+    #[test]
+    fn curtailed_fingerprints_are_not_cached() {
+        let reg = Registry::new(1 << 24, Arc::new(Metrics::new()));
+        reg.insert_dataset("ant", anticorrelated(2000, 3, 18));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        let tiny = RunBudget::none().with_max_dominance_tests(10);
+        let (fp, hit) = reg.fingerprint("ant", &prefs, &key, 32, 7, tiny).unwrap();
+        assert!(!hit);
+        assert!(!fp.is_complete());
+        assert_eq!(reg.cache_usage().0, 0, "partial artefact must not be cached");
+        // The next unbudgeted query recomputes from scratch (a miss).
+        let (fp, hit) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(!hit);
+        assert!(fp.is_complete());
+        assert_eq!(reg.cache_usage().0, 1);
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let reg = Registry::new(1 << 20, Arc::new(Metrics::new()));
+        let (prefs, key) = parse_prefs(None, 2).unwrap();
+        let err = reg.fingerprint("ghost", &prefs, &key, 8, 0, RunBudget::none()).unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
+    }
+}

@@ -1,0 +1,399 @@
+//! The TCP server: a blocking accept loop feeding a fixed worker pool.
+//!
+//! Hand-rolled on `std::net` (the build is offline — no tokio/hyper):
+//! the thread calling [`Server::run`] accepts connections and queues
+//! them on an `mpsc` channel; each of the `threads` workers pulls one
+//! connection at a time and serves its line-delimited requests until the
+//! client disconnects. Clients that want parallel queries open parallel
+//! connections.
+//!
+//! **Admission control.** Every `QUERY` runs under a per-request
+//! [`RunBudget`] assembled from its `timeout_ms` / `max_dominance_tests`
+//! parameters plus a server-wide [`CancelToken`]. A tripped budget
+//! degrades the query to a partial result (reported in the response and
+//! counted in the metrics) instead of stalling the worker indefinitely.
+//!
+//! **Shutdown.** `SHUTDOWN` flips the shared flag, cancels the
+//! server-wide token (so long-running in-flight queries degrade and
+//! finish promptly), and pokes the accept loop awake with a loopback
+//! connection. Queued connections are drained before [`Server::run`]
+//! returns; the final metrics snapshot is dumped to stderr.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use skydiver_core::{
+    canonicalise, select_diverse_budgeted, CancelToken, Degradation, ExactJaccardDistance,
+    ExecContext, GammaSets, RunBudget, SeedRule, SkyDiver, TieBreak,
+};
+use skydiver_data::dominance::MinDominance;
+use skydiver_skyline::sfs;
+
+use crate::metrics::Metrics;
+use crate::protocol::{json_escape, parse_request, Method, QuerySpec, Request};
+use crate::registry::{parse_prefs, Registry};
+
+/// Configuration of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub threads: usize,
+    /// Fingerprint-cache ceiling in bytes.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// A bound (not yet running) diversification query server.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    cancel: CancelToken,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared registry. The server
+    /// does not accept connections until [`Server::run`].
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let metrics = Arc::new(Metrics::new());
+        let registry = Arc::new(Registry::new(cfg.cache_bytes, Arc::clone(&metrics)));
+        Ok(Server {
+            listener,
+            registry,
+            metrics,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            cancel: CancelToken::new(),
+            threads: cfg.threads.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared registry — lets embedders preload datasets before
+    /// serving (tests, the load generator).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The shared metrics block.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Serves until a `SHUTDOWN` request arrives; drains queued
+    /// connections, joins every worker and dumps the final metrics
+    /// snapshot to stderr before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.threads);
+        for wid in 0..self.threads {
+            let rx = Arc::clone(&rx);
+            let registry = Arc::clone(&self.registry);
+            let shutdown = Arc::clone(&self.shutdown);
+            let cancel = self.cancel.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("skydiver-serve-{wid}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().expect("worker queue lock").recv();
+                        let Ok(stream) = next else { break };
+                        serve_connection(stream, &registry, &shutdown, &cancel, addr);
+                    })?,
+            );
+        }
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        eprintln!("skydiver-serve: shutdown, final stats {}", self.metrics.snapshot_json());
+        Ok(())
+    }
+
+    /// Convenience: moves the server onto a background thread and
+    /// returns a handle exposing the bound address, the registry, the
+    /// metrics and a join point.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let registry = Arc::clone(&self.registry);
+        let metrics = Arc::clone(&self.metrics);
+        let join = std::thread::Builder::new()
+            .name("skydiver-serve-accept".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, registry, metrics, join })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    metrics: Arc<Metrics>,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry (preload datasets here).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The shared metrics block.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Waits for the server to shut down.
+    pub fn join(self) -> std::io::Result<()> {
+        self.join
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Serves one connection: request line in, response line out, until the
+/// client disconnects (or sends `SHUTDOWN`).
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    cancel: &CancelToken,
+    addr: SocketAddr,
+) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = respond(&line, registry, cancel);
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if is_shutdown {
+            shutdown.store(true, Ordering::Release);
+            cancel.cancel();
+            // Poke the blocking accept loop awake so it observes the flag.
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            break;
+        }
+    }
+}
+
+/// Dispatches one request line; returns the response line and whether it
+/// was a shutdown.
+fn respond(line: &str, registry: &Registry, cancel: &CancelToken) -> (String, bool) {
+    let metrics = Arc::clone(registry.metrics());
+    match parse_request(line) {
+        Err(e) => {
+            metrics.bump(&metrics.errors);
+            (format!("ERR {e}"), false)
+        }
+        Ok(Request::Load { name, path }) => match registry.load_path(&name, &path) {
+            Ok((points, dims)) => {
+                metrics.bump(&metrics.loads);
+                (format!("OK dataset={name} points={points} dims={dims}"), false)
+            }
+            Err(e) => {
+                metrics.bump(&metrics.errors);
+                (format!("ERR {e}"), false)
+            }
+        },
+        Ok(Request::Query(q)) => {
+            let t0 = Instant::now();
+            match answer_query(&q, registry, cancel) {
+                Ok(json) => {
+                    metrics.bump(&metrics.queries);
+                    metrics.latency.record_micros(t0.elapsed().as_micros() as u64);
+                    (format!("OK {json}"), false)
+                }
+                Err(e) => {
+                    metrics.bump(&metrics.errors);
+                    (format!("ERR {e}"), false)
+                }
+            }
+        }
+        Ok(Request::Stats) => (format!("OK {}", metrics.snapshot_json()), false),
+        Ok(Request::Shutdown) => ("OK shutting down".to_string(), true),
+    }
+}
+
+/// Builds the per-request budget: client limits + the server-wide
+/// cancellation token.
+fn request_budget(q: &QuerySpec, cancel: &CancelToken) -> RunBudget {
+    let mut budget = RunBudget::none().with_cancel_token(cancel.clone());
+    if let Some(ms) = q.timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = q.max_dominance_tests {
+        budget = budget.with_max_dominance_tests(n);
+    }
+    budget
+}
+
+/// Answers a `QUERY`: signature methods go through the fingerprint
+/// cache + [`SkyDiver::select_from`]; the exact `greedy` baseline
+/// recomputes dominated sets per query (never cached).
+fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Result<String, String> {
+    let t0 = Instant::now();
+    let ds = registry
+        .dataset(&q.dataset)
+        .ok_or_else(|| format!("unknown dataset {:?} (LOAD it first)", q.dataset))?;
+    let (prefs, prefs_key) = parse_prefs(q.prefs.as_deref(), ds.data.dims())?;
+    let budget = request_budget(q, cancel);
+    let metrics = Arc::clone(registry.metrics());
+
+    let (skyline_len, selected, gamma, fingerprint_ms, selection_ms, memory_bytes, cached, degradation) =
+        match q.method {
+            Method::Greedy => {
+                let (skyline_len, selected, gamma, selection_ms, degradation) =
+                    answer_exact(q, &ds.data, &prefs, budget)?;
+                (skyline_len, selected, gamma, 0.0, selection_ms, 0usize, false, degradation)
+            }
+            Method::MinHash | Method::Lsh { .. } => {
+                let (fp, cached) = registry.fingerprint(
+                    &q.dataset,
+                    &prefs,
+                    &prefs_key,
+                    q.t,
+                    q.seed,
+                    budget.clone(),
+                )?;
+                let mut diver =
+                    SkyDiver::new(q.k).signature_size(q.t).hash_seed(q.seed).budget(budget);
+                if let Method::Lsh { xi, buckets } = q.method {
+                    diver = diver.lsh(xi, buckets);
+                }
+                let r = diver.select_from(&fp).map_err(|e| e.to_string())?;
+                let gamma: Vec<u64> =
+                    r.selected_positions.iter().map(|&p| r.scores[p]).collect();
+                // A cache hit charges no fingerprinting (and no dominance
+                // tests) to this request.
+                let fingerprint_ms = if cached { 0.0 } else { r.fingerprint_ms };
+                (
+                    r.skyline.len(),
+                    r.selected,
+                    gamma,
+                    fingerprint_ms,
+                    r.selection_ms,
+                    r.memory_bytes,
+                    cached,
+                    r.degradation,
+                )
+            }
+        };
+
+    let degraded = degradation.is_degraded();
+    if degraded {
+        metrics.bump(&metrics.degraded);
+    }
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let selected_json: Vec<String> = selected.iter().map(|i| i.to_string()).collect();
+    let gamma_json: Vec<String> = gamma.iter().map(|g| g.to_string()).collect();
+    Ok(format!(
+        concat!(
+            "{{\"dataset\":\"{}\",\"k\":{},\"method\":\"{}\",\"cached\":{},",
+            "\"skyline\":{},\"selected\":[{}],\"gamma\":[{}],",
+            "\"fingerprint_ms\":{:.3},\"selection_ms\":{:.3},\"total_ms\":{:.3},",
+            "\"memory_bytes\":{},\"degraded\":{},\"status\":\"{}\"}}"
+        ),
+        json_escape(&q.dataset),
+        q.k,
+        q.method.token(),
+        cached,
+        skyline_len,
+        selected_json.join(","),
+        gamma_json.join(","),
+        fingerprint_ms,
+        selection_ms,
+        total_ms,
+        memory_bytes,
+        degraded,
+        json_escape(&degradation.summary()),
+    ))
+}
+
+/// The exact greedy baseline: dominated-set Jaccard distances over
+/// explicit [`GammaSets`] — no signatures, no cache, per-query cost
+/// `O(n · m)` like a cold fingerprint plus an exact selection.
+#[allow(clippy::type_complexity)]
+fn answer_exact(
+    q: &QuerySpec,
+    data: &skydiver_data::Dataset,
+    prefs: &[skydiver_data::Preference],
+    budget: RunBudget,
+) -> Result<(usize, Vec<usize>, Vec<u64>, f64, Degradation), String> {
+    let ctx = ExecContext::new(budget);
+    let canon = canonicalise(data, prefs).map_err(|e| e.to_string())?;
+    let skyline = sfs(&canon, &MinDominance);
+    if skyline.is_empty() {
+        return Err("empty skyline".to_string());
+    }
+    let t0 = Instant::now();
+    let gamma = GammaSets::build(&canon, &MinDominance, &skyline);
+    let scores = gamma.scores();
+    let mut dist = ExactJaccardDistance::new(&gamma);
+    let (positions, interrupt) = select_diverse_budgeted(
+        &mut dist,
+        &scores,
+        q.k,
+        SeedRule::MaxDominance,
+        TieBreak::MaxDominance,
+        &ctx,
+    )
+    .map_err(|e| e.to_string())?;
+    let selection_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let selected: Vec<usize> = positions.iter().map(|&p| skyline[p]).collect();
+    let gamma_scores: Vec<u64> = positions.iter().map(|&p| scores[p]).collect();
+    let events = match &interrupt {
+        Some(_) => vec![skydiver_core::DegradationEvent::SelectionCurtailed {
+            selected: positions.len(),
+            requested: q.k,
+        }],
+        None => vec![],
+    };
+    Ok((
+        skyline.len(),
+        selected,
+        gamma_scores,
+        selection_ms,
+        Degradation { interrupt, events },
+    ))
+}

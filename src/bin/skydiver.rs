@@ -6,14 +6,26 @@
 //! skydiver diversify --input data.csv --k 5 [--method lsh --xi 0.2 --buckets 20]
 //!                    [--prefs min,min,max,min]
 //! skydiver run      --input data.csv --k 5 --threads 4 [--timeout-ms 5000]
+//!                   [--format json]
 //! skydiver fingerprint --input data.csv --t 100 --out data.skysig
 //! skydiver select   --signatures data.skysig --k 5
+//! skydiver serve    --addr 127.0.0.1:7878 --threads 4 --cache-bytes 67108864
+//! skydiver query    --addr 127.0.0.1:7878 --dataset hotels --k 5 [--format json]
+//! skydiver query    --addr 127.0.0.1:7878 --load hotels --path data.csv
+//! skydiver query    --addr 127.0.0.1:7878 --stats | --shutdown
 //! skydiver info     --input data.csv
 //! ```
 //!
 //! `fingerprint` runs the expensive one-pass phase once; `select` then
 //! answers any number of `k` / LSH configurations from the saved
-//! signature bundle without touching the data again.
+//! signature bundle without touching the data again. `serve` keeps that
+//! reuse resident: a long-lived worker-pool server whose fingerprint
+//! cache answers repeated queries without re-fingerprinting; `query` is
+//! its line-protocol client.
+//!
+//! Flags are strict: an unknown or misspelled `--flag` is an error, not
+//! a silently applied default, and a malformed value (`--k five`) is
+//! reported rather than swallowed.
 //!
 //! CSV files are headerless rows of floats (one point per line); the
 //! binary `.sky` snapshot format of `skydiver::data::io` is also
@@ -24,14 +36,19 @@ use std::process::ExitCode;
 
 use skydiver::data::dominance::MinDominance;
 use skydiver::data::{generators, io, surrogates};
+use skydiver::serve::protocol::{json_escape, json_u64_array, Method, QuerySpec};
+use skydiver::serve::{Client, Server, ServerConfig};
 use skydiver::skyline as sky;
-use skydiver::{Dataset, Preference, SkyDiver};
+use skydiver::{Dataset, DiverseResult, Preference, SkyDiver};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, flags)) = parse(&args) else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+    let (cmd, flags) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -40,11 +57,10 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "fingerprint" => cmd_fingerprint(&flags),
         "select" => cmd_select(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "info" => cmd_info(&flags),
-        _ => {
-            eprintln!("unknown command {cmd:?}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        _ => unreachable!("parse() validated the command"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -60,27 +76,87 @@ const USAGE: &str = "usage:
   skydiver skyline   --input FILE [--algo bnl|sfs|dc|streaming] [--prefs min,max,...]
   skydiver diversify --input FILE --k K [--t 100] [--method mh|lsh]
                      [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
-                     [--timeout-ms MS] [--max-memory BYTES]
+                     [--seed S] [--timeout-ms MS] [--max-memory BYTES]
   skydiver run       --input FILE --k K [--t 100] [--method mh|lsh]
                      [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
-                     [--timeout-ms MS] [--max-memory BYTES] [--max-dominance-tests N]
-  skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--prefs ...]
+                     [--seed S] [--timeout-ms MS] [--max-memory BYTES]
+                     [--max-dominance-tests N] [--format text|json]
+  skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--seed S] [--prefs ...]
   skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
                      [--xi 0.2] [--buckets 20]
+  skydiver serve     [--addr 127.0.0.1:7878] [--threads 4] [--cache-bytes 67108864]
+  skydiver query     [--addr 127.0.0.1:7878] --dataset NAME --k K
+                     [--method mh|lsh|greedy] [--t 100] [--seed S] [--xi 0.2]
+                     [--buckets 20] [--prefs min,max,...] [--timeout-ms MS]
+                     [--max-dominance-tests N] [--format text|json]
+  skydiver query     [--addr ...] --load NAME --path FILE   (install a dataset)
+  skydiver query     [--addr ...] --stats | --shutdown
   skydiver info      --input FILE";
+
+/// Per-command flag allowlists — an unknown `--flag` is an error, never
+/// a silently ignored typo.
+const COMMANDS: &[(&str, &[&str])] = &[
+    ("generate", &["family", "n", "d", "seed", "out"]),
+    ("skyline", &["input", "algo", "prefs"]),
+    (
+        "diversify",
+        &["input", "k", "t", "method", "xi", "buckets", "prefs", "threads", "seed", "timeout-ms",
+          "max-memory"],
+    ),
+    (
+        "run",
+        &["input", "k", "t", "method", "xi", "buckets", "prefs", "threads", "seed", "timeout-ms",
+          "max-memory", "max-dominance-tests", "format"],
+    ),
+    ("fingerprint", &["input", "out", "t", "seed", "prefs"]),
+    ("select", &["signatures", "k", "method", "xi", "buckets"]),
+    ("serve", &["addr", "threads", "cache-bytes"]),
+    (
+        "query",
+        &["addr", "dataset", "k", "method", "t", "seed", "xi", "buckets", "prefs", "timeout-ms",
+          "max-dominance-tests", "format", "load", "path", "stats", "shutdown"],
+    ),
+    ("info", &["input"]),
+];
+
+/// Flags that take no value (presence means `true`).
+const BOOL_FLAGS: &[&str] = &["stats", "shutdown"];
 
 type Flags = HashMap<String, String>;
 
-fn parse(args: &[String]) -> Option<(String, Flags)> {
-    let mut it = args.iter();
-    let cmd = it.next()?.clone();
+fn parse(args: &[String]) -> Result<(String, Flags), String> {
+    let mut it = args.iter().peekable();
+    let cmd = it.next().ok_or("no command given")?.clone();
+    let allowed = COMMANDS
+        .iter()
+        .find(|(name, _)| *name == cmd)
+        .map(|(_, flags)| *flags)
+        .ok_or_else(|| format!("unknown command {cmd:?}"))?;
     let mut flags = HashMap::new();
     while let Some(a) = it.next() {
-        let key = a.strip_prefix("--")?.to_string();
-        let val = it.next()?.clone();
-        flags.insert(key, val);
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {a:?}"))?
+            .to_string();
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown flag --{key} for {cmd:?} (expected one of: {})",
+                allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        let val = if BOOL_FLAGS.contains(&key.as_str()) {
+            "true".to_string()
+        } else {
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => return Err(format!("flag --{key} needs a value")),
+            }
+        };
+        if flags.insert(key.clone(), val).is_some() {
+            return Err(format!("flag --{key} given twice"));
+        }
     }
-    Some((cmd, flags))
+    Ok((cmd, flags))
 }
 
 fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
@@ -94,11 +170,42 @@ fn flag<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, Box<dyn std::error::
         .ok_or_else(|| err(format!("missing --{key}")))
 }
 
-fn num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> T {
-    flags
-        .get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// A numeric flag with a default. Unlike a silent `unwrap_or`, a present
+/// but malformed value is an error.
+fn num<T: std::str::FromStr>(
+    flags: &Flags,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("bad value {v:?} for --{key}"))),
+    }
+}
+
+/// An optional numeric flag (no default).
+fn opt_num<T: std::str::FromStr>(
+    flags: &Flags,
+    key: &str,
+) -> Result<Option<T>, Box<dyn std::error::Error>> {
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| err(format!("bad value {v:?} for --{key}"))),
+    }
+}
+
+/// `--format text|json` (default text). Returns `true` for JSON.
+fn json_format(flags: &Flags) -> Result<bool, Box<dyn std::error::Error>> {
+    match flags.get("format").map(|s| s.as_str()) {
+        None | Some("text") => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(err(format!("bad value {other:?} for --format (text|json)"))),
+    }
 }
 
 fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
@@ -110,34 +217,16 @@ fn load(path: &str) -> Result<Dataset, Box<dyn std::error::Error>> {
 }
 
 fn prefs_for(flags: &Flags, dims: usize) -> Result<Vec<Preference>, Box<dyn std::error::Error>> {
-    match flags.get("prefs") {
-        None => Ok(Preference::all_min(dims)),
-        Some(spec) => {
-            let prefs: Result<Vec<Preference>, _> = spec
-                .split(',')
-                .map(|tok| match tok.trim() {
-                    "min" => Ok(Preference::Min),
-                    "max" => Ok(Preference::Max),
-                    other => Err(err(format!("bad preference {other:?} (min|max)"))),
-                })
-                .collect();
-            let prefs = prefs?;
-            if prefs.len() != dims {
-                return Err(err(format!(
-                    "{} preferences for {dims}-dimensional data",
-                    prefs.len()
-                )));
-            }
-            Ok(prefs)
-        }
-    }
+    skydiver::serve::parse_prefs(flags.get("prefs").map(|s| s.as_str()), dims)
+        .map(|(prefs, _)| prefs)
+        .map_err(err)
 }
 
 fn cmd_generate(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let family = flag(flags, "family")?;
-    let n: usize = num(flags, "n", 100_000);
-    let d: usize = num(flags, "d", 4);
-    let seed: u64 = num(flags, "seed", 42);
+    let n: usize = num(flags, "n", 100_000)?;
+    let d: usize = num(flags, "d", 4)?;
+    let seed: u64 = num(flags, "seed", 42)?;
     let out = flag(flags, "out")?;
     let ds = match family {
         "ind" => generators::independent(n, d, seed),
@@ -184,32 +273,37 @@ fn cmd_skyline(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
-    let ds = load(flag(flags, "input")?)?;
-    let prefs = prefs_for(flags, ds.dims())?;
-    let k: usize = flag(flags, "k")?.parse()?;
-    let t: usize = num(flags, "t", 100);
-    let threads: usize = num(flags, "threads", 1);
+/// Builds the `SkyDiver` pipeline + budget shared by `diversify`/`run`.
+fn pipeline_for(flags: &Flags, k: usize) -> Result<SkyDiver, Box<dyn std::error::Error>> {
     let mut pipeline = SkyDiver::new(k)
-        .signature_size(t)
-        .hash_seed(num(flags, "seed", 0))
-        .threads(threads);
-    if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
-        pipeline = pipeline.lsh(num(flags, "xi", 0.2), num(flags, "buckets", 20));
+        .signature_size(num(flags, "t", 100)?)
+        .hash_seed(num(flags, "seed", 0)?)
+        .threads(num(flags, "threads", 1)?);
+    match flags.get("method").map(|s| s.as_str()) {
+        None | Some("mh") => {}
+        Some("lsh") => {
+            pipeline = pipeline.lsh(num(flags, "xi", 0.2)?, num(flags, "buckets", 20)?);
+        }
+        Some(other) => return Err(err(format!("unknown method {other:?} (mh|lsh)"))),
     }
     // Optional run budget: a tripped budget yields a partial result with
     // a degradation report, not an error.
     let mut budget = skydiver::RunBudget::none();
-    if let Some(ms) = flags.get("timeout-ms").and_then(|v| v.parse::<u64>().ok()) {
+    if let Some(ms) = opt_num::<u64>(flags, "timeout-ms")? {
         budget = budget.with_deadline(std::time::Duration::from_millis(ms));
     }
-    if let Some(bytes) = flags.get("max-memory").and_then(|v| v.parse::<usize>().ok()) {
+    if let Some(bytes) = opt_num::<usize>(flags, "max-memory")? {
         budget = budget.with_max_memory_bytes(bytes);
     }
-    pipeline = pipeline.budget(budget);
-    let r = pipeline.run(&ds, &prefs)?;
+    if let Some(n) = opt_num::<u64>(flags, "max-dominance-tests")? {
+        budget = budget.with_max_dominance_tests(n);
+    }
+    Ok(pipeline.budget(budget))
+}
+
+fn print_result_text(ds: &Dataset, r: &DiverseResult, label: &str) {
     println!(
-        "# skyline {} points; {} most diverse below (fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
+        "# skyline {} points; {} most diverse below ({label}fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
         r.skyline.len(),
         r.selected.len(),
         r.fingerprint_ms,
@@ -223,6 +317,35 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
         let row: Vec<String> = ds.point(idx).iter().map(|v| v.to_string()).collect();
         println!("{idx},{},gamma={}", row.join(","), r.scores[pos]);
     }
+}
+
+fn print_result_json(r: &DiverseResult) {
+    let selected: Vec<String> = r.selected.iter().map(|i| i.to_string()).collect();
+    let gamma: Vec<String> =
+        r.selected_positions.iter().map(|&p| r.scores[p].to_string()).collect();
+    println!(
+        concat!(
+            "{{\"skyline\":{},\"selected\":[{}],\"gamma\":[{}],",
+            "\"fingerprint_ms\":{:.3},\"selection_ms\":{:.3},\"memory_bytes\":{},",
+            "\"degraded\":{},\"status\":\"{}\"}}"
+        ),
+        r.skyline.len(),
+        selected.join(","),
+        gamma.join(","),
+        r.fingerprint_ms,
+        r.selection_ms,
+        r.memory_bytes,
+        !r.is_complete(),
+        json_escape(&r.degradation.summary()),
+    );
+}
+
+fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let ds = load(flag(flags, "input")?)?;
+    let prefs = prefs_for(flags, ds.dims())?;
+    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let r = pipeline_for(flags, k)?.run(&ds, &prefs)?;
+    print_result_text(&ds, &r, "");
     Ok(())
 }
 
@@ -232,42 +355,13 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_run(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let ds = load(flag(flags, "input")?)?;
     let prefs = prefs_for(flags, ds.dims())?;
-    let k: usize = flag(flags, "k")?.parse()?;
-    let t: usize = num(flags, "t", 100);
-    let threads: usize = num(flags, "threads", 1);
-    let mut pipeline = SkyDiver::new(k)
-        .signature_size(t)
-        .hash_seed(num(flags, "seed", 0))
-        .threads(threads);
-    if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
-        pipeline = pipeline.lsh(num(flags, "xi", 0.2), num(flags, "buckets", 20));
-    }
-    let mut budget = skydiver::RunBudget::none();
-    if let Some(ms) = flags.get("timeout-ms").and_then(|v| v.parse::<u64>().ok()) {
-        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
-    }
-    if let Some(bytes) = flags.get("max-memory").and_then(|v| v.parse::<usize>().ok()) {
-        budget = budget.with_max_memory_bytes(bytes);
-    }
-    if let Some(n) = flags.get("max-dominance-tests").and_then(|v| v.parse::<u64>().ok()) {
-        budget = budget.with_max_dominance_tests(n);
-    }
-    pipeline = pipeline.budget(budget);
-    let r = pipeline.run_auto(&ds, &prefs)?;
-    println!(
-        "# skyline {} points; {} most diverse below (threads {threads}, fingerprint {:.1}ms, select {:.1}ms, {} bytes)",
-        r.skyline.len(),
-        r.selected.len(),
-        r.fingerprint_ms,
-        r.selection_ms,
-        r.memory_bytes
-    );
-    if !r.is_complete() {
-        eprintln!("warning: degraded run — {}", r.degradation.summary());
-    }
-    for (&idx, &pos) in r.selected.iter().zip(&r.selected_positions) {
-        let row: Vec<String> = ds.point(idx).iter().map(|v| v.to_string()).collect();
-        println!("{idx},{},gamma={}", row.join(","), r.scores[pos]);
+    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let threads: usize = num(flags, "threads", 1)?;
+    let r = pipeline_for(flags, k)?.run_auto(&ds, &prefs)?;
+    if json_format(flags)? {
+        print_result_json(&r);
+    } else {
+        print_result_text(&ds, &r, &format!("threads {threads}, "));
     }
     Ok(())
 }
@@ -277,10 +371,10 @@ fn cmd_fingerprint(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let ds = load(flag(flags, "input")?)?;
     let prefs = prefs_for(flags, ds.dims())?;
     let out_path = flag(flags, "out")?;
-    let t: usize = num(flags, "t", 100);
+    let t: usize = num(flags, "t", 100)?;
     let canon = skydiver::core::canonicalise(&ds, &prefs)?;
     let skyline = sky::sfs(&canon, &MinDominance);
-    let fam = skydiver::HashFamily::new(t, num(flags, "seed", 0));
+    let fam = skydiver::HashFamily::new(t, num(flags, "seed", 0)?);
     let out = skydiver::core::sig_gen_if(&canon, &MinDominance, &skyline, &fam);
     persist::write_signatures(&out, out_path)?;
     println!(
@@ -297,10 +391,10 @@ fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
         select_diverse, LshDistance, LshIndex, LshParams, SeedRule, SignatureDistance, TieBreak,
     };
     let out = persist::read_signatures(flag(flags, "signatures")?)?;
-    let k: usize = flag(flags, "k")?.parse()?;
+    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
     let positions = if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
-        let params = LshParams::from_threshold(out.matrix.t(), num(flags, "xi", 0.2))?;
-        let idx = LshIndex::build(&out.matrix, params, num(flags, "buckets", 20), 0)?;
+        let params = LshParams::from_threshold(out.matrix.t(), num(flags, "xi", 0.2)?)?;
+        let idx = LshIndex::build(&out.matrix, params, num(flags, "buckets", 20)?, 0)?;
         let mut dist = LshDistance::new(&idx);
         select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)?
     } else {
@@ -313,6 +407,86 @@ fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     );
     for &p in &positions {
         println!("{p},gamma={}", out.scores[p]);
+    }
+    Ok(())
+}
+
+/// `skydiver serve` — bind the query service and run until `SHUTDOWN`.
+fn cmd_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = ServerConfig {
+        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        threads: num(flags, "threads", 4)?,
+        cache_bytes: num(flags, "cache-bytes", 64 << 20)?,
+    };
+    let server = Server::bind(&cfg)?;
+    eprintln!(
+        "skydiver-serve listening on {} ({} workers, {} byte fingerprint cache)",
+        server.local_addr()?,
+        cfg.threads.max(1),
+        cfg.cache_bytes
+    );
+    server.run()?;
+    Ok(())
+}
+
+/// `skydiver query` — line-protocol client: LOAD / QUERY / STATS /
+/// SHUTDOWN against a running `skydiver serve`.
+fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    if flags.contains_key("stats") {
+        println!("{}", client.stats().map_err(err)?);
+        return Ok(());
+    }
+    if flags.contains_key("shutdown") {
+        println!("{}", client.shutdown().map_err(err)?);
+        return Ok(());
+    }
+    if let Some(name) = flags.get("load") {
+        let path = flag(flags, "path")?;
+        println!("{}", client.load(name, path).map_err(err)?);
+        return Ok(());
+    }
+    // A diversification query.
+    let dataset = flag(flags, "dataset")?;
+    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let mut spec = QuerySpec::new(dataset, k);
+    spec.t = num(flags, "t", spec.t)?;
+    spec.seed = num(flags, "seed", spec.seed)?;
+    spec.method = match flags.get("method").map(|s| s.as_str()) {
+        None | Some("mh") => Method::MinHash,
+        Some("lsh") => Method::Lsh {
+            xi: num(flags, "xi", 0.2)?,
+            buckets: num(flags, "buckets", 20)?,
+        },
+        Some("greedy") => Method::Greedy,
+        Some(other) => return Err(err(format!("unknown method {other:?} (mh|lsh|greedy)"))),
+    };
+    spec.prefs = flags.get("prefs").cloned();
+    spec.timeout_ms = opt_num(flags, "timeout-ms")?;
+    spec.max_dominance_tests = opt_num(flags, "max-dominance-tests")?;
+    let payload = client.query(&spec).map_err(err)?;
+    if json_format(flags)? {
+        println!("{payload}");
+        return Ok(());
+    }
+    let selected = json_u64_array(&payload, "selected").unwrap_or_default();
+    let gamma = json_u64_array(&payload, "gamma").unwrap_or_default();
+    println!(
+        "# dataset {dataset}: {} selected of {} skyline points (cached={}, fingerprint {:.1}ms, select {:.1}ms, total {:.1}ms)",
+        selected.len(),
+        skydiver::serve::protocol::json_u64(&payload, "skyline").unwrap_or(0),
+        skydiver::serve::protocol::json_bool(&payload, "cached").unwrap_or(false),
+        skydiver::serve::protocol::json_f64(&payload, "fingerprint_ms").unwrap_or(0.0),
+        skydiver::serve::protocol::json_f64(&payload, "selection_ms").unwrap_or(0.0),
+        skydiver::serve::protocol::json_f64(&payload, "total_ms").unwrap_or(0.0),
+    );
+    if skydiver::serve::protocol::json_bool(&payload, "degraded") == Some(true) {
+        eprintln!("warning: degraded query");
+    }
+    for (idx, g) in selected.iter().zip(&gamma) {
+        println!("{idx},gamma={g}");
     }
     Ok(())
 }

@@ -10,6 +10,8 @@
 //!   dominance orders (numeric / categorical / partially ordered),
 //! * [`rtree`] (`skydiver-rtree`) — the aggregate R*-tree with simulated
 //!   paged I/O,
+//! * [`serve`] (`skydiver-serve`) — the long-lived query service:
+//!   dataset registry, fingerprint cache, line-protocol server/client,
 //! * [`skyline`] (`skydiver-skyline`) — BNL / SFS / D&C / BBS skyline
 //!   algorithms.
 //!
@@ -27,12 +29,13 @@
 pub use skydiver_core as core;
 pub use skydiver_data as data;
 pub use skydiver_rtree as rtree;
+pub use skydiver_serve as serve;
 pub use skydiver_skyline as skyline;
 
 pub use skydiver_core::{
     CancelToken, Degradation, DegradationEvent, DiverseResult, DominanceGraph, ExecPhase,
-    GammaSets, HashFamily, Interrupt, LshIndex, LshParams, Result, RunBudget, SeedRule,
-    SelectionMethod, SignatureMatrix, SkyDiver, SkyDiverError, StopReason, TieBreak,
+    Fingerprint, GammaSets, HashFamily, Interrupt, LshIndex, LshParams, Result, RunBudget,
+    SeedRule, SelectionMethod, SignatureMatrix, SkyDiver, SkyDiverError, StopReason, TieBreak,
 };
 pub use skydiver_data::{Dataset, Preference};
 pub use skydiver_rtree::{FaultInjection, ReadFailure};

@@ -161,6 +161,96 @@ fn run_subcommand_is_parallel_deterministic() {
 }
 
 #[test]
+fn run_format_json_emits_one_json_line() {
+    let csv = tmp("runjson.csv");
+    let out = bin()
+        .args(["generate", "--family", "ant", "--n", "3000", "--d", "3"])
+        .args(["--seed", "9", "--out", csv.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "4"])
+        .args(["--t", "64", "--format", "json"])
+        .output()
+        .expect("run run json");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 1, "one JSON line: {text}");
+    for field in ["\"skyline\":", "\"selected\":[", "\"gamma\":[", "\"degraded\":false"] {
+        assert!(text.contains(field), "missing {field}: {text}");
+    }
+    // The JSON selection matches the text-format selection.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "4", "--t", "64"])
+        .output()
+        .expect("run run text");
+    let plain = String::from_utf8_lossy(&out.stdout).to_string();
+    let ids: Vec<String> =
+        plain.lines().skip(1).map(|l| l.split(',').next().unwrap().to_string()).collect();
+    assert!(
+        text.contains(&format!("\"selected\":[{}]", ids.join(","))),
+        "json {text} vs text ids {ids:?}"
+    );
+
+    // Bad --format value is rejected.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "4"])
+        .args(["--format", "yaml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format"));
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
+fn unknown_and_malformed_flags_are_rejected() {
+    let csv = tmp("strict.csv");
+    std::fs::write(&csv, "0.1,0.2\n0.3,0.4\n0.2,0.1\n").unwrap();
+
+    // A misspelled flag must be an error naming the flag, not a silently
+    // applied default.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "3", "--theads", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--theads"), "{err}");
+    assert!(err.contains("--threads"), "should list the valid flags: {err}");
+
+    // A flag valid for another command is still rejected.
+    let out = bin()
+        .args(["skyline", "--input", csv.to_str().unwrap(), "--k", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--k"));
+
+    // A malformed numeric value errors instead of falling back to the
+    // default.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k", "3", "--t", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lots"));
+
+    // A value-taking flag at the end of the line needs its value.
+    let out = bin()
+        .args(["run", "--input", csv.to_str().unwrap(), "--k"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--k"));
+
+    std::fs::remove_file(csv).ok();
+}
+
+#[test]
 fn helpful_errors() {
     // Unknown command.
     let out = bin().arg("frobnicate").output().unwrap();

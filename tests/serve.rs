@@ -1,0 +1,250 @@
+//! Integration tests of the `skydiver-serve` query service: wire-level
+//! determinism against the direct pipeline, fingerprint-cache reuse,
+//! budget degradation and clean shutdown.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use skydiver::data::generators::anticorrelated;
+use skydiver::data::io;
+use skydiver::serve::protocol::{
+    json_bool, json_f64, json_u64, json_u64_array, Method, QuerySpec,
+};
+use skydiver::serve::{Client, Server, ServerConfig, ServerHandle};
+use skydiver::{Preference, SkyDiver};
+
+const T: usize = 64;
+const SEED: u64 = 5;
+
+fn start(threads: usize) -> ServerHandle {
+    Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        cache_bytes: 64 << 20,
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn")
+}
+
+fn spec(k: usize) -> QuerySpec {
+    let mut s = QuerySpec::new("ant", k);
+    s.t = T;
+    s.seed = SEED;
+    s
+}
+
+fn selected_of(payload: &str) -> Vec<u64> {
+    json_u64_array(payload, "selected").expect("selected array")
+}
+
+/// Acceptance: with a fixed seed, a server `QUERY` — cold or warm, any
+/// worker-pool size, under concurrency — returns the bit-identical
+/// selected set that a direct `SkyDiver::run` computes.
+#[test]
+fn concurrent_queries_match_direct_run_bit_for_bit() {
+    let k = 7;
+    let direct = SkyDiver::new(k)
+        .signature_size(T)
+        .hash_seed(SEED)
+        .run(&anticorrelated(20_000, 3, 33), &Preference::all_min(3))
+        .expect("direct run");
+    let expected: Vec<u64> = direct.selected.iter().map(|&i| i as u64).collect();
+
+    for threads in [1, 4] {
+        let handle = start(threads);
+        handle.registry().insert_dataset("ant", anticorrelated(20_000, 3, 33));
+        let addr = handle.addr();
+
+        // 8 concurrent clients, all racing the cold cache.
+        let cached_seen = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cached_seen = &cached_seen;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let payload = client.query(&spec(k)).expect("query");
+                    assert_eq!(
+                        &selected_of(&payload),
+                        expected,
+                        "concurrent cold query diverged from the direct run ({threads} threads)"
+                    );
+                    if json_bool(&payload, "cached") == Some(true) {
+                        cached_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        // Warm: a 9th query must hit the cache and still match.
+        let mut client = Client::connect(addr).expect("connect");
+        let payload = client.query(&spec(k)).expect("warm query");
+        assert_eq!(selected_of(&payload), expected, "warm query diverged");
+        assert_eq!(json_bool(&payload, "cached"), Some(true));
+
+        let stats = client.stats().expect("stats");
+        let hits = json_u64(&stats, "cache_hits").unwrap();
+        let misses = json_u64(&stats, "cache_misses").unwrap();
+        assert!(hits >= 1, "warm query must be a cache hit: {stats}");
+        assert_eq!(hits + misses, 9, "every query is a hit or a miss: {stats}");
+        assert_eq!(json_u64(&stats, "queries"), Some(9));
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("clean server exit");
+    }
+}
+
+/// Acceptance: a warm-cache `QUERY` skips fingerprinting entirely — it
+/// completes undegraded even under a zero dominance-test budget (the
+/// selection phase charges none), reports `fingerprint_ms` 0 and bumps
+/// the cache-hit counter. The same zero budget on a cold cache degrades.
+#[test]
+fn warm_cache_query_charges_no_dominance_tests() {
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(10_000, 3, 44));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Cold query under a zero dominance-test budget: fingerprinting must
+    // trip immediately — degraded, nothing cached.
+    let mut starved = spec(5);
+    starved.max_dominance_tests = Some(0);
+    let payload = client.query(&starved).expect("starved cold query");
+    assert_eq!(json_bool(&payload, "degraded"), Some(true), "{payload}");
+    assert_eq!(json_bool(&payload, "cached"), Some(false));
+
+    // Populate the cache with an unbudgeted query.
+    let payload = client.query(&spec(5)).expect("cold query");
+    assert_eq!(json_bool(&payload, "cached"), Some(false));
+    assert!(json_f64(&payload, "fingerprint_ms").unwrap() > 0.0);
+    let cold_selected = selected_of(&payload);
+
+    // Warm query under the same zero budget: the cached fingerprint means
+    // no dominance test is ever charged, so it must complete undegraded
+    // with the identical answer and no fingerprint cost.
+    let payload = client.query(&starved).expect("starved warm query");
+    assert_eq!(json_bool(&payload, "cached"), Some(true), "{payload}");
+    assert_eq!(json_bool(&payload, "degraded"), Some(false), "{payload}");
+    assert_eq!(json_f64(&payload, "fingerprint_ms"), Some(0.0));
+    assert_eq!(selected_of(&payload), cold_selected);
+
+    let stats = client.stats().expect("stats");
+    assert!(json_u64(&stats, "cache_hits").unwrap() >= 1, "{stats}");
+    assert!(json_u64(&stats, "degraded").unwrap() >= 1, "{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// The LSH method reuses the same cached fingerprint as MinHash; the
+/// exact greedy baseline bypasses the cache entirely.
+#[test]
+fn lsh_reuses_the_cache_and_greedy_bypasses_it() {
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(8_000, 3, 55));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let payload = client.query(&spec(4)).expect("mh query");
+    assert_eq!(json_bool(&payload, "cached"), Some(false));
+    let skyline = json_u64(&payload, "skyline").unwrap();
+
+    let mut lsh = spec(4);
+    lsh.method = Method::Lsh { xi: 0.2, buckets: 16 };
+    let payload = client.query(&lsh).expect("lsh query");
+    assert_eq!(
+        json_bool(&payload, "cached"),
+        Some(true),
+        "lsh shares the (dataset, prefs, t, seed) fingerprint: {payload}"
+    );
+    assert_eq!(selected_of(&payload).len(), 4);
+
+    let mut greedy = spec(4);
+    greedy.method = Method::Greedy;
+    let payload = client.query(&greedy).expect("greedy query");
+    assert_eq!(json_bool(&payload, "cached"), Some(false));
+    assert_eq!(json_u64(&payload, "skyline"), Some(skyline));
+    let sel = selected_of(&payload);
+    assert_eq!(sel.len(), 4);
+    let unique: std::collections::HashSet<u64> = sel.iter().copied().collect();
+    assert_eq!(unique.len(), 4, "greedy selection must be distinct: {sel:?}");
+    // Greedy never populates the signature cache.
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64(&stats, "cache_misses"), Some(1), "{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// Error responses: unknown datasets, bad requests and missing files are
+/// `ERR` lines, and the connection stays usable afterwards.
+#[test]
+fn errors_are_reported_and_survivable() {
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(5_000, 3, 66));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let err = client.query(&spec(4).clone_with_dataset("ghost")).unwrap_err();
+    assert!(err.contains("ghost"), "{err}");
+
+    let err = client.exchange("FROBNICATE all the=things").unwrap_err();
+    assert!(err.contains("unknown verb"), "{err}");
+
+    let err = client.exchange("QUERY dataset=ant k=nope").unwrap_err();
+    assert!(err.contains("k="), "{err}");
+
+    let err = client.load("nope", "/definitely/not/a/file.csv").unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+
+    // Bad preferences for the dimensionality.
+    let mut bad_prefs = spec(4);
+    bad_prefs.prefs = Some("min,up,min".into());
+    assert!(client.query(&bad_prefs).is_err());
+
+    // The connection is still good.
+    let payload = client.query(&spec(4)).expect("query after errors");
+    assert_eq!(selected_of(&payload).len(), 4);
+    let stats = client.stats().expect("stats");
+    assert!(json_u64(&stats, "errors").unwrap() >= 5, "{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// The wire `LOAD` path: a CSV on disk, loaded over the protocol, must
+/// answer exactly like a direct run over the same file.
+#[test]
+fn wire_load_matches_direct_run_on_the_same_file() {
+    let dir = std::env::temp_dir();
+    let csv = dir.join(format!("skydiver-serve-{}.csv", std::process::id()));
+    io::write_csv(&anticorrelated(6_000, 3, 77), &csv).expect("write csv");
+    let ds = io::read_csv(&csv).expect("read csv back");
+    let direct = SkyDiver::new(5)
+        .signature_size(T)
+        .hash_seed(SEED)
+        .run(&ds, &Preference::all_min(3))
+        .expect("direct run");
+    let expected: Vec<u64> = direct.selected.iter().map(|&i| i as u64).collect();
+
+    let handle = start(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let summary = client.load("ant", csv.to_str().unwrap()).expect("wire load");
+    assert!(summary.contains("points=6000"), "{summary}");
+    let payload = client.query(&spec(5)).expect("query");
+    assert_eq!(selected_of(&payload), expected);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+    std::fs::remove_file(csv).ok();
+}
+
+/// Helper: `QuerySpec` with a different dataset name.
+trait CloneWith {
+    fn clone_with_dataset(&self, name: &str) -> QuerySpec;
+}
+
+impl CloneWith for QuerySpec {
+    fn clone_with_dataset(&self, name: &str) -> QuerySpec {
+        let mut s = self.clone();
+        s.dataset = name.into();
+        s
+    }
+}
