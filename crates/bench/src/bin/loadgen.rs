@@ -4,7 +4,18 @@
 //! ```text
 //! loadgen [--scale 0.1] [--conns 4] [--queries 25] [--k 10] [--t 64]
 //!         [--threads N] [--out BENCH_pr3.json] [--check BENCH_pr3.json]
+//! loadgen --mode append [--scale 0.1] [--k 10] [--t 64]
+//!         [--out BENCH_pr4.json | --check BENCH_pr4.json]
 //! ```
+//!
+//! `--mode append` measures the shard-native serving path instead: a
+//! cold fingerprint of `n` points, a wire `APPEND` of ~5% more points,
+//! then the incremental re-fingerprint (which reuses the old shard's
+//! cached fold) versus a full cold recompute of the grown dataset (a
+//! fresh seed, so nothing is reusable). The per-query `dominance_tests`
+//! counter from the response is the machine-independent cost measure;
+//! `--check` gates on the cold/append dominance-test ratio. A shard-count
+//! sweep (1..8 shards, same data) confirms partitioning itself is free.
 //!
 //! Starts a real TCP server (ephemeral port, `--threads` workers,
 //! default = `--conns`), installs an anticorrelated dataset, then
@@ -31,6 +42,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use skydiver_bench::{Args, Family};
+use skydiver_data::{io, Dataset, ShardedDataset};
 use skydiver_serve::protocol::{json_u64, json_u64_array, QuerySpec};
 use skydiver_serve::{Client, Server, ServerConfig};
 
@@ -40,6 +52,18 @@ fn query_once(client: &mut Client, spec: &QuerySpec) -> (Vec<u64>, f64) {
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     let selected = json_u64_array(&payload, "selected").expect("selected array");
     (selected, ms)
+}
+
+/// Like [`query_once`] but also returns the query's `dominance_tests`
+/// charge — the machine-independent cost of the fingerprint work it
+/// triggered (0 for a memoised artefact).
+fn query_counted(client: &mut Client, spec: &QuerySpec) -> (Vec<u64>, f64, u64) {
+    let t0 = Instant::now();
+    let payload = client.query(spec).expect("query");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let selected = json_u64_array(&payload, "selected").expect("selected array");
+    let tests = json_u64(&payload, "dominance_tests").expect("dominance_tests field");
+    (selected, ms, tests)
 }
 
 fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
@@ -85,8 +109,157 @@ fn report(
     )
 }
 
+/// `--mode append`: cold fingerprint, wire `APPEND`, incremental warm
+/// re-fingerprint vs full cold recompute, plus a shard-count sweep.
+fn run_append_mode(args: &Args) -> ExitCode {
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let a = (n / 20).max(200);
+    let k: usize = args.get_or("k", 10);
+    let t: usize = args.get_or("t", 64);
+    eprintln!("# loadgen append mode: n = {n}, append = {a}");
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        cache_bytes: 64 << 20,
+    })
+    .expect("bind");
+    let base = Family::Ant.generate(n, 3, 91);
+    server.registry().insert_dataset("bench", base.clone());
+    // Shard-count sweep datasets: identical points, 1..8 shards.
+    for s in [1usize, 2, 4, 8] {
+        server
+            .registry()
+            .insert_sharded(format!("sweep{s}"), ShardedDataset::partition(&base, s));
+    }
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let mut spec = QuerySpec::new("bench", k);
+    spec.t = t;
+    spec.seed = 7;
+    // A never-tripping dominance budget switches the counter on
+    // (unlimited budgets skip it entirely).
+    spec.max_dominance_tests = Some(u64::MAX / 2);
+
+    let mut probe = Client::connect(addr).expect("connect");
+    let (_, cold_ms, cold_tests) = query_counted(&mut probe, &spec);
+    assert!(cold_tests > 0, "cold query must charge dominance tests");
+
+    // Grow the dataset by ~5% over the wire. The appended block is
+    // anticorrelated data shifted up by 0.25 — plausible "mostly worse"
+    // new points, so only a few new skyline columns appear.
+    let block = shifted_block(a, 92, 0.25);
+    let tmp = format!("target/loadgen_append_{}.csv", std::process::id());
+    io::write_csv(&block, &tmp).expect("write append block");
+    let reply = probe.append("bench", &tmp).expect("append");
+    let _ = std::fs::remove_file(&tmp);
+    assert!(reply.contains("shards=2"), "append reply: {reply}");
+
+    let (_, append_ms, append_tests) = query_counted(&mut probe, &spec);
+    assert!(append_tests > 0, "the append query re-folds the new shard");
+
+    // Full cold recompute of the grown dataset: a fresh seed shares no
+    // cached folds, so every row of every shard is re-scanned.
+    let mut grown_spec = spec.clone();
+    grown_spec.seed = 8;
+    let (_, grown_ms, grown_tests) = query_counted(&mut probe, &grown_spec);
+    assert!(
+        append_tests < grown_tests,
+        "incremental append ({append_tests}) must undercut a cold recompute ({grown_tests})"
+    );
+
+    // Shard sweep: cold fingerprint cost must not depend on shard count.
+    let mut sweep = Vec::new();
+    for s in [1usize, 2, 4, 8] {
+        let mut sspec = spec.clone();
+        sspec.dataset = format!("sweep{s}");
+        let (_, ms, tests) = query_counted(&mut probe, &sspec);
+        sweep.push((s, ms, tests));
+    }
+    let sweep_tests: Vec<u64> = sweep.iter().map(|&(_, _, tests)| tests).collect();
+    assert!(
+        sweep_tests.iter().all(|&tests| tests == sweep_tests[0]),
+        "sharding must not change the dominance-test count: {sweep_tests:?}"
+    );
+
+    probe.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+
+    let tests_ratio = grown_tests as f64 / append_tests.max(1) as f64;
+    let ms_ratio = grown_ms / append_ms.max(1e-9);
+    eprintln!(
+        "cold {cold_ms:.2}ms/{cold_tests}t  append-warm {append_ms:.2}ms/{append_tests}t  \
+         grown-cold {grown_ms:.2}ms/{grown_tests}t  (saves {tests_ratio:.1}x tests, {ms_ratio:.1}x time)"
+    );
+
+    let sweep_json = sweep
+        .iter()
+        .map(|(s, ms, tests)| format!("{{\"shards\": {s}, \"cold_ms\": {ms:.3}, \"tests\": {tests}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"pr4-loadgen-append\",\n  \"scale\": {},\n  \"n\": {n},\n  \
+         \"append_points\": {a},\n  \"k\": {k},\n  \"t\": {t},\n  \
+         \"cold_ms\": {cold_ms:.3},\n  \"cold_tests\": {cold_tests},\n  \
+         \"append_ms\": {append_ms:.3},\n  \"append_tests\": {append_tests},\n  \
+         \"grown_cold_ms\": {grown_ms:.3},\n  \"grown_cold_tests\": {grown_tests},\n  \
+         \"tests_ratio\": {tests_ratio:.3},\n  \"ms_ratio\": {ms_ratio:.3},\n  \
+         \"shard_sweep\": [{sweep_json}]\n}}\n",
+        args.scale,
+    );
+
+    if let Some(baseline_path) = args.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(base_ratio) = baseline_f64(&baseline, "tests_ratio") else {
+            eprintln!("baseline {baseline_path} lacks tests_ratio");
+            return ExitCode::FAILURE;
+        };
+        // The ratio (n+a)·m / (a·m + n·|new skyline|) is roughly
+        // scale-invariant; a quarter of the baseline (never below 2x)
+        // still proves the append path skips most of the cold work.
+        let floor = (base_ratio / 4.0).max(2.0);
+        let ok = tests_ratio >= floor;
+        eprintln!(
+            "CHECK tests_ratio: {tests_ratio:.2}x vs baseline {base_ratio:.2}x (floor {floor:.2}x) — {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr4.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Anticorrelated points shifted up by `delta` in every dimension —
+/// "new data that is mostly worse", so most of it is dominated and only
+/// a few new skyline columns appear.
+fn shifted_block(a: usize, seed: u64, delta: f64) -> Dataset {
+    let raw = Family::Ant.generate(a, 3, seed);
+    let rows: Vec<Vec<f64>> = (0..raw.len())
+        .map(|i| raw.point(i).iter().map(|v| v + delta).collect())
+        .collect();
+    Dataset::from_rows(3, &rows)
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
+    if args.get("mode") == Some("append") {
+        return run_append_mode(&args);
+    }
     let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
     let conns: usize = args.get_or("conns", 4);
     let queries: usize = args.get_or("queries", 25);

@@ -37,6 +37,16 @@ pub enum TieBreak {
     FirstIndex,
 }
 
+/// The max-domination seed shared by every selection variant
+/// ([`SeedRule::MaxDominance`] in the sequential and parallel greedy
+/// k-MMDP and the seed of [`greedy_msdp`]): the candidate with the
+/// highest domination score, lowest index winning ties.
+fn max_dominance_seed(scores: &[u64]) -> usize {
+    (0..scores.len())
+        .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+        .expect("at least one candidate")
+}
+
 /// The paper's `SelectDiverseSet` (Fig. 6): greedy k-MMDP.
 ///
 /// * `dist` — any metric [`DiversityDistance`] backend,
@@ -94,9 +104,7 @@ pub fn select_diverse_budgeted<D: DiversityDistance>(
             if let Err(int) = ctx.check(ExecPhase::Selection) {
                 return Ok((selected, Some(int)));
             }
-            let first = (0..m)
-                .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
-                .expect("m >= 2");
+            let first = max_dominance_seed(scores);
             push(first, dist, &mut selected, &mut in_set, &mut min_dist);
         }
         SeedRule::FarthestPair => {
@@ -252,9 +260,7 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
             if let Err(int) = ctx.check(ExecPhase::Selection) {
                 return Ok((selected, Some(int)));
             }
-            let first = (0..m)
-                .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
-                .expect("m >= 2");
+            let first = max_dominance_seed(scores);
             selected.push(first);
             in_set[first] = true;
         }
@@ -448,9 +454,7 @@ pub fn greedy_msdp<D: DiversityDistance>(
             points: m,
         });
     }
-    let first = (0..m)
-        .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
-        .expect("m >= 2");
+    let first = max_dominance_seed(scores);
     let mut selected = vec![first];
     let mut in_set = vec![false; m];
     in_set[first] = true;

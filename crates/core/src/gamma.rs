@@ -8,7 +8,7 @@
 //! experiments *do* need real `Γ` sets though, so this module builds them
 //! as one bitset per skyline point in a single scan.
 
-use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_data::{DatasetView, DominanceOrd};
 
 use crate::bitset::BitSet;
 
@@ -21,25 +21,27 @@ pub struct GammaSets {
 }
 
 impl GammaSets {
-    /// Builds the Γ sets for `skyline` (dataset indices) by one scan over
-    /// `ds`. `O(n · m · d)` time, `O(n · m / 8)` bytes.
-    pub fn build<O>(ds: &Dataset, ord: &O, skyline: &[usize]) -> Self
+    /// Builds the Γ sets for `skyline` (view-local indices) by one scan
+    /// over `ds` (a dataset or any [`DatasetView`]). `O(n · m · d)`
+    /// time, `O(n · m / 8)` bytes.
+    pub fn build<'a, O>(ds: impl Into<DatasetView<'a>>, ord: &O, skyline: &[usize]) -> Self
     where
         O: DominanceOrd<Item = [f64]>,
     {
-        let mut sets: Vec<BitSet> = skyline.iter().map(|_| BitSet::new(ds.len())).collect();
-        for (i, q) in ds.iter().enumerate() {
+        let view: DatasetView<'a> = ds.into();
+        let mut sets: Vec<BitSet> = skyline.iter().map(|_| BitSet::new(view.len())).collect();
+        for (i, q) in view.iter().enumerate() {
             for (j, &s) in skyline.iter().enumerate() {
                 if s == i {
                     continue;
                 }
-                if ord.dominates(ds.point(s), q) {
+                if ord.dominates(view.point(s), q) {
                     sets[j].set(i);
                 }
             }
         }
         GammaSets {
-            rows: ds.len(),
+            rows: view.len(),
             sets,
         }
     }

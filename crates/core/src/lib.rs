@@ -75,8 +75,12 @@ pub use graph::DominanceGraph;
 pub use lp_baselines::{distance_based_representatives, EuclideanDistance};
 pub use lsh::{LshIndex, LshParams};
 pub use minhash::{
-    diversify_generic, sig_gen_ib, sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_ib_parallel,
-    sig_gen_ib_parallel_budgeted, sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic,
-    sig_gen_parallel, sig_gen_parallel_budgeted, HashFamily, SigGenOutput, SignatureMatrix,
+    diversify_generic, scan_columns_budgeted, scan_columns_parallel_budgeted, sig_gen_ib,
+    sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted,
+    sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic, sig_gen_parallel,
+    sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, SigGenOutput, SignatureAccumulator,
+    SignatureMatrix,
 };
-pub use pipeline::{DiverseResult, Fingerprint, SelectionMethod, SkyDiver};
+pub use pipeline::{
+    DiverseResult, Fingerprint, SelectionMethod, ShardedFingerprintRun, SkyDiver,
+};

@@ -5,28 +5,36 @@
 //! hashes are folded into that skyline point's signature. Works for any
 //! [`DominanceOrd`], which is the point — no index, no numeric attributes
 //! required.
+//!
+//! The workhorse is [`scan_columns_budgeted`]: a fold of a
+//! [`DatasetView`]'s rows into a [`SignatureAccumulator`] against an
+//! explicit set of column points. Because row hashes use **global** row
+//! ids (`view.global_id(local)`), per-shard or per-range folds merge
+//! bit-identically into the monolithic result, and because the column
+//! set is explicit, the serving layer can incrementally fingerprint only
+//! the columns a cache does not already hold.
 
-use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_data::{DatasetView, DominanceOrd};
 
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
 use crate::kernels::{SkylinePack, ROW_BLOCK};
 
-use super::{HashFamily, SigGenOutput, SignatureMatrix};
+use super::{HashFamily, SigGenOutput, SignatureAccumulator};
 
 /// Runs the index-free pass.
 ///
-/// * `ds` — the full data set,
+/// * `ds` — the data, as a dataset or any [`DatasetView`],
 /// * `ord` — dominance order (canonical min-space for numeric data),
-/// * `skyline` — skyline point indices; columns of the output follow
-///   this order,
+/// * `skyline` — skyline point indices local to the view; columns of
+///   the output follow this order,
 /// * `family` — `t` hash functions; `t` becomes the signature size.
 ///
 /// Row hashes are computed once per dominated data point (a hoisted form
 /// of the paper's per-`(row, column)` `UpdateMatrix` loop with identical
 /// semantics) and the domination scores `|Γ(p)|` are collected in the
 /// same pass.
-pub fn sig_gen_if<O>(
-    ds: &Dataset,
+pub fn sig_gen_if<'a, O>(
+    ds: impl Into<DatasetView<'a>>,
     ord: &O,
     skyline: &[usize],
     family: &HashFamily,
@@ -52,8 +60,8 @@ where
 /// usable for inspection but not for selection (the Jaccard estimates
 /// are biased toward the scanned prefix), which is why the pipeline
 /// skips selection after a fingerprint-phase interrupt.
-pub fn sig_gen_if_budgeted<O>(
-    ds: &Dataset,
+pub fn sig_gen_if_budgeted<'a, O>(
+    ds: impl Into<DatasetView<'a>>,
     ord: &O,
     skyline: &[usize],
     family: &HashFamily,
@@ -62,90 +70,111 @@ pub fn sig_gen_if_budgeted<O>(
 where
     O: DominanceOrd<Item = [f64]>,
 {
-    let t = family.len();
-    let m = skyline.len();
-    let mut matrix = SignatureMatrix::new(t, m);
-    let mut scores = vec![0u64; m];
-
-    let mut is_skyline = vec![false; ds.len()];
+    let view: DatasetView<'a> = ds.into();
+    let mut skip = vec![false; view.len()];
     for &s in skyline {
-        is_skyline[s] = true;
+        skip[s] = true;
     }
-    let pack = ord
-        .is_canonical_min()
-        .then(|| SkylinePack::pack(ds.dims(), skyline.iter().map(|&s| ds.point(s))));
-
-    let (scanned, interrupt) = scan_rows(
-        ds,
-        ord,
-        skyline,
-        &is_skyline,
-        pack.as_ref(),
-        family,
-        ctx,
-        0,
-        ds.len(),
-        &mut matrix,
-        &mut scores,
-    );
-    (SigGenOutput { matrix, scores }, scanned, interrupt)
+    let cols: Vec<&[f64]> = skyline.iter().map(|&s| view.point(s)).collect();
+    let mut acc = SignatureAccumulator::new(family.len(), skyline.len());
+    let interrupt = scan_columns_budgeted(view, ord, &cols, &skip, family, ctx, &mut acc);
+    let rows = acc.rows_consumed;
+    (acc.into_output(), rows, interrupt)
 }
 
-/// Scans data rows `lo..hi`, folding every dominated row into `matrix` /
-/// `scores`. The workhorse shared by the sequential pass and each shard
-/// of [`sig_gen_parallel`](super::sig_gen_parallel).
+/// Folds the rows of `view` into `acc` against an explicit column set —
+/// the shard-native entry point of the index-free pass.
 ///
-/// With `pack` present (canonical all-min orders) the scan runs blocked:
-/// up to [`ROW_BLOCK`] funded rows are admitted, then tested against the
-/// packed skyline one L1-sized tile at a time. Otherwise the generic
-/// per-row [`DominanceOrd`] loop runs. Both paths produce per-row
-/// dominator lists in ascending skyline order, so the folded matrix is
-/// bit-identical either way.
+/// * `cols` — the column points (usually skyline members, but any
+///   subset works: the incremental `APPEND` path scans only the columns
+///   a cache does not hold),
+/// * `skip` — one flag per view row (`skip[local]`); flagged rows are
+///   skipped *before* any dominance test and cost nothing (the skyline
+///   membership of the full pass),
+/// * `acc` — the accumulator receiving the fold; its `rows_consumed`
+///   grows by the fully-processed row prefix.
 ///
-/// Returns `(rows_scanned, interrupt)` where `rows_scanned` is the
-/// length of the fully-processed prefix of `lo..hi`. Dominance tests are
-/// charged per non-skyline row, *after* the skyline check; every charged
-/// row is processed before returning, so on a trip the output covers
-/// exactly the funded prefix.
-#[allow(clippy::too_many_arguments)]
-pub(super) fn scan_rows<O>(
-    ds: &Dataset,
+/// Each non-skipped row charges `cols.len()` dominance tests against
+/// `ctx`; on a trip the accumulator covers exactly the funded prefix
+/// and the interrupt is returned. Row hashes use the view's **global**
+/// ids, so folds over disjoint views merge bit-identically with
+/// [`SignatureAccumulator::merge`].
+///
+/// # Panics
+/// Panics if `skip.len() != view.len()` or the accumulator shape does
+/// not match `(family.len(), cols.len())`.
+pub fn scan_columns_budgeted<O>(
+    view: DatasetView<'_>,
     ord: &O,
-    skyline: &[usize],
-    is_skyline: &[bool],
-    pack: Option<&SkylinePack>,
+    cols: &[&[f64]],
+    skip: &[bool],
     family: &HashFamily,
     ctx: &ExecContext,
-    lo: usize,
-    hi: usize,
-    matrix: &mut SignatureMatrix,
-    scores: &mut [u64],
-) -> (usize, Option<Interrupt>)
+    acc: &mut SignatureAccumulator,
+) -> Option<Interrupt>
 where
     O: DominanceOrd<Item = [f64]>,
 {
+    let pack = ord
+        .is_canonical_min()
+        .then(|| SkylinePack::pack(view.dims(), cols.iter().copied()));
+    scan_view(view, ord, cols, skip, pack.as_ref(), family, ctx, acc)
+}
+
+/// The inner fold shared by the sequential pass, each range of the
+/// parallel pass and every shard scan: identical to
+/// [`scan_columns_budgeted`] but with the [`SkylinePack`] built by the
+/// caller (so the parallel pass packs once for all ranges).
+///
+/// With `pack` present (canonical all-min orders) the scan runs blocked:
+/// up to [`ROW_BLOCK`] funded rows are admitted, then tested against the
+/// packed columns one L1-sized tile at a time. Otherwise the generic
+/// per-row [`DominanceOrd`] loop runs. Both paths produce per-row
+/// dominator lists in ascending column order, so the folded matrix is
+/// bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn scan_view<O>(
+    view: DatasetView<'_>,
+    ord: &O,
+    cols: &[&[f64]],
+    skip: &[bool],
+    pack: Option<&SkylinePack>,
+    family: &HashFamily,
+    ctx: &ExecContext,
+    acc: &mut SignatureAccumulator,
+) -> Option<Interrupt>
+where
+    O: DominanceOrd<Item = [f64]>,
+{
+    assert_eq!(skip.len(), view.len(), "skip mask length mismatch");
+    assert_eq!(
+        (acc.t(), acc.m()),
+        (family.len(), cols.len()),
+        "accumulator shape mismatch"
+    );
     let t = family.len();
-    let m = skyline.len();
+    let m = cols.len();
+    let hi = view.len();
     let mut row_hashes = vec![0u64; t];
 
     if let Some(pack) = pack {
         let mut block_rows: Vec<usize> = Vec::with_capacity(ROW_BLOCK);
         let mut block_pts: Vec<&[f64]> = Vec::with_capacity(ROW_BLOCK);
         let mut block_doms: Vec<Vec<usize>> = vec![Vec::new(); ROW_BLOCK];
-        let mut row = lo;
+        let mut row = 0usize;
         loop {
             block_rows.clear();
             block_pts.clear();
             let mut interrupt = None;
             while row < hi && block_rows.len() < ROW_BLOCK {
-                if is_skyline[row] {
+                if skip[row] {
                     row += 1;
                     continue;
                 }
                 match ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
                     Ok(()) => {
                         block_rows.push(row);
-                        block_pts.push(ds.point(row));
+                        block_pts.push(view.point(row));
                         row += 1;
                     }
                     Err(int) => {
@@ -163,47 +192,50 @@ where
                 if doms[bi].is_empty() {
                     continue;
                 }
-                family.hash_all(r as u64, &mut row_hashes);
+                family.hash_all(view.global_id(r) as u64, &mut row_hashes);
                 for &j in &doms[bi] {
-                    matrix.update_column(j, &row_hashes);
-                    scores[j] += 1;
+                    acc.matrix.update_column(j, &row_hashes);
+                    acc.scores[j] += 1;
                 }
             }
             if let Some(int) = interrupt {
-                return (row - lo, Some(int));
+                acc.rows_consumed += row;
+                return Some(int);
             }
             if row >= hi {
-                return (hi - lo, None);
+                acc.rows_consumed += hi;
+                return None;
             }
         }
     }
 
     let mut dominators: Vec<usize> = Vec::with_capacity(m);
-    for (off, &on_skyline) in is_skyline[lo..hi].iter().enumerate() {
-        let row = lo + off;
-        if on_skyline {
+    for (row, &skipped) in skip.iter().enumerate() {
+        if skipped {
             continue;
         }
         if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
-            return (row - lo, Some(int));
+            acc.rows_consumed += row;
+            return Some(int);
         }
-        let p = ds.point(row);
+        let p = view.point(row);
         dominators.clear();
-        for (j, &s) in skyline.iter().enumerate() {
-            if ord.dominates(ds.point(s), p) {
+        for (j, &c) in cols.iter().enumerate() {
+            if ord.dominates(c, p) {
                 dominators.push(j);
             }
         }
         if dominators.is_empty() {
             continue;
         }
-        family.hash_all(row as u64, &mut row_hashes);
+        family.hash_all(view.global_id(row) as u64, &mut row_hashes);
         for &j in &dominators {
-            matrix.update_column(j, &row_hashes);
-            scores[j] += 1;
+            acc.matrix.update_column(j, &row_hashes);
+            acc.scores[j] += 1;
         }
     }
-    (hi - lo, None)
+    acc.rows_consumed += hi;
+    None
 }
 
 #[cfg(test)]
@@ -359,6 +391,76 @@ mod tests {
             assert_eq!(packed.matrix, generic.matrix, "d = {d}");
             assert_eq!(packed.scores, generic.scores, "d = {d}");
         }
+    }
+
+    #[test]
+    fn view_folds_merge_to_the_monolithic_result() {
+        // Split the data at an arbitrary row; scan each half against the
+        // same skyline columns; merge. Global ids make the halves hash
+        // the same rows the monolithic pass hashes.
+        let ds = independent(600, 3, 95);
+        let sky = naive_skyline(&ds, &MinDominance);
+        let cols: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(32, 6);
+        let mut skip = vec![false; ds.len()];
+        for &s in &sky {
+            skip[s] = true;
+        }
+        let whole = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        for cut in [0, 1, 217, 599, 600] {
+            let ctx = ExecContext::unlimited();
+            let mut left = SignatureAccumulator::new(32, sky.len());
+            let mut right = SignatureAccumulator::new(32, sky.len());
+            let v = ds.view();
+            assert!(scan_columns_budgeted(
+                v.slice(0, cut), &MinDominance, &cols, &skip[..cut], &fam, &ctx, &mut left
+            )
+            .is_none());
+            assert!(scan_columns_budgeted(
+                v.slice(cut, 600), &MinDominance, &cols, &skip[cut..], &fam, &ctx, &mut right
+            )
+            .is_none());
+            left.merge(&right);
+            assert_eq!(left.rows_consumed, 600, "cut = {cut}");
+            let merged = left.into_output();
+            assert_eq!(merged.matrix, whole.matrix, "cut = {cut}");
+            assert_eq!(merged.scores, whole.scores, "cut = {cut}");
+        }
+    }
+
+    #[test]
+    fn column_subset_scan_matches_the_matching_columns() {
+        // Scanning a subset of columns yields exactly those columns of
+        // the full pass — the invariant the incremental APPEND path
+        // relies on — and charges per subset column, not per skyline
+        // member.
+        use crate::budget::RunBudget;
+        let ds = independent(500, 3, 96);
+        let sky = naive_skyline(&ds, &MinDominance);
+        assert!(sky.len() >= 3);
+        let subset: Vec<usize> = sky.iter().copied().step_by(2).collect();
+        let cols: Vec<&[f64]> = subset.iter().map(|&s| ds.point(s)).collect();
+        let fam = HashFamily::new(16, 7);
+        let mut skip = vec![false; ds.len()];
+        for &s in &sky {
+            skip[s] = true;
+        }
+        let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(u64::MAX));
+        let mut acc = SignatureAccumulator::new(16, subset.len());
+        assert!(scan_columns_budgeted(ds.view(), &MinDominance, &cols, &skip, &fam, &ctx, &mut acc)
+            .is_none());
+        let full = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+        for (jn, &s) in subset.iter().enumerate() {
+            let jf = sky.iter().position(|&x| x == s).unwrap();
+            assert_eq!(acc.matrix.column(jn), full.matrix.column(jf));
+            assert_eq!(acc.scores[jn], full.scores[jf]);
+        }
+        let non_sky = (ds.len() - sky.len()) as u64;
+        assert_eq!(
+            ctx.dominance_tests(),
+            non_sky * subset.len() as u64,
+            "subset scans charge per subset column"
+        );
     }
 
     use skydiver_data::Dataset;

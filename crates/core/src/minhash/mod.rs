@@ -21,6 +21,7 @@
 //!   partitions on scoped threads, bit-identical thanks to the
 //!   deterministic row-id range scheme.
 
+mod accumulator;
 mod family;
 mod generic;
 mod index_based;
@@ -32,12 +33,15 @@ pub mod persist;
 mod signature;
 pub mod theory;
 
+pub use accumulator::{ShardFingerprint, SignatureAccumulator};
 pub use family::HashFamily;
 pub use generic::{diversify_generic, sig_gen_if_generic};
 pub use index_based::{sig_gen_ib, sig_gen_ib_budgeted, IbStats};
 pub use index_based_active::sig_gen_ib_active;
-pub use index_free::{sig_gen_if, sig_gen_if_budgeted};
-pub use parallel::{sig_gen_parallel, sig_gen_parallel_budgeted};
+pub use index_free::{scan_columns_budgeted, sig_gen_if, sig_gen_if_budgeted};
+pub use parallel::{
+    scan_columns_parallel_budgeted, sig_gen_parallel, sig_gen_parallel_budgeted,
+};
 pub use parallel_ib::{sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted};
 pub use signature::{SignatureMatrix, INF_SLOT};
 

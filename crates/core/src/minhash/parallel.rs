@@ -4,22 +4,23 @@
 //! methodology, aiming for scalable skyline diversification over massive
 //! data". MinHash signatures merge associatively — the slot-wise minimum
 //! of two partial matrices is the matrix of the combined rows — so the
-//! index-free pass shards the data across threads and merges at the end.
-//! Row ids are the global dataset indices in every shard, so the result
-//! is **bit-identical** to the sequential [`sig_gen_if`].
+//! index-free pass shards the data across threads and merges the
+//! per-range [`SignatureAccumulator`]s at the end. Row ids are the
+//! global dataset indices in every range, so the result is
+//! **bit-identical** to the sequential [`sig_gen_if`].
 
-use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_data::{DatasetView, DominanceOrd};
 
 use crate::budget::{ExecContext, Interrupt};
 use crate::kernels::SkylinePack;
 
-use super::index_free::scan_rows;
-use super::{HashFamily, SigGenOutput, SignatureMatrix};
+use super::index_free::scan_view;
+use super::{HashFamily, SigGenOutput, SignatureAccumulator};
 
 /// Sharded `SigGen-IF`. `threads == 1` falls back to the sequential
 /// implementation; results are identical for any thread count.
-pub fn sig_gen_parallel<O>(
-    ds: &Dataset,
+pub fn sig_gen_parallel<'a, O>(
+    ds: impl Into<DatasetView<'a>>,
     ord: &O,
     skyline: &[usize],
     family: &HashFamily,
@@ -34,18 +35,18 @@ where
     out
 }
 
-/// Budget-aware [`sig_gen_parallel`]: every shard charges the shared
+/// Budget-aware [`sig_gen_parallel`]: every range charges the shared
 /// [`ExecContext`] — `m` dominance tests per *non-skyline* row, after
 /// the skyline check, exactly like the sequential pass — so a tripped
-/// budget stops all shards within one row's work and the total charge
+/// budget stops all ranges within one row's work and the total charge
 /// matches the sequential run. Returns `(output, rows_scanned, interrupt)` like
 /// [`sig_gen_if_budgeted`](super::sig_gen_if_budgeted); `rows_scanned`
-/// sums over shards. Uninterrupted output is bit-identical to the
+/// sums over ranges. Uninterrupted output is bit-identical to the
 /// sequential pass; an interrupted one covers a timing-dependent subset
 /// of rows, which is why the pipeline skips selection after a
 /// fingerprint-phase interrupt.
-pub fn sig_gen_parallel_budgeted<O>(
-    ds: &Dataset,
+pub fn sig_gen_parallel_budgeted<'a, O>(
+    ds: impl Into<DatasetView<'a>>,
     ord: &O,
     skyline: &[usize],
     family: &HashFamily,
@@ -55,69 +56,84 @@ pub fn sig_gen_parallel_budgeted<O>(
 where
     O: DominanceOrd<Item = [f64]> + Sync,
 {
+    let view: DatasetView<'a> = ds.into();
     let threads = threads.max(1);
-    if threads == 1 || ds.len() < 2 * threads {
-        return super::sig_gen_if_budgeted(ds, ord, skyline, family, ctx);
+    if threads == 1 || view.len() < 2 * threads {
+        return super::sig_gen_if_budgeted(view, ord, skyline, family, ctx);
     }
 
-    let t = family.len();
-    let m = skyline.len();
-    let mut is_skyline = vec![false; ds.len()];
+    let mut skip = vec![false; view.len()];
     for &s in skyline {
-        is_skyline[s] = true;
+        skip[s] = true;
     }
-    let is_skyline = &is_skyline;
+    let cols: Vec<&[f64]> = skyline.iter().map(|&s| view.point(s)).collect();
+    let (acc, interrupt) =
+        scan_columns_parallel_budgeted(view, ord, &cols, &skip, family, ctx, threads);
+    let rows = acc.rows_consumed;
+    (acc.into_output(), rows, interrupt)
+}
+
+/// Parallel twin of
+/// [`scan_columns_budgeted`](super::scan_columns_budgeted): splits
+/// `view` into `threads` contiguous ranges, folds each on its own
+/// scoped thread, and merges the per-range accumulators in range order.
+/// The [`SkylinePack`] is built once and shared by all ranges. Global
+/// row ids make the merged fold bit-identical to the sequential one;
+/// budget charges are identical too since every range charges the shared
+/// `ctx` per non-skipped row. The first (in range order) interrupt is
+/// returned; on a trip the accumulator covers a timing-dependent row
+/// subset.
+pub fn scan_columns_parallel_budgeted<O>(
+    view: DatasetView<'_>,
+    ord: &O,
+    cols: &[&[f64]],
+    skip: &[bool],
+    family: &HashFamily,
+    ctx: &ExecContext,
+    threads: usize,
+) -> (SignatureAccumulator, Option<Interrupt>)
+where
+    O: DominanceOrd<Item = [f64]> + Sync,
+{
+    assert_eq!(skip.len(), view.len(), "skip mask length mismatch");
+    let t = family.len();
+    let m = cols.len();
+    let threads = threads.max(1);
     let pack = ord
         .is_canonical_min()
-        .then(|| SkylinePack::pack(ds.dims(), skyline.iter().map(|&s| ds.point(s))));
+        .then(|| SkylinePack::pack(view.dims(), cols.iter().copied()));
     let pack = pack.as_ref();
 
-    let chunk = ds.len().div_ceil(threads);
-    let mut partials: Vec<(SigGenOutput, usize, Option<Interrupt>)> =
-        Vec::with_capacity(threads);
+    let chunk = view.len().div_ceil(threads);
+    let mut partials: Vec<(SignatureAccumulator, Option<Interrupt>)> = Vec::with_capacity(threads);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for shard in 0..threads {
-            let lo = shard * chunk;
-            let hi = ((shard + 1) * chunk).min(ds.len());
+        for range in 0..threads {
+            let lo = (range * chunk).min(view.len());
+            let hi = ((range + 1) * chunk).min(view.len());
+            let sub = view.slice(lo, hi);
+            let sub_skip = &skip[lo..hi];
             handles.push(scope.spawn(move || {
-                let mut matrix = SignatureMatrix::new(t, m);
-                let mut scores = vec![0u64; m];
-                let (rows_scanned, interrupt) = scan_rows(
-                    ds,
-                    ord,
-                    skyline,
-                    is_skyline,
-                    pack,
-                    family,
-                    ctx,
-                    lo,
-                    hi,
-                    &mut matrix,
-                    &mut scores,
-                );
-                (SigGenOutput { matrix, scores }, rows_scanned, interrupt)
+                let mut acc = SignatureAccumulator::new(t, m);
+                let interrupt = scan_view(sub, ord, cols, sub_skip, pack, family, ctx, &mut acc);
+                (acc, interrupt)
             }));
         }
         for h in handles {
-            partials.push(h.join().expect("siggen shard panicked"));
+            partials.push(h.join().expect("siggen range panicked"));
         }
     });
 
     let mut iter = partials.into_iter();
-    let (mut acc, mut rows, mut interrupt) = iter.next().expect("threads >= 1");
-    for (p, r, int) in iter {
-        acc.matrix.merge_min(&p.matrix);
-        for (a, b) in acc.scores.iter_mut().zip(&p.scores) {
-            *a += b;
-        }
-        rows += r;
+    let (mut acc, mut interrupt) = iter.next().expect("threads >= 1");
+    for (p, int) in iter {
+        acc.merge(&p);
         if interrupt.is_none() {
             interrupt = int;
         }
     }
-    (acc, rows, interrupt)
+    (acc, interrupt)
 }
 
 #[cfg(test)]

@@ -24,16 +24,17 @@ use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, Node, 
 
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
 
-use super::{HashFamily, IbStats, SigGenOutput, SignatureMatrix};
+use super::{HashFamily, IbStats, SigGenOutput, SignatureAccumulator, SignatureMatrix};
 
 /// How many independent subtrees the breadth-first seed phase gathers
 /// per thread before handing the frontier to the workers.
 const SEED_FACTOR: usize = 4;
 
-/// Per-thread accumulator of one traversal partition.
+/// Per-thread accumulator of one traversal partition: the mergeable
+/// signature fold plus the traversal-only bookkeeping (I/O stats, rows
+/// decided, scratch buffers) that rides along.
 struct Acc {
-    matrix: SignatureMatrix,
-    scores: Vec<u64>,
+    sig: SignatureAccumulator,
     stats: IbStats,
     rows_decided: u64,
     row_hashes: Vec<u64>,
@@ -43,13 +44,22 @@ struct Acc {
 impl Acc {
     fn new(t: usize, m: usize) -> Self {
         Acc {
-            matrix: SignatureMatrix::new(t, m),
-            scores: vec![0u64; m],
+            sig: SignatureAccumulator::new(t, m),
             stats: IbStats::default(),
             rows_decided: 0,
             row_hashes: vec![0u64; t],
             full: Vec::with_capacity(m),
         }
+    }
+
+    /// Folds another partition in: signature algebra via
+    /// [`SignatureAccumulator::merge`], stats and row counts by sum.
+    fn merge(&mut self, other: &Acc) {
+        self.sig.merge(&other.sig);
+        self.stats.nodes_read += other.stats.nodes_read;
+        self.stats.bulk_updates += other.stats.bulk_updates;
+        self.stats.skipped += other.stats.skipped;
+        self.rows_decided += other.rows_decided;
     }
 }
 
@@ -105,11 +115,11 @@ fn process_node(
         for r in entry_base..entry_base + e.count {
             family.hash_all(r, &mut acc.row_hashes);
             for &j in &acc.full {
-                acc.matrix.update_column(j, &acc.row_hashes);
+                acc.sig.matrix.update_column(j, &acc.row_hashes);
             }
         }
         for &j in &acc.full {
-            acc.scores[j] += e.count;
+            acc.sig.scores[j] += e.count;
         }
         acc.rows_decided += e.count;
     }
@@ -241,27 +251,12 @@ pub fn sig_gen_ib_parallel_budgeted(
 
     let mut acc = seed_acc;
     for (p, int) in partials {
-        acc.matrix.merge_min(&p.matrix);
-        for (a, b) in acc.scores.iter_mut().zip(&p.scores) {
-            *a += b;
-        }
-        acc.stats.nodes_read += p.stats.nodes_read;
-        acc.stats.bulk_updates += p.stats.bulk_updates;
-        acc.stats.skipped += p.stats.skipped;
-        acc.rows_decided += p.rows_decided;
+        acc.merge(&p);
         if interrupt.is_none() {
             interrupt = int;
         }
     }
-    (
-        SigGenOutput {
-            matrix: acc.matrix,
-            scores: acc.scores,
-        },
-        acc.stats,
-        acc.rows_decided as usize,
-        interrupt,
-    )
+    (acc.sig.into_output(), acc.stats, acc.rows_decided as usize, interrupt)
 }
 
 #[cfg(test)]

@@ -75,6 +75,17 @@ impl SignatureMatrix {
         1.0 - self.estimated_similarity(i, j)
     }
 
+    /// Overwrites column `j` with an already-folded signature (used when
+    /// assembling a matrix from cached per-shard columns).
+    ///
+    /// # Panics
+    /// Panics if `col.len() != t`.
+    #[inline]
+    pub fn set_column(&mut self, j: usize, col: &[u64]) {
+        assert_eq!(col.len(), self.t, "column length mismatch");
+        self.data[j * self.t..(j + 1) * self.t].copy_from_slice(col);
+    }
+
     /// Merges another matrix (from a parallel shard) by element-wise
     /// minimum.
     ///

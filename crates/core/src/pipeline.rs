@@ -19,9 +19,10 @@
 //! unbudgeted run would have selected; a fingerprint-phase interrupt
 //! yields the skyline plus partial scores with an empty selection.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use skydiver_data::{Dataset, Preference};
+use skydiver_data::{Dataset, Preference, ShardedDataset};
 use skydiver_rtree::{BufferPool, FaultInjection, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
 use skydiver_skyline::{bbs, sfs};
 
@@ -38,7 +39,9 @@ use crate::error::{Result, SkyDiverError};
 use crate::graph::DominanceGraph;
 use crate::lsh::{LshIndex, LshParams};
 use crate::minhash::{
-    sig_gen_if_budgeted, sig_gen_parallel_budgeted, HashFamily, SigGenOutput, SignatureMatrix,
+    scan_columns_budgeted, scan_columns_parallel_budgeted, sig_gen_if_budgeted,
+    sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, SigGenOutput, SignatureAccumulator,
+    SignatureMatrix,
 };
 
 /// Which phase-2 representation drives the selection.
@@ -116,6 +119,31 @@ impl Fingerprint {
             + self.output.scores.len() * std::mem::size_of::<u64>()
             + self.skyline.len() * std::mem::size_of::<usize>()
     }
+}
+
+/// Result of a sharded fingerprinting run
+/// ([`SkyDiver::fingerprint_sharded`]): the assembled whole-dataset
+/// [`Fingerprint`] plus the per-shard folds it was merged from and the
+/// reuse/cost counters a serving layer reports.
+#[derive(Debug, Clone)]
+pub struct ShardedFingerprintRun {
+    /// The assembled fingerprint — bit-identical (matrix, scores) to
+    /// what [`SkyDiver::fingerprint`] computes over the concatenated
+    /// shards.
+    pub fingerprint: Fingerprint,
+    /// One complete fold per shard, in shard order, ready for a
+    /// per-`(dataset, shard, prefs, t, seed)` cache. Empty when the run
+    /// was curtailed by a budget trip: partial folds are never cached.
+    pub shards: Vec<Arc<ShardFingerprint>>,
+    /// How many shards were served entirely from the supplied cache
+    /// entries (no data rows scanned).
+    pub reused_shards: usize,
+    /// Data rows actually scanned (cache-served shard rows excluded).
+    pub scanned_rows: usize,
+    /// Dominance tests charged by this run — the counter behind the
+    /// incremental-append cost contract: a warm append charges
+    /// `O(a · m + n · |new skyline points|)`, not `O((n + a) · m)`.
+    pub dominance_tests: u64,
 }
 
 /// Result of one diversification run.
@@ -285,6 +313,246 @@ impl SkyDiver {
         self.fingerprint_ctx(ds, prefs, &ctx)
     }
 
+    /// Phase 1 over a [`ShardedDataset`]: the skyline is computed over
+    /// the whole data, then each shard is folded independently into a
+    /// [`ShardFingerprint`] and the folds are merged — bit-identical
+    /// (matrix, scores) to [`SkyDiver::fingerprint`] over the
+    /// concatenated shards, because row ids are global in every shard
+    /// and MinHash folds merge associatively.
+    pub fn fingerprint_sharded(
+        &self,
+        sd: &ShardedDataset,
+        prefs: &[Preference],
+    ) -> Result<ShardedFingerprintRun> {
+        self.fingerprint_sharded_with(sd, prefs, &[])
+    }
+
+    /// [`SkyDiver::fingerprint_sharded`] with cached per-shard folds.
+    ///
+    /// `cached[i]`, when present, must be a *complete* fold of shard `i`
+    /// in the same canonical space (same preferences) and with the same
+    /// hash seed; entries with a mismatched signature size are ignored.
+    /// For each shard the run then reuses every cached column whose
+    /// skyline point is still in the current skyline and scans **only**
+    /// the columns the cache lacks — the incremental `APPEND` warm path:
+    /// appending `a` rows to `n` costs `O(a · m + n · |new skyline
+    /// points|)` dominance tests instead of `O((n + a) · m)`. Reuse is
+    /// exact, not approximate: a surviving skyline point's fold over an
+    /// old shard cannot change, since skyline members never dominate one
+    /// another (so demoted members contributed nothing to surviving
+    /// columns) and newly-exposed skyline points exist only in the new
+    /// shard.
+    ///
+    /// A budget trip mid-scan returns a partial
+    /// [`Fingerprint`] exactly like [`SkyDiver::fingerprint`] and an
+    /// empty `shards` vector — partial folds must never be cached.
+    pub fn fingerprint_sharded_with(
+        &self,
+        sd: &ShardedDataset,
+        prefs: &[Preference],
+        cached: &[Option<Arc<ShardFingerprint>>],
+    ) -> Result<ShardedFingerprintRun> {
+        if self.signature_size == 0 {
+            return Err(SkyDiverError::ZeroSignatureSize);
+        }
+        let ctx = ExecContext::new(self.budget.clone());
+        let whole: std::borrow::Cow<'_, Dataset> = if sd.num_shards() == 1 {
+            std::borrow::Cow::Borrowed(sd.shard(0))
+        } else {
+            std::borrow::Cow::Owned(sd.concat())
+        };
+        let canon = canonicalise(&whole, prefs)?;
+        let ord = skydiver_data::dominance::MinDominance;
+        let partial = |fingerprint: Fingerprint, scanned_rows: usize| ShardedFingerprintRun {
+            fingerprint,
+            shards: vec![],
+            reused_shards: 0,
+            scanned_rows,
+            dominance_tests: ctx.dominance_tests(),
+        };
+        if let Err(int) = ctx.check(ExecPhase::Skyline) {
+            return Ok(partial(
+                Fingerprint {
+                    skyline: vec![],
+                    output: SigGenOutput {
+                        matrix: SignatureMatrix::new(self.signature_size, 0),
+                        scores: vec![],
+                    },
+                    fingerprint_ms: 0.0,
+                    events: vec![],
+                    interrupt: Some(int),
+                },
+                0,
+            ));
+        }
+        let skyline = sfs(canon.as_ref(), &ord);
+        if skyline.is_empty() {
+            return Err(SkyDiverError::EmptySkyline);
+        }
+        let (t_eff, mut events) = match self.effective_signature_size(skyline.len()) {
+            Ok(pair) => pair,
+            Err(int) => {
+                let m = skyline.len();
+                return Ok(partial(
+                    Fingerprint {
+                        skyline,
+                        output: SigGenOutput {
+                            matrix: SignatureMatrix::new(self.signature_size, 0),
+                            scores: vec![0; m],
+                        },
+                        fingerprint_ms: 0.0,
+                        events: vec![],
+                        interrupt: Some(int),
+                    },
+                    0,
+                ));
+            }
+        };
+        let family = HashFamily::new(t_eff, self.hash_seed);
+        let m = skyline.len();
+        let mut is_sky = vec![false; canon.len()];
+        for &s in &skyline {
+            is_sky[s] = true;
+        }
+        let all_cols: Vec<&[f64]> = skyline.iter().map(|&s| canon.point(s)).collect();
+
+        let t0 = Instant::now();
+        let mut merged = SignatureAccumulator::new(t_eff, m);
+        let mut shards: Vec<Arc<ShardFingerprint>> = Vec::with_capacity(sd.num_shards());
+        let mut reused_shards = 0usize;
+        let mut scanned_rows = 0usize;
+        let mut tripped: Option<Interrupt> = None;
+
+        'shards: for i in 0..sd.num_shards() {
+            let lo = sd.base(i);
+            let hi = lo + sd.shard(i).len();
+            let sview = canon.as_ref().view().slice(lo, hi);
+            let skip = &is_sky[lo..hi];
+            let cache = cached
+                .get(i)
+                .and_then(|c| c.as_ref())
+                .filter(|c| c.t() == t_eff);
+
+            let shard_fp = match cache {
+                Some(c) => {
+                    // Columns the cache lacks — freshly exposed skyline
+                    // points, which can only live in shards after the
+                    // cache was built.
+                    let need: Vec<usize> = skyline
+                        .iter()
+                        .copied()
+                        .filter(|&s| c.position(s).is_none())
+                        .collect();
+                    if need.is_empty() && c.columns == skyline {
+                        // Exact fit: reuse the Arc as-is.
+                        merged.merge(&c.acc);
+                        reused_shards += 1;
+                        shards.push(Arc::clone(c));
+                        continue 'shards;
+                    }
+                    let mut shard_acc = SignatureAccumulator::new(t_eff, m);
+                    for (jn, &s) in skyline.iter().enumerate() {
+                        if let Some(jo) = c.position(s) {
+                            shard_acc.matrix.set_column(jn, c.acc.matrix.column(jo));
+                            shard_acc.scores[jn] = c.acc.scores[jo];
+                        }
+                    }
+                    if need.is_empty() {
+                        // Cache is a superset (the skyline shrank):
+                        // every column extracted, nothing to scan.
+                        shard_acc.rows_consumed = c.acc.rows_consumed;
+                        reused_shards += 1;
+                    } else {
+                        let need_cols: Vec<&[f64]> =
+                            need.iter().map(|&s| canon.point(s)).collect();
+                        let mut need_acc = SignatureAccumulator::new(t_eff, need.len());
+                        let int = if self.threads > 1 {
+                            let (acc, int) = scan_columns_parallel_budgeted(
+                                sview, &ord, &need_cols, skip, &family, &ctx, self.threads,
+                            );
+                            need_acc = acc;
+                            int
+                        } else {
+                            scan_columns_budgeted(
+                                sview, &ord, &need_cols, skip, &family, &ctx, &mut need_acc,
+                            )
+                        };
+                        scanned_rows += need_acc.rows_consumed;
+                        shard_acc.rows_consumed = need_acc.rows_consumed;
+                        for (jn, &s) in need.iter().enumerate() {
+                            let j = skyline.binary_search(&s).expect("need ⊆ skyline");
+                            shard_acc.matrix.set_column(j, need_acc.matrix.column(jn));
+                            shard_acc.scores[j] = need_acc.scores[jn];
+                        }
+                        if let Some(int) = int {
+                            merged.merge(&shard_acc);
+                            tripped = Some(int);
+                            break 'shards;
+                        }
+                    }
+                    shard_acc
+                }
+                None => {
+                    let mut shard_acc = SignatureAccumulator::new(t_eff, m);
+                    let int = if self.threads > 1 {
+                        let (acc, int) = scan_columns_parallel_budgeted(
+                            sview, &ord, &all_cols, skip, &family, &ctx, self.threads,
+                        );
+                        shard_acc = acc;
+                        int
+                    } else {
+                        scan_columns_budgeted(
+                            sview, &ord, &all_cols, skip, &family, &ctx, &mut shard_acc,
+                        )
+                    };
+                    scanned_rows += shard_acc.rows_consumed;
+                    if let Some(int) = int {
+                        merged.merge(&shard_acc);
+                        tripped = Some(int);
+                        break 'shards;
+                    }
+                    shard_acc
+                }
+            };
+            merged.merge(&shard_fp);
+            shards.push(Arc::new(ShardFingerprint {
+                columns: skyline.clone(),
+                acc: shard_fp,
+            }));
+        }
+        let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        if let Some(int) = tripped {
+            events.push(DegradationEvent::FingerprintCurtailed {
+                rows_scanned: merged.rows_consumed,
+                rows_total: canon.len(),
+            });
+            return Ok(partial(
+                Fingerprint {
+                    skyline,
+                    output: merged.into_output(),
+                    fingerprint_ms,
+                    events,
+                    interrupt: Some(int),
+                },
+                scanned_rows,
+            ));
+        }
+        Ok(ShardedFingerprintRun {
+            fingerprint: Fingerprint {
+                skyline,
+                output: merged.into_output(),
+                fingerprint_ms,
+                events,
+                interrupt: None,
+            },
+            shards,
+            reused_shards,
+            scanned_rows,
+            dominance_tests: ctx.dominance_tests(),
+        })
+    }
+
     /// Phase 2 only: greedy selection over a previously computed (or
     /// cached) [`Fingerprint`]. Skips canonicalisation, the skyline pass
     /// and fingerprinting entirely — no dominance tests are charged to
@@ -322,7 +590,7 @@ impl SkyDiver {
                 interrupt: Some(int),
             });
         }
-        let skyline = sfs(&canon, &ord);
+        let skyline = sfs(canon.as_ref(), &ord);
         if skyline.is_empty() {
             return Err(SkyDiverError::EmptySkyline);
         }
@@ -345,9 +613,9 @@ impl SkyDiver {
         let family = HashFamily::new(t_eff, self.hash_seed);
         let t0 = Instant::now();
         let (out, rows_scanned, interrupt) = if self.threads > 1 {
-            sig_gen_parallel_budgeted(&canon, &ord, &skyline, &family, self.threads, ctx)
+            sig_gen_parallel_budgeted(canon.as_ref(), &ord, &skyline, &family, self.threads, ctx)
         } else {
-            sig_gen_if_budgeted(&canon, &ord, &skyline, &family, ctx)
+            sig_gen_if_budgeted(canon.as_ref(), &ord, &skyline, &family, ctx)
         };
         let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
         if interrupt.is_some() {

@@ -12,7 +12,10 @@
 //! * [`surrogates`] — synthetic stand-ins for the paper's real-life data
 //!   sets (Forest Cover, Recipes) with matching cardinalities and
 //!   correlation structure,
-//! * [`io`] — CSV and binary snapshots of datasets.
+//! * [`io`] — CSV and binary snapshots of datasets,
+//! * [`shard`] — immutable dataset shards with global row-id bases and
+//!   the zero-copy [`DatasetView`] consumed by skyline, Γ and SigGen
+//!   entry points.
 //!
 //! The crate is deliberately free of any skyline or diversification logic;
 //! those live in `skydiver-skyline` and `skydiver-core`.
@@ -25,8 +28,10 @@ pub mod dominance;
 pub mod generators;
 pub mod io;
 pub mod preference;
+pub mod shard;
 pub mod surrogates;
 
 pub use dataset::Dataset;
 pub use dominance::{Dominance, DominanceOrd, MinMaxDominance};
 pub use preference::Preference;
+pub use shard::{DatasetView, ShardedDataset};

@@ -1,25 +1,36 @@
-//! Byte-bounded LRU cache of [`Fingerprint`] artefacts.
+//! Byte-bounded LRU cache of per-shard signature folds.
 //!
-//! The cache key is the full provenance of a signature matrix —
-//! `(dataset, preference subspace, t, seed)` — so a hit is guaranteed to
-//! reproduce, bit for bit, what re-fingerprinting would compute. Values
-//! are `Arc`-shared: an entry may be evicted while queries still hold
-//! it, eviction only drops the cache's own reference.
+//! The cache key is the full provenance of one shard's fold —
+//! `(dataset, shard, preference subspace, t, seed)` — so a hit is
+//! guaranteed to reproduce, bit for bit, what re-scanning the shard
+//! would compute. Values are `Arc`-shared
+//! [`ShardFingerprint`]s: an entry may be evicted while the registry's
+//! assembled fingerprints still hold it, eviction only drops the
+//! cache's own reference.
 //!
-//! Only *complete* fingerprints may be inserted: a budget-curtailed
-//! matrix covers a prefix of the data and would silently poison every
-//! later query with approximate-er-than-promised distances.
+//! Keying per shard (not per whole dataset) is what makes `APPEND`
+//! incremental: appending a shard leaves every old shard's entries
+//! valid — shards are immutable and row ids global — so the next query
+//! re-scans only the new shard (plus old shards for newly exposed
+//! skyline columns) and merges the rest from here.
+//!
+//! Only *complete* folds may live here: the registry never inserts the
+//! shards of a budget-curtailed run (such runs return no shard folds at
+//! all), because a partial fold would silently poison every later query
+//! with approximate-er-than-promised distances.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use skydiver_core::Fingerprint;
+use skydiver_core::ShardFingerprint;
 
-/// Cache key: everything that determines the signature matrix.
+/// Cache key: everything that determines one shard's signature fold.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FingerprintKey {
     /// Registry name of the dataset.
     pub dataset: String,
+    /// Shard index within the dataset.
+    pub shard: usize,
     /// Canonical preference string (`"min,max,..."`).
     pub prefs: String,
     /// Signature size `t`.
@@ -29,12 +40,12 @@ pub struct FingerprintKey {
 }
 
 struct Entry {
-    fp: Arc<Fingerprint>,
+    fp: Arc<ShardFingerprint>,
     bytes: usize,
     last_used: u64,
 }
 
-/// LRU fingerprint cache with a resident-byte ceiling.
+/// LRU shard-fold cache with a resident-byte ceiling.
 ///
 /// Not internally synchronised — the registry wraps it in a `Mutex`.
 /// Recency is a monotonic tick; eviction scans for the minimum, which is
@@ -69,7 +80,7 @@ impl FingerprintCache {
         self.bytes
     }
 
-    /// Number of cached fingerprints.
+    /// Number of cached shard folds.
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -84,8 +95,8 @@ impl FingerprintCache {
         self.evictions
     }
 
-    /// Looks up a fingerprint, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &FingerprintKey) -> Option<Arc<Fingerprint>> {
+    /// Looks up a shard fold, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &FingerprintKey) -> Option<Arc<ShardFingerprint>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|e| {
@@ -94,14 +105,11 @@ impl FingerprintCache {
         })
     }
 
-    /// Inserts a complete fingerprint, evicting least-recently-used
+    /// Inserts a complete shard fold, evicting least-recently-used
     /// entries until the ceiling is respected. Returns `false` (and
-    /// caches nothing) if the fingerprint is partial or alone exceeds
-    /// the ceiling; re-inserting an existing key refreshes the entry.
-    pub fn insert(&mut self, key: FingerprintKey, fp: Arc<Fingerprint>) -> bool {
-        if !fp.is_complete() {
-            return false;
-        }
+    /// caches nothing) if the fold alone exceeds the ceiling;
+    /// re-inserting an existing key refreshes the entry.
+    pub fn insert(&mut self, key: FingerprintKey, fp: Arc<ShardFingerprint>) -> bool {
         let bytes = fp.memory_bytes();
         if bytes > self.ceiling {
             return false;
@@ -127,83 +135,111 @@ impl FingerprintCache {
         self.bytes += bytes;
         true
     }
+
+    /// Drops every fold of `dataset` (all shards, all preference/t/seed
+    /// coordinates) — the `LOAD`-replaces-dataset path, where the old
+    /// shards no longer describe the registered data. Returns how many
+    /// entries were dropped (not counted as evictions: nothing was
+    /// displaced by pressure).
+    pub fn invalidate_dataset(&mut self, dataset: &str) -> usize {
+        let doomed: Vec<FingerprintKey> = self
+            .map
+            .keys()
+            .filter(|k| k.dataset == dataset)
+            .cloned()
+            .collect();
+        for k in &doomed {
+            let e = self.map.remove(k).expect("key just observed");
+            self.bytes -= e.bytes;
+        }
+        doomed.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use skydiver_core::minhash::{SigGenOutput, SignatureMatrix};
+    use skydiver_core::SignatureAccumulator;
 
-    fn key(name: &str, t: usize) -> FingerprintKey {
-        FingerprintKey { dataset: name.into(), prefs: "min,min".into(), t, seed: 0 }
+    fn key(name: &str, shard: usize, t: usize) -> FingerprintKey {
+        FingerprintKey {
+            dataset: name.into(),
+            shard,
+            prefs: "min,min".into(),
+            t,
+            seed: 0,
+        }
     }
 
-    fn fp(t: usize, m: usize) -> Arc<Fingerprint> {
-        Arc::new(Fingerprint {
-            skyline: (0..m).collect(),
-            output: SigGenOutput {
-                matrix: SignatureMatrix::new(t, m),
-                scores: vec![1; m],
-            },
-            fingerprint_ms: 0.0,
-            events: vec![],
-            interrupt: None,
+    fn fold(t: usize, m: usize) -> Arc<ShardFingerprint> {
+        Arc::new(ShardFingerprint {
+            columns: (0..m).collect(),
+            acc: SignatureAccumulator::new(t, m),
         })
     }
 
     #[test]
     fn hit_miss_and_byte_accounting() {
         let mut c = FingerprintCache::new(1 << 20);
-        assert!(c.get(&key("a", 8)).is_none());
-        let f = fp(8, 10);
+        assert!(c.get(&key("a", 0, 8)).is_none());
+        let f = fold(8, 10);
         let bytes = f.memory_bytes();
-        assert!(c.insert(key("a", 8), f));
+        assert!(c.insert(key("a", 0, 8), f));
         assert_eq!(c.bytes(), bytes);
-        assert!(c.get(&key("a", 8)).is_some());
-        assert!(c.get(&key("a", 16)).is_none(), "t is part of the key");
-        assert!(c.get(&key("b", 8)).is_none(), "dataset is part of the key");
+        assert!(c.get(&key("a", 0, 8)).is_some());
+        assert!(c.get(&key("a", 1, 8)).is_none(), "shard is part of the key");
+        assert!(c.get(&key("a", 0, 16)).is_none(), "t is part of the key");
+        assert!(c.get(&key("b", 0, 8)).is_none(), "dataset is part of the key");
     }
 
     #[test]
     fn evicts_least_recently_used_under_pressure() {
-        let one = fp(8, 10).memory_bytes();
+        let one = fold(8, 10).memory_bytes();
         // Room for exactly two entries.
         let mut c = FingerprintCache::new(2 * one);
-        assert!(c.insert(key("a", 8), fp(8, 10)));
-        assert!(c.insert(key("b", 8), fp(8, 10)));
+        assert!(c.insert(key("a", 0, 8), fold(8, 10)));
+        assert!(c.insert(key("b", 0, 8), fold(8, 10)));
         // Touch "a" so "b" becomes the LRU victim.
-        assert!(c.get(&key("a", 8)).is_some());
-        assert!(c.insert(key("c", 8), fp(8, 10)));
+        assert!(c.get(&key("a", 0, 8)).is_some());
+        assert!(c.insert(key("c", 0, 8), fold(8, 10)));
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 1);
-        assert!(c.get(&key("a", 8)).is_some());
-        assert!(c.get(&key("b", 8)).is_none(), "LRU entry evicted");
-        assert!(c.get(&key("c", 8)).is_some());
+        assert!(c.get(&key("a", 0, 8)).is_some());
+        assert!(c.get(&key("b", 0, 8)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key("c", 0, 8)).is_some());
         assert!(c.bytes() <= c.ceiling());
     }
 
     #[test]
-    fn oversized_and_partial_entries_are_refused() {
+    fn oversized_entries_are_refused() {
         let mut c = FingerprintCache::new(64);
-        assert!(!c.insert(key("big", 64), fp(64, 64)));
+        assert!(!c.insert(key("big", 0, 64), fold(64, 64)));
         assert_eq!(c.len(), 0);
-        let mut partial = Fingerprint::clone(&fp(2, 2));
-        partial.interrupt = Some(skydiver_core::Interrupt {
-            phase: skydiver_core::ExecPhase::Fingerprint,
-            reason: skydiver_core::StopReason::Cancelled,
-        });
-        let mut c = FingerprintCache::new(1 << 20);
-        assert!(!c.insert(key("p", 2), Arc::new(partial)));
-        assert!(c.is_empty());
     }
 
     #[test]
     fn reinsert_replaces_without_double_counting() {
         let mut c = FingerprintCache::new(1 << 20);
-        assert!(c.insert(key("a", 8), fp(8, 10)));
+        assert!(c.insert(key("a", 0, 8), fold(8, 10)));
         let b1 = c.bytes();
-        assert!(c.insert(key("a", 8), fp(8, 10)));
+        assert!(c.insert(key("a", 0, 8), fold(8, 10)));
         assert_eq!(c.bytes(), b1);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_drops_every_shard_of_one_dataset() {
+        let mut c = FingerprintCache::new(1 << 20);
+        assert!(c.insert(key("a", 0, 8), fold(8, 10)));
+        assert!(c.insert(key("a", 1, 8), fold(8, 10)));
+        assert!(c.insert(key("a", 0, 16), fold(16, 10)));
+        assert!(c.insert(key("b", 0, 8), fold(8, 10)));
+        let other = fold(8, 10).memory_bytes();
+        assert_eq!(c.invalidate_dataset("a"), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), other);
+        assert_eq!(c.evictions(), 0, "invalidation is not eviction");
+        assert!(c.get(&key("b", 0, 8)).is_some());
+        assert_eq!(c.invalidate_dataset("ghost"), 0);
     }
 }

@@ -1,9 +1,9 @@
 //! Blocking line-protocol client.
 //!
 //! One request line out, one response line back — the transport really
-//! is that small. The typed helpers ([`Client::load`], [`Client::query`],
-//! [`Client::stats`], [`Client::shutdown`]) strip the `OK `/`ERR ` status
-//! prefix and hand back the payload.
+//! is that small. The typed helpers ([`Client::load`], [`Client::append`],
+//! [`Client::query`], [`Client::stats`], [`Client::shutdown`]) strip the
+//! `OK `/`ERR ` status prefix and hand back the payload.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -72,6 +72,12 @@ impl Client {
     /// `LOAD name=<name> path=<path>` — returns the summary payload.
     pub fn load(&mut self, name: &str, path: &str) -> Result<String, String> {
         self.exchange(&format!("LOAD name={name} path={path}"))
+    }
+
+    /// `APPEND name=<name> path=<path>` — grows a loaded dataset by one
+    /// shard; returns the summary payload.
+    pub fn append(&mut self, name: &str, path: &str) -> Result<String, String> {
+        self.exchange(&format!("APPEND name={name} path={path}"))
     }
 
     /// Runs a query; returns the one-line JSON result payload.

@@ -73,6 +73,12 @@ pub struct Metrics {
     pub cache_evictions: AtomicU64,
     /// Queries that returned a degraded (budget-curtailed) result.
     pub degraded: AtomicU64,
+    /// `APPEND` requests served.
+    pub appends: AtomicU64,
+    /// Dominance tests spent fingerprinting (cumulative, cold paths only).
+    pub dominance_tests: AtomicU64,
+    /// Shard folds merged from the cache instead of re-scanned.
+    pub shards_reused: AtomicU64,
     /// Bytes resident in the fingerprint cache (last observed).
     pub bytes_resident: AtomicU64,
     /// End-to-end `QUERY` latency.
@@ -94,13 +100,19 @@ impl Metrics {
         c.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` to a counter (dominance-test tallies arrive in bulk).
+    pub fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// One-line JSON snapshot (the `STATS` payload).
     pub fn snapshot_json(&self) -> String {
         format!(
             concat!(
                 "{{\"queries\":{},\"loads\":{},\"errors\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
-                "\"degraded\":{},\"bytes_resident\":{},",
+                "\"degraded\":{},\"appends\":{},\"dominance_tests\":{},",
+                "\"shards_reused\":{},\"bytes_resident\":{},",
                 "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
             ),
             self.get(&self.queries),
@@ -110,6 +122,9 @@ impl Metrics {
             self.get(&self.cache_misses),
             self.get(&self.cache_evictions),
             self.get(&self.degraded),
+            self.get(&self.appends),
+            self.get(&self.dominance_tests),
+            self.get(&self.shards_reused),
             self.get(&self.bytes_resident),
             self.latency.count(),
             self.latency.quantile_ms(0.50),

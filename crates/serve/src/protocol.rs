@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! LOAD name=<id> path=<file.csv|.sky> [prefs=min,max,...]
+//! APPEND name=<id> path=<file.csv|.sky>
 //! QUERY dataset=<id> k=<k> [method=mh|lsh|greedy] [t=<t>] [seed=<s>]
 //!       [xi=<f>] [buckets=<b>] [prefs=min,max,...]
 //!       [timeout_ms=<ms>] [max_dominance_tests=<n>]
@@ -18,6 +19,21 @@
 //! Unknown verbs and unknown or malformed `key=value` pairs are
 //! rejected with `ERR` — the protocol mirrors the CLI's strict flag
 //! policy so a misspelled parameter can never be silently ignored.
+//!
+//! **`LOAD` semantics**: loading under an already-registered name
+//! *replaces* that dataset — the name now denotes exactly the new
+//! file's points, and every cached fingerprint artefact keyed to the
+//! old data is invalidated. Reusing a name never serves stale results.
+//!
+//! **`APPEND` semantics**: `APPEND` adds the file's points to an
+//! already-registered dataset as one new *shard*; existing rows keep
+//! their ids and new rows are numbered after them, exactly as if the
+//! file had been concatenated onto the original `LOAD`. The appended
+//! file must match the dataset's dimensionality and be non-empty.
+//! Unlike `LOAD`, cached per-shard fingerprints stay valid, so the next
+//! query re-scans only the new shard (plus old shards for any newly
+//! exposed skyline columns) and merges the rest from the cache. Replies
+//! `OK dataset=<id> points=<n> dims=<d> shards=<s> appended=<a>`.
 
 use std::fmt;
 
@@ -123,9 +139,18 @@ impl QuerySpec {
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Load a dataset file into the registry under a name.
+    /// Load a dataset file into the registry under a name, replacing
+    /// (and cache-invalidating) any previous dataset of that name.
     Load {
         /// Registry name.
+        name: String,
+        /// CSV (or `.sky` binary) file path on the server host.
+        path: String,
+    },
+    /// Append a dataset file to an existing dataset as one new shard,
+    /// keeping every existing row id (and cached shard fold) valid.
+    Append {
+        /// Registry name of the dataset to grow.
         name: String,
         /// CSV (or `.sky` binary) file path on the server host.
         path: String,
@@ -176,18 +201,21 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     let verb = tokens.next().ok_or_else(|| bad("empty request"))?;
     let rest: Vec<&str> = tokens.collect();
     match verb.to_ascii_uppercase().as_str() {
-        "LOAD" => {
+        verb @ ("LOAD" | "APPEND") => {
             let (mut name, mut path) = (None, None);
             for (k, v) in pairs(&rest)? {
                 match k.as_str() {
                     "name" => name = Some(v),
                     "path" => path = Some(v),
-                    other => return Err(bad(format!("unknown LOAD key {other:?}"))),
+                    other => return Err(bad(format!("unknown {verb} key {other:?}"))),
                 }
             }
-            Ok(Request::Load {
-                name: name.ok_or_else(|| bad("LOAD requires name=<id>"))?,
-                path: path.ok_or_else(|| bad("LOAD requires path=<file>"))?,
+            let name = name.ok_or_else(|| bad(format!("{verb} requires name=<id>")))?;
+            let path = path.ok_or_else(|| bad(format!("{verb} requires path=<file>")))?;
+            Ok(if verb == "LOAD" {
+                Request::Load { name, path }
+            } else {
+                Request::Append { name, path }
             })
         }
         "QUERY" => {
@@ -248,7 +276,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             Ok(Request::Shutdown)
         }
         other => Err(bad(format!(
-            "unknown verb {other:?} (LOAD|QUERY|STATS|SHUTDOWN)"
+            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SHUTDOWN)"
         ))),
     }
 }
@@ -372,6 +400,18 @@ mod tests {
         assert_eq!(
             r,
             Request::Load { name: "x".into(), path: "/tmp/x.csv".into() }
+        );
+    }
+
+    #[test]
+    fn append_parses_like_load() {
+        assert!(parse_request("APPEND name=x").is_err());
+        assert!(parse_request("APPEND path=/tmp/x.csv").is_err());
+        assert!(parse_request("APPEND name=x path=/tmp/x.csv nope=1").is_err());
+        let r = parse_request("append name=x path=/tmp/x.csv").unwrap();
+        assert_eq!(
+            r,
+            Request::Append { name: "x".into(), path: "/tmp/x.csv".into() }
         );
     }
 

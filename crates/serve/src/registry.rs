@@ -1,12 +1,18 @@
-//! The dataset registry: named datasets plus the shared fingerprint
-//! cache.
+//! The dataset registry: named sharded datasets plus the shared
+//! per-shard fingerprint cache.
 //!
-//! `LOAD` installs a dataset under a name; `QUERY` resolves the name,
-//! then asks [`Registry::fingerprint`] for the signature artefact — a
-//! cache hit returns the shared `Arc` without touching the data, a miss
-//! runs phase 1 under the request's budget and (only if it completed)
-//! caches the result for every later query over the same
-//! `(dataset, prefs, t, seed)` coordinate.
+//! `LOAD` installs a dataset under a name (replacing — and cache
+//! invalidating — any previous holder of that name); `APPEND` adds a new
+//! shard to an existing dataset, leaving every old shard's cached folds
+//! valid. `QUERY` resolves the name, then asks [`Registry::fingerprint`]
+//! for the signature artefact:
+//!
+//! * a **memo hit** returns the assembled `Arc<Fingerprint>` without
+//!   touching data or locks beyond the dataset's own memo;
+//! * a **miss** folds the dataset shard by shard under the request's
+//!   budget, merging any shard whose fold is in the LRU cache instead of
+//!   re-scanning it, and (only if the run completed) caches every shard
+//!   fold plus the assembled artefact.
 //!
 //! Concurrency: datasets sit behind an `RwLock` (read-mostly), the
 //! cache behind a `Mutex` held only for lookups/inserts — never while
@@ -15,22 +21,61 @@
 //! correctness: fingerprinting is deterministic in the key, so whichever
 //! insert lands last is bit-identical to the other.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use skydiver_core::{Fingerprint, RunBudget, SkyDiver};
-use skydiver_data::{io, Dataset, Preference};
+use skydiver_data::{io, Dataset, Preference, ShardedDataset};
 
 use crate::cache::{FingerprintCache, FingerprintKey};
 use crate::metrics::Metrics;
+
+/// Assembled fingerprints memoised per dataset *generation*: the memo
+/// dies with its `LoadedDataset`, so `LOAD`/`APPEND` can never serve a
+/// stale whole-dataset artefact.
+const MEMO_CAP: usize = 16;
 
 /// A dataset installed in the registry.
 #[derive(Debug)]
 pub struct LoadedDataset {
     /// Registry name.
     pub name: String,
-    /// The points.
-    pub data: Dataset,
+    /// The points, shard by shard.
+    pub data: ShardedDataset,
+    /// Assembled fingerprints for this generation of the data, keyed by
+    /// `(prefs, t, seed)`. Bounded at [`MEMO_CAP`] (cleared when full —
+    /// the per-shard LRU makes re-assembly cheap).
+    memo: Mutex<HashMap<(String, usize, u64), Arc<Fingerprint>>>,
+}
+
+impl LoadedDataset {
+    fn new(name: String, data: ShardedDataset) -> Self {
+        LoadedDataset { name, data, memo: Mutex::new(HashMap::new()) }
+    }
+
+    /// The dataset as one contiguous block — borrowed when there is a
+    /// single shard, concatenated otherwise. The exact (greedy) query
+    /// path uses this; everything signature-based works per shard.
+    pub fn whole(&self) -> Cow<'_, Dataset> {
+        if self.data.num_shards() == 1 {
+            Cow::Borrowed(self.data.shard(0))
+        } else {
+            Cow::Owned(self.data.concat())
+        }
+    }
+
+    fn memo_get(&self, key: &(String, usize, u64)) -> Option<Arc<Fingerprint>> {
+        self.memo.lock().expect("memo lock").get(key).cloned()
+    }
+
+    fn memo_put(&self, key: (String, usize, u64), fp: Arc<Fingerprint>) {
+        let mut memo = self.memo.lock().expect("memo lock");
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, fp);
+    }
 }
 
 /// Parses a `min,max,...` preference spec against a dataset
@@ -59,8 +104,8 @@ pub fn parse_prefs(spec: Option<&str>, dims: usize) -> Result<(Vec<Preference>, 
     Ok((prefs, key))
 }
 
-/// Named datasets + fingerprint cache + metrics. Shared (via `Arc`)
-/// between every worker thread of a [`Server`](crate::Server).
+/// Named datasets + per-shard fingerprint cache + metrics. Shared (via
+/// `Arc`) between every worker thread of a [`Server`](crate::Server).
 pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<LoadedDataset>>>,
     cache: Mutex<FingerprintCache>,
@@ -83,15 +128,23 @@ impl Registry {
         &self.metrics
     }
 
-    /// Installs an in-memory dataset (used by tests and the load
-    /// generator; the wire path is [`Registry::load_path`]). Replaces
-    /// any previous dataset of the same name — cached fingerprints keyed
-    /// to the old data are *not* invalidated, so reuse of a name with
-    /// different data is on the caller.
+    /// Installs an in-memory dataset as a single shard (used by tests
+    /// and the load generator; the wire path is [`Registry::load_path`]).
+    /// Replaces any previous dataset of the same name and drops its
+    /// cached shard folds — `LOAD` means "this name now denotes exactly
+    /// this data", so nothing keyed to the old generation survives.
     pub fn insert_dataset(&self, name: impl Into<String>, data: Dataset) -> (usize, usize) {
+        self.insert_sharded(name, ShardedDataset::from_dataset(data))
+    }
+
+    /// Installs an already-sharded dataset, with the same
+    /// replace-and-invalidate semantics as [`Registry::insert_dataset`].
+    /// Returns `(points, dims)`.
+    pub fn insert_sharded(&self, name: impl Into<String>, data: ShardedDataset) -> (usize, usize) {
         let name = name.into();
         let (points, dims) = (data.len(), data.dims());
-        let entry = Arc::new(LoadedDataset { name: name.clone(), data });
+        let entry = Arc::new(LoadedDataset::new(name.clone(), data));
+        self.cache.lock().expect("cache lock").invalidate_dataset(&name);
         self.datasets.write().expect("registry lock").insert(name, entry);
         (points, dims)
     }
@@ -99,15 +152,54 @@ impl Registry {
     /// Loads a dataset file (`.sky` binary snapshot or headerless CSV)
     /// and installs it. Returns `(points, dims)`.
     pub fn load_path(&self, name: &str, path: &str) -> Result<(usize, usize), String> {
-        let data = if path.ends_with(".sky") {
-            io::read_binary(path).map_err(|e| format!("cannot read {path}: {e}"))?
-        } else {
-            io::read_csv(path).map_err(|e| format!("cannot read {path}: {e}"))?
-        };
-        if data.is_empty() {
-            return Err(format!("{path} holds no points"));
-        }
+        let data = read_points(path)?;
         Ok(self.insert_dataset(name, data))
+    }
+
+    /// Appends an in-memory block of points to dataset `name` as one new
+    /// shard. Old shards are shared by `Arc` (no copy) and their cached
+    /// folds stay valid — row ids are global and existing rows never
+    /// move. Returns `(points, dims, shards, appended)` for the total
+    /// dataset after the append.
+    pub fn append_dataset(
+        &self,
+        name: &str,
+        block: Dataset,
+    ) -> Result<(usize, usize, usize, usize), String> {
+        let old = self.dataset(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        if block.dims() != old.data.dims() {
+            return Err(format!(
+                "appended block has {} dims, dataset {name:?} has {}",
+                block.dims(),
+                old.data.dims()
+            ));
+        }
+        if block.is_empty() {
+            return Err("appended block holds no points".to_string());
+        }
+        let appended = block.len();
+        let mut grown = ShardedDataset::new(old.data.dims());
+        for i in 0..old.data.num_shards() {
+            grown.push_shard_arc(Arc::clone(old.data.shard_arc(i)));
+        }
+        grown.push_shard(block);
+        let (points, dims, shards) = (grown.len(), grown.dims(), grown.num_shards());
+        // A fresh LoadedDataset drops the old generation's assembled-
+        // fingerprint memo; the per-shard LRU is deliberately *not*
+        // invalidated — that reuse is the point of APPEND.
+        let entry = Arc::new(LoadedDataset::new(name.to_string(), grown));
+        self.datasets.write().expect("registry lock").insert(name.to_string(), entry);
+        Ok((points, dims, shards, appended))
+    }
+
+    /// Reads a points file and appends it via
+    /// [`Registry::append_dataset`].
+    pub fn append_path(
+        &self,
+        name: &str,
+        path: &str,
+    ) -> Result<(usize, usize, usize, usize), String> {
+        self.append_dataset(name, read_points(path)?)
     }
 
     /// Resolves a dataset by name.
@@ -123,9 +215,40 @@ impl Registry {
         names
     }
 
-    /// The fingerprint for `(name, prefs, t, seed)` — cached if
-    /// available, otherwise computed under `budget` and cached when
-    /// complete. Returns the artefact plus whether it was a cache hit.
+    /// `(name, shard count)` for every installed dataset, sorted by
+    /// name — the `STATS` payload's `dataset_shards` object.
+    pub fn dataset_shards(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .datasets
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(|d| (d.name.clone(), d.data.num_shards()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The `STATS` payload: the metrics snapshot with a per-dataset
+    /// shard-count object spliced in.
+    pub fn stats_json(&self) -> String {
+        let mut json = self.metrics.snapshot_json();
+        let shards = self
+            .dataset_shards()
+            .into_iter()
+            .map(|(name, n)| format!("\"{}\":{n}", crate::protocol::json_escape(&name)))
+            .collect::<Vec<_>>()
+            .join(",");
+        debug_assert_eq!(json.pop(), Some('}'));
+        json.push_str(&format!(",\"dataset_shards\":{{{shards}}}}}"));
+        json
+    }
+
+    /// The assembled fingerprint for `(name, prefs, t, seed)` — memoised
+    /// if available, otherwise folded shard by shard under `budget`
+    /// (reusing cached shard folds) and cached when complete. Returns
+    /// the artefact, whether it was a memo hit, and the dominance tests
+    /// charged (0 on a hit).
     pub fn fingerprint(
         &self,
         name: &str,
@@ -134,46 +257,85 @@ impl Registry {
         t: usize,
         seed: u64,
         budget: RunBudget,
-    ) -> Result<(Arc<Fingerprint>, bool), String> {
+    ) -> Result<(Arc<Fingerprint>, bool, u64), String> {
         let ds = self.dataset(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
-        let key = FingerprintKey {
+        let memo_key = (prefs_key.to_string(), t, seed);
+        if let Some(fp) = ds.memo_get(&memo_key) {
+            self.metrics.bump(&self.metrics.cache_hits);
+            return Ok((fp, true, 0));
+        }
+        self.metrics.bump(&self.metrics.cache_misses);
+        let shard_key = |shard: usize| FingerprintKey {
             dataset: name.to_string(),
+            shard,
             prefs: prefs_key.to_string(),
             t,
             seed,
         };
-        if let Some(fp) = self.cache.lock().expect("cache lock").get(&key) {
-            self.metrics.bump(&self.metrics.cache_hits);
-            return Ok((fp, true));
-        }
-        self.metrics.bump(&self.metrics.cache_misses);
+        let cached: Vec<_> = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            (0..ds.data.num_shards()).map(|i| cache.get(&shard_key(i))).collect()
+        };
         // `k` is irrelevant to phase 1; 2 is the smallest valid value.
         let diver = SkyDiver::new(2).signature_size(t).hash_seed(seed).budget(budget);
-        let fp = Arc::new(diver.fingerprint(&ds.data, prefs).map_err(|e| e.to_string())?);
+        let run = diver
+            .fingerprint_sharded_with(&ds.data, prefs, &cached)
+            .map_err(|e| e.to_string())?;
+        self.metrics.add(&self.metrics.dominance_tests, run.dominance_tests);
+        self.metrics.add(&self.metrics.shards_reused, run.reused_shards as u64);
+        let dominance_tests = run.dominance_tests;
+        let fp = Arc::new(run.fingerprint);
         if fp.is_complete() {
             let mut cache = self.cache.lock().expect("cache lock");
-            cache.insert(key, Arc::clone(&fp));
+            for (i, fold) in run.shards.into_iter().enumerate() {
+                cache.insert(shard_key(i), fold);
+            }
             self.metrics
                 .bytes_resident
                 .store(cache.bytes() as u64, std::sync::atomic::Ordering::Relaxed);
             self.metrics
                 .cache_evictions
                 .store(cache.evictions(), std::sync::atomic::Ordering::Relaxed);
+            drop(cache);
+            ds.memo_put(memo_key, Arc::clone(&fp));
         }
-        Ok((fp, false))
+        Ok((fp, false, dominance_tests))
     }
 
-    /// Cache occupancy snapshot: `(entries, resident bytes, ceiling)`.
+    /// Cache occupancy snapshot: `(entries, resident bytes, ceiling)` of
+    /// the per-shard LRU (assembled-fingerprint memos are not counted —
+    /// they share the shard folds' slot arrays only transitively and are
+    /// bounded per dataset).
     pub fn cache_usage(&self) -> (usize, usize, usize) {
         let cache = self.cache.lock().expect("cache lock");
         (cache.len(), cache.bytes(), cache.ceiling())
     }
 }
 
+/// Reads a `.sky` binary snapshot or headerless CSV, refusing empty
+/// files.
+fn read_points(path: &str) -> Result<Dataset, String> {
+    let data = if path.ends_with(".sky") {
+        io::read_binary(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        io::read_csv(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    if data.is_empty() {
+        return Err(format!("{path} holds no points"));
+    }
+    Ok(data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use skydiver_data::generators::anticorrelated;
+
+    /// A budget that never trips but is not "unlimited", so the
+    /// dominance-test counter actually runs (unlimited contexts skip it).
+    fn counted() -> RunBudget {
+        RunBudget::none().with_max_dominance_tests(u64::MAX)
+    }
 
     #[test]
     fn prefs_parse_and_canonicalise() {
@@ -193,19 +355,21 @@ mod tests {
         let reg = Registry::new(1 << 24, Arc::clone(&metrics));
         reg.insert_dataset("ant", anticorrelated(2000, 3, 17));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        let (cold, hit) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        let (cold, hit, spent) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
         assert!(!hit);
-        let (warm, hit) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(spent > 0, "a cold run charges dominance tests");
+        let (warm, hit, spent) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
         assert!(hit);
+        assert_eq!(spent, 0, "a memo hit touches no data");
         assert!(Arc::ptr_eq(&cold, &warm), "hit returns the same allocation");
         use std::sync::atomic::Ordering::Relaxed;
         assert_eq!(metrics.cache_hits.load(Relaxed), 1);
         assert_eq!(metrics.cache_misses.load(Relaxed), 1);
         assert!(metrics.bytes_resident.load(Relaxed) > 0);
         // A different seed is a different cache coordinate.
-        let (_, hit) = reg.fingerprint("ant", &prefs, &key, 32, 8, RunBudget::none()).unwrap();
+        let (_, hit, _) = reg.fingerprint("ant", &prefs, &key, 32, 8, RunBudget::none()).unwrap();
         assert!(!hit);
         assert_eq!(reg.cache_usage().0, 2);
     }
@@ -216,12 +380,12 @@ mod tests {
         reg.insert_dataset("ant", anticorrelated(2000, 3, 18));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
         let tiny = RunBudget::none().with_max_dominance_tests(10);
-        let (fp, hit) = reg.fingerprint("ant", &prefs, &key, 32, 7, tiny).unwrap();
+        let (fp, hit, _) = reg.fingerprint("ant", &prefs, &key, 32, 7, tiny).unwrap();
         assert!(!hit);
         assert!(!fp.is_complete());
         assert_eq!(reg.cache_usage().0, 0, "partial artefact must not be cached");
         // The next unbudgeted query recomputes from scratch (a miss).
-        let (fp, hit) =
+        let (fp, hit, _) =
             reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
         assert!(!hit);
         assert!(fp.is_complete());
@@ -234,5 +398,95 @@ mod tests {
         let (prefs, key) = parse_prefs(None, 2).unwrap();
         let err = reg.fingerprint("ghost", &prefs, &key, 8, 0, RunBudget::none()).unwrap_err();
         assert!(err.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn load_replaces_and_invalidates() {
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::new(1 << 24, Arc::clone(&metrics));
+        reg.insert_dataset("d", anticorrelated(1000, 3, 19));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        let (first, hit, _) =
+            reg.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(!hit);
+        assert_eq!(reg.cache_usage().0, 1);
+        // Re-LOAD under the same name: different data, same coordinates.
+        reg.insert_dataset("d", anticorrelated(1000, 3, 77));
+        assert_eq!(reg.cache_usage().0, 0, "LOAD drops the old generation's folds");
+        let (second, hit, _) =
+            reg.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert!(!hit, "the memo died with the replaced dataset");
+        assert!(
+            first.output.scores != second.output.scores || first.skyline != second.skyline,
+            "the artefact reflects the new data"
+        );
+    }
+
+    #[test]
+    fn append_reuses_old_shard_folds() {
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::new(1 << 24, Arc::clone(&metrics));
+        reg.insert_dataset("d", anticorrelated(2000, 3, 20));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        let (_, _, cold) = reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        // The appended block changes the skyline, so the old shard's fold
+        // is extended (new columns only), not fully reused.
+        let (points, dims, shards, appended) =
+            reg.append_dataset("d", anticorrelated(100, 3, 21)).unwrap();
+        assert_eq!((points, dims, shards, appended), (2100, 3, 2, 100));
+        let (fp, hit, warm) =
+            reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        assert!(!hit, "a fresh generation cannot be memo-served");
+        assert!(fp.is_complete());
+        assert!(
+            warm < cold,
+            "append fold ({warm} tests) must undercut the cold run ({cold})"
+        );
+        // Equivalence: the merged artefact matches a from-scratch run.
+        let scratch = Registry::new(1 << 24, Arc::new(Metrics::new()));
+        let mut sd = ShardedDataset::new(3);
+        sd.push_shard(anticorrelated(2000, 3, 20));
+        sd.push_shard(anticorrelated(100, 3, 21));
+        scratch.insert_sharded("d", sd);
+        let (truth, _, _) =
+            scratch.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert_eq!(fp.output.matrix, truth.output.matrix);
+        assert_eq!(fp.output.scores, truth.output.scores);
+        assert_eq!(fp.skyline, truth.skyline);
+    }
+
+    #[test]
+    fn append_of_dominated_points_reuses_the_whole_old_shard() {
+        let metrics = Arc::new(Metrics::new());
+        let reg = Registry::new(1 << 24, Arc::clone(&metrics));
+        reg.insert_dataset("d", anticorrelated(2000, 3, 22));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        // Every appended point is dominated by the existing data (the
+        // generator emits coordinates well below 10), so the skyline —
+        // and with it the old shard's fold — is unchanged.
+        let sunk = Dataset::from_rows(3, &vec![[10.0, 10.0, 10.0]; 50]);
+        reg.append_dataset("d", sunk).unwrap();
+        use std::sync::atomic::Ordering::Relaxed;
+        let reused_before = metrics.shards_reused.load(Relaxed);
+        let (fp, hit, warm) =
+            reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        assert!(!hit);
+        assert!(fp.is_complete());
+        assert!(
+            metrics.shards_reused.load(Relaxed) > reused_before,
+            "the unchanged old shard must be served from the cache"
+        );
+        let m = fp.skyline.len() as u64;
+        assert_eq!(warm, 50 * m, "only the appended rows are scanned");
+    }
+
+    #[test]
+    fn append_validates_dims_and_name() {
+        let reg = Registry::new(1 << 20, Arc::new(Metrics::new()));
+        assert!(reg.append_dataset("ghost", anticorrelated(10, 3, 0)).is_err());
+        reg.insert_dataset("d", anticorrelated(10, 3, 0));
+        let err = reg.append_dataset("d", anticorrelated(10, 2, 0)).unwrap_err();
+        assert!(err.contains("dims"), "{err}");
     }
 }

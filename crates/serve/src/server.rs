@@ -236,6 +236,22 @@ fn respond(line: &str, registry: &Registry, cancel: &CancelToken) -> (String, bo
                 (format!("ERR {e}"), false)
             }
         },
+        Ok(Request::Append { name, path }) => match registry.append_path(&name, &path) {
+            Ok((points, dims, shards, appended)) => {
+                metrics.bump(&metrics.appends);
+                (
+                    format!(
+                        "OK dataset={name} points={points} dims={dims} \
+                         shards={shards} appended={appended}"
+                    ),
+                    false,
+                )
+            }
+            Err(e) => {
+                metrics.bump(&metrics.errors);
+                (format!("ERR {e}"), false)
+            }
+        },
         Ok(Request::Query(q)) => {
             let t0 = Instant::now();
             match answer_query(&q, registry, cancel) {
@@ -250,7 +266,7 @@ fn respond(line: &str, registry: &Registry, cancel: &CancelToken) -> (String, bo
                 }
             }
         }
-        Ok(Request::Stats) => (format!("OK {}", metrics.snapshot_json()), false),
+        Ok(Request::Stats) => (format!("OK {}", registry.stats_json()), false),
         Ok(Request::Shutdown) => ("OK shutting down".to_string(), true),
     }
 }
@@ -280,15 +296,17 @@ fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Res
     let budget = request_budget(q, cancel);
     let metrics = Arc::clone(registry.metrics());
 
-    let (skyline_len, selected, gamma, fingerprint_ms, selection_ms, memory_bytes, cached, degradation) =
+    #[allow(clippy::type_complexity)]
+    let (skyline_len, selected, gamma, fingerprint_ms, selection_ms, memory_bytes, cached, dominance_tests, degradation): (usize, Vec<usize>, Vec<u64>, f64, f64, usize, bool, u64, Degradation) =
         match q.method {
             Method::Greedy => {
+                let whole = ds.whole();
                 let (skyline_len, selected, gamma, selection_ms, degradation) =
-                    answer_exact(q, &ds.data, &prefs, budget)?;
-                (skyline_len, selected, gamma, 0.0, selection_ms, 0usize, false, degradation)
+                    answer_exact(q, &whole, &prefs, budget)?;
+                (skyline_len, selected, gamma, 0.0, selection_ms, 0usize, false, 0, degradation)
             }
             Method::MinHash | Method::Lsh { .. } => {
-                let (fp, cached) = registry.fingerprint(
+                let (fp, cached, dominance_tests) = registry.fingerprint(
                     &q.dataset,
                     &prefs,
                     &prefs_key,
@@ -315,6 +333,7 @@ fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Res
                     r.selection_ms,
                     r.memory_bytes,
                     cached,
+                    dominance_tests,
                     r.degradation,
                 )
             }
@@ -332,7 +351,8 @@ fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Res
             "{{\"dataset\":\"{}\",\"k\":{},\"method\":\"{}\",\"cached\":{},",
             "\"skyline\":{},\"selected\":[{}],\"gamma\":[{}],",
             "\"fingerprint_ms\":{:.3},\"selection_ms\":{:.3},\"total_ms\":{:.3},",
-            "\"memory_bytes\":{},\"degraded\":{},\"status\":\"{}\"}}"
+            "\"memory_bytes\":{},\"dominance_tests\":{},",
+            "\"degraded\":{},\"status\":\"{}\"}}"
         ),
         json_escape(&q.dataset),
         q.k,
@@ -345,6 +365,7 @@ fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Res
         selection_ms,
         total_ms,
         memory_bytes,
+        dominance_tests,
         degraded,
         json_escape(&degradation.summary()),
     ))
@@ -362,12 +383,12 @@ fn answer_exact(
 ) -> Result<(usize, Vec<usize>, Vec<u64>, f64, Degradation), String> {
     let ctx = ExecContext::new(budget);
     let canon = canonicalise(data, prefs).map_err(|e| e.to_string())?;
-    let skyline = sfs(&canon, &MinDominance);
+    let skyline = sfs(canon.as_ref(), &MinDominance);
     if skyline.is_empty() {
         return Err("empty skyline".to_string());
     }
     let t0 = Instant::now();
-    let gamma = GammaSets::build(&canon, &MinDominance, &skyline);
+    let gamma = GammaSets::build(canon.as_ref(), &MinDominance, &skyline);
     let scores = gamma.scores();
     let mut dist = ExactJaccardDistance::new(&gamma);
     let (positions, interrupt) = select_diverse_budgeted(

@@ -1,19 +1,21 @@
 //! The `O(n²)` skyline oracle.
 
-use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_data::{DatasetView, DominanceOrd};
 
 /// Computes the skyline by comparing every pair of points.
 ///
 /// Quadratic; exists as the ground truth for property tests and for tiny
-/// inputs. Returns point indices in ascending order.
-pub fn naive_skyline<O>(ds: &Dataset, ord: &O) -> Vec<usize>
+/// inputs. Accepts a dataset or any [`DatasetView`]; returns view-local
+/// point indices in ascending order.
+pub fn naive_skyline<'a, O>(ds: impl Into<DatasetView<'a>>, ord: &O) -> Vec<usize>
 where
     O: DominanceOrd<Item = [f64]>,
 {
-    (0..ds.len())
+    let view: DatasetView<'a> = ds.into();
+    (0..view.len())
         .filter(|&i| {
-            let p = ds.point(i);
-            !ds.iter().any(|q| ord.dominates(q, p))
+            let p = view.point(i);
+            !view.iter().any(|q| ord.dominates(q, p))
         })
         .collect()
 }
@@ -22,6 +24,7 @@ where
 mod tests {
     use super::*;
     use skydiver_data::dominance::MinDominance;
+    use skydiver_data::Dataset;
 
     #[test]
     fn hand_checked_skyline() {

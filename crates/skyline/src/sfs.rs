@@ -5,11 +5,12 @@
 //! by a later one, so the window only grows and each point is compared
 //! against confirmed skyline members only.
 
-use skydiver_data::{Dataset, DominanceOrd};
+use skydiver_data::{DatasetView, DominanceOrd};
 
 /// SFS with the canonical coordinate-sum score (monotone for
-/// min-dominance). Returns skyline indices in ascending order.
-pub fn sfs<O>(ds: &Dataset, ord: &O) -> Vec<usize>
+/// min-dominance). Accepts a dataset or any [`DatasetView`]; returns
+/// view-local skyline indices in ascending order.
+pub fn sfs<'a, O>(ds: impl Into<DatasetView<'a>>, ord: &O) -> Vec<usize>
 where
     O: DominanceOrd<Item = [f64]>,
 {
@@ -22,22 +23,23 @@ where
 /// imply `score(p) <= score(q)` (strict scores give the best filtering;
 /// ties are handled correctly either way because equal-score points are
 /// still compared).
-pub fn sfs_with_score<O, F>(ds: &Dataset, ord: &O, score: F) -> Vec<usize>
+pub fn sfs_with_score<'a, O, F>(ds: impl Into<DatasetView<'a>>, ord: &O, score: F) -> Vec<usize>
 where
     O: DominanceOrd<Item = [f64]>,
     F: Fn(&[f64]) -> f64,
 {
-    let mut order: Vec<usize> = (0..ds.len()).collect();
+    let view: DatasetView<'a> = ds.into();
+    let mut order: Vec<usize> = (0..view.len()).collect();
     order.sort_by(|&a, &b| {
-        score(ds.point(a))
-            .partial_cmp(&score(ds.point(b)))
+        score(view.point(a))
+            .partial_cmp(&score(view.point(b)))
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut skyline: Vec<usize> = Vec::new();
     'points: for &i in &order {
-        let p = ds.point(i);
+        let p = view.point(i);
         for &s in &skyline {
-            if ord.dominates(ds.point(s), p) {
+            if ord.dominates(view.point(s), p) {
                 continue 'points;
             }
         }
@@ -52,6 +54,7 @@ mod tests {
     use super::*;
     use crate::naive::naive_skyline;
     use skydiver_data::dominance::MinDominance;
+    use skydiver_data::Dataset;
     use skydiver_data::generators::{anticorrelated, independent};
 
     #[test]

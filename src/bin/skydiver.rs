@@ -80,7 +80,7 @@ const USAGE: &str = "usage:
   skydiver run       --input FILE --k K [--t 100] [--method mh|lsh]
                      [--xi 0.2] [--buckets 20] [--prefs min,max,...] [--threads N]
                      [--seed S] [--timeout-ms MS] [--max-memory BYTES]
-                     [--max-dominance-tests N] [--format text|json]
+                     [--max-dominance-tests N] [--format text|json] [--shards N]
   skydiver fingerprint --input FILE --out FILE.skysig [--t 100] [--seed S] [--prefs ...]
   skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
                      [--xi 0.2] [--buckets 20]
@@ -90,6 +90,7 @@ const USAGE: &str = "usage:
                      [--buckets 20] [--prefs min,max,...] [--timeout-ms MS]
                      [--max-dominance-tests N] [--format text|json]
   skydiver query     [--addr ...] --load NAME --path FILE   (install a dataset)
+  skydiver query     [--addr ...] --append NAME --path FILE (grow it by one shard)
   skydiver query     [--addr ...] --stats | --shutdown
   skydiver info      --input FILE";
 
@@ -106,7 +107,7 @@ const COMMANDS: &[(&str, &[&str])] = &[
     (
         "run",
         &["input", "k", "t", "method", "xi", "buckets", "prefs", "threads", "seed", "timeout-ms",
-          "max-memory", "max-dominance-tests", "format"],
+          "max-memory", "max-dominance-tests", "format", "shards"],
     ),
     ("fingerprint", &["input", "out", "t", "seed", "prefs"]),
     ("select", &["signatures", "k", "method", "xi", "buckets"]),
@@ -114,7 +115,7 @@ const COMMANDS: &[(&str, &[&str])] = &[
     (
         "query",
         &["addr", "dataset", "k", "method", "t", "seed", "xi", "buckets", "prefs", "timeout-ms",
-          "max-dominance-tests", "format", "load", "path", "stats", "shutdown"],
+          "max-dominance-tests", "format", "load", "append", "path", "stats", "shutdown"],
     ),
     ("info", &["input"]),
 ];
@@ -252,7 +253,7 @@ fn cmd_skyline(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let algo = flags.get("algo").map(|s| s.as_str()).unwrap_or("sfs");
     let skyline = match algo {
         "bnl" => sky::bnl(&canon, &MinDominance),
-        "sfs" => sky::sfs(&canon, &MinDominance),
+        "sfs" => sky::sfs(canon.as_ref(), &MinDominance),
         "dc" => sky::dc(&canon, &MinDominance),
         "streaming" => sky::streaming_skyline(&canon, &MinDominance, 64, 1).0,
         other => return Err(err(format!("unknown algorithm {other:?}"))),
@@ -351,17 +352,36 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 
 /// `skydiver run` — the full auto pipeline: index-based fingerprinting
 /// with automatic index-free fallback (`run_auto`), parallel over
-/// `--threads`, under an optional run budget.
+/// `--threads`, under an optional run budget. With `--shards N > 1` the
+/// data is partitioned into N contiguous shards and fingerprinted as a
+/// merge of per-shard folds — bit-identical to the monolithic pass.
 fn cmd_run(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let ds = load(flag(flags, "input")?)?;
     let prefs = prefs_for(flags, ds.dims())?;
     let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
     let threads: usize = num(flags, "threads", 1)?;
-    let r = pipeline_for(flags, k)?.run_auto(&ds, &prefs)?;
+    let shards: usize = num(flags, "shards", 1)?;
+    let pipeline = pipeline_for(flags, k)?;
+    // An explicit --shards always takes the sharded index-free fold —
+    // even --shards 1 — so the flag's output is partition-invariant and
+    // comparable across shard counts.
+    let (r, label) = if flags.contains_key("shards") {
+        if shards == 0 {
+            return Err(err("bad value for --shards"));
+        }
+        let sd = skydiver::data::ShardedDataset::partition(&ds, shards);
+        let run = pipeline.fingerprint_sharded(&sd, &prefs)?;
+        (
+            pipeline.select_from(&run.fingerprint)?,
+            format!("threads {threads}, shards {}, ", sd.num_shards()),
+        )
+    } else {
+        (pipeline.run_auto(&ds, &prefs)?, format!("threads {threads}, "))
+    };
     if json_format(flags)? {
         print_result_json(&r);
     } else {
-        print_result_text(&ds, &r, &format!("threads {threads}, "));
+        print_result_text(&ds, &r, &label);
     }
     Ok(())
 }
@@ -373,9 +393,9 @@ fn cmd_fingerprint(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let out_path = flag(flags, "out")?;
     let t: usize = num(flags, "t", 100)?;
     let canon = skydiver::core::canonicalise(&ds, &prefs)?;
-    let skyline = sky::sfs(&canon, &MinDominance);
+    let skyline = sky::sfs(canon.as_ref(), &MinDominance);
     let fam = skydiver::HashFamily::new(t, num(flags, "seed", 0)?);
-    let out = skydiver::core::sig_gen_if(&canon, &MinDominance, &skyline, &fam);
+    let out = skydiver::core::sig_gen_if(canon.as_ref(), &MinDominance, &skyline, &fam);
     persist::write_signatures(&out, out_path)?;
     println!(
         "fingerprinted {} skyline points of {} (t = {t}) into {out_path}",
@@ -446,6 +466,11 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(name) = flags.get("load") {
         let path = flag(flags, "path")?;
         println!("{}", client.load(name, path).map_err(err)?);
+        return Ok(());
+    }
+    if let Some(name) = flags.get("append") {
+        let path = flag(flags, "path")?;
+        println!("{}", client.append(name, path).map_err(err)?);
         return Ok(());
     }
     // A diversification query.

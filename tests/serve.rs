@@ -236,6 +236,145 @@ fn wire_load_matches_direct_run_on_the_same_file() {
     std::fs::remove_file(csv).ok();
 }
 
+/// The wire `APPEND` path end-to-end: growing a served dataset by one
+/// shard must answer bit-identically to a cold run over the grown data,
+/// while charging only the incremental dominance-test bill — the old
+/// shard's fold is reused, so a skyline-preserving append of `a` rows
+/// against an `m`-point skyline costs exactly `a · m` tests instead of
+/// `(n + a) · m`.
+#[test]
+fn wire_append_reuses_folds_and_answers_exactly() {
+    let n = 8_000usize;
+    let a = 400usize;
+    let base = anticorrelated(n, 3, 88);
+
+    // The appended block: every base point, shifted up by 0.25 in every
+    // coordinate. Under all-min preferences each shifted point is
+    // dominated by its original, so the skyline cannot change — the old
+    // shard must be reused exact-fit.
+    let rows: Vec<Vec<f64>> = (0..a)
+        .map(|i| base.point(i).iter().map(|&v| v + 0.25).collect())
+        .collect();
+    let block = skydiver::Dataset::from_rows(3, &rows);
+    let dir = std::env::temp_dir();
+    let csv = dir.join(format!("skydiver-append-{}.csv", std::process::id()));
+    io::write_csv(&block, &csv).expect("write append block");
+
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", base.clone());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let cold = client.query(&spec(6)).expect("cold query");
+    assert_eq!(selected_of(&cold).len(), 6, "cold query answers");
+    let m = json_u64(&cold, "skyline").expect("skyline size");
+    let cold_tests = json_u64(&cold, "dominance_tests").expect("dominance_tests");
+    // The index-free scan skips the skyline rows themselves, so a cold
+    // run costs exactly (n − m)·m dominance tests.
+    assert_eq!(cold_tests, (n as u64 - m) * m, "cold run scans every non-skyline row: {cold}");
+
+    let summary = client.append("ant", csv.to_str().unwrap()).expect("wire append");
+    assert!(summary.contains("shards=2"), "{summary}");
+    assert!(summary.contains("appended=400"), "{summary}");
+    assert!(summary.contains("points=8400"), "{summary}");
+
+    // Warm query after the append: same skyline, identical selection,
+    // and a dominance-test bill of exactly a·m — the n·m bulk of the old
+    // shard is merged from its cached fold.
+    let warm = client.query(&spec(6)).expect("warm query");
+    assert_eq!(json_u64(&warm, "skyline"), Some(m), "append was dominated: {warm}");
+    let warm_selected = selected_of(&warm);
+    let warm_tests = json_u64(&warm, "dominance_tests").expect("dominance_tests");
+    assert_eq!(
+        warm_tests,
+        a as u64 * m,
+        "warm append path must charge a·m, not (n+a)·m: {warm}"
+    );
+
+    // Reference: the grown dataset served cold under another name pays
+    // the full (n+a−m)·m bill and must select the very same points the
+    // incremental path did.
+    let mut grown = base.clone();
+    for i in 0..block.len() {
+        grown.push(block.point(i));
+    }
+    handle.registry().insert_dataset("grown", grown);
+    let payload = client
+        .query(&spec(6).clone_with_dataset("grown"))
+        .expect("grown cold query");
+    assert_eq!(
+        selected_of(&payload),
+        warm_selected,
+        "incremental fold diverged from the cold recompute"
+    );
+    let grown_tests = json_u64(&payload, "dominance_tests").expect("dominance_tests");
+    assert!(
+        warm_tests * 4 < grown_tests,
+        "append must be far cheaper than recompute: {warm_tests} vs {grown_tests}"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64(&stats, "appends"), Some(1), "{stats}");
+    assert!(json_u64(&stats, "shards_reused").unwrap() >= 1, "{stats}");
+    assert!(
+        stats.contains("\"ant\":2") && stats.contains("\"grown\":1"),
+        "STATS must report per-dataset shard counts: {stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+    std::fs::remove_file(csv).ok();
+}
+
+/// Re-`LOAD`ing a name replaces the dataset and drops every cached
+/// artefact for it: the next query answers from the new data, never from
+/// a stale fingerprint.
+#[test]
+fn wire_load_replaces_the_dataset_and_its_cache() {
+    let dir = std::env::temp_dir();
+    let csv = dir.join(format!("skydiver-reload-{}.csv", std::process::id()));
+    let replacement = anticorrelated(5_000, 3, 202);
+    io::write_csv(&replacement, &csv).expect("write replacement");
+    let expected: Vec<u64> = SkyDiver::new(4)
+        .signature_size(T)
+        .hash_seed(SEED)
+        .run(&replacement, &Preference::all_min(3))
+        .expect("direct run")
+        .selected
+        .iter()
+        .map(|&i| i as u64)
+        .collect();
+
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(5_000, 3, 101));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Warm the cache on the original data.
+    let payload = client.query(&spec(4)).expect("first query");
+    let original_selected = selected_of(&payload);
+    let payload = client.query(&spec(4)).expect("warmed query");
+    assert_eq!(json_bool(&payload, "cached"), Some(true), "{payload}");
+
+    // Replace under the same name; the warm cache must not leak through.
+    let summary = client.load("ant", csv.to_str().unwrap()).expect("reload");
+    assert!(summary.contains("points=5000"), "{summary}");
+    let payload = client.query(&spec(4)).expect("post-reload query");
+    assert_eq!(
+        json_bool(&payload, "cached"),
+        Some(false),
+        "a stale fingerprint survived the reload: {payload}"
+    );
+    assert_eq!(selected_of(&payload), expected, "answer must come from the new data");
+    assert_ne!(
+        selected_of(&payload),
+        original_selected,
+        "distinct seeds should disagree (sanity check on the fixture)"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+    std::fs::remove_file(csv).ok();
+}
+
 /// Helper: `QuerySpec` with a different dataset name.
 trait CloneWith {
     fn clone_with_dataset(&self, name: &str) -> QuerySpec;

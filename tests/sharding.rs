@@ -1,0 +1,253 @@
+//! Shard-equivalence property suite (PR 4).
+//!
+//! MinHash slot-wise minima and Γ-score sums are associative and
+//! commutative, and every shard hashes **global** row ids — so folding a
+//! dataset shard-by-shard and merging must be **bit-identical** to the
+//! monolithic index-free pass for *every* contiguous partition of the
+//! rows: same signature matrix, same Γ-scores, same skyline. These
+//! properties drive random partitions (including empty shards) through
+//! the public facade, sequential and parallel, cold and cached, with and
+//! without a tripped dominance budget.
+//!
+//! Harness idiom follows `proptests.rs`: a seeded splitmix64 stream over
+//! a coarse coordinate grid (`g/7` for `g ∈ 0..8`) to force ties and
+//! duplicates, failure messages carrying the case seed.
+
+use skydiver::data::ShardedDataset;
+use skydiver::{Dataset, Preference, RunBudget, SkyDiver};
+
+/// Cases per property — partitions are cheap but each case runs the
+/// monolithic reference too, so stay a notch under `proptests.rs`.
+const CASES: u64 = 48;
+
+/// splitmix64 — the same tiny generator the vendored `rand` shim seeds
+/// with; good enough to scatter grid points and cut positions.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// A dataset of `1..max_n` points on the coarse grid.
+fn grid_dataset(rng: &mut Rng, max_n: u64, dims: usize) -> Dataset {
+    let n = rng.range(1, max_n);
+    let mut flat = Vec::with_capacity(n as usize * dims);
+    for _ in 0..n * dims as u64 {
+        flat.push(rng.range(0, 8) as f64 / 7.0);
+    }
+    Dataset::from_flat(dims, flat)
+}
+
+/// Splits `ds` at `cuts - 1` random positions (duplicates allowed, so
+/// some shards may be empty) — a strictly harsher partition space than
+/// [`ShardedDataset::partition`]'s near-equal split.
+fn random_partition(rng: &mut Rng, ds: &Dataset, cuts: usize) -> ShardedDataset {
+    let n = ds.len();
+    let mut bounds: Vec<usize> = (0..cuts - 1)
+        .map(|_| rng.range(0, n as u64 + 1) as usize)
+        .collect();
+    bounds.push(0);
+    bounds.push(n);
+    bounds.sort_unstable();
+    let mut sd = ShardedDataset::new(ds.dims());
+    for w in bounds.windows(2) {
+        let mut shard = Dataset::with_capacity(ds.dims(), w[1] - w[0]);
+        for r in w[0]..w[1] {
+            shard.push(ds.point(r));
+        }
+        sd.push_shard(shard);
+    }
+    sd
+}
+
+#[test]
+fn random_partitions_fold_bit_identically() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let ds = grid_dataset(&mut rng, 240, 3);
+        let prefs = Preference::all_min(3);
+        let pipe = SkyDiver::new(2).signature_size(24).hash_seed(case);
+        let reference = pipe.fingerprint(&ds, &prefs).expect("reference fingerprint");
+
+        let shards = rng.range(1, 9) as usize;
+        let sd = random_partition(&mut rng, &ds, shards);
+        assert_eq!(sd.len(), ds.len(), "case {case}: partition loses rows");
+
+        for threads in [1usize, 3] {
+            let run = pipe
+                .clone()
+                .threads(threads)
+                .fingerprint_sharded(&sd, &prefs)
+                .expect("sharded fingerprint");
+            let fp = &run.fingerprint;
+            assert!(fp.is_complete(), "case {case}: unlimited run tripped");
+            assert_eq!(fp.skyline, reference.skyline, "case {case}, threads {threads}");
+            assert_eq!(
+                fp.output.matrix, reference.output.matrix,
+                "case {case}, threads {threads}, {shards} shards: matrix diverged"
+            );
+            assert_eq!(
+                fp.output.scores, reference.output.scores,
+                "case {case}, threads {threads}, {shards} shards: Γ-scores diverged"
+            );
+            assert_eq!(run.shards.len(), sd.num_shards(), "case {case}: fold per shard");
+        }
+    }
+}
+
+#[test]
+fn cached_shard_folds_change_nothing() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5eed ^ case);
+        let ds = grid_dataset(&mut rng, 200, 3);
+        let prefs = Preference::all_min(3);
+        let pipe = SkyDiver::new(2).signature_size(16).hash_seed(case);
+        let shards = rng.range(1, 6) as usize;
+        let sd = random_partition(&mut rng, &ds, shards);
+
+        let cold = pipe.fingerprint_sharded(&sd, &prefs).expect("cold run");
+        let cached: Vec<_> = cold.shards.iter().cloned().map(Some).collect();
+        let warm = pipe
+            .fingerprint_sharded_with(&sd, &prefs, &cached)
+            .expect("warm run");
+
+        assert_eq!(warm.reused_shards, sd.num_shards(), "case {case}: exact-fit reuse");
+        assert_eq!(warm.scanned_rows, 0, "case {case}: nothing left to scan");
+        assert_eq!(warm.fingerprint.skyline, cold.fingerprint.skyline, "case {case}");
+        assert_eq!(
+            warm.fingerprint.output.matrix, cold.fingerprint.output.matrix,
+            "case {case}: cached merge diverged"
+        );
+        assert_eq!(
+            warm.fingerprint.output.scores, cold.fingerprint.output.scores,
+            "case {case}: cached Γ-scores diverged"
+        );
+    }
+}
+
+#[test]
+fn budget_trips_identically_on_sequential_folds() {
+    // Contiguous shards preserve row order, so the *sequential* fold
+    // charges the budget in exactly the monolithic order — a trip lands
+    // on the same row and the partial artefacts must still match bit
+    // for bit. (Parallel folds only promise bit-identity for complete
+    // runs; a trip there stops workers at different rows.)
+    let mut tripped_cases = 0u32;
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7219 ^ case);
+        let ds = grid_dataset(&mut rng, 200, 3);
+        let prefs = Preference::all_min(3);
+        let limit = rng.range(1, (ds.len() as u64 + 2) * (ds.len() as u64 + 2) / 2);
+        let budget = RunBudget::none().with_max_dominance_tests(limit);
+        let pipe = SkyDiver::new(2)
+            .signature_size(24)
+            .hash_seed(case)
+            .budget(budget);
+
+        let reference = pipe.fingerprint(&ds, &prefs).expect("reference fingerprint");
+        let shards = rng.range(2, 9) as usize;
+        let sd = random_partition(&mut rng, &ds, shards);
+        let run = pipe.fingerprint_sharded(&sd, &prefs).expect("sharded fingerprint");
+        let fp = &run.fingerprint;
+
+        assert_eq!(
+            fp.is_complete(),
+            reference.is_complete(),
+            "case {case}: trip decision diverged (limit {limit})"
+        );
+        assert_eq!(fp.skyline, reference.skyline, "case {case}");
+        assert_eq!(
+            fp.output.matrix, reference.output.matrix,
+            "case {case}: partial matrix diverged (limit {limit})"
+        );
+        assert_eq!(
+            fp.output.scores, reference.output.scores,
+            "case {case}: partial Γ-scores diverged (limit {limit})"
+        );
+        if !fp.is_complete() {
+            tripped_cases += 1;
+            assert!(
+                run.shards.is_empty(),
+                "case {case}: a curtailed run must never expose cacheable folds"
+            );
+        }
+    }
+    assert!(
+        tripped_cases >= 4,
+        "budget property is vacuous: only {tripped_cases} tripped cases"
+    );
+}
+
+#[test]
+fn appended_shards_extend_old_folds_exactly() {
+    // The APPEND algebra end-to-end: fold a base partition, append a
+    // fresh shard, and re-fold reusing the old per-shard artefacts. The
+    // result must equal a cold fingerprint of the grown dataset, and
+    // only the *new* rows (plus any freshly exposed skyline columns over
+    // old rows) may be scanned.
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::new(0xa44 ^ case);
+        let base = grid_dataset(&mut rng, 180, 3);
+        let block = grid_dataset(&mut rng, 60, 3);
+        let prefs = Preference::all_min(3);
+        let pipe = SkyDiver::new(2).signature_size(16).hash_seed(case);
+
+        let cuts = rng.range(1, 5) as usize;
+        let sd = random_partition(&mut rng, &base, cuts);
+        let cold = pipe.fingerprint_sharded(&sd, &prefs).expect("base run");
+
+        let mut grown = ShardedDataset::new(3);
+        for i in 0..sd.num_shards() {
+            grown.push_shard_arc(sd.shard_arc(i).clone());
+        }
+        grown.push_shard(block.clone());
+        let mut cached: Vec<_> = cold.shards.iter().cloned().map(Some).collect();
+        cached.push(None);
+
+        let warm = pipe
+            .fingerprint_sharded_with(&grown, &prefs, &cached)
+            .expect("append run");
+
+        let mut whole = base.clone();
+        for i in 0..block.len() {
+            whole.push(block.point(i));
+        }
+        let reference = pipe.fingerprint(&whole, &prefs).expect("grown reference");
+
+        assert_eq!(warm.fingerprint.skyline, reference.skyline, "case {case}");
+        assert_eq!(
+            warm.fingerprint.output.matrix, reference.output.matrix,
+            "case {case}: append merge diverged"
+        );
+        assert_eq!(
+            warm.fingerprint.output.scores, reference.output.scores,
+            "case {case}: append Γ-scores diverged"
+        );
+        assert!(
+            warm.scanned_rows <= block.len() + base.len(),
+            "case {case}: warm path rescanned more than the data"
+        );
+        // No new skyline exposure ⇒ the old shards merge without any
+        // rescan and only the appended block is touched.
+        if warm.fingerprint.skyline == cold.fingerprint.skyline {
+            assert_eq!(
+                warm.scanned_rows,
+                block.len(),
+                "case {case}: skyline unchanged yet old rows were rescanned"
+            );
+        }
+    }
+}
