@@ -44,6 +44,7 @@ pub enum TieBreak {
 fn max_dominance_seed(scores: &[u64]) -> usize {
     (0..scores.len())
         .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+        // lint: allow(R1) -- callers seed only after validating m >= 1
         .expect("at least one candidate")
 }
 
@@ -155,6 +156,8 @@ pub fn select_diverse_budgeted<D: DiversityDistance>(
                 best = Some(x);
             }
         }
+        // lint: allow(R1) -- k <= m is validated at entry, so the scan over
+        // unselected candidates is never empty
         let x = best.expect("k <= m guarantees a candidate");
         push(x, dist, &mut selected, &mut in_set, &mut min_dist);
     }
@@ -171,6 +174,8 @@ fn push<D: DiversityDistance>(
     selected.push(x);
     in_set[x] = true;
     for i in 0..in_set.len() {
+        // lint: allow(R2) -- one O(m) relaxation pass per greedy round;
+        // the caller's round loop polls ctx.check before each push
         if !in_set[i] {
             let d = dist.distance(i, x);
             if d < min_dist[i] {
@@ -273,6 +278,9 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
                 for t in 0..threads {
+                    // lint: allow(R2) -- spawns exactly `threads` scoped
+                    // workers; the seeding scan sits between two ctx.check
+                    // polls in the caller
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(m);
                     handles.push(scope.spawn(move || {
@@ -289,6 +297,9 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
                     }));
                 }
                 for h in handles {
+                    // lint: allow(R2) -- joins at most `threads` handles
+                    // lint: allow(R1) -- a worker panic is re-raised on the
+                    // caller by design; swallowing it would corrupt the fold
                     bests.push(h.join().expect("seed scan panicked"));
                 }
             });
@@ -296,6 +307,7 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
             // pair attaining the maximum — the sequential scan's pick.
             let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
             for (i, j, d) in bests {
+                // lint: allow(R2) -- folds `threads` partial results
                 if d > bd {
                     (bi, bj, bd) = (i, j, d);
                 }
@@ -314,8 +326,12 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
         if let Err(int) = ctx.check(ExecPhase::Selection) {
             return Ok((selected, Some(int)));
         }
+        // lint: allow(R1) -- the seeding block above always pushes at least
+        // one point before this loop runs
         let last = *selected.last().expect("seeded above");
         let best = update_and_scan(dist, last, scores, tie, threads, &in_set, &mut min_dist, true)
+            // lint: allow(R1) -- k <= m is validated at entry, so unselected
+            // candidates remain while selected.len() < k
             .expect("k <= m guarantees a candidate");
         selected.push(best);
         in_set[best] = true;
@@ -352,6 +368,8 @@ fn update_and_scan<D: SyncDiversityDistance>(
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (ci, md_chunk) in min_dist.chunks_mut(chunk).enumerate() {
+            // lint: allow(R2) -- spawns at most `threads` scoped workers;
+            // update_and_scan runs once per round and the round loop polls
             let lo = ci * chunk;
             handles.push(scope.spawn(move || {
                 let mut best: Option<(f64, u64, usize)> = None;
@@ -372,6 +390,9 @@ fn update_and_scan<D: SyncDiversityDistance>(
             }));
         }
         for h in handles {
+            // lint: allow(R2) -- joins at most `threads` handles
+            // lint: allow(R1) -- a worker panic is re-raised on the caller
+            // by design; swallowing it would corrupt the fold
             chunk_bests.push(h.join().expect("selection round panicked"));
         }
     });
@@ -380,6 +401,7 @@ fn update_and_scan<D: SyncDiversityDistance>(
     }
     let mut best: Option<(f64, u64, usize)> = None;
     for cb in chunk_bests.into_iter().flatten() {
+        // lint: allow(R2) -- folds `threads` partial results
         if better((cb.0, cb.1), best) {
             best = Some(cb);
         }
@@ -460,10 +482,14 @@ pub fn greedy_msdp<D: DiversityDistance>(
     in_set[first] = true;
     let mut sum_dist = vec![0.0f64; m];
     for (i, slot) in sum_dist.iter_mut().enumerate() {
+        // lint: allow(R2) -- greedy_msdp is the paper's illustrative
+        // baseline (Example 1), documented unbudgeted; one O(m) seed pass
         if i != first {
             *slot = dist.distance(i, first);
         }
     }
+    // lint: allow(R2) -- illustrative unbudgeted baseline: k rounds of
+    // O(m) scans, used for the Example 1 comparison and tests
     while selected.len() < k {
         let x = (0..m)
             .filter(|&i| !in_set[i])
@@ -472,6 +498,8 @@ pub fn greedy_msdp<D: DiversityDistance>(
                     .partial_cmp(&sum_dist[b])
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
+            // lint: allow(R1) -- k <= m is validated at entry, so the
+            // unselected set is never empty here
             .expect("k <= m");
         in_set[x] = true;
         selected.push(x);
@@ -502,6 +530,8 @@ fn full_matrix<D: DiversityDistance>(dist: &mut D) -> Vec<Vec<f64>> {
     let m = dist.num_points();
     let mut matrix = vec![vec![0.0; m]; m];
     for i in 0..m {
+        // lint: allow(R2) -- feeds only the brute-force baselines, which
+        // refuse to run unless binomial(m, k) clears the size guard
         for j in (i + 1)..m {
             let d = dist.distance(i, j);
             matrix[i][j] = d;
@@ -531,6 +561,8 @@ fn enumerate(
     }
     let remaining = k - current.len();
     for i in start..=(m - remaining) {
+        // lint: allow(R2) -- exhaustive baseline, gated by the
+        // binomial(m, k) limit check at the public entry point
         let mut new_min = cur_min;
         for &s in current.iter() {
             new_min = new_min.min(matrix[s][i]);
@@ -558,6 +590,8 @@ fn enumerate_sum(
     }
     let remaining = k - current.len();
     for i in start..=(m - remaining) {
+        // lint: allow(R2) -- exhaustive baseline, gated by the
+        // binomial(m, k) limit check at the public entry point
         let add: f64 = current.iter().map(|&s| matrix[s][i]).sum();
         current.push(i);
         enumerate_sum(matrix, m, k, i + 1, cur_sum + add, current, best);
@@ -572,6 +606,7 @@ fn binomial(n: u128, k: u128) -> u128 {
     let k = k.min(n - k);
     let mut acc: u128 = 1;
     for i in 0..k {
+        // lint: allow(R2) -- at most k <= n/2 integer steps
         acc = acc.saturating_mul(n - i) / (i + 1);
     }
     acc
@@ -582,6 +617,7 @@ fn binomial(n: u128, k: u128) -> u128 {
 pub fn min_pairwise<D: DiversityDistance>(dist: &mut D, selection: &[usize]) -> f64 {
     let mut best = f64::INFINITY;
     for (a, &i) in selection.iter().enumerate() {
+        // lint: allow(R2) -- O(k^2) over the final selection, k points
         for &j in &selection[a + 1..] {
             best = best.min(dist.distance(i, j));
         }

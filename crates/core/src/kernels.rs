@@ -148,6 +148,8 @@ impl SkylinePack {
     fn tile_const<const D: usize>(&self, lo: usize, hi: usize, rows: &[&[f64]], out: &mut [Vec<usize>]) {
         let tile = &self.coords[lo * D..hi * D];
         for (bi, &p) in rows.iter().enumerate() {
+            // lint: allow(R1) -- the const-D dispatch only runs when
+            // self.d == D, so every row slice has exactly D elements
             let p: &[f64; D] = p.try_into().expect("dimensionality matches pack");
             for (jj, s) in tile.chunks_exact(D).enumerate() {
                 if dominates_min_const::<D>(s, p) {
@@ -171,6 +173,8 @@ impl SkylinePack {
 
     #[inline]
     fn dominators_const<const D: usize>(&self, p: &[f64], lo: usize, hi: usize, out: &mut Vec<usize>) {
+        // lint: allow(R1) -- the const-D dispatch only runs when
+        // self.d == D, so the query point has exactly D elements
         let p: &[f64; D] = p.try_into().expect("dimensionality matches pack");
         let tile = &self.coords[lo * D..hi * D];
         for (jj, s) in tile.chunks_exact(D).enumerate() {

@@ -65,6 +65,8 @@ impl SignatureAccumulator {
     pub fn merge(&mut self, other: &SignatureAccumulator) {
         self.matrix.merge_min(&other.matrix);
         for (a, &b) in self.scores.iter_mut().zip(&other.scores) {
+            // lint: allow(R2) -- slot-wise fold of two m-length score
+            // vectors; runs once per merge, no I/O
             *a += b;
         }
         self.rows_consumed += other.rows_consumed;

@@ -74,6 +74,8 @@ impl HashFamily {
     pub fn hash_all(&self, x: u64, out: &mut [u64]) {
         debug_assert_eq!(out.len(), self.coeffs.len());
         for (slot, &(a, b)) in out.iter_mut().zip(&self.coeffs) {
+            // lint: allow(R2) -- t hash applications per row; the row
+            // loops charge the budget per dominated point
             *slot = mod_p(a as u128 * x as u128 + b as u128);
         }
     }

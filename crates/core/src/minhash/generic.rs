@@ -39,12 +39,16 @@ where
 
     let mut is_skyline = vec![false; items.len()];
     for &s in skyline {
+        // lint: allow(R2) -- O(m) flag fill before the scan
         is_skyline[s] = true;
     }
 
     let mut row_hashes = vec![0u64; t];
     let mut dominators: Vec<usize> = Vec::with_capacity(m);
     for (row, p) in items.iter().enumerate() {
+        // lint: allow(R2) -- reference pass for categorical/partial-order
+        // domains with no ExecContext in its public signature; the numeric
+        // production paths (sig_gen_if_budgeted, parallel, ib) all poll
         if is_skyline[row] {
             continue;
         }

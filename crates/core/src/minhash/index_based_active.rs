@@ -36,6 +36,8 @@ struct FullChain {
 impl FullChain {
     fn for_each(&self, f: &mut impl FnMut(usize)) {
         for &j in &self.fulls {
+            // lint: allow(R2) -- walks one root-to-leaf chain of full
+            // classifications, bounded by tree height * m
             f(j);
         }
         if let Some(p) = &self.parent {
@@ -76,6 +78,9 @@ pub fn sig_gen_ib_active(
     let mut frontier: Frontier = vec![(tree.root(), 0, root_chain, all_active)];
 
     while let Some((pid, node_base, chain, active)) = frontier.pop() {
+        // lint: allow(R2) -- the active-pruning pass mirrors sig_gen_ib's
+        // unbudgeted signature (no ExecContext parameter); the budgeted
+        // production traversal lives in parallel_ib and polls per node
         let node = tree.read_node(pool, pid);
         stats.nodes_read += 1;
         let mut base = node_base;
@@ -102,6 +107,8 @@ pub fn sig_gen_ib_active(
                         continue;
                     }
                     Child::Point(_) => {
+                        // lint: allow(R1) -- a point MBR (lo == hi) classifies
+                        // as Full or None, never Partial
                         unreachable!("degenerate MBRs are never partially dominated")
                     }
                 }

@@ -73,6 +73,7 @@ where
     let view: DatasetView<'a> = ds.into();
     let mut skip = vec![false; view.len()];
     for &s in skyline {
+        // lint: allow(R2) -- O(m) flag fill; the scan that follows polls
         skip[s] = true;
     }
     let cols: Vec<&[f64]> = skyline.iter().map(|&s| view.point(s)).collect();

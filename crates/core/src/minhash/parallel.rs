@@ -64,6 +64,7 @@ where
 
     let mut skip = vec![false; view.len()];
     for &s in skyline {
+        // lint: allow(R2) -- O(m) flag fill; the sharded scans poll
         skip[s] = true;
     }
     let cols: Vec<&[f64]> = skyline.iter().map(|&s| view.point(s)).collect();
@@ -110,6 +111,8 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for range in 0..threads {
+            // lint: allow(R2) -- spawns exactly `threads` scoped workers;
+            // each worker's scan_view polls the shared ctx per row batch
             let lo = (range * chunk).min(view.len());
             let hi = ((range + 1) * chunk).min(view.len());
             let sub = view.slice(lo, hi);
@@ -121,13 +124,19 @@ where
             }));
         }
         for h in handles {
+            // lint: allow(R2) -- joins at most `threads` handles
+            // lint: allow(R1) -- a worker panic is re-raised on the caller
+            // by design; swallowing it would drop rows from the signature
             partials.push(h.join().expect("siggen range panicked"));
         }
     });
 
     let mut iter = partials.into_iter();
+    // lint: allow(R1) -- the pool spawns max(threads, 1) workers, so at
+    // least one partial accumulator always comes back
     let (mut acc, mut interrupt) = iter.next().expect("threads >= 1");
     for (p, int) in iter {
+        // lint: allow(R2) -- folds `threads` partial accumulators
         acc.merge(&p);
         if interrupt.is_none() {
             interrupt = int;

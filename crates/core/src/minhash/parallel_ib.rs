@@ -187,6 +187,8 @@ pub fn sig_gen_ib_parallel_budgeted(
     let target = threads * SEED_FACTOR;
     let mut queue: VecDeque<(PageId, u64)> = VecDeque::from([(tree.root(), 0)]);
     while queue.len() < target {
+        // lint: allow(R2) -- process_node charges the budget per node and
+        // its Interrupt return breaks this loop
         let Some((pid, base)) = queue.pop_front() else {
             break;
         };
@@ -207,12 +209,16 @@ pub fn sig_gen_ib_parallel_budgeted(
     if interrupt.is_none() && !queue.is_empty() && !pool.poisoned() {
         let mut buckets: Vec<Vec<(PageId, u64)>> = vec![Vec::new(); threads];
         for (idx, item) in queue.into_iter().enumerate() {
+            // lint: allow(R2) -- round-robin of at most threads*SEED_FACTOR
+            // queued subtrees
             buckets[idx % threads].push(item);
         }
         let pool_mx = Mutex::new(pool);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+                // lint: allow(R2) -- spawns at most `threads` scoped workers;
+                // each worker's process_node charges the budget per node
                 let pool_mx = &pool_mx;
                 handles.push(scope.spawn(move || {
                     let mut acc = Acc::new(t, m);
@@ -220,6 +226,9 @@ pub fn sig_gen_ib_parallel_budgeted(
                     let mut frontier = bucket;
                     while let Some((pid, base)) = frontier.pop() {
                         let node = {
+                            // lint: allow(R1) -- mutex poison means a sibling
+                            // worker panicked mid-read; the join below re-raises
+                            // that panic, so recovery here would be dead code
                             let mut guard = pool_mx.lock().expect("pool mutex poisoned");
                             if guard.poisoned() {
                                 break;
@@ -244,6 +253,9 @@ pub fn sig_gen_ib_parallel_budgeted(
                 }));
             }
             for h in handles {
+                // lint: allow(R2) -- joins at most `threads` handles
+                // lint: allow(R1) -- a worker panic is re-raised on the
+                // caller by design; swallowing it would drop subtree counts
                 partials.push(h.join().expect("ib partition panicked"));
             }
         });
@@ -251,6 +263,7 @@ pub fn sig_gen_ib_parallel_budgeted(
 
     let mut acc = seed_acc;
     for (p, int) in partials {
+        // lint: allow(R2) -- folds `threads` partial accumulators
         acc.merge(&p);
         if interrupt.is_none() {
             interrupt = int;

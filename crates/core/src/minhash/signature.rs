@@ -46,6 +46,8 @@ impl SignatureMatrix {
         debug_assert_eq!(row_hashes.len(), self.t);
         let col = &mut self.data[j * self.t..(j + 1) * self.t];
         for (slot, &h) in col.iter_mut().zip(row_hashes) {
+            // lint: allow(R2) -- t slot-wise minima per dominated point;
+            // the row loops charge the budget
             if h < *slot {
                 *slot = h;
             }
@@ -94,6 +96,8 @@ impl SignatureMatrix {
     pub fn merge_min(&mut self, other: &SignatureMatrix) {
         assert_eq!((self.t, self.m), (other.t, other.m), "shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            // lint: allow(R2) -- element-wise fold of two t*m matrices;
+            // runs once per shard merge, no I/O
             if b < *a {
                 *a = b;
             }

@@ -480,6 +480,9 @@ impl SkyDiver {
                         scanned_rows += need_acc.rows_consumed;
                         shard_acc.rows_consumed = need_acc.rows_consumed;
                         for (jn, &s) in need.iter().enumerate() {
+                            // lint: allow(R1) -- `need` was computed as the
+                            // subset of `skyline` the fold lacks, so lookup
+                            // cannot miss
                             let j = skyline.binary_search(&s).expect("need ⊆ skyline");
                             shard_acc.matrix.set_column(j, need_acc.matrix.column(jn));
                             shard_acc.scores[j] = need_acc.scores[jn];

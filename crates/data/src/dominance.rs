@@ -95,6 +95,8 @@ impl DominanceOrd for MinDominance {
             (true, false) => Dominance::Dominates,
             (false, true) => Dominance::DominatedBy,
             (false, false) => Dominance::Equal,
+            // lint: allow(R1) -- the loop returns Incomparable as soon as
+            // both flags are set, so this arm cannot be reached
             (true, true) => unreachable!("early return above"),
         }
     }

@@ -1,0 +1,111 @@
+//! Diagnostics: what a rule reports, and the human / JSON renderers.
+
+/// One finding: rule id, location, message and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the lint root (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (`R1` … `R6`, or `A0` for malformed allow comments).
+    pub rule: String,
+    /// One-sentence statement of the violation.
+    pub message: String,
+    /// How to fix it (or how to justify it with an allow comment).
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` — the terminal form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// The outcome of one lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings sorted by (file, line, rule) — deterministic output is
+    /// rule R3 applied to ourselves.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+    /// Rule ids that ran.
+    pub rules_run: Vec<String>,
+}
+
+impl Report {
+    /// Renders the report as a single JSON document (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"hint\":\"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.rule),
+                json_escape(&d.message),
+                json_escape(&d.hint)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"files_checked\":{},\"rules_run\":[{}]}}",
+            self.files_checked,
+            self.rules_run
+                .iter()
+                .map(|r| format!("\"{}\"", json_escape(r)))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_json() {
+        let d = Diagnostic {
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            rule: "R1".into(),
+            message: "forbidden `.unwrap()`".into(),
+            hint: "propagate with `?`".into(),
+        };
+        assert!(d.render().starts_with("crates/core/src/x.rs:7: [R1]"));
+        let r = Report { diagnostics: vec![d], files_checked: 3, rules_run: vec!["R1".into()] };
+        let j = r.to_json();
+        assert!(j.contains("\"line\":7"));
+        assert!(j.contains("\"files_checked\":3"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

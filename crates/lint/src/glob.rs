@@ -1,0 +1,65 @@
+//! A small glob matcher over forward-slash relative paths.
+//!
+//! Supported syntax: `*` (any run of non-separator characters), `?`
+//! (one non-separator character) and `**` (any run of characters,
+//! separators included — i.e. zero or more path segments). This is the
+//! subset `lint.toml` scopes use; anything fancier (character classes,
+//! braces) is out of scope on purpose.
+
+/// Whether `path` (forward-slash relative) matches `pattern`.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    matches(pattern.as_bytes(), path.as_bytes())
+}
+
+fn matches(p: &[u8], s: &[u8]) -> bool {
+    if p.is_empty() {
+        return s.is_empty();
+    }
+    match p[0] {
+        b'*' => {
+            if p.len() >= 2 && p[1] == b'*' {
+                // `**`: swallow any prefix (separators included). A
+                // following `/` may match zero segments.
+                let rest = if p.len() >= 3 && p[2] == b'/' { &p[3..] } else { &p[2..] };
+                (0..=s.len()).any(|i| matches(rest, &s[i..]))
+                    || (p.len() >= 3 && p[2] == b'/' && matches(&p[2..], s))
+            } else {
+                // `*`: any run of non-separator bytes.
+                (0..=s.len())
+                    .take_while(|&i| i == 0 || s[i - 1] != b'/')
+                    .any(|i| matches(&p[1..], &s[i..]))
+            }
+        }
+        b'?' => !s.is_empty() && s[0] != b'/' && matches(&p[1..], &s[1..]),
+        c => !s.is_empty() && s[0] == c && matches(&p[1..], &s[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::glob_match;
+
+    #[test]
+    fn literals_and_stars() {
+        assert!(glob_match("a/b.rs", "a/b.rs"));
+        assert!(glob_match("a/*.rs", "a/b.rs"));
+        assert!(!glob_match("a/*.rs", "a/b/c.rs"));
+        assert!(glob_match("a/?.rs", "a/b.rs"));
+        assert!(!glob_match("a/?.rs", "a/bb.rs"));
+    }
+
+    #[test]
+    fn double_star_spans_segments() {
+        assert!(glob_match("crates/core/src/**", "crates/core/src/minhash/mod.rs"));
+        assert!(glob_match("crates/*/src/**", "crates/serve/src/server.rs"));
+        assert!(glob_match("**/*.rs", "deep/tree/file.rs"));
+        assert!(glob_match("**/*.rs", "file.rs"), "`**/` matches zero segments");
+        assert!(!glob_match("crates/core/src/**", "crates/data/src/io.rs"));
+    }
+
+    #[test]
+    fn exact_file_patterns() {
+        assert!(glob_match("crates/core/src/dispersion.rs", "crates/core/src/dispersion.rs"));
+        assert!(!glob_match("crates/core/src/dispersion.rs", "crates/core/src/lsh.rs"));
+    }
+}

@@ -1,0 +1,398 @@
+//! A minimal Rust lexer — just enough token structure that rules can
+//! search for identifiers without string literals, comments or raw
+//! strings producing false positives.
+//!
+//! The lexer is intentionally lossy: it does not classify keywords,
+//! does not parse numeric suffixes precisely and treats every
+//! single-character symbol as a [`TokKind::Punct`]. What it does get
+//! right are the boundaries that matter for sound text analysis:
+//! line comments, (nested) block comments, string/char/byte literals,
+//! raw strings with arbitrary `#` fencing, raw identifiers and
+//! lifetimes vs char literals.
+
+/// The coarse token classes the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including raw identifiers, with the
+    /// `r#` prefix stripped from [`Tok::text`]'s span start).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A single punctuation character (`{`, `.`, `!`, …).
+    Punct,
+    /// A `//` comment, doc comments included; span excludes the newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled); span includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token: kind plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated literals or comments
+/// consume the rest of the input rather than erroring: the linter must
+/// keep going on any input, and rules only ever under-report on such
+/// malformed tails (which rustc itself will reject anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { b: src.as_bytes(), i: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' => self.raw_or_ident(),
+                b'"' => self.string(),
+                b'\'' => self.lifetime_or_char(),
+                b'0'..=b'9' => self.number(),
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, self.i, self.i + 1, self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.toks.push(Tok { kind, start, end, line });
+    }
+
+    /// Advances to `to`, counting newlines in the skipped span.
+    fn advance_to(&mut self, to: usize) {
+        for &byte in &self.b[self.i..to] {
+            if byte == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.i = to;
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut j = self.i;
+        while j < self.b.len() && self.b[j] != b'\n' {
+            j += 1;
+        }
+        self.push(TokKind::LineComment, start, j, line);
+        self.i = j;
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut j = self.i + 2;
+        let mut depth = 1usize;
+        while j < self.b.len() && depth > 0 {
+            if self.b[j] == b'/' && self.b.get(j + 1) == Some(&b'*') {
+                depth += 1;
+                j += 2;
+            } else if self.b[j] == b'*' && self.b.get(j + 1) == Some(&b'/') {
+                depth -= 1;
+                j += 2;
+            } else {
+                j += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, j, line);
+        self.advance_to(j);
+    }
+
+    /// `r…` / `b…`: raw string, byte string, byte char, raw identifier
+    /// or a plain identifier starting with `r`/`b`.
+    fn raw_or_ident(&mut self) {
+        let c = self.b[self.i];
+        // b'x' byte char literal.
+        if c == b'b' && self.peek(1) == Some(b'\'') {
+            let (start, line) = (self.i, self.line);
+            let end = self.char_literal_end(self.i + 1);
+            self.push(TokKind::Literal, start, end, line);
+            self.advance_to(end);
+            return;
+        }
+        // b"…" byte string.
+        if c == b'b' && self.peek(1) == Some(b'"') {
+            let (start, line) = (self.i, self.line);
+            let end = self.string_end(self.i + 1);
+            self.push(TokKind::Literal, start, end, line);
+            self.advance_to(end);
+            return;
+        }
+        // r"…", r#"…"#, br#"…"# raw (byte) strings; r#ident raw idents.
+        let hash_from = if c == b'r' {
+            Some(self.i + 1)
+        } else if c == b'b' && self.peek(1) == Some(b'r') {
+            Some(self.i + 2)
+        } else {
+            None
+        };
+        if let Some(mut j) = hash_from {
+            let mut hashes = 0usize;
+            while self.b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'"') {
+                let (start, line) = (self.i, self.line);
+                let end = self.raw_string_end(j + 1, hashes);
+                self.push(TokKind::Literal, start, end, line);
+                self.advance_to(end);
+                return;
+            }
+            if hashes == 1 && c == b'r' && self.b.get(j).is_some_and(|&x| is_ident_byte(x)) {
+                // Raw identifier r#ident: emit the ident without prefix.
+                let name_start = j;
+                let mut k = j;
+                while k < self.b.len() && is_ident_byte(self.b[k]) {
+                    k += 1;
+                }
+                self.push(TokKind::Ident, name_start, k, self.line);
+                self.i = k;
+                return;
+            }
+        }
+        self.ident();
+    }
+
+    fn ident(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut j = self.i;
+        while j < self.b.len() && (is_ident_byte(self.b[j]) || self.b[j] >= 0x80) {
+            j += 1;
+        }
+        self.push(TokKind::Ident, start, j.max(start + 1), line);
+        self.i = j.max(start + 1);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let mut j = self.i;
+        while j < self.b.len() {
+            let x = self.b[j];
+            if is_ident_byte(x) {
+                j += 1;
+            } else if x == b'.' && self.b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                j += 1; // decimal point of a float, not a `..` range
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, start, j, line);
+        self.i = j;
+    }
+
+    fn string(&mut self) {
+        let (start, line) = (self.i, self.line);
+        let end = self.string_end(self.i);
+        self.push(TokKind::Literal, start, end, line);
+        self.advance_to(end);
+    }
+
+    /// End offset of a `"`-delimited string whose opening quote is at
+    /// `open` (handles `\"` escapes); consumes to EOF if unterminated.
+    fn string_end(&self, open: usize) -> usize {
+        let mut j = open + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        self.b.len()
+    }
+
+    fn raw_string_end(&self, content_from: usize, hashes: usize) -> usize {
+        let mut j = content_from;
+        while j < self.b.len() {
+            if self.b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && self.b.get(k) == Some(&b'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+            }
+            j += 1;
+        }
+        self.b.len()
+    }
+
+    /// End offset of a char literal whose `'` is at `open`.
+    fn char_literal_end(&self, open: usize) -> usize {
+        let mut j = open + 1;
+        if self.b.get(j) == Some(&b'\\') {
+            j += 2; // skip the escaped char; `\u{…}` handled by the scan below
+            while j < self.b.len() && self.b[j] != b'\'' {
+                j += 1;
+            }
+            return (j + 1).min(self.b.len());
+        }
+        while j < self.b.len() && self.b[j] != b'\'' && self.b[j] != b'\n' {
+            j += 1;
+        }
+        (j + 1).min(self.b.len())
+    }
+
+    fn lifetime_or_char(&mut self) {
+        let (start, line) = (self.i, self.line);
+        // `'ident` not closed by `'` is a lifetime (or loop label).
+        if self.peek(1).is_some_and(is_ident_start) {
+            let mut j = self.i + 2;
+            while j < self.b.len() && is_ident_byte(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) != Some(&b'\'') {
+                self.push(TokKind::Lifetime, start, j, line);
+                self.i = j;
+                return;
+            }
+        }
+        let end = self.char_literal_end(self.i);
+        self.push(TokKind::Literal, start, end, line);
+        self.advance_to(end);
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds("foo.unwrap()");
+        assert_eq!(got[0], (TokKind::Ident, "foo".into()));
+        assert_eq!(got[1], (TokKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokKind::Ident, "unwrap".into()));
+        assert_eq!(got[3], (TokKind::Punct, "(".into()));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let got = kinds(r#"let s = "call .unwrap() here";"#);
+        assert!(got.iter().all(|(k, t)| *k != TokKind::Ident || t != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r#"no "unwrap" inside"# ; x"###;
+        let got = kinds(src);
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Literal && t.contains("inside")));
+        assert_eq!(got.last(), Some(&(TokKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let got = kinds("a // lint: allow(R1) -- why\nb");
+        assert_eq!(got[1].0, TokKind::LineComment);
+        assert!(got[1].1.contains("allow(R1)"));
+        assert_eq!(got[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, TokKind::BlockComment);
+        assert_eq!(got[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        assert!(got.iter().any(|(k, t)| *k == TokKind::Literal && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let got = kinds(r"let c = '\n'; y");
+        assert_eq!(got.last(), Some(&(TokKind::Ident, "y".into())));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let got = kinds("r#match + br#\"raw\"# + b\"bytes\" + b'c'");
+        assert_eq!(got[0], (TokKind::Ident, "match".into()));
+        assert!(got.iter().filter(|(k, _)| *k == TokKind::Literal).count() >= 3);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_tail() {
+        let toks = lex("let s = \"open");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Literal));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let got = kinds("0..n 1.5f64");
+        assert_eq!(got[0], (TokKind::Literal, "0".into()));
+        assert_eq!(got[1], (TokKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokKind::Punct, ".".into()));
+        assert_eq!(got[3], (TokKind::Ident, "n".into()));
+        assert_eq!(got[4], (TokKind::Literal, "1.5f64".into()));
+    }
+}

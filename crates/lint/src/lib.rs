@@ -1,0 +1,231 @@
+//! `skydiver-lint` — the workspace invariant checker.
+//!
+//! The compiler checks types; this crate checks the *contracts* PRs
+//! 1–4 were built on, the ones nothing else enforces mechanically:
+//!
+//! | rule | invariant guarded |
+//! |---|---|
+//! | R1 | resilience — no panicking calls in non-test library code |
+//! | R2 | cancellation — hot fingerprint/selection loops poll the budget |
+//! | R3 | determinism — no wall clocks / hash-order iteration in bit-identical paths |
+//! | R4 | lock discipline — no guard held across socket/file I/O in `serve` |
+//! | R5 | `unsafe` blocks carry `// SAFETY:` justifications |
+//! | R6 | metrics struct ↔ STATS serialization ↔ README wire-spec agree |
+//!
+//! The pipeline is `lexer` → `scan` → `rules`, configured by
+//! [`config::Config`] (`lint.toml`) and reported via
+//! [`diag::Report`]. Everything is std-only and deterministic: files
+//! are visited in sorted order and findings are sorted before output,
+//! so two runs over the same tree produce byte-identical reports —
+//! rule R3 applied to ourselves.
+//!
+//! Suppression grammar (reason mandatory, checked by the engine):
+//!
+//! ```text
+//! // lint: allow(R1) -- the LRU order vec and the map are updated together
+//! ```
+//!
+//! A reasonless `allow` never suppresses and is itself reported as
+//! `A0`.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod glob;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+use config::Config;
+use diag::{Diagnostic, Report};
+use glob::glob_match;
+use rules::{all_rules, Rule, WorkspaceView};
+use scan::SourceFile;
+
+/// Runs every enabled rule over the tree rooted at `root`.
+///
+/// Fails (with a message, not a diagnostic) only on environment
+/// errors: unreadable root, broken config. Rule findings — including
+/// "configured artifact missing" — are diagnostics in the returned
+/// [`Report`].
+pub fn run(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let rules: Vec<Box<dyn Rule>> =
+        all_rules().into_iter().filter(|r| cfg.rules.iter().any(|id| id == r.id())).collect();
+
+    // Union of every enabled rule's scope → the files to parse.
+    let mut rel_paths = Vec::new();
+    walk(root, root, &mut rel_paths)?;
+    rel_paths.sort();
+    let scoped: Vec<&String> = rel_paths
+        .iter()
+        .filter(|rel| {
+            rules.iter().any(|r| {
+                cfg.includes
+                    .get(r.id())
+                    .is_some_and(|globs| globs.iter().any(|g| glob_match(g, rel)))
+            })
+        })
+        .collect();
+
+    let mut files = Vec::with_capacity(scoped.len());
+    for rel in &scoped {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("{rel}: {e}"))?;
+        files.push(SourceFile::parse((*rel).clone(), text));
+    }
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in &rules {
+        for f in &files {
+            let in_scope = cfg
+                .includes
+                .get(rule.id())
+                .is_some_and(|globs| globs.iter().any(|g| glob_match(g, &f.rel)));
+            if !in_scope {
+                continue;
+            }
+            let mut found = Vec::new();
+            rule.check_file(f, &mut found);
+            // A reasoned allow comment on the finding's line or the line
+            // above suppresses it (R2 additionally honours allows inside
+            // the loop body, handled in the rule itself).
+            found.retain(|d| !f.allowed_at(&d.rule, d.line));
+            diags.append(&mut found);
+        }
+        let ws = WorkspaceView { root };
+        rule.check_workspace(&ws, cfg, &mut diags);
+    }
+
+    // Malformed allow comments: missing reason or unknown rule id.
+    for f in &files {
+        for a in &f.allows {
+            if !a.has_reason {
+                diags.push(Diagnostic {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    rule: "A0".to_string(),
+                    message: "allow comment without a reason (it suppresses nothing)"
+                        .to_string(),
+                    hint: "write `// lint: allow(Rn) -- <reason>`".to_string(),
+                });
+            }
+            for r in &a.rules {
+                if !config::ALL_RULES.contains(&r.as_str()) {
+                    diags.push(Diagnostic {
+                        file: f.rel.clone(),
+                        line: a.line,
+                        rule: "A0".to_string(),
+                        message: format!("allow comment names unknown rule `{r}`"),
+                        hint: format!("known rules: {}", config::ALL_RULES.join(", ")),
+                    });
+                }
+            }
+        }
+    }
+
+    diags.sort();
+    diags.dedup();
+    Ok(Report {
+        diagnostics: diags,
+        files_checked: files.len(),
+        rules_run: rules.iter().map(|r| r.id().to_string()).collect(),
+    })
+}
+
+/// Collects `.rs` files under `dir` as root-relative forward-slash
+/// paths, skipping build output and VCS internals.
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("skydiver-lint-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (rel, text) in files {
+            let p = dir.join(rel);
+            if let Some(parent) = p.parent() {
+                std::fs::create_dir_all(parent).expect("mkdir");
+            }
+            std::fs::write(p, text).expect("write");
+        }
+        dir
+    }
+
+    #[test]
+    fn scoping_and_suppression_end_to_end() {
+        let dir = stage(
+            "scope",
+            &[
+                ("src/a.rs", "fn f() { x.unwrap(); }\n"),
+                ("src/b.rs", "// lint: allow(R1) -- invariant: y is Some by construction\nfn g() { y.unwrap(); }\n"),
+                ("other/c.rs", "fn h() { z.unwrap(); }\n"),
+            ],
+        );
+        let cfg = Config::parse("rules = [\"R1\"]\n[rules.R1]\ninclude = [\"src/**\"]\n")
+            .expect("cfg");
+        let report = run(&dir, &cfg).expect("run");
+        assert_eq!(report.files_checked, 2, "other/ is out of scope");
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].file, "src/a.rs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a0() {
+        let dir = stage(
+            "a0",
+            &[("src/a.rs", "// lint: allow(R1)\nfn f() { x.unwrap(); }\n")],
+        );
+        let cfg = Config::parse("rules = [\"R1\"]\n[rules.R1]\ninclude = [\"src/**\"]\n")
+            .expect("cfg");
+        let report = run(&dir, &cfg).expect("run");
+        let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+        assert_eq!(rules, vec!["A0", "R1"], "allow suppresses nothing and is itself flagged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let dir = stage(
+            "sorted",
+            &[
+                ("src/z.rs", "fn f() { a.unwrap(); }\n"),
+                ("src/a.rs", "fn f() { panic!(\"x\"); b.unwrap(); }\n"),
+            ],
+        );
+        let cfg = Config::parse("rules = [\"R1\"]\n[rules.R1]\ninclude = [\"src/**\"]\n")
+            .expect("cfg");
+        let r1 = run(&dir, &cfg).expect("run");
+        let r2 = run(&dir, &cfg).expect("run");
+        assert_eq!(r1.to_json(), r2.to_json());
+        let files: Vec<&str> = r1.diagnostics.iter().map(|d| d.file.as_str()).collect();
+        assert_eq!(files, vec!["src/a.rs", "src/a.rs", "src/z.rs"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,100 @@
+//! R1 — no panicking calls in non-test library code.
+//!
+//! Guards the PR 1 resilience contract: the pipeline, data and serving
+//! layers degrade (typed errors, partial results) instead of aborting.
+//! A stray `.unwrap()` on a lock or IO result turns one poisoned mutex
+//! or one malformed request into a dead worker thread.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Forbids `.unwrap()`, `.expect(…)`, `panic!` and `unreachable!`
+/// outside `#[cfg(test)]` / `#[test]` code.
+pub struct R1NoPanic;
+
+impl Rule for R1NoPanic {
+    fn id(&self) -> &'static str {
+        "R1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` in non-test code"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "return a typed error (propagate with `?`) or recover; a genuine invariant may be \
+         kept with `// lint: allow(R1) -- <why the invariant holds>`"
+    }
+
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (c, &ti) in f.code.iter().enumerate() {
+            let tok = f.toks[ti];
+            if tok.kind != TokKind::Ident || f.in_test(tok.start) {
+                continue;
+            }
+            let name = f.text_of(&tok);
+            let found = match name {
+                "unwrap" | "expect" => {
+                    let after_dot = c > 0 && punct_is(f, c - 1, '.');
+                    let called = punct_is(f, c + 1, '(');
+                    (after_dot && called).then(|| format!("forbidden `.{name}()`"))
+                }
+                "panic" | "unreachable" => {
+                    punct_is(f, c + 1, '!').then(|| format!("forbidden `{name}!`"))
+                }
+                _ => None,
+            };
+            if let Some(message) = found {
+                out.push(self.diag(&f.rel, tok.line, message));
+            }
+        }
+    }
+}
+
+fn punct_is(f: &SourceFile, c: usize, ch: char) -> bool {
+    f.code.get(c).is_some_and(|&ti| {
+        let t = f.toks[ti];
+        t.kind == TokKind::Punct && f.text.as_bytes()[t.start] == ch as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let mut out = Vec::new();
+        R1NoPanic.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_the_four_forms() {
+        let d = run(
+            "fn f() {\n  a.unwrap();\n  b.expect(\"msg\");\n  panic!(\"boom\");\n  unreachable!();\n}\n",
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[3].line, 5);
+        assert!(d.iter().all(|d| d.rule == "R1"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_pass() {
+        assert!(run("fn f() { a.unwrap_or(0); b.unwrap_or_else(|e| e.into_inner()); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_and_strings_pass() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { a.unwrap(); panic!(); } }").is_empty());
+        assert!(run("fn f() { let s = \"do not .unwrap() here\"; }").is_empty());
+    }
+
+    #[test]
+    fn should_panic_attr_and_panic_path_pass() {
+        assert!(run("fn f() { std::panic::catch_unwind(g); }").is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! R2 — cancellation coverage in the hot loops.
+//!
+//! Guards the PR 1 cooperative-cancellation contract: every fingerprint
+//! or selection loop must poll its `ExecContext` (budget / cancel
+//! token) so a `SHUTDOWN` or a tripped budget degrades the run instead
+//! of letting it spin. An inner loop is covered by an outer loop's
+//! poll (the per-round cadence the design specifies), so only
+//! *outermost* loops are checked.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Requires every outermost non-test loop to contain a cooperative
+/// check, or an explicit `// lint: allow(R2) -- reason` in its body.
+pub struct R2CancelPoll;
+
+/// Whether the identifier reads as a cooperative budget/cancel touch.
+fn cooperative(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    ident == "check"
+        || ident == "check_cancelled"
+        || lower.contains("charge")
+        || lower.contains("budget")
+        || lower.contains("cancel")
+}
+
+impl Rule for R2CancelPoll {
+    fn id(&self) -> &'static str {
+        "R2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every outermost loop in the fingerprint/selection hot paths polls the budget/cancel token"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "poll inside the loop (`ctx.check(…)` / `ctx.charge_…`) or justify boundedness with \
+         `// lint: allow(R2) -- <why the loop is short>` in the loop body"
+    }
+
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for lp in &f.loops {
+            if lp.parent.is_some() || f.in_test(lp.kw_byte) {
+                continue;
+            }
+            let compliant = f.code.iter().any(|&ti| {
+                let t = f.toks[ti];
+                t.kind == TokKind::Ident
+                    && lp.body.0 <= t.start
+                    && t.start < lp.body.1
+                    && cooperative(f.text_of(&t))
+            });
+            if compliant
+                || f.allowed_within("R2", lp.body)
+                || f.allowed_at("R2", lp.line)
+            {
+                continue;
+            }
+            out.push(self.diag(
+                &f.rel,
+                lp.line,
+                "loop body contains no cooperative budget/cancellation check".to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let mut out = Vec::new();
+        R2CancelPoll.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unpolled_loop_is_flagged_once() {
+        let d = run("fn f() {\n  for i in 0..n {\n    for j in 0..m { g(i, j); }\n  }\n}\n");
+        assert_eq!(d.len(), 1, "inner loop rides the outer finding");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn polled_loop_passes_and_covers_inner_loops() {
+        let src = "fn f() {\n  for i in 0..n {\n    ctx.check(ExecPhase::Selection)?;\n    for j in 0..m { g(i, j); }\n  }\n}\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn charge_and_budget_idents_count() {
+        assert!(run("fn f() { for c in cols { ctx.charge_dominance_tests(m)?; } }").is_empty());
+        assert!(run("fn f() { while go { budget.poll()?; } }").is_empty());
+        assert!(run("fn f() { loop { if token.is_cancelled() { break; } } }").is_empty());
+    }
+
+    #[test]
+    fn allow_in_body_or_on_header_suppresses() {
+        assert!(run(
+            "fn f() {\n  for i in 0..t {\n    // lint: allow(R2) -- t is a small constant\n    g(i);\n  }\n}\n"
+        )
+        .is_empty());
+        assert!(run(
+            "fn f() {\n  // lint: allow(R2) -- bounded by k\n  for i in 0..k { g(i); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn reasonless_allow_does_not_suppress() {
+        let d = run("fn f() {\n  for i in 0..n {\n    // lint: allow(R2)\n    g(i);\n  }\n}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn test_loops_pass() {
+        assert!(run("#[cfg(test)]\nmod tests {\n  fn t() { for i in 0..n { g(i); } }\n}\n")
+            .is_empty());
+    }
+}

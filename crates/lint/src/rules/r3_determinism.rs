@@ -1,0 +1,197 @@
+//! R3 — determinism of the fingerprint/selection paths.
+//!
+//! Guards the bit-identity contract of PRs 2–4: sequential, parallel
+//! and sharded runs must produce byte-equal fingerprints and
+//! selections. Two classic sources of silent nondeterminism are
+//! banned from those paths: wall clocks (`Instant::now` /
+//! `SystemTime`) influencing results, and iteration over the default
+//! RandomState-hashed `HashMap`/`HashSet`, whose order varies per
+//! process.
+//!
+//! Hash *membership* stays legal — only iteration is order-sensitive.
+//! The binding-based detection is a heuristic: it tracks local `let`
+//! bindings whose type or initializer mentions `HashMap`/`HashSet`
+//! and flags iteration calls (`.iter()`, `.keys()`, …) or `for … in`
+//! loops over them. Struct fields of hash type iterated through
+//! `self` are out of its reach — keep such state `BTreeMap` by
+//! policy.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Forbids wall clocks and default-hasher map/set iteration in
+/// deterministic paths.
+pub struct R3Determinism;
+
+const ITER_METHODS: [&str; 8] =
+    ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain"];
+
+impl Rule for R3Determinism {
+    fn id(&self) -> &'static str {
+        "R3"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no wall clocks and no default-hasher HashMap/HashSet iteration in deterministic paths"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "thread timings through the caller, and iterate BTreeMap/Vec (or sort keys first); \
+         suppress a justified case with `// lint: allow(R3) -- <why order cannot leak>`"
+    }
+
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        self.check_clocks(f, out);
+        self.check_hash_iteration(f, out);
+    }
+}
+
+impl R3Determinism {
+    fn check_clocks(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (c, &ti) in f.code.iter().enumerate() {
+            let tok = f.toks[ti];
+            if tok.kind != TokKind::Ident || f.in_test(tok.start) {
+                continue;
+            }
+            let name = f.text_of(&tok);
+            if (name == "Instant" || name == "SystemTime")
+                && punct_is(f, c + 1, ':')
+                && punct_is(f, c + 2, ':')
+            {
+                out.push(self.diag(
+                    &f.rel,
+                    tok.line,
+                    format!("wall clock `{name}::…` in a deterministic path"),
+                ));
+            }
+        }
+    }
+
+    fn check_hash_iteration(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Names bound to a HashMap/HashSet by type ascription or
+        // initializer.
+        let hashy: Vec<&str> = f
+            .lets
+            .iter()
+            .filter(|l| {
+                let init = &f.text[l.init.0..l.init.1];
+                let ty = &f.text[l.ty.0..l.ty.1];
+                init.contains("HashMap")
+                    || init.contains("HashSet")
+                    || ty.contains("HashMap")
+                    || ty.contains("HashSet")
+            })
+            .map(|l| l.name.as_str())
+            .collect();
+        if hashy.is_empty() {
+            return;
+        }
+        for (c, &ti) in f.code.iter().enumerate() {
+            let tok = f.toks[ti];
+            if tok.kind != TokKind::Ident || f.in_test(tok.start) {
+                continue;
+            }
+            let name = f.text_of(&tok);
+            if !hashy.contains(&name) {
+                continue;
+            }
+            // `name.iter()` style calls.
+            if punct_is(f, c + 1, '.') {
+                if let Some(m) = ident_at(f, c + 2) {
+                    if ITER_METHODS.contains(&m) && punct_is(f, c + 3, '(') {
+                        out.push(self.diag(
+                            &f.rel,
+                            tok.line,
+                            format!(
+                                "iteration over default-hasher collection `{name}.{m}()` is \
+                                 order-nondeterministic"
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+            }
+            // `for x in [&[mut]] name {` loops.
+            let mut back = c;
+            while back > 0 && (punct_is(f, back - 1, '&') || ident_is(f, back - 1, "mut")) {
+                back -= 1;
+            }
+            if back > 0 && ident_is(f, back - 1, "in") && punct_is(f, c + 1, '{') {
+                out.push(self.diag(
+                    &f.rel,
+                    tok.line,
+                    format!(
+                        "`for … in {name}` iterates a default-hasher collection in \
+                         nondeterministic order"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn punct_is(f: &SourceFile, c: usize, ch: char) -> bool {
+    f.code.get(c).is_some_and(|&ti| {
+        let t = f.toks[ti];
+        t.kind == TokKind::Punct && f.text.as_bytes()[t.start] == ch as u8
+    })
+}
+
+fn ident_at(f: &SourceFile, c: usize) -> Option<&str> {
+    f.code.get(c).and_then(|&ti| {
+        let t = f.toks[ti];
+        (t.kind == TokKind::Ident).then(|| f.text_of(&t))
+    })
+}
+
+fn ident_is(f: &SourceFile, c: usize, name: &str) -> bool {
+    ident_at(f, c) == Some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let mut out = Vec::new();
+        R3Determinism.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn clocks_flagged() {
+        let d = run("fn f() { let t0 = Instant::now(); let e = SystemTime::UNIX_EPOCH; }");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("Instant"));
+    }
+
+    #[test]
+    fn hash_iteration_flagged_membership_passes() {
+        let d = run(
+            "fn f() {\n  let m = HashMap::new();\n  for (k, v) in &m { g(k, v); }\n  let s: HashSet<u64> = build();\n  let v: Vec<_> = s.iter().collect();\n  if s.contains(&1) { g2(); }\n}\n",
+        );
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 5);
+    }
+
+    #[test]
+    fn btreemap_passes() {
+        assert!(run("fn f() { let m = BTreeMap::new(); for (k, v) in &m { g(k, v); } }")
+            .is_empty());
+    }
+
+    #[test]
+    fn insert_only_hashset_passes() {
+        assert!(run("fn f() { let mut seen = HashSet::new(); seen.insert(x); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_passes() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { let t0 = Instant::now(); } }")
+            .is_empty());
+    }
+}

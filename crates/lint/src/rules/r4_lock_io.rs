@@ -1,0 +1,208 @@
+//! R4 — lock discipline in the serving layer.
+//!
+//! Guards the PR 3 contract that the registry/cache locks are never
+//! held across socket or file I/O: a worker blocking on `flush` or
+//! `read_line` while holding the cache mutex serialises the whole
+//! pool behind one slow client. The rule tracks `let` bindings whose
+//! initializer takes a guard (`.lock()` / `.read()` / `.write()` —
+//! the no-argument guard acquisitions) and flags any blocking I/O
+//! identifier reached while the guard is still live (before `drop`
+//! or end of scope).
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Flags lock guards held across socket/file I/O calls.
+pub struct R4LockAcrossIo;
+
+const IO_CALLS: [&str; 8] = [
+    "write_all",
+    "read_line",
+    "flush",
+    "accept",
+    "read_exact",
+    "read_to_string",
+    "read_to_end",
+    "writeln",
+];
+
+const GUARD_TAKERS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+impl Rule for R4LockAcrossIo {
+    fn id(&self) -> &'static str {
+        "R4"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no lock guard held across socket/file I/O in the serving layer"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "clone/extract what the response needs, then `drop(guard)` (or close its scope) \
+         before any `write_all`/`flush`/`read_line`/`accept`; a sound case may carry \
+         `// lint: allow(R4) -- <why the I/O cannot block>`"
+    }
+
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for l in &f.lets {
+            if f.in_test(l.decl_end) {
+                continue;
+            }
+            let init = init_top_level(f, l.init);
+            if !GUARD_TAKERS.iter().any(|g| init.contains(g)) {
+                continue;
+            }
+            // Live range: declaration to `drop(name)` or scope end.
+            let live_end = drop_point(f, &l.name, l.decl_end, l.scope_end);
+            for (c, &ti) in f.code.iter().enumerate() {
+                let tok = f.toks[ti];
+                if tok.start < l.decl_end || tok.start >= live_end {
+                    continue;
+                }
+                if tok.kind != TokKind::Ident {
+                    continue;
+                }
+                let name = f.text_of(&tok);
+                if !IO_CALLS.contains(&name) {
+                    continue;
+                }
+                // Methods arrive as `.name(`; `writeln` as `writeln!(`.
+                let is_method = c > 0 && punct_is(f, c - 1, '.') && punct_is(f, c + 1, '(');
+                let is_macro = punct_is(f, c + 1, '!');
+                if is_method || is_macro {
+                    out.push(self.diag(
+                        &f.rel,
+                        tok.line,
+                        format!(
+                            "lock guard `{}` (taken on line {}) is still held across \
+                             blocking I/O `{name}`",
+                            l.name, l.line
+                        ),
+                    ));
+                    break; // one finding per guard keeps the report readable
+                }
+            }
+        }
+    }
+}
+
+/// The initializer's top-level token text: code inside nested `{ … }`
+/// blocks is dropped, because a guard taken in an inner block dies at
+/// that block's end — only a guard reaching the binding's value
+/// position stays live. Token-based, so braces inside format strings
+/// cannot distort the depth.
+fn init_top_level(f: &SourceFile, init: (usize, usize)) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    for &ti in &f.code {
+        let t = f.toks[ti];
+        if t.start < init.0 || t.start >= init.1 {
+            continue;
+        }
+        if t.kind == TokKind::Punct {
+            match f.text.as_bytes()[t.start] {
+                b'{' => {
+                    depth += 1;
+                    continue;
+                }
+                b'}' => {
+                    depth -= 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if depth == 0 {
+            out.push_str(f.text_of(&t));
+        }
+    }
+    out
+}
+
+/// Byte offset where `drop(name)` releases the guard, else `scope_end`.
+fn drop_point(f: &SourceFile, name: &str, from: usize, scope_end: usize) -> usize {
+    for (c, &ti) in f.code.iter().enumerate() {
+        let tok = f.toks[ti];
+        if tok.start < from || tok.start >= scope_end {
+            continue;
+        }
+        if tok.kind == TokKind::Ident
+            && f.text_of(&tok) == "drop"
+            && punct_is(f, c + 1, '(')
+            && ident_is(f, c + 2, name)
+            && punct_is(f, c + 3, ')')
+        {
+            return tok.start;
+        }
+    }
+    scope_end
+}
+
+fn punct_is(f: &SourceFile, c: usize, ch: char) -> bool {
+    f.code.get(c).is_some_and(|&ti| {
+        let t = f.toks[ti];
+        t.kind == TokKind::Punct && f.text.as_bytes()[t.start] == ch as u8
+    })
+}
+
+fn ident_is(f: &SourceFile, c: usize, name: &str) -> bool {
+    f.code.get(c).is_some_and(|&ti| {
+        let t = f.toks[ti];
+        t.kind == TokKind::Ident && f.text_of(&t) == name
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let mut out = Vec::new();
+        R4LockAcrossIo.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_across_flush_is_flagged() {
+        let d = run(
+            "fn f() {\n  let guard = state.lock().unwrap_or_else(|e| e.into_inner());\n  writer.write_all(guard.bytes());\n  writer.flush();\n}\n",
+        );
+        assert_eq!(d.len(), 1, "one finding per guard");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn drop_before_io_passes() {
+        assert!(run(
+            "fn f() {\n  let guard = state.lock().unwrap_or_else(|e| e.into_inner());\n  let bytes = guard.bytes().to_vec();\n  drop(guard);\n  writer.write_all(&bytes);\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_passes() {
+        assert!(run(
+            "fn f() {\n  let bytes = {\n    let guard = state.read().unwrap_or_else(|e| e.into_inner());\n    guard.bytes().to_vec()\n  };\n  writer.write_all(&bytes);\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn rwlock_write_guard_across_writeln_macro_is_flagged() {
+        let d = run(
+            "fn f() {\n  let mut g = table.write().unwrap_or_else(|e| e.into_inner());\n  writeln!(sock, \"{}\", g.len());\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("writeln"));
+    }
+
+    #[test]
+    fn io_read_initializers_do_not_count_as_guards() {
+        // `.read(buf)` has arguments — only the no-arg guard takers match.
+        assert!(run("fn f() { let n = sock.read(&mut buf); writer.flush(); }").is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! R5 — every `unsafe` block carries a `// SAFETY:` comment.
+//!
+//! The workspace is currently 100 % safe code; if a kernel ever earns
+//! an `unsafe` block, the justification must be written down where the
+//! next reader (and this linter) can find it.
+
+use super::Rule;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Requires a `SAFETY:` comment on or immediately above each `unsafe`
+/// block.
+pub struct R5SafetyComment;
+
+impl Rule for R5SafetyComment {
+    fn id(&self) -> &'static str {
+        "R5"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every `unsafe` block carries a `// SAFETY:` justification"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "add `// SAFETY: <why the invariants hold>` directly above the block, or refactor \
+         the unsafety away"
+    }
+
+    fn check_file(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for u in &f.unsafes {
+            if f.in_test(u.byte) {
+                continue;
+            }
+            if has_safety_comment(f, u.byte, u.line) {
+                continue;
+            }
+            out.push(self.diag(
+                &f.rel,
+                u.line,
+                "`unsafe` block without a `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+}
+
+/// A `SAFETY:` comment counts when it sits on the same line as the
+/// `unsafe` keyword or in the run of comments directly above it.
+fn has_safety_comment(f: &SourceFile, unsafe_byte: usize, unsafe_line: u32) -> bool {
+    // Same line (leading or trailing).
+    if f.toks.iter().any(|t| {
+        matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            && t.line == unsafe_line
+            && f.text_of(t).contains("SAFETY:")
+    }) {
+        return true;
+    }
+    // Walk back over the directly preceding tokens: any comments before
+    // the previous code token may justify the block.
+    let mut idx = match f.toks.iter().position(|t| t.start == unsafe_byte) {
+        Some(i) => i,
+        None => return false,
+    };
+    while idx > 0 {
+        idx -= 1;
+        let t = f.toks[idx];
+        match t.kind {
+            TokKind::LineComment | TokKind::BlockComment => {
+                if f.text_of(&t).contains("SAFETY:") {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let mut out = Vec::new();
+        R5SafetyComment.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let d = run("fn f(p: *const u8) -> u8 {\n  unsafe { *p }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_above_passes() {
+        assert!(run(
+            "fn f(p: *const u8) -> u8 {\n  // SAFETY: caller guarantees p is valid\n  unsafe { *p }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safety_comment_same_line_passes() {
+        assert!(run("fn f(p: *const u8) -> u8 { unsafe { *p } // SAFETY: p valid\n}\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_signature_is_not_a_block() {
+        assert!(run("unsafe fn g(p: *const u8) -> u8 { *p }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_passes() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { unsafe { x() } } }\n").is_empty());
+    }
+}

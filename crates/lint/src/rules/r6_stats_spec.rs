@@ -1,0 +1,240 @@
+//! R6 — cross-artifact consistency of the serving metrics.
+//!
+//! Three artifacts describe the same counters: the `Metrics` struct
+//! (`crates/serve/src/metrics.rs`), the `STATS` JSON serialization in
+//! the same file, and the wire-spec table in the README. PR 3/4 grew
+//! the struct faster than the docs; this rule makes the three move in
+//! lockstep: every `AtomicU64` counter field must appear as a
+//! serialized `"key"` and as a `` | `key` | `` row in the README
+//! table.
+
+use super::{Rule, WorkspaceView};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Checks Metrics struct fields against the STATS serialization and
+/// the README wire-spec table.
+pub struct R6StatsSpec;
+
+impl Rule for R6StatsSpec {
+    fn id(&self) -> &'static str {
+        "R6"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every metrics counter appears in the STATS serialization and the README wire-spec table"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "add the counter to `Metrics::snapshot_json` and a `| `name` | … |` row to the \
+         README STATS table (or remove the dead field)"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceView<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let Some(metrics_src) = ws.read(&cfg.r6_metrics) else {
+            out.push(self.diag(
+                &cfg.r6_metrics,
+                1,
+                format!("metrics source `{}` not found (check lint.toml [rules.R6])", cfg.r6_metrics),
+            ));
+            return;
+        };
+        let readme = ws.read(&cfg.r6_readme);
+        if readme.is_none() {
+            out.push(self.diag(
+                &cfg.r6_readme,
+                1,
+                format!("wire-spec document `{}` not found (check lint.toml [rules.R6])", cfg.r6_readme),
+            ));
+        }
+        let f = SourceFile::parse(cfg.r6_metrics.clone(), metrics_src);
+        let counters = counter_fields(&f);
+        if counters.is_empty() {
+            out.push(self.diag(
+                &cfg.r6_metrics,
+                1,
+                "no `AtomicU64` counter fields found in `struct Metrics`".to_string(),
+            ));
+            return;
+        }
+        for (name, line) in counters {
+            // Serialized as a JSON key in the same file: the format
+            // string carries `\"name\":` (escaped) or `"name":`.
+            let escaped = format!("\\\"{name}\\\":");
+            let plain = format!("\"{name}\":");
+            if !f.text.contains(&escaped) && !f.text.contains(&plain) {
+                out.push(self.diag(
+                    &f.rel,
+                    line,
+                    format!("counter `{name}` is not serialized in the STATS payload"),
+                ));
+            }
+            if let Some(doc) = &readme {
+                let row = format!("| `{name}`");
+                if !doc.contains(&row) {
+                    out.push(self.diag(
+                        &f.rel,
+                        line,
+                        format!(
+                            "counter `{name}` is missing from the `{}` wire-spec table",
+                            cfg.r6_readme
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `(name, line)` of each `AtomicU64` field of `struct Metrics`.
+fn counter_fields(f: &SourceFile) -> Vec<(String, u32)> {
+    let mut fields = Vec::new();
+    // Find `struct Metrics { … }` via the code token stream.
+    let mut c = 0usize;
+    while c + 1 < f.code.len() {
+        if ident_is(f, c, "struct") && ident_is(f, c + 1, "Metrics") {
+            break;
+        }
+        c += 1;
+    }
+    if c + 1 >= f.code.len() {
+        return fields;
+    }
+    // Advance to the opening brace, then walk `name : Type ,` fields at
+    // depth 1.
+    let mut depth = 0i32;
+    let mut d = c + 2;
+    while d < f.code.len() {
+        let ti = f.code[d];
+        if punct_is_at(f, ti, '{') {
+            depth += 1;
+            if depth == 1 {
+                d += 1;
+                break;
+            }
+        }
+        d += 1;
+    }
+    while d < f.code.len() && depth > 0 {
+        let ti = f.code[d];
+        if punct_is_at(f, ti, '{') {
+            depth += 1;
+        } else if punct_is_at(f, ti, '}') {
+            depth -= 1;
+        } else if depth == 1 && ident_is(f, d, "pub") {
+            // `pub name: AtomicU64,`
+            if let (Some(name), true) = (ident_text(f, d + 1), punct_is(f, d + 2, ':')) {
+                if ident_text(f, d + 3) == Some("AtomicU64") {
+                    fields.push((name.to_string(), f.toks[f.code[d + 1]].line));
+                }
+            }
+        }
+        d += 1;
+    }
+    fields
+}
+
+fn ident_text(f: &SourceFile, c: usize) -> Option<&str> {
+    f.code.get(c).and_then(|&ti| {
+        let t = f.toks[ti];
+        (t.kind == TokKind::Ident).then(|| f.text_of(&t))
+    })
+}
+
+fn ident_is(f: &SourceFile, c: usize, name: &str) -> bool {
+    ident_text(f, c) == Some(name)
+}
+
+fn punct_is(f: &SourceFile, c: usize, ch: char) -> bool {
+    f.code.get(c).is_some_and(|&ti| punct_is_at(f, ti, ch))
+}
+
+fn punct_is_at(f: &SourceFile, ti: usize, ch: char) -> bool {
+    let t = f.toks[ti];
+    t.kind == TokKind::Punct && f.text.as_bytes()[t.start] == ch as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(dir: &std::path::Path) -> WorkspaceView<'_> {
+        WorkspaceView { root: dir }
+    }
+
+    fn write(dir: &std::path::Path, rel: &str, text: &str) {
+        let p = dir.join(rel);
+        if let Some(parent) = p.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(p, text).unwrap_or_else(|e| {
+            // Test-only scaffolding; failing to stage the fixture is fatal.
+            panic!("write fixture {rel}: {e}")
+        });
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("skydiver-lint-r6-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        let _ = std::fs::create_dir_all(&d);
+        d
+    }
+
+    const METRICS: &str = "pub struct Metrics {\n    pub queries: AtomicU64,\n    pub stray: AtomicU64,\n    pub latency: LatencyHistogram,\n}\nimpl Metrics {\n    pub fn snapshot_json(&self) -> String {\n        format!(\"{{\\\"queries\\\":{}}}\", 1)\n    }\n}\n";
+
+    #[test]
+    fn missing_serialization_and_table_row_flagged() {
+        let dir = tmpdir("drift");
+        write(&dir, "m.rs", METRICS);
+        write(&dir, "SPEC.md", "| `queries` | served |\n");
+        let cfg = Config {
+            r6_metrics: "m.rs".into(),
+            r6_readme: "SPEC.md".into(),
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        R6StatsSpec.check_workspace(&view(&dir), &cfg, &mut out);
+        assert_eq!(out.len(), 2, "stray counter missing from both artifacts: {out:?}");
+        assert!(out.iter().all(|d| d.message.contains("stray")));
+        assert!(out.iter().any(|d| d.message.contains("serialized")));
+        assert!(out.iter().any(|d| d.message.contains("wire-spec")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consistent_artifacts_pass() {
+        let dir = tmpdir("clean");
+        let metrics = METRICS.replace(
+            "format!(\"{{\\\"queries\\\":{}}}\", 1)",
+            "format!(\"{{\\\"queries\\\":{},\\\"stray\\\":{}}}\", 1, 2)",
+        );
+        write(&dir, "m.rs", &metrics);
+        write(&dir, "SPEC.md", "| `queries` | served |\n| `stray` | other |\n");
+        let cfg = Config {
+            r6_metrics: "m.rs".into(),
+            r6_readme: "SPEC.md".into(),
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        R6StatsSpec.check_workspace(&view(&dir), &cfg, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_metrics_file_is_a_finding() {
+        let dir = tmpdir("nofile");
+        let cfg = Config {
+            r6_metrics: "nope.rs".into(),
+            r6_readme: "nope.md".into(),
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        R6StatsSpec.check_workspace(&view(&dir), &cfg, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not found"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

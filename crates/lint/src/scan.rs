@@ -1,0 +1,674 @@
+//! The structural scanner: turns a token stream into the shapes the
+//! rules reason about — test regions, loops (with nesting), `let`
+//! bindings, `unsafe` blocks and `// lint: allow(...)` comments.
+//!
+//! This is deliberately *not* a Rust parser. It tracks exactly the
+//! structure the rule set needs: matched braces, attribute → item
+//! extents (to exclude `#[cfg(test)]` / `#[test]` code), loop bodies
+//! and binding scopes. Anything it cannot recognise it skips, so a
+//! construct outside this subset degrades to "no finding", never to a
+//! crash or a false structural claim.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One loop (`for`/`while`/`loop`) found in a file.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// Byte offset of the loop keyword.
+    pub kw_byte: usize,
+    /// Byte range of the loop body including its braces.
+    pub body: (usize, usize),
+    /// Index (into [`SourceFile::loops`]) of the innermost enclosing
+    /// loop, if any.
+    pub parent: Option<usize>,
+}
+
+/// One `let` binding with a resolvable single-identifier pattern.
+#[derive(Debug, Clone)]
+pub struct LetBind {
+    /// The bound name (`let [mut] name …`).
+    pub name: String,
+    /// 1-based line of the `let`.
+    pub line: u32,
+    /// Byte range of the initializer expression (empty when there is
+    /// no `=`, e.g. `let x;`).
+    pub init: (usize, usize),
+    /// Byte range of the type ascription, when present (`let x: T = …`).
+    pub ty: (usize, usize),
+    /// Byte offset just past the terminating `;`.
+    pub decl_end: usize,
+    /// Byte offset of the closing brace of the enclosing block — the
+    /// end of the binding's lexical scope.
+    pub scope_end: usize,
+}
+
+/// One `unsafe { … }` block (not `unsafe fn` / `unsafe impl`).
+#[derive(Debug, Clone)]
+pub struct UnsafeBlock {
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Byte offset of the `unsafe` keyword.
+    pub byte: usize,
+}
+
+/// One parsed `// lint: allow(RULE[, RULE]) -- reason` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Byte offset of the comment.
+    pub byte: usize,
+    /// The rule ids listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason follows the `--` separator.
+    pub has_reason: bool,
+}
+
+/// A lexed and structurally scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with forward slashes.
+    pub rel: String,
+    /// The raw source text.
+    pub text: String,
+    /// The full token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// Indices into [`SourceFile::toks`] of non-comment tokens — the
+    /// stream rules walk when comments must not interfere.
+    pub code: Vec<usize>,
+    /// Byte ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Every loop, in source order (parents precede children).
+    pub loops: Vec<LoopInfo>,
+    /// Every simple `let` binding.
+    pub lets: Vec<LetBind>,
+    /// Every `unsafe` block.
+    pub unsafes: Vec<UnsafeBlock>,
+    /// Every `// lint: allow(...)` comment.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lexes and scans `text` as the file `rel`.
+    pub fn parse(rel: String, text: String) -> SourceFile {
+        let toks = lex(&text);
+        let mut f = SourceFile {
+            rel,
+            text,
+            toks,
+            code: Vec::new(),
+            test_regions: Vec::new(),
+            loops: Vec::new(),
+            lets: Vec::new(),
+            unsafes: Vec::new(),
+            allows: Vec::new(),
+        };
+        f.scan();
+        f
+    }
+
+    /// Whether the byte offset falls inside test-only code.
+    pub fn in_test(&self, byte: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| s <= byte && byte < e)
+    }
+
+    /// The token's text.
+    pub fn text_of(&self, t: &Tok) -> &str {
+        t.text(&self.text)
+    }
+
+    /// Whether an `allow` for `rule` *with a reason* covers `line`: the
+    /// comment sits on the line itself or above it, separated from the
+    /// code only by comment lines (a reason may wrap onto continuation
+    /// lines).
+    pub fn allowed_at(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.has_reason
+                && a.rules.iter().any(|r| r == rule)
+                && a.line <= line
+                && (a.line == line
+                    || ((a.line + 1)..line).all(|l| self.comment_only_line(l)))
+        })
+    }
+
+    /// Whether the line holds comments and nothing else.
+    fn comment_only_line(&self, line: u32) -> bool {
+        let mut has_comment = false;
+        for t in &self.toks {
+            if t.line != line {
+                continue;
+            }
+            if is_comment(t.kind) {
+                has_comment = true;
+            } else {
+                return false;
+            }
+        }
+        has_comment
+    }
+
+    /// Whether an `allow` for `rule` with a reason sits inside the
+    /// byte range (used for loop bodies).
+    pub fn allowed_within(&self, rule: &str, range: (usize, usize)) -> bool {
+        self.allows.iter().any(|a| {
+            a.has_reason
+                && a.rules.iter().any(|r| r == rule)
+                && range.0 <= a.byte
+                && a.byte < range.1
+        })
+    }
+
+    fn scan(&mut self) {
+        // Indices of non-comment tokens; all structure walks use these.
+        self.code =
+            (0..self.toks.len()).filter(|&i| !is_comment(self.toks[i].kind)).collect();
+        let code = self.code.clone();
+        let closer = match_braces(&self.text, &self.toks, &code);
+        self.scan_allows();
+        self.scan_test_regions(&code, &closer);
+        self.scan_structure(&code, &closer);
+    }
+
+    fn scan_allows(&mut self) {
+        for t in &self.toks {
+            if !is_comment(t.kind) {
+                continue;
+            }
+            let text = t.text(&self.text);
+            // Doc comments *describe* the grammar (module docs, rule
+            // hints); only plain comments *use* it.
+            if text.starts_with("///")
+                || text.starts_with("//!")
+                || text.starts_with("/**")
+                || text.starts_with("/*!")
+            {
+                continue;
+            }
+            let Some(pos) = text.find("lint: allow(") else { continue };
+            let rest = &text[pos + "lint: allow(".len()..];
+            let Some(close) = rest.find(')') else { continue };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let tail = &rest[close + 1..];
+            let has_reason = tail
+                .trim_start()
+                .strip_prefix("--")
+                .is_some_and(|r| !r.trim().trim_end_matches("*/").trim().is_empty());
+            self.allows.push(Allow { line: t.line, byte: t.start, rules, has_reason });
+        }
+    }
+
+    /// Marks `#[cfg(test)]` / `#[test]` items (attribute through item
+    /// end) as test regions.
+    fn scan_test_regions(&mut self, code: &[usize], closer: &[Option<usize>]) {
+        let mut c = 0usize;
+        while c < code.len() {
+            let ti = code[c];
+            if !(self.is_punct(ti, '#') && self.peek_punct(code, c + 1, '[')) {
+                c += 1;
+                continue;
+            }
+            // An outer attribute: remember where it starts, collect every
+            // stacked attribute, then find the annotated item's extent.
+            let attr_start_byte = self.toks[ti].start;
+            let mut testish = false;
+            while c < code.len()
+                && self.is_punct(code[c], '#')
+                && self.peek_punct(code, c + 1, '[')
+            {
+                let open = c + 1;
+                let close = self.matching_bracket(code, open);
+                testish |= self.attr_mentions_test(code, open, close);
+                c = close + 1;
+            }
+            if !testish {
+                continue;
+            }
+            // Item extent: first `;` at depth 0 or the matching `}` of
+            // the first `{` at depth 0.
+            let mut depth = 0i32;
+            let mut d = c;
+            while d < code.len() {
+                let t = code[d];
+                if self.is_punct(t, '(') || self.is_punct(t, '[') {
+                    depth += 1;
+                } else if self.is_punct(t, ')') || self.is_punct(t, ']') {
+                    depth -= 1;
+                } else if depth == 0 && self.is_punct(t, ';') {
+                    break;
+                } else if depth == 0 && self.is_punct(t, '{') {
+                    if let Some(cl) = closer[t] {
+                        d = code.iter().position(|&x| x == cl).unwrap_or(d);
+                    }
+                    break;
+                }
+                d += 1;
+            }
+            let end_byte = if d < code.len() { self.toks[code[d]].end } else { self.text.len() };
+            self.test_regions.push((attr_start_byte, end_byte));
+            c = d + 1;
+        }
+    }
+
+    /// One linear pass collecting loops, lets and unsafe blocks.
+    fn scan_structure(&mut self, code: &[usize], closer: &[Option<usize>]) {
+        let mut brace_stack: Vec<usize> = Vec::new(); // token idx of open `{`
+        let mut loop_stack: Vec<usize> = Vec::new(); // indices into self.loops
+        for c in 0..code.len() {
+            let ti = code[c];
+            let tok = self.toks[ti];
+            while let Some(&l) = loop_stack.last() {
+                if tok.start >= self.loops[l].body.1 {
+                    loop_stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if self.is_punct(ti, '{') {
+                brace_stack.push(ti);
+                continue;
+            }
+            if self.is_punct(ti, '}') {
+                brace_stack.pop();
+                continue;
+            }
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            match self.text_of(&tok) {
+                kw @ ("for" | "while" | "loop") => {
+                    if let Some(body) = self.loop_body(code, c, kw, closer) {
+                        let parent = loop_stack.last().copied();
+                        self.loops.push(LoopInfo {
+                            line: tok.line,
+                            kw_byte: tok.start,
+                            body,
+                            parent,
+                        });
+                        loop_stack.push(self.loops.len() - 1);
+                    }
+                }
+                "let" => {
+                    // Not `if let` / `while let` / `else … let` chains.
+                    let prev_is_cond = c > 0
+                        && matches!(
+                            self.text_of(&self.toks[code[c - 1]]),
+                            "if" | "while" | "&&" | "||"
+                        );
+                    if !prev_is_cond {
+                        self.scan_let(code, c, &brace_stack, closer);
+                    }
+                }
+                "unsafe"
+                    if self.peek_punct(code, c + 1, '{') => {
+                        self.unsafes.push(UnsafeBlock { line: tok.line, byte: tok.start });
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    /// Resolves a loop keyword at code index `c` to its body byte
+    /// range, or `None` when it is not actually a loop (`impl … for`,
+    /// `for<'a>` bounds).
+    fn loop_body(
+        &self,
+        code: &[usize],
+        c: usize,
+        kw: &str,
+        closer: &[Option<usize>],
+    ) -> Option<(usize, usize)> {
+        if kw == "for" {
+            // HRTB `for<'a>` — not a loop.
+            if self.peek_punct(code, c + 1, '<') {
+                return None;
+            }
+            // `impl Trait for Type` — no `in` before the body brace.
+            let mut depth = 0i32;
+            let mut saw_in = false;
+            for &ti in &code[c + 1..] {
+                if self.is_punct(ti, '(') || self.is_punct(ti, '[') {
+                    depth += 1;
+                } else if self.is_punct(ti, ')') || self.is_punct(ti, ']') {
+                    depth -= 1;
+                } else if depth == 0 && self.toks[ti].kind == TokKind::Ident {
+                    if self.text_of(&self.toks[ti]) == "in" {
+                        saw_in = true;
+                    }
+                } else if depth == 0 && self.is_punct(ti, '{') {
+                    if !saw_in {
+                        return None;
+                    }
+                    return self.body_range(ti, closer);
+                } else if depth == 0 && self.is_punct(ti, ';') {
+                    return None;
+                }
+            }
+            return None;
+        }
+        // `while` / `loop`: first `{` at bracket depth 0.
+        let mut depth = 0i32;
+        for &ti in &code[c + 1..] {
+            if self.is_punct(ti, '(') || self.is_punct(ti, '[') {
+                depth += 1;
+            } else if self.is_punct(ti, ')') || self.is_punct(ti, ']') {
+                depth -= 1;
+            } else if depth == 0 && self.is_punct(ti, '{') {
+                return self.body_range(ti, closer);
+            } else if depth == 0 && self.is_punct(ti, ';') {
+                return None;
+            }
+        }
+        None
+    }
+
+    fn body_range(&self, open_ti: usize, closer: &[Option<usize>]) -> Option<(usize, usize)> {
+        let close = closer[open_ti]?;
+        Some((self.toks[open_ti].start, self.toks[close].end))
+    }
+
+    /// Records `let [mut] name [: T] = init ;` bindings.
+    fn scan_let(
+        &mut self,
+        code: &[usize],
+        c: usize,
+        brace_stack: &[usize],
+        closer: &[Option<usize>],
+    ) {
+        let mut d = c + 1;
+        if d < code.len() && self.text_of(&self.toks[code[d]]) == "mut" {
+            d += 1;
+        }
+        let Some(&name_ti) = code.get(d) else { return };
+        let name_tok = self.toks[name_ti];
+        if name_tok.kind != TokKind::Ident {
+            return; // tuple / struct pattern — out of the subset
+        }
+        // Destructuring `let Some(x) = …` / `let Point { .. } = …` —
+        // the ident is a path, not a binding — detect by a following
+        // `(`/`{`/`::`.
+        if self.peek_punct(code, d + 1, '(')
+            || self.peek_punct(code, d + 1, '{')
+            || (self.peek_punct(code, d + 1, ':') && self.peek_punct(code, d + 2, ':'))
+        {
+            return;
+        }
+        let name = self.text_of(&name_tok).to_string();
+        // Scan to `=` (skipping a type ascription) then to the `;`.
+        let mut depth = 0i32;
+        let mut e = d + 1;
+        let mut ty = (0usize, 0usize);
+        let mut ty_start: Option<usize> = None;
+        let mut init_start: Option<usize> = None;
+        while e < code.len() {
+            let ti = code[e];
+            if self.is_punct(ti, '(') || self.is_punct(ti, '[') || self.is_punct(ti, '{') {
+                depth += 1;
+            } else if self.is_punct(ti, ')') || self.is_punct(ti, ']') || self.is_punct(ti, '}') {
+                depth -= 1;
+                if depth < 0 {
+                    return; // malformed; bail
+                }
+            } else if depth == 0 && init_start.is_none() && self.is_punct(ti, ':') {
+                ty_start = Some(self.toks[ti].end);
+            } else if depth == 0
+                && init_start.is_none()
+                && self.is_punct(ti, '=')
+                && !self.adjacent_punct(code, e, e + 1, '=')
+                && !self.compound_before(code, e)
+            {
+                if let Some(ts) = ty_start {
+                    ty = (ts, self.toks[ti].start);
+                }
+                init_start = Some(self.toks[ti].end);
+            } else if depth == 0 && self.is_punct(ti, ';') {
+                let end = self.toks[ti].start;
+                let init = match init_start {
+                    Some(s) => (s, end),
+                    None => (end, end),
+                };
+                if ty_start.is_some() && init_start.is_none() {
+                    ty = (ty_start.unwrap_or(end), end);
+                }
+                let scope_end = brace_stack
+                    .last()
+                    .and_then(|&open| closer[open])
+                    .map(|cl| self.toks[cl].start)
+                    .unwrap_or(self.text.len());
+                self.lets.push(LetBind {
+                    name,
+                    line: name_tok.line,
+                    init,
+                    ty,
+                    decl_end: self.toks[ti].end,
+                    scope_end,
+                });
+                return;
+            }
+            e += 1;
+        }
+    }
+
+    fn attr_mentions_test(&self, code: &[usize], open: usize, close: usize) -> bool {
+        code[open..=close.min(code.len().saturating_sub(1))].iter().any(|&ti| {
+            self.toks[ti].kind == TokKind::Ident && self.text_of(&self.toks[ti]) == "test"
+        })
+    }
+
+    /// Code index of the `]` matching the `[` at code index `open`.
+    fn matching_bracket(&self, code: &[usize], open: usize) -> usize {
+        let mut depth = 0i32;
+        for (off, &ti) in code[open..].iter().enumerate() {
+            if self.is_punct(ti, '[') {
+                depth += 1;
+            } else if self.is_punct(ti, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    return open + off;
+                }
+            }
+        }
+        code.len().saturating_sub(1)
+    }
+
+    fn is_punct(&self, ti: usize, ch: char) -> bool {
+        let t = self.toks[ti];
+        t.kind == TokKind::Punct && self.text.as_bytes()[t.start] == ch as u8
+    }
+
+    fn peek_punct(&self, code: &[usize], c: usize, ch: char) -> bool {
+        code.get(c).is_some_and(|&ti| self.is_punct(ti, ch))
+    }
+
+    /// Whether the token at code index `b` is the punct `ch` and sits
+    /// byte-adjacent to the token at code index `a` (i.e. the two form
+    /// one compound operator like `==`).
+    fn adjacent_punct(&self, code: &[usize], a: usize, b: usize, ch: char) -> bool {
+        match (code.get(a), code.get(b)) {
+            (Some(&ta), Some(&tb)) => {
+                self.is_punct(tb, ch) && self.toks[ta].end == self.toks[tb].start
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the `=` at code index `e` is the tail of a compound
+    /// operator (`==`, `!=`, `<=`, `>=`, `+=`, …): the previous token
+    /// is an operator punct touching it byte-to-byte.
+    fn compound_before(&self, code: &[usize], e: usize) -> bool {
+        if e == 0 {
+            return false;
+        }
+        let prev = self.toks[code[e - 1]];
+        if prev.kind != TokKind::Punct || prev.end != self.toks[code[e]].start {
+            return false;
+        }
+        matches!(
+            self.text.as_bytes()[prev.start],
+            b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        )
+    }
+}
+
+fn is_comment(k: TokKind) -> bool {
+    matches!(k, TokKind::LineComment | TokKind::BlockComment)
+}
+
+/// For each token index holding `{`, the index of its matching `}`.
+fn match_braces(src: &str, toks: &[Tok], code: &[usize]) -> Vec<Option<usize>> {
+    let mut closer = vec![None; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &ti in code {
+        let t = toks[ti];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match src.as_bytes()[t.start] {
+            b'{' => stack.push(ti),
+            b'}' => {
+                if let Some(open) = stack.pop() {
+                    closer[open] = Some(ti);
+                }
+            }
+            _ => {}
+        }
+    }
+    closer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".into(), src.into())
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let f = parse(
+            "fn live() { x.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n",
+        );
+        assert_eq!(f.test_regions.len(), 1);
+        let pos = f.text.find("y.unwrap").expect("present");
+        assert!(f.in_test(pos));
+        let live = f.text.find("x.unwrap").expect("present");
+        assert!(!f.in_test(live));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let f = parse("#[test]\nfn t() { a.unwrap(); }\nfn live() {}\n");
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(f.in_test(f.text.find("a.unwrap").expect("present")));
+        assert!(!f.in_test(f.text.find("live").expect("present")));
+    }
+
+    #[test]
+    fn loops_and_nesting() {
+        let f = parse(
+            "fn f() {\n  for i in 0..n {\n    while x {\n      g();\n    }\n  }\n  loop { break; }\n}\n",
+        );
+        assert_eq!(f.loops.len(), 3);
+        assert_eq!(f.loops[0].parent, None);
+        assert_eq!(f.loops[1].parent, Some(0));
+        assert_eq!(f.loops[2].parent, None);
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let f = parse("impl Trait for Type { fn m(&self) {} }\n");
+        assert!(f.loops.is_empty());
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let f = parse("fn f<F: for<'a> Fn(&'a u8)>(g: F) { g(&1); }\n");
+        assert!(f.loops.is_empty());
+    }
+
+    #[test]
+    fn while_let_is_a_loop_and_binds_nothing() {
+        let f = parse("fn f() { while let Some(x) = it.next() { use_(x); } }\n");
+        assert_eq!(f.loops.len(), 1);
+        assert!(f.lets.is_empty());
+    }
+
+    #[test]
+    fn let_binding_with_init_and_scope() {
+        let f = parse("fn f() {\n  let mut g = m.lock();\n  g.push(1);\n}\n");
+        assert_eq!(f.lets.len(), 1);
+        let l = &f.lets[0];
+        assert_eq!(l.name, "g");
+        assert!(f.text[l.init.0..l.init.1].contains(".lock()"));
+        assert!(l.scope_end >= f.text.rfind('}').expect("brace"));
+    }
+
+    #[test]
+    fn destructuring_let_is_skipped() {
+        let f = parse("fn f() { let Some(x) = opt else { return }; let (a, b) = pair; }\n");
+        assert!(f.lets.is_empty());
+    }
+
+    #[test]
+    fn typed_let_records_type() {
+        let f = parse("fn f() { let v: Vec<HashMap<K, V>> = build(); }\n");
+        assert_eq!(f.lets.len(), 1);
+        let l = &f.lets[0];
+        assert!(f.text[l.ty.0..l.ty.1].contains("HashMap"));
+    }
+
+    #[test]
+    fn unsafe_block_found_unsafe_fn_ignored() {
+        let f = parse("unsafe fn g() {}\nfn f() { unsafe { std::ptr::read(p) }; }\n");
+        assert_eq!(f.unsafes.len(), 1);
+        assert_eq!(f.unsafes[0].line, 2);
+    }
+
+    #[test]
+    fn allow_comments_parse() {
+        let f = parse(
+            "// lint: allow(R1) -- poisoning means a panic elsewhere\n\
+             x.unwrap();\n\
+             // lint: allow(R2, R3)\n\
+             y();\n",
+        );
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allows[0].has_reason);
+        assert_eq!(f.allows[0].rules, vec!["R1"]);
+        assert!(!f.allows[1].has_reason);
+        assert_eq!(f.allows[1].rules, vec!["R2", "R3"]);
+        assert!(f.allowed_at("R1", 2));
+        assert!(!f.allowed_at("R2", 4), "reasonless allow must not suppress");
+    }
+
+    #[test]
+    fn allow_reason_may_wrap_onto_continuation_lines() {
+        let f = parse(
+            "// lint: allow(R1) -- the key was observed two lines up\n\
+             // under &mut self, so removal cannot miss\n\
+             x.remove(k).expect(\"present\");\n\
+             \n\
+             y.unwrap();\n",
+        );
+        assert!(f.allowed_at("R1", 3), "comment continuation keeps the allow attached");
+        assert!(!f.allowed_at("R1", 5), "a blank line breaks the attachment");
+    }
+
+    #[test]
+    fn doc_comments_do_not_form_allows() {
+        let f = parse(
+            "//! The grammar is `// lint: allow(RULE) -- reason`.\n\
+             /// Suppress with `// lint: allow(R1) -- why`.\n\
+             /** Or `lint: allow(R2) -- why` in block docs. */\n\
+             fn f() {}\n",
+        );
+        assert!(f.allows.is_empty(), "doc comments describe the grammar, never use it");
+    }
+}

@@ -1,0 +1,8 @@
+pub fn parse(input: &str) -> u32 {
+    let v: u32 = input.parse().unwrap();
+    let w = input.bytes().next().expect("non-empty");
+    if v == 0 {
+        panic!("zero");
+    }
+    v + u32::from(w)
+}

@@ -1,0 +1,12 @@
+pub fn checked(input: &str) -> u32 {
+    // lint: allow(R1) -- fixture: a justified allow suppresses the finding
+    input.parse().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::checked("3").to_string().parse::<u32>().unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+pub fn unpolled(items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for it in items {
+        acc += *it;
+    }
+    acc
+}
+
+pub fn polled(ctx: &Ctx, items: &[u64]) -> u64 {
+    let mut acc = 0;
+    for it in items {
+        ctx.check_cancelled();
+        acc += *it;
+    }
+    acc
+}
+
+pub fn justified(items: &[u64; 4]) -> u64 {
+    let mut acc = 0;
+    for it in items {
+        // lint: allow(R2) -- fixture: the array is 4 elements long
+        acc += *it;
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn order(items: &[(u64, u64)]) -> Vec<u64> {
+    let mut view = HashMap::new();
+    view.extend(items.iter().copied());
+    view.keys().copied().collect()
+}
+
+pub fn membership(items: &[u64]) -> bool {
+    let mut seen = HashSet::new();
+    for &it in items {
+        if !seen.insert(it) {
+            return true;
+        }
+    }
+    false
+}

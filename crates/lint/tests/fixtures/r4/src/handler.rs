@@ -1,0 +1,11 @@
+pub fn respond(state: &Mutex<State>, sock: &mut TcpStream) -> io::Result<()> {
+    let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    sock.write_all(guard.payload())
+}
+
+pub fn respond_released(state: &Mutex<State>, sock: &mut TcpStream) -> io::Result<()> {
+    let guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    let payload = guard.payload().to_vec();
+    drop(guard);
+    sock.write_all(&payload)
+}

@@ -1,0 +1,8 @@
+pub fn read_bare(ptr: *const u64) -> u64 {
+    unsafe { ptr.read_unaligned() }
+}
+
+pub fn read_justified(ptr: *const u64) -> u64 {
+    // SAFETY: fixture — the caller guarantees `ptr` is valid for reads.
+    unsafe { ptr.read_unaligned() }
+}

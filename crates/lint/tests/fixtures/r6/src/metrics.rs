@@ -1,0 +1,15 @@
+pub struct Metrics {
+    pub queries: AtomicU64,
+    pub errors: AtomicU64,
+    pub stray: AtomicU64,
+}
+
+impl Metrics {
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"errors\":{}}}",
+            self.queries.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+        )
+    }
+}

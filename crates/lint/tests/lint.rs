@@ -1,0 +1,170 @@
+//! End-to-end tests of the `skydiver-lint` binary over the fixture
+//! corpus: each rule has a violating fixture proven caught (exact rule
+//! id, file and line) and a compliant shape proven clean, plus a
+//! clean-tree smoke test and a run over the real workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_skydiver-lint")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn run_at(root: &Path, extra: &[&str]) -> Output {
+    Command::new(bin())
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn skydiver-lint")
+}
+
+/// Runs the fixture and returns `(exit_code, stdout)`.
+fn run_fixture(name: &str) -> (i32, String) {
+    let out = run_at(&fixture(name), &[]);
+    (out.status.code().expect("exit code"), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The `file:line: [rule]` headers of every reported diagnostic.
+fn headers(stdout: &str) -> Vec<&str> {
+    stdout
+        .lines()
+        .filter(|l| l.contains(": [") && !l.starts_with("skydiver-lint:"))
+        .collect()
+}
+
+#[test]
+fn r1_panicking_calls_caught_allows_and_tests_clean() {
+    let (code, out) = run_fixture("r1");
+    assert_eq!(code, 1, "violations must fail the run:\n{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 3, "{out}");
+    assert!(h[0].starts_with("src/bad.rs:2: [R1]"), "{out}");
+    assert!(h[1].starts_with("src/bad.rs:3: [R1]"), "{out}");
+    assert!(h[2].starts_with("src/bad.rs:5: [R1]"), "{out}");
+    assert!(!out.contains("src/ok.rs"), "allowed + test code must stay clean:\n{out}");
+}
+
+#[test]
+fn r2_unpolled_loop_caught_polled_and_justified_clean() {
+    let (code, out) = run_fixture("r2");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 1, "only the unpolled loop is flagged:\n{out}");
+    assert!(h[0].starts_with("src/loops.rs:3: [R2]"), "{out}");
+}
+
+#[test]
+fn r3_clock_and_hash_iteration_caught_membership_clean() {
+    let (code, out) = run_fixture("r3");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 2, "{out}");
+    assert!(h[0].starts_with("src/fp.rs:2: [R3]"), "{out}");
+    assert!(h[0].contains("Instant"), "{out}");
+    assert!(h[1].starts_with("src/fp.rs:9: [R3]"), "{out}");
+    assert!(h[1].contains("keys"), "{out}");
+}
+
+#[test]
+fn r4_guard_across_io_caught_dropped_guard_clean() {
+    let (code, out) = run_fixture("r4");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 1, "dropping the guard before I/O must pass:\n{out}");
+    assert!(h[0].starts_with("src/handler.rs:3: [R4]"), "{out}");
+    assert!(h[0].contains("write_all"), "{out}");
+}
+
+#[test]
+fn r5_bare_unsafe_caught_justified_clean() {
+    let (code, out) = run_fixture("r5");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 1, "{out}");
+    assert!(h[0].starts_with("src/raw.rs:2: [R5]"), "{out}");
+    assert!(h[0].contains("SAFETY"), "{out}");
+}
+
+#[test]
+fn r6_stray_counter_caught_in_both_artifacts() {
+    let (code, out) = run_fixture("r6");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 2, "stray counter drifts from payload and table:\n{out}");
+    assert!(h.iter().all(|l| l.starts_with("src/metrics.rs:4: [R6]")), "{out}");
+    assert!(out.contains("not serialized"), "{out}");
+    assert!(out.contains("wire-spec"), "{out}");
+}
+
+#[test]
+fn json_report_carries_rule_file_line() {
+    let out = run_at(&fixture("r1"), &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"file\":\"src/bad.rs\""), "{json}");
+    assert!(json.contains("\"line\":2"), "{json}");
+    assert!(json.contains("\"rule\":\"R1\""), "{json}");
+    assert!(json.contains("\"files_checked\":2"), "{json}");
+}
+
+#[test]
+fn unknown_rule_flag_is_a_usage_error() {
+    let out = run_at(&fixture("r1"), &["--rules", "R9"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn clean_tree_smoke_exits_zero() {
+    let dir = std::env::temp_dir()
+        .join(format!("skydiver-lint-clean-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+    std::fs::write(
+        dir.join("lint.toml"),
+        "rules = [\"R1\", \"R2\", \"R3\", \"R4\", \"R5\", \"R6\"]\n\
+         [rules.R1]\ninclude = [\"src/**\"]\n\
+         [rules.R2]\ninclude = [\"src/**\"]\n\
+         [rules.R3]\ninclude = [\"src/**\"]\n\
+         [rules.R4]\ninclude = [\"src/**\"]\n\
+         [rules.R5]\ninclude = [\"src/**\"]\n\
+         [rules.R6]\nmetrics = \"src/metrics.rs\"\nstats_table = \"SPEC.md\"\n",
+    )
+    .expect("write lint.toml");
+    std::fs::write(
+        dir.join("src/metrics.rs"),
+        "pub struct Metrics {\n    pub ticks: AtomicU64,\n}\n\
+         impl Metrics {\n    pub fn snapshot_json(&self) -> String {\n        \
+         format!(\"{{\\\"ticks\\\":{}}}\", self.ticks.load(Ordering::Relaxed))\n    }\n}\n",
+    )
+    .expect("write metrics");
+    std::fs::write(
+        dir.join("src/lib.rs"),
+        "pub fn sum(ctx: &Ctx, items: &[u64]) -> Result<u64, Error> {\n    \
+         let mut acc = 0;\n    for it in items {\n        ctx.check_cancelled()?;\n        \
+         acc += *it;\n    }\n    Ok(acc)\n}\n",
+    )
+    .expect("write lib");
+    std::fs::write(dir.join("SPEC.md"), "| `ticks` | heartbeat ticks |\n").expect("write spec");
+    let out = run_at(&dir, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "clean tree must pass:\n{stdout}");
+    assert!(stdout.contains("0 diagnostic(s)"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_at(&root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the committed workspace must lint clean:\n{stdout}"
+    );
+}

@@ -31,7 +31,7 @@ impl RTree {
                     MbrDominance::None => {}
                     MbrDominance::Partial => match e.child {
                         Child::Node(c) => stack.push(c),
-                        // A degenerate (point) MBR is never Partial.
+                        // lint: allow(R1) -- a degenerate (point) MBR is never Partial
                         Child::Point(_) => unreachable!("point MBRs are full or none"),
                     },
                 }
@@ -61,6 +61,8 @@ impl RTree {
                 } else if weak_contains(corner, e.mbr.hi()) {
                     match e.child {
                         Child::Node(c) => stack.push(c),
+                        // lint: allow(R1) -- a point MBR has lo == hi: containing
+                        // hi but not lo is impossible
                         Child::Point(_) => unreachable!("degenerate MBR: lo == hi"),
                     }
                 }

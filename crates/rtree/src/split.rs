@@ -52,6 +52,8 @@ pub fn r_star_split(entries: Vec<Entry>, min_entries: usize, dims: usize) -> (Ve
         }
     }
 
+    // lint: allow(R1) -- split_points is non-empty for any overflowing
+    // node (len > 2 * min_entries), so the scan always yields a best
     let (_, _, order, k) = best.expect("at least one distribution exists");
     distribute(entries, &order, k)
 }
@@ -102,6 +104,8 @@ fn distribute(entries: Vec<Entry>, order: &[usize], k: usize) -> (Vec<Entry>, Ve
     let mut g1 = Vec::with_capacity(k);
     let mut g2 = Vec::with_capacity(order.len() - k);
     for (pos, &i) in order.iter().enumerate() {
+        // lint: allow(R1) -- `order` is a permutation of 0..len, so every
+        // slot is taken exactly once
         let e = slots[i].take().expect("each index used once");
         if pos < k {
             g1.push(e);

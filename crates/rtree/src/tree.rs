@@ -95,6 +95,8 @@ impl RTree {
                 // The single group's node is the root.
                 tree.root = match parents[0].child {
                     Child::Node(p) => p,
+                    // lint: allow(R1) -- parent entries are built two lines up
+                    // wrapping freshly written nodes, never points
                     Child::Point(_) => unreachable!("parents reference nodes"),
                 };
                 break;
@@ -164,6 +166,8 @@ impl RTree {
     fn child_node_id(e: &Entry) -> PageId {
         match e.child {
             Child::Node(p) => p,
+            // lint: allow(R1) -- only called on internal-level entries,
+            // whose children are nodes by the level invariant
             Child::Point(_) => unreachable!("internal entry must reference a node"),
         }
     }

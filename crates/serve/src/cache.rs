@@ -127,6 +127,8 @@ impl FingerprintCache {
             else {
                 break;
             };
+            // lint: allow(R1) -- `lru` was produced by iterating the map
+            // two lines up under `&mut self`; it cannot have vanished
             let dropped = self.map.remove(&lru).expect("key just observed");
             self.bytes -= dropped.bytes;
             self.evictions += 1;
@@ -149,6 +151,8 @@ impl FingerprintCache {
             .cloned()
             .collect();
         for k in &doomed {
+            // lint: allow(R1) -- `doomed` keys were just collected from the
+            // map under `&mut self`; removal cannot miss
             let e = self.map.remove(k).expect("key just observed");
             self.bytes -= e.bytes;
         }

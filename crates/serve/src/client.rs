@@ -44,6 +44,8 @@ impl Client {
                 }
             }
         }
+        // lint: allow(R1) -- the `0..attempts.max(1)` range runs at least
+        // once, so `last` is always populated on the error path
         Err(last.expect("at least one attempt"))
     }
 

@@ -52,7 +52,9 @@ impl LatencyHistogram {
                 return 2f64.powi(idx as i32) / 1_000.0;
             }
         }
-        unreachable!("cumulative count reaches total");
+        // Concurrent recording can move `count()` between the two scans;
+        // the top bucket's bound is the honest answer then.
+        2f64.powi(self.buckets.len() as i32 - 1) / 1_000.0
     }
 }
 

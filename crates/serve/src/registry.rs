@@ -66,11 +66,11 @@ impl LoadedDataset {
     }
 
     fn memo_get(&self, key: &(String, usize, u64)) -> Option<Arc<Fingerprint>> {
-        self.memo.lock().expect("memo lock").get(key).cloned()
+        self.memo.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
     }
 
     fn memo_put(&self, key: (String, usize, u64), fp: Arc<Fingerprint>) {
-        let mut memo = self.memo.lock().expect("memo lock");
+        let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
         if memo.len() >= MEMO_CAP {
             memo.clear();
         }
@@ -144,8 +144,8 @@ impl Registry {
         let name = name.into();
         let (points, dims) = (data.len(), data.dims());
         let entry = Arc::new(LoadedDataset::new(name.clone(), data));
-        self.cache.lock().expect("cache lock").invalidate_dataset(&name);
-        self.datasets.write().expect("registry lock").insert(name, entry);
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).invalidate_dataset(&name);
+        self.datasets.write().unwrap_or_else(|e| e.into_inner()).insert(name, entry);
         (points, dims)
     }
 
@@ -188,7 +188,7 @@ impl Registry {
         // fingerprint memo; the per-shard LRU is deliberately *not*
         // invalidated — that reuse is the point of APPEND.
         let entry = Arc::new(LoadedDataset::new(name.to_string(), grown));
-        self.datasets.write().expect("registry lock").insert(name.to_string(), entry);
+        self.datasets.write().unwrap_or_else(|e| e.into_inner()).insert(name.to_string(), entry);
         Ok((points, dims, shards, appended))
     }
 
@@ -204,13 +204,13 @@ impl Registry {
 
     /// Resolves a dataset by name.
     pub fn dataset(&self, name: &str) -> Option<Arc<LoadedDataset>> {
-        self.datasets.read().expect("registry lock").get(name).cloned()
+        self.datasets.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
     }
 
     /// Names of the installed datasets (sorted, for reporting).
     pub fn dataset_names(&self) -> Vec<String> {
         let mut names: Vec<String> =
-            self.datasets.read().expect("registry lock").keys().cloned().collect();
+            self.datasets.read().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect();
         names.sort();
         names
     }
@@ -221,7 +221,7 @@ impl Registry {
         let mut out: Vec<(String, usize)> = self
             .datasets
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|e| e.into_inner())
             .values()
             .map(|d| (d.name.clone(), d.data.num_shards()))
             .collect();
@@ -239,7 +239,10 @@ impl Registry {
             .map(|(name, n)| format!("\"{}\":{n}", crate::protocol::json_escape(&name)))
             .collect::<Vec<_>>()
             .join(",");
-        debug_assert_eq!(json.pop(), Some('}'));
+        // The pop must run in every profile — a side effect inside
+        // `debug_assert!` would vanish in release and corrupt the payload.
+        debug_assert!(json.ends_with('}'));
+        json.pop();
         json.push_str(&format!(",\"dataset_shards\":{{{shards}}}}}"));
         json
     }
@@ -273,7 +276,7 @@ impl Registry {
             seed,
         };
         let cached: Vec<_> = {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             (0..ds.data.num_shards()).map(|i| cache.get(&shard_key(i))).collect()
         };
         // `k` is irrelevant to phase 1; 2 is the smallest valid value.
@@ -286,7 +289,7 @@ impl Registry {
         let dominance_tests = run.dominance_tests;
         let fp = Arc::new(run.fingerprint);
         if fp.is_complete() {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             for (i, fold) in run.shards.into_iter().enumerate() {
                 cache.insert(shard_key(i), fold);
             }
@@ -307,7 +310,7 @@ impl Registry {
     /// they share the shard folds' slot arrays only transitively and are
     /// bounded per dataset).
     pub fn cache_usage(&self) -> (usize, usize, usize) {
-        let cache = self.cache.lock().expect("cache lock");
+        let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
         (cache.len(), cache.bytes(), cache.ceiling())
     }
 }
@@ -347,6 +350,24 @@ mod tests {
         assert_eq!(key, "min,max,min");
         assert!(parse_prefs(Some("min,up"), 2).is_err());
         assert!(parse_prefs(Some("min"), 2).is_err());
+    }
+
+    #[test]
+    fn stats_json_braces_balance() {
+        let reg = Registry::new(1 << 24, Arc::new(Metrics::new()));
+        reg.insert_dataset("d", anticorrelated(200, 3, 16));
+        let json = reg.stats_json();
+        let mut depth = 0i32;
+        for c in json.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth > 0 || c == '}', "brace closed too early in {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced braces in {json}");
+        assert!(json.contains("\"dataset_shards\":{\"d\":1}"));
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("skydiver-serve-{wid}"))
                     .spawn(move || loop {
-                        let next = rx.lock().expect("worker queue lock").recv();
+                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                         let Ok(stream) = next else { break };
                         serve_connection(stream, &registry, &shutdown, &cancel, addr);
                     })?,
