@@ -6,7 +6,16 @@
 //!         [--threads N] [--out BENCH_pr3.json] [--check BENCH_pr3.json]
 //! loadgen --mode append [--scale 0.1] [--k 10] [--t 64]
 //!         [--out BENCH_pr4.json | --check BENCH_pr4.json]
+//! loadgen --mode restart [--scale 0.1] [--k 10] [--t 64]
+//!         [--out BENCH_pr6.json | --check BENCH_pr6.json]
 //! ```
+//!
+//! `--mode restart` measures the durable signature store: server A
+//! computes a cold fingerprint with `--store-dir` set, `SNAPSHOT`s and
+//! shuts down; server B on the same store directory must answer its
+//! first query bit-identically while charging **zero** dominance tests
+//! (every shard fold is loaded from disk). The gate is exact, not a
+//! ratio — warm restarts are free by contract.
 //!
 //! `--mode append` measures the shard-native serving path instead: a
 //! cold fingerprint of `n` points, a wire `APPEND` of ~5% more points,
@@ -122,6 +131,7 @@ fn run_append_mode(args: &Args) -> ExitCode {
         addr: "127.0.0.1:0".into(),
         threads: 2,
         cache_bytes: 64 << 20,
+        ..ServerConfig::default()
     })
     .expect("bind");
     let base = Family::Ant.generate(n, 3, 91);
@@ -244,6 +254,124 @@ fn run_append_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--mode restart`: cold compute + `SNAPSHOT` in one server process,
+/// then a fresh server on the same store directory — its first query
+/// must be bit-identical and dominance-test-free.
+fn run_restart_mode(args: &Args) -> ExitCode {
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let k: usize = args.get_or("k", 10);
+    let t: usize = args.get_or("t", 64);
+    eprintln!("# loadgen restart mode: n = {n}");
+    let store_dir = format!("target/loadgen_store_{}", std::process::id());
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let data = Family::Ant.generate(n, 3, 91);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        store_dir: Some(store_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let mut spec = QuerySpec::new("bench", k);
+    spec.t = t;
+    spec.seed = 7;
+    // A never-tripping budget keeps the dominance-test counter on.
+    spec.max_dominance_tests = Some(u64::MAX / 2);
+
+    // Epoch A: restart-to-first-query with a cold (empty) store.
+    let t0 = Instant::now();
+    let server = Server::bind(&cfg).expect("bind A");
+    server.registry().insert_dataset("bench", data.clone());
+    let handle = server.spawn().expect("spawn A");
+    let mut probe = Client::connect(handle.addr()).expect("connect A");
+    let (cold_selected, _, cold_tests) = query_counted(&mut probe, &spec);
+    let cold_restart_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(cold_tests > 0, "the cold epoch must compute");
+    let reply = probe.snapshot().expect("snapshot");
+    let persisted: u64 = reply
+        .strip_prefix("persisted=")
+        .and_then(|v| v.parse().ok())
+        .expect("snapshot reply");
+    assert!(persisted >= 1, "snapshot must make the fold durable: {reply}");
+    probe.shutdown().expect("shutdown A");
+    handle.join().expect("A exits");
+
+    // Epoch B: same store directory — restart-to-first-undegraded-query.
+    let t0 = Instant::now();
+    let server = Server::bind(&cfg).expect("bind B");
+    server.registry().insert_dataset("bench", data);
+    let handle = server.spawn().expect("spawn B");
+    let mut probe = Client::connect(handle.addr()).expect("connect B");
+    let (warm_selected, _, warm_tests) = query_counted(&mut probe, &spec);
+    let warm_restart_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = probe.stats().expect("stats");
+    let hits = json_u64(&stats, "store_hits").unwrap_or(0);
+    probe.shutdown().expect("shutdown B");
+    handle.join().expect("B exits");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // The gates are exact contracts, not noisy time ratios.
+    let mut failed = false;
+    if warm_selected != cold_selected {
+        eprintln!("CHECK identical answer: FAILED — restart changed the selection");
+        failed = true;
+    }
+    if warm_tests != 0 {
+        eprintln!("CHECK warm restart is free: FAILED — charged {warm_tests} dominance tests");
+        failed = true;
+    }
+    if hits < 1 {
+        eprintln!("CHECK store served the restart: FAILED — store_hits = {hits}: {stats}");
+        failed = true;
+    }
+    let speedup = cold_restart_ms / warm_restart_ms.max(1e-9);
+    eprintln!(
+        "cold restart-to-first-query {cold_restart_ms:.2}ms ({cold_tests} tests)  \
+         warm {warm_restart_ms:.2}ms (0 tests, {hits} store hits)  speedup {speedup:.1}x"
+    );
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr6-loadgen-restart\",\n  \"scale\": {},\n  \"n\": {n},\n  \
+         \"k\": {k},\n  \"t\": {t},\n  \"cold_restart_ms\": {cold_restart_ms:.3},\n  \
+         \"cold_tests\": {cold_tests},\n  \"warm_restart_ms\": {warm_restart_ms:.3},\n  \
+         \"warm_tests\": {warm_tests},\n  \"store_hits\": {hits},\n  \
+         \"persisted\": {persisted},\n  \"restart_speedup\": {speedup:.3}\n}}\n",
+        args.scale,
+    );
+
+    if let Some(baseline_path) = args.get("check") {
+        // The exact gates above already ran; the baseline check only
+        // confirms the committed report describes the same contract.
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ok = baseline.contains("pr6-loadgen-restart")
+            && baseline_f64(&baseline, "warm_tests") == Some(0.0);
+        eprintln!(
+            "CHECK baseline contract (warm_tests = 0 in {baseline_path}) — {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr6.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Anticorrelated points shifted up by `delta` in every dimension —
 /// "new data that is mostly worse", so most of it is dominated and only
 /// a few new skyline columns appear.
@@ -260,6 +388,9 @@ fn main() -> ExitCode {
     if args.get("mode") == Some("append") {
         return run_append_mode(&args);
     }
+    if args.get("mode") == Some("restart") {
+        return run_restart_mode(&args);
+    }
     let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
     let conns: usize = args.get_or("conns", 4);
     let queries: usize = args.get_or("queries", 25);
@@ -273,6 +404,7 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:0".into(),
         threads,
         cache_bytes: 64 << 20,
+        ..ServerConfig::default()
     })
     .expect("bind");
     server.registry().insert_dataset("bench", Family::Ant.generate(n, 3, 91));

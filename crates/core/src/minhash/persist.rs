@@ -4,16 +4,78 @@
 //! selection is `O(k²m)` and cheap. Persisting the signature matrix and
 //! domination scores lets a user fingerprint once and re-run selection
 //! for many `k`, thresholds, or LSH configurations — without touching
-//! the data again. Format: `SKYSIG01` magic, `u64` t / m, column-major
-//! `u64` slots, then `u64` scores, all little-endian.
+//! the data again. Two formats, both little-endian:
+//!
+//! * `SKYSIG01` — a whole-dataset bundle: magic, `u64` t / m,
+//!   column-major `u64` slots, then `u64` scores. No integrity check
+//!   beyond an exact-size match against the header.
+//! * `SKYSIG02` — a *per-shard* bundle ([`ShardFingerprint`]: column
+//!   ids + partial fold + rows consumed) hardened for use as an on-disk
+//!   cache artefact: the header carries four caller-owned key tags (the
+//!   serving layer binds dataset content hash, shard id, preference
+//!   hash and seed so a renamed or stale file can never masquerade as
+//!   another key), and the file ends in a length-and-checksum footer
+//!   (FNV-1a 64 over everything before it) so torn writes, truncation
+//!   and bit rot are detected before a single word is trusted.
+//!
+//! Both readers bounds-check every header count against the actual file
+//! size *before* allocating, so a hostile or truncated header cannot
+//! trigger an unbounded `t·m` allocation.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use super::{SigGenOutput, SignatureMatrix};
+use super::{ShardFingerprint, SigGenOutput, SignatureAccumulator, SignatureMatrix};
 
 const MAGIC: &[u8; 8] = b"SKYSIG01";
+const MAGIC_V2: &[u8; 8] = b"SKYSIG02";
+
+/// Fixed byte sizes of the `SKYSIG02` layout: magic + 4 key tags +
+/// t + m + rows_consumed, and the length + checksum footer.
+const V2_HEADER: u64 = 8 + 4 * 8 + 3 * 8;
+const V2_FOOTER: u64 = 2 * 8;
+
+/// Incremental FNV-1a 64 — the checksum behind the `SKYSIG02` footer
+/// (and the serving layer's content hashing). Not cryptographic; it
+/// detects corruption, not adversaries with write access to the store.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a 64 offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            // lint: allow(R2) -- byte fold of an in-memory buffer, no
+            // I/O and no data-proportional dominance work to budget
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
 
 /// Writes a fingerprint bundle (matrix + scores) to `path`.
 pub fn write_signatures<P: AsRef<Path>>(out: &SigGenOutput, path: P) -> io::Result<()> {
@@ -35,28 +97,48 @@ pub fn write_signatures<P: AsRef<Path>>(out: &SigGenOutput, path: P) -> io::Resu
     w.flush()
 }
 
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The exact on-disk size of a `SKYSIG01` bundle with the given shape,
+/// or `None` on arithmetic overflow (an impossible honest header).
+fn v1_expected_len(t: u64, m: u64) -> Option<u64> {
+    // magic + t + m + t*m matrix words + m score words.
+    let words = t.checked_mul(m)?.checked_add(m)?;
+    words.checked_mul(8)?.checked_add(8 + 8 + 8)
+}
+
 /// Reads a fingerprint bundle written by [`write_signatures`].
 pub fn read_signatures<P: AsRef<Path>>(path: P) -> io::Result<SigGenOutput> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a SkyDiver signature bundle",
-        ));
+        return Err(bad_data("not a SkyDiver signature bundle"));
     }
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
-    let t = u64::from_le_bytes(b8) as usize;
+    let t64 = u64::from_le_bytes(b8);
     r.read_exact(&mut b8)?;
-    let m = u64::from_le_bytes(b8) as usize;
-    if t == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bundle declares zero signature size",
-        ));
+    let m64 = u64::from_le_bytes(b8);
+    if t64 == 0 {
+        return Err(bad_data("bundle declares zero signature size"));
     }
+    // The header is untrusted: check the declared shape against the
+    // actual file size *before* allocating t*m words from it.
+    match v1_expected_len(t64, m64) {
+        Some(expected) if expected == file_len => {}
+        _ => {
+            return Err(bad_data(format!(
+                "bundle declares t={t64} m={m64} but holds {file_len} bytes"
+            )))
+        }
+    }
+    let t = usize::try_from(t64).map_err(|_| bad_data("t exceeds this platform"))?;
+    let m = usize::try_from(m64).map_err(|_| bad_data("m exceeds this platform"))?;
     let mut matrix = SignatureMatrix::new(t, m);
     let mut col = vec![0u64; t];
     for j in 0..m {
@@ -75,6 +157,193 @@ pub fn read_signatures<P: AsRef<Path>>(path: P) -> io::Result<SigGenOutput> {
         scores.push(u64::from_le_bytes(b8));
     }
     Ok(SigGenOutput { matrix, scores })
+}
+
+// ---------------------------------------------------------------------
+// SKYSIG02 — hardened per-shard bundles for the on-disk signature store.
+// ---------------------------------------------------------------------
+
+/// The exact on-disk size of a `SKYSIG02` bundle with the given shape,
+/// or `None` on arithmetic overflow.
+fn v2_expected_len(t: u64, m: u64) -> Option<u64> {
+    // header + m column ids + t*m matrix words + m score words + footer.
+    let words = t.checked_mul(m)?.checked_add(m.checked_mul(2)?)?;
+    words.checked_mul(8)?.checked_add(V2_HEADER)?.checked_add(V2_FOOTER)
+}
+
+/// Encodes one shard's complete fold as a `SKYSIG02` bundle.
+///
+/// `tags` are four caller-owned key words written into the header and
+/// returned verbatim by [`decode_shard_signatures`] — the serving layer
+/// binds `(dataset content hash, shard id, preference hash, seed)` so a
+/// renamed or stale artefact fails key verification instead of being
+/// served. The bundle ends in a length + FNV-1a 64 checksum footer.
+pub fn encode_shard_signatures(fp: &ShardFingerprint, tags: &[u64; 4]) -> Vec<u8> {
+    let (t, m) = (fp.acc.t(), fp.acc.m());
+    let len = v2_expected_len(t as u64, m as u64).unwrap_or(V2_HEADER + V2_FOOTER);
+    let mut out = Vec::with_capacity(len as usize);
+    out.extend_from_slice(MAGIC_V2);
+    for &tag in tags {
+        // lint: allow(R2) -- four fixed header words, no data scan
+        out.extend_from_slice(&tag.to_le_bytes());
+    }
+    out.extend_from_slice(&(t as u64).to_le_bytes());
+    out.extend_from_slice(&(m as u64).to_le_bytes());
+    out.extend_from_slice(&(fp.acc.rows_consumed as u64).to_le_bytes());
+    for &c in &fp.columns {
+        // lint: allow(R2) -- serialises the already-computed fold;
+        // compute-phase budgets were charged when it was built
+        out.extend_from_slice(&(c as u64).to_le_bytes());
+    }
+    for j in 0..m {
+        // lint: allow(R2) -- same already-computed t*m bundle
+        for &slot in fp.acc.matrix.column(j) {
+            out.extend_from_slice(&slot.to_le_bytes());
+        }
+    }
+    for &s in &fp.acc.scores {
+        // lint: allow(R2) -- m score words, same bundle
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    let payload_len = out.len() as u64;
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b8 = [0u8; 8];
+    b8.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b8)
+}
+
+/// Decodes a `SKYSIG02` bundle, verifying magic, shape-vs-length,
+/// footer length and checksum before trusting a single word. Returns
+/// the fold and the caller's key tags.
+pub fn decode_shard_signatures(bytes: &[u8]) -> io::Result<(ShardFingerprint, [u64; 4])> {
+    let total = bytes.len() as u64;
+    if total < V2_HEADER + V2_FOOTER {
+        return Err(bad_data("shard bundle shorter than header + footer"));
+    }
+    if &bytes[..8] != MAGIC_V2 {
+        return Err(bad_data("not a SkyDiver shard bundle (bad magic)"));
+    }
+    let mut tags = [0u64; 4];
+    for (i, tag) in tags.iter_mut().enumerate() {
+        // lint: allow(R2) -- four fixed header words
+        *tag = read_u64(bytes, 8 + i * 8);
+    }
+    let t64 = read_u64(bytes, 40);
+    let m64 = read_u64(bytes, 48);
+    let rows = read_u64(bytes, 56);
+    if t64 == 0 {
+        return Err(bad_data("shard bundle declares zero signature size"));
+    }
+    match v2_expected_len(t64, m64) {
+        Some(expected) if expected == total => {}
+        _ => {
+            return Err(bad_data(format!(
+                "shard bundle declares t={t64} m={m64} but holds {total} bytes"
+            )))
+        }
+    }
+    let payload_len = (total - V2_FOOTER) as usize;
+    let declared_len = read_u64(bytes, payload_len);
+    let declared_sum = read_u64(bytes, payload_len + 8);
+    if declared_len != payload_len as u64 {
+        return Err(bad_data(format!(
+            "footer declares {declared_len} payload bytes, file holds {payload_len}"
+        )));
+    }
+    let actual_sum = fnv1a64(&bytes[..payload_len]);
+    if declared_sum != actual_sum {
+        return Err(bad_data(format!(
+            "checksum mismatch (stored {declared_sum:#018x}, computed {actual_sum:#018x})"
+        )));
+    }
+    let t = usize::try_from(t64).map_err(|_| bad_data("t exceeds this platform"))?;
+    let m = usize::try_from(m64).map_err(|_| bad_data("m exceeds this platform"))?;
+    let rows_consumed =
+        usize::try_from(rows).map_err(|_| bad_data("rows_consumed exceeds this platform"))?;
+    let mut at = V2_HEADER as usize;
+    let mut columns = Vec::with_capacity(m);
+    for j in 0..m {
+        // lint: allow(R2) -- m checksummed header words, bounds proven
+        // against the file size above
+        let c = read_u64(bytes, at + j * 8);
+        let c = usize::try_from(c).map_err(|_| bad_data("column id exceeds this platform"))?;
+        if let Some(&prev) = columns.last() {
+            if c <= prev {
+                return Err(bad_data("column ids not strictly ascending"));
+            }
+        }
+        columns.push(c);
+    }
+    at += m * 8;
+    let mut matrix = SignatureMatrix::new(t, m);
+    let mut col = vec![0u64; t];
+    for j in 0..m {
+        // lint: allow(R2) -- decodes the checksummed t*m bundle
+        for (i, slot) in col.iter_mut().enumerate() {
+            *slot = read_u64(bytes, at + (j * t + i) * 8);
+        }
+        matrix.set_column(j, &col);
+    }
+    at += t * m * 8;
+    let mut scores = Vec::with_capacity(m);
+    for j in 0..m {
+        // lint: allow(R2) -- m checksummed score words
+        scores.push(read_u64(bytes, at + j * 8));
+    }
+    let acc = SignatureAccumulator { matrix, scores, rows_consumed };
+    Ok((ShardFingerprint { columns, acc }, tags))
+}
+
+/// Writes a shard bundle to `path` in one plain (non-atomic) write —
+/// the store's atomic temp + fsync + rename protocol lives in the
+/// serving layer; this is the codec-level convenience used by tests.
+pub fn write_shard_signatures<P: AsRef<Path>>(
+    path: P,
+    fp: &ShardFingerprint,
+    tags: &[u64; 4],
+) -> io::Result<()> {
+    let bytes = encode_shard_signatures(fp, tags);
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads a `SKYSIG02` shard bundle, verifying the header shape against
+/// the actual file size before reading (let alone allocating) the body.
+pub fn read_shard_signatures<P: AsRef<Path>>(
+    path: P,
+) -> io::Result<(ShardFingerprint, [u64; 4])> {
+    let mut f = File::open(path)?;
+    let file_len = f.metadata()?.len();
+    let mut header = [0u8; V2_HEADER as usize];
+    f.read_exact(&mut header)?;
+    if &header[..8] != MAGIC_V2 {
+        return Err(bad_data("not a SkyDiver shard bundle (bad magic)"));
+    }
+    let t64 = read_u64(&header, 40);
+    let m64 = read_u64(&header, 48);
+    if t64 == 0 {
+        return Err(bad_data("shard bundle declares zero signature size"));
+    }
+    match v2_expected_len(t64, m64) {
+        Some(expected) if expected == file_len => {}
+        _ => {
+            return Err(bad_data(format!(
+                "shard bundle declares t={t64} m={m64} but holds {file_len} bytes"
+            )))
+        }
+    }
+    // Size proven honest: the full read is bounded by the real file.
+    let mut bytes = Vec::with_capacity(file_len as usize);
+    bytes.extend_from_slice(&header);
+    f.read_to_end(&mut bytes)?;
+    decode_shard_signatures(&bytes)
 }
 
 #[cfg(test)]
@@ -137,5 +406,100 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(read_signatures(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_hostile_header_cannot_force_a_huge_allocation() {
+        // A 24-byte file whose header claims a petabyte-scale matrix:
+        // the size check must reject it before any t*m allocation.
+        let path = tmp("hostile-v1");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes()); // t
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes()); // m (t*m overflows)
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_signatures(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    fn sample_shard_fp() -> ShardFingerprint {
+        let mut acc = SignatureAccumulator::new(4, 3);
+        acc.matrix.set_column(0, &[5, 1, 9, 2]);
+        acc.matrix.set_column(1, &[7, 7, 0, 3]);
+        // Column 2 stays all-∞ (a skyline point dominating nothing in
+        // this shard) — u64::MAX must survive the trip.
+        acc.scores = vec![3, 1, 0];
+        acc.rows_consumed = 42;
+        ShardFingerprint { columns: vec![2, 5, 9], acc }
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_fold_and_tags() {
+        let fp = sample_shard_fp();
+        let tags = [0xdead_beef, 7, 0x1234, 99];
+        let path = tmp("v2-roundtrip");
+        write_shard_signatures(&path, &fp, &tags).unwrap();
+        let (back, back_tags) = read_shard_signatures(&path).unwrap();
+        assert_eq!(back.columns, fp.columns);
+        assert_eq!(back.acc, fp.acc);
+        assert_eq!(back_tags, tags);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v2_detects_every_corruption_mode() {
+        let fp = sample_shard_fp();
+        let good = encode_shard_signatures(&fp, &[1, 2, 3, 4]);
+        // Bit flip anywhere in the payload fails the checksum; a flip in
+        // the footer fails the length or checksum comparison.
+        for at in [9usize, 41, 70, good.len() - 20, good.len() - 1] {
+            let mut bytes = good.clone();
+            bytes[at] ^= 0x10;
+            assert!(
+                decode_shard_signatures(&bytes).is_err(),
+                "flip at byte {at} must be detected"
+            );
+        }
+        // Truncation at every boundary class.
+        for keep in [0usize, 7, 40, 63, good.len() - 16, good.len() - 1] {
+            assert!(
+                decode_shard_signatures(&good[..keep]).is_err(),
+                "truncation to {keep} bytes must be detected"
+            );
+        }
+        // The untouched encoding still decodes.
+        assert!(decode_shard_signatures(&good).is_ok());
+    }
+
+    #[test]
+    fn v2_hostile_header_cannot_force_a_huge_allocation() {
+        let path = tmp("hostile-v2");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        bytes.extend_from_slice(&[0u8; 32]); // tags
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes()); // t
+        bytes.extend_from_slice(&(1u64 << 40).to_le_bytes()); // m
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // rows
+        bytes.extend_from_slice(&[0u8; 16]); // fake footer
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_shard_signatures(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v2_rejects_unsorted_columns_and_zero_t() {
+        let mut fp = sample_shard_fp();
+        fp.columns = vec![5, 2, 9]; // not ascending
+        let bytes = encode_shard_signatures(&fp, &[0; 4]);
+        // Re-seal the footer so only the column order is wrong.
+        let err = decode_shard_signatures(&bytes).unwrap_err();
+        assert!(err.to_string().contains("ascending"), "{err}");
+
+        let good = encode_shard_signatures(&sample_shard_fp(), &[0; 4]);
+        let mut zero_t = good.clone();
+        zero_t[40..48].copy_from_slice(&0u64.to_le_bytes());
+        assert!(decode_shard_signatures(&zero_t).is_err());
     }
 }

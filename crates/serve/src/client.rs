@@ -92,6 +92,18 @@ impl Client {
         self.exchange("STATS")
     }
 
+    /// `SNAPSHOT` — flushes the server's write-behind signature store;
+    /// returns `persisted=<n>`.
+    pub fn snapshot(&mut self) -> Result<String, String> {
+        self.exchange("SNAPSHOT")
+    }
+
+    /// `RESTORE` — re-runs the store's recovery sweep; returns
+    /// `artifacts=<n> quarantined=<q> removed_temps=<r>`.
+    pub fn restore(&mut self) -> Result<String, String> {
+        self.exchange("RESTORE")
+    }
+
     /// `SHUTDOWN` — asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<String, String> {
         self.exchange("SHUTDOWN")

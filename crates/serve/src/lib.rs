@@ -19,9 +19,16 @@
 //!   signature-reuse contract lives in [`Registry::fingerprint`].
 //! - [`metrics`] — lock-free counters and a fixed-bucket latency
 //!   histogram behind `STATS`.
+//! - [`store`] — the crash-safe on-disk signature store: atomic
+//!   `SKYSIG02` artefacts keyed by dataset content hash, write-behind
+//!   persistence, and a startup recovery sweep that quarantines
+//!   corruption instead of serving it. Makes restarts warm
+//!   (`SNAPSHOT` flushes, `RESTORE` re-sweeps).
 //! - [`server`] / [`client`] — a std-only TCP worker pool and its
 //!   blocking counterpart. No async runtime: the build is offline and
-//!   the protocol is one line per request.
+//!   the protocol is one line per request. Connections carry
+//!   read/write timeouts and a request-line size cap, so a stalled or
+//!   slow-loris client is shed instead of pinning a worker.
 //!
 //! Every query runs under a per-request
 //! [`RunBudget`](skydiver_core::RunBudget) plus a server-wide
@@ -34,6 +41,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use cache::{FingerprintCache, FingerprintKey};
 pub use client::Client;
@@ -41,3 +49,6 @@ pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{parse_request, parse_response, Method, QuerySpec, Request};
 pub use registry::{parse_prefs, LoadedDataset, Registry};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use store::{
+    content_hash, prefs_hash, DiskFault, FaultPlan, SignatureStore, StoreKey, SweepReport,
+};

@@ -83,6 +83,12 @@ pub struct Metrics {
     pub shards_reused: AtomicU64,
     /// Bytes resident in the fingerprint cache (last observed).
     pub bytes_resident: AtomicU64,
+    /// Shard folds served from the on-disk signature store.
+    pub store_hits: AtomicU64,
+    /// Store artefacts quarantined (corrupt, truncated or mis-keyed).
+    pub store_quarantined: AtomicU64,
+    /// Write-behind persistence attempts that failed (ENOSPC, rename…).
+    pub store_write_failures: AtomicU64,
     /// End-to-end `QUERY` latency.
     pub latency: LatencyHistogram,
 }
@@ -115,6 +121,8 @@ impl Metrics {
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
                 "\"degraded\":{},\"appends\":{},\"dominance_tests\":{},",
                 "\"shards_reused\":{},\"bytes_resident\":{},",
+                "\"store_hits\":{},\"store_quarantined\":{},",
+                "\"store_write_failures\":{},",
                 "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
             ),
             self.get(&self.queries),
@@ -128,6 +136,9 @@ impl Metrics {
             self.get(&self.dominance_tests),
             self.get(&self.shards_reused),
             self.get(&self.bytes_resident),
+            self.get(&self.store_hits),
+            self.get(&self.store_quarantined),
+            self.get(&self.store_write_failures),
             self.latency.count(),
             self.latency.quantile_ms(0.50),
             self.latency.quantile_ms(0.99),

@@ -13,6 +13,8 @@
 //!       [xi=<f>] [buckets=<b>] [prefs=min,max,...]
 //!       [timeout_ms=<ms>] [max_dominance_tests=<n>]
 //! STATS
+//! SNAPSHOT
+//! RESTORE
 //! SHUTDOWN
 //! ```
 //!
@@ -34,6 +36,16 @@
 //! query re-scans only the new shard (plus old shards for any newly
 //! exposed skyline columns) and merges the rest from the cache. Replies
 //! `OK dataset=<id> points=<n> dims=<d> shards=<s> appended=<a>`.
+//!
+//! **`SNAPSHOT` / `RESTORE` semantics** (require a server started with
+//! a store directory): `SNAPSHOT` drains the write-behind queue so
+//! every completed fingerprint is durable on disk, replying
+//! `OK persisted=<n>` with the total artefacts persisted since the
+//! store opened. `RESTORE` re-runs the recovery sweep — every on-disk
+//! artefact is re-validated and corrupt or mis-keyed ones are moved to
+//! quarantine — replying `OK artifacts=<valid> quarantined=<q>
+//! removed_temps=<r>`. Without a store both reply `ERR no store
+//! configured`.
 
 use std::fmt;
 
@@ -159,6 +171,10 @@ pub enum Request {
     Query(QuerySpec),
     /// Report the metrics snapshot.
     Stats,
+    /// Flush the write-behind signature store to disk.
+    Snapshot,
+    /// Re-run the store's recovery sweep (re-validate every artefact).
+    Restore,
     /// Stop accepting connections and exit after draining.
     Shutdown,
 }
@@ -269,6 +285,18 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             }
             Ok(Request::Stats)
         }
+        "SNAPSHOT" => {
+            if !rest.is_empty() {
+                return Err(bad("SNAPSHOT takes no arguments"));
+            }
+            Ok(Request::Snapshot)
+        }
+        "RESTORE" => {
+            if !rest.is_empty() {
+                return Err(bad("RESTORE takes no arguments"));
+            }
+            Ok(Request::Restore)
+        }
         "SHUTDOWN" => {
             if !rest.is_empty() {
                 return Err(bad("SHUTDOWN takes no arguments"));
@@ -276,7 +304,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             Ok(Request::Shutdown)
         }
         other => Err(bad(format!(
-            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SHUTDOWN)"
+            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SNAPSHOT|RESTORE|SHUTDOWN)"
         ))),
     }
 }
@@ -391,6 +419,14 @@ mod tests {
         assert!(parse_request("QUERY dataset=d k=3 method=magic").is_err());
         assert!(parse_request("STATS now").is_err());
         assert!(parse_request("").is_err());
+    }
+
+    #[test]
+    fn snapshot_and_restore_parse_bare() {
+        assert_eq!(parse_request("SNAPSHOT").unwrap(), Request::Snapshot);
+        assert_eq!(parse_request("restore").unwrap(), Request::Restore);
+        assert!(parse_request("SNAPSHOT now").is_err());
+        assert!(parse_request("RESTORE path=/x").is_err());
     }
 
     #[test]

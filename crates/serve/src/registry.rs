@@ -10,9 +10,11 @@
 //! * a **memo hit** returns the assembled `Arc<Fingerprint>` without
 //!   touching data or locks beyond the dataset's own memo;
 //! * a **miss** folds the dataset shard by shard under the request's
-//!   budget, merging any shard whose fold is in the LRU cache instead of
-//!   re-scanning it, and (only if the run completed) caches every shard
-//!   fold plus the assembled artefact.
+//!   budget, merging any shard whose fold is in the LRU cache — or, if
+//!   a durable [`SignatureStore`] is configured, loading it from disk —
+//!   instead of re-scanning it, and (only if the run completed) caches
+//!   every shard fold, queues it for write-behind persistence, and
+//!   memoises the assembled artefact.
 //!
 //! Concurrency: datasets sit behind an `RwLock` (read-mostly), the
 //! cache behind a `Mutex` held only for lookups/inserts — never while
@@ -30,6 +32,7 @@ use skydiver_data::{io, Dataset, Preference, ShardedDataset};
 
 use crate::cache::{FingerprintCache, FingerprintKey};
 use crate::metrics::Metrics;
+use crate::store::{content_hash, prefs_hash, SignatureStore, StoreKey, SweepReport};
 
 /// Assembled fingerprints memoised per dataset *generation*: the memo
 /// dies with its `LoadedDataset`, so `LOAD`/`APPEND` can never serve a
@@ -43,6 +46,10 @@ pub struct LoadedDataset {
     pub name: String,
     /// The points, shard by shard.
     pub data: ShardedDataset,
+    /// Content hash of this exact generation (dims, shard boundaries,
+    /// every coordinate bit) — the durable store's dataset coordinate,
+    /// so artefacts persisted for other data can never be served here.
+    pub content_hash: u64,
     /// Assembled fingerprints for this generation of the data, keyed by
     /// `(prefs, t, seed)`. Bounded at [`MEMO_CAP`] (cleared when full —
     /// the per-shard LRU makes re-assembly cheap).
@@ -51,7 +58,8 @@ pub struct LoadedDataset {
 
 impl LoadedDataset {
     fn new(name: String, data: ShardedDataset) -> Self {
-        LoadedDataset { name, data, memo: Mutex::new(HashMap::new()) }
+        let content_hash = content_hash(&data);
+        LoadedDataset { name, data, content_hash, memo: Mutex::new(HashMap::new()) }
     }
 
     /// The dataset as one contiguous block — borrowed when there is a
@@ -110,22 +118,59 @@ pub struct Registry {
     datasets: RwLock<HashMap<String, Arc<LoadedDataset>>>,
     cache: Mutex<FingerprintCache>,
     metrics: Arc<Metrics>,
+    store: Option<Arc<SignatureStore>>,
 }
 
 impl Registry {
     /// An empty registry whose fingerprint cache holds at most
-    /// `cache_bytes` resident bytes.
+    /// `cache_bytes` resident bytes, with no durable store.
     pub fn new(cache_bytes: usize, metrics: Arc<Metrics>) -> Self {
+        Self::with_store(cache_bytes, metrics, None)
+    }
+
+    /// An empty registry backed by an (optional) on-disk signature
+    /// store: LRU misses fall through to the store, and complete runs
+    /// are queued for write-behind persistence.
+    pub fn with_store(
+        cache_bytes: usize,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<SignatureStore>>,
+    ) -> Self {
         Registry {
             datasets: RwLock::new(HashMap::new()),
             cache: Mutex::new(FingerprintCache::new(cache_bytes)),
             metrics,
+            store,
         }
     }
 
     /// The shared metrics block.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The durable signature store, if one is configured.
+    pub fn store(&self) -> Option<&Arc<SignatureStore>> {
+        self.store.as_ref()
+    }
+
+    /// `SNAPSHOT`: drains the write-behind queue so every completed
+    /// fingerprint is durable. Returns total artefacts persisted since
+    /// the store opened.
+    pub fn store_snapshot(&self) -> Result<u64, String> {
+        match &self.store {
+            Some(s) => Ok(s.flush()),
+            None => Err("no store configured (start the server with --store-dir)".into()),
+        }
+    }
+
+    /// `RESTORE`: re-runs the recovery sweep, quarantining artefacts
+    /// that no longer validate.
+    pub fn store_restore(&self) -> Result<SweepReport, String> {
+        match &self.store {
+            Some(s) => s.sweep().map_err(|e| format!("store sweep failed: {e}")),
+            None => Err("no store configured (start the server with --store-dir)".into()),
+        }
     }
 
     /// Installs an in-memory dataset as a single shard (used by tests
@@ -275,10 +320,28 @@ impl Registry {
             t,
             seed,
         };
-        let cached: Vec<_> = {
+        let mut cached: Vec<_> = {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             (0..ds.data.num_shards()).map(|i| cache.get(&shard_key(i))).collect()
         };
+        // LRU misses fall through to the durable store — disk reads
+        // happen here, after the cache lock is dropped. A corrupt or
+        // mis-keyed artefact is quarantined inside `load` and stays a
+        // miss; the fold below recomputes it from the data.
+        if let Some(store) = &self.store {
+            let store_key = |shard: usize| StoreKey {
+                dataset_hash: ds.content_hash,
+                shard,
+                prefs_hash: prefs_hash(prefs_key),
+                t,
+                seed,
+            };
+            for (i, slot) in cached.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = store.load(&store_key(i));
+                }
+            }
+        }
         // `k` is irrelevant to phase 1; 2 is the smallest valid value.
         let diver = SkyDiver::new(2).signature_size(t).hash_seed(seed).budget(budget);
         let run = diver
@@ -289,6 +352,24 @@ impl Registry {
         let dominance_tests = run.dominance_tests;
         let fp = Arc::new(run.fingerprint);
         if fp.is_complete() {
+            // Write-behind: queue every complete shard fold for the
+            // store's worker thread (which skips keys already durable).
+            // Partial folds never reach this branch — the store keeps
+            // the cache's complete-only rule.
+            if let Some(store) = &self.store {
+                for (i, fold) in run.shards.iter().enumerate() {
+                    store.enqueue_persist(
+                        StoreKey {
+                            dataset_hash: ds.content_hash,
+                            shard: i,
+                            prefs_hash: prefs_hash(prefs_key),
+                            t,
+                            seed,
+                        },
+                        Arc::clone(fold),
+                    );
+                }
+            }
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
             for (i, fold) in run.shards.into_iter().enumerate() {
                 cache.insert(shard_key(i), fold);
@@ -509,5 +590,104 @@ mod tests {
         reg.insert_dataset("d", anticorrelated(10, 3, 0));
         let err = reg.append_dataset("d", anticorrelated(10, 2, 0)).unwrap_err();
         assert!(err.contains("dims"), "{err}");
+    }
+
+    fn tmp_store(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skydiver-reg-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn store_round_trip_makes_restarts_warm() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let dir = tmp_store("warm");
+        let metrics = Arc::new(Metrics::new());
+        let (store, _) = SignatureStore::open(&dir, Arc::clone(&metrics), &[]).unwrap();
+        let reg = Registry::with_store(1 << 24, Arc::clone(&metrics), Some(Arc::new(store)));
+        reg.insert_dataset("ant", anticorrelated(2000, 3, 23));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        let (cold, _, cold_tests) =
+            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
+        assert!(cold_tests > 0);
+        assert_eq!(reg.store_snapshot().unwrap(), 1, "one shard fold flushed");
+        drop(reg);
+
+        // "Restart": fresh metrics + registry, same store dir. The
+        // dataset is re-loaded under a *different name* — the store is
+        // keyed by content, so the artefact still matches.
+        let m2 = Arc::new(Metrics::new());
+        let (store2, report) = SignatureStore::open(&dir, Arc::clone(&m2), &[]).unwrap();
+        assert_eq!(report.valid, 1, "{report:?}");
+        let reg2 = Registry::with_store(1 << 24, Arc::clone(&m2), Some(Arc::new(store2)));
+        reg2.insert_dataset("renamed", anticorrelated(2000, 3, 23));
+        let (warm, hit, warm_tests) =
+            reg2.fingerprint("renamed", &prefs, &key, 32, 7, counted()).unwrap();
+        assert!(!hit, "first post-restart query cannot be memo-served");
+        assert_eq!(warm_tests, 0, "every shard must come from the store");
+        assert!(warm.is_complete());
+        assert_eq!(warm.output.matrix, cold.output.matrix, "bit-identical restore");
+        assert_eq!(warm.output.scores, cold.output.scores);
+        assert_eq!(warm.skyline, cold.skyline);
+        assert_eq!(m2.store_hits.load(Relaxed), 1);
+        // Different data under the same name is a different content
+        // hash — the store must *not* serve the old artefact.
+        reg2.insert_dataset("renamed", anticorrelated(2000, 3, 777));
+        let (_, _, other_tests) =
+            reg2.fingerprint("renamed", &prefs, &key, 32, 7, counted()).unwrap();
+        assert!(other_tests > 0, "changed content must recompute");
+        drop(reg2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_restore_without_store_is_an_error() {
+        let reg = Registry::new(1 << 20, Arc::new(Metrics::new()));
+        assert!(reg.store_snapshot().unwrap_err().contains("no store"));
+        assert!(reg.store_restore().unwrap_err().contains("no store"));
+    }
+
+    /// PR 5 switched every serve-layer lock acquisition to
+    /// `unwrap_or_else(|e| e.into_inner())`. Poison each guarded lock
+    /// from a thread that panics mid-hold and assert the registry keeps
+    /// answering on every path.
+    #[test]
+    fn registry_survives_poisoned_locks() {
+        let reg = Arc::new(Registry::new(1 << 24, Arc::new(Metrics::new())));
+        reg.insert_dataset("d", anticorrelated(500, 3, 29));
+        let (prefs, key) = parse_prefs(None, 3).unwrap();
+        reg.fingerprint("d", &prefs, &key, 16, 3, counted()).unwrap();
+
+        let r = Arc::clone(&reg);
+        let _ = std::thread::spawn(move || {
+            let _guard = r.datasets.write().unwrap();
+            panic!("poison the datasets lock");
+        })
+        .join();
+        let r = Arc::clone(&reg);
+        let _ = std::thread::spawn(move || {
+            let _guard = r.cache.lock().unwrap();
+            panic!("poison the cache lock");
+        })
+        .join();
+        let ds = reg.dataset("d").expect("read path recovers from poison");
+        let _ = std::thread::spawn(move || {
+            let _guard = ds.memo.lock().unwrap();
+            panic!("poison the memo lock");
+        })
+        .join();
+
+        // Reads, the memoised fingerprint path, and both write paths
+        // still work on the poisoned locks.
+        assert_eq!(reg.dataset_names(), vec!["d"]);
+        let (fp, hit, _) = reg.fingerprint("d", &prefs, &key, 16, 3, counted()).unwrap();
+        assert!(hit, "memo still serves after poison");
+        assert!(fp.is_complete());
+        reg.insert_dataset("e", anticorrelated(100, 3, 30));
+        reg.append_dataset("e", anticorrelated(50, 3, 31)).unwrap();
+        assert_eq!(reg.dataset_names(), vec!["d", "e"]);
+        assert!(reg.cache_usage().0 >= 1);
+        assert!(reg.stats_json().contains("\"dataset_shards\""));
     }
 }

@@ -13,13 +13,20 @@
 //! degrades the query to a partial result (reported in the response and
 //! counted in the metrics) instead of stalling the worker indefinitely.
 //!
+//! **Connection hardening.** Every accepted socket carries a read and
+//! a write timeout (configurable, default 30 s) and a request-line
+//! byte cap: a client that connects and never speaks, dribbles one
+//! byte per second, or streams an endless line is disconnected instead
+//! of pinning its worker — the read timeout doubles as the idle-
+//! connection limit.
+//!
 //! **Shutdown.** `SHUTDOWN` flips the shared flag, cancels the
 //! server-wide token (so long-running in-flight queries degrade and
 //! finish promptly), and pokes the accept loop awake with a loopback
 //! connection. Queued connections are drained before [`Server::run`]
 //! returns; the final metrics snapshot is dumped to stderr.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -35,6 +42,7 @@ use skydiver_skyline::sfs;
 use crate::metrics::Metrics;
 use crate::protocol::{json_escape, parse_request, Method, QuerySpec, Request};
 use crate::registry::{parse_prefs, Registry};
+use crate::store::SignatureStore;
 
 /// Configuration of one [`Server`].
 #[derive(Debug, Clone)]
@@ -45,6 +53,20 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Fingerprint-cache ceiling in bytes.
     pub cache_bytes: usize,
+    /// Directory of the durable signature store; `None` disables
+    /// persistence (cold restarts, as before PR 6).
+    pub store_dir: Option<String>,
+    /// Per-connection read timeout in milliseconds — doubles as the
+    /// idle-connection limit: a client that sends nothing (or dribbles
+    /// a request slower than this) is disconnected instead of pinning
+    /// a worker. `0` disables the timeout.
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout in milliseconds (a client that
+    /// stops reading its responses is shed). `0` disables.
+    pub write_timeout_ms: u64,
+    /// Longest accepted request line in bytes; a connection exceeding
+    /// it gets one `ERR` and is closed (bounds per-connection memory).
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -53,8 +75,21 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             threads: 4,
             cache_bytes: 64 << 20,
+            store_dir: None,
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+            max_line_bytes: 64 << 10,
         }
     }
+}
+
+/// Per-connection hardening knobs, copied out of the config for the
+/// worker threads.
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    max_line_bytes: usize,
 }
 
 /// A bound (not yet running) diversification query server.
@@ -65,15 +100,42 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     cancel: CancelToken,
     threads: usize,
+    limits: ConnLimits,
 }
 
 impl Server {
-    /// Binds the listener and builds the shared registry. The server
-    /// does not accept connections until [`Server::run`].
+    /// Binds the listener and builds the shared registry (opening the
+    /// durable store first when `store_dir` is set — its recovery sweep
+    /// runs here, so by the time the server accepts a connection every
+    /// surviving artefact has been validated). A store that cannot be
+    /// opened is logged and dropped: the server degrades to cold
+    /// recomputes rather than refusing to start. The server does not
+    /// accept connections until [`Server::run`].
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let metrics = Arc::new(Metrics::new());
-        let registry = Arc::new(Registry::new(cfg.cache_bytes, Arc::clone(&metrics)));
+        let store = match &cfg.store_dir {
+            Some(dir) => match SignatureStore::open(dir, Arc::clone(&metrics), &[]) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "skydiver-store: opened {dir} ({} valid, {} quarantined, \
+                         {} temp files removed)",
+                        report.valid, report.quarantined, report.removed_temps
+                    );
+                    Some(Arc::new(store))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "skydiver-store: cannot open {dir} ({e}); \
+                         serving without persistence"
+                    );
+                    None
+                }
+            },
+            None => None,
+        };
+        let registry =
+            Arc::new(Registry::with_store(cfg.cache_bytes, Arc::clone(&metrics), store));
         Ok(Server {
             listener,
             registry,
@@ -81,6 +143,11 @@ impl Server {
             shutdown: Arc::new(AtomicBool::new(false)),
             cancel: CancelToken::new(),
             threads: cfg.threads.max(1),
+            limits: ConnLimits {
+                read_timeout_ms: cfg.read_timeout_ms,
+                write_timeout_ms: cfg.write_timeout_ms,
+                max_line_bytes: cfg.max_line_bytes.max(64),
+            },
         })
     }
 
@@ -113,13 +180,14 @@ impl Server {
             let registry = Arc::clone(&self.registry);
             let shutdown = Arc::clone(&self.shutdown);
             let cancel = self.cancel.clone();
+            let limits = self.limits;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("skydiver-serve-{wid}"))
                     .spawn(move || loop {
                         let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                         let Ok(stream) = next else { break };
-                        serve_connection(stream, &registry, &shutdown, &cancel, addr);
+                        serve_connection(stream, &registry, &shutdown, &cancel, addr, limits);
                     })?,
             );
         }
@@ -186,20 +254,64 @@ impl ServerHandle {
     }
 }
 
+/// One bounded read of a request line.
+enum ReadLine {
+    /// A complete line arrived within the byte cap.
+    Line(String),
+    /// The line exceeded the cap — shed the client after one `ERR`.
+    Oversized,
+    /// EOF, idle/read timeout, or a transport error — close silently.
+    Closed,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max`
+/// bytes — a slow-loris client dribbling an endless line is bounded in
+/// memory here and bounded in time by the socket's read timeout.
+fn read_request_line(reader: &mut BufReader<TcpStream>, max: usize) -> ReadLine {
+    let mut buf = Vec::new();
+    let mut limited = reader.by_ref().take(max as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => ReadLine::Closed,
+        Ok(_) if buf.last() != Some(&b'\n') && buf.len() > max => ReadLine::Oversized,
+        Ok(_) => ReadLine::Line(String::from_utf8_lossy(&buf).into_owned()),
+        Err(_) => ReadLine::Closed,
+    }
+}
+
 /// Serves one connection: request line in, response line out, until the
-/// client disconnects (or sends `SHUTDOWN`).
+/// client disconnects, idles past the read timeout, oversteps the line
+/// cap, or sends `SHUTDOWN`.
 fn serve_connection(
     stream: TcpStream,
     registry: &Registry,
     shutdown: &AtomicBool,
     cancel: &CancelToken,
     addr: SocketAddr,
+    limits: ConnLimits,
 ) {
+    if limits.read_timeout_ms > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(limits.read_timeout_ms)));
+    }
+    if limits.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(limits.write_timeout_ms)));
+    }
     let Ok(read_half) = stream.try_clone() else { return };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_request_line(&mut reader, limits.max_line_bytes) {
+            ReadLine::Line(line) => line,
+            ReadLine::Oversized => {
+                let _ = writeln!(
+                    writer,
+                    "ERR request line exceeds {} bytes",
+                    limits.max_line_bytes
+                );
+                let _ = writer.flush();
+                break;
+            }
+            ReadLine::Closed => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -267,6 +379,26 @@ fn respond(line: &str, registry: &Registry, cancel: &CancelToken) -> (String, bo
             }
         }
         Ok(Request::Stats) => (format!("OK {}", registry.stats_json()), false),
+        Ok(Request::Snapshot) => match registry.store_snapshot() {
+            Ok(persisted) => (format!("OK persisted={persisted}"), false),
+            Err(e) => {
+                metrics.bump(&metrics.errors);
+                (format!("ERR {e}"), false)
+            }
+        },
+        Ok(Request::Restore) => match registry.store_restore() {
+            Ok(r) => (
+                format!(
+                    "OK artifacts={} quarantined={} removed_temps={}",
+                    r.valid, r.quarantined, r.removed_temps
+                ),
+                false,
+            ),
+            Err(e) => {
+                metrics.bump(&metrics.errors);
+                (format!("ERR {e}"), false)
+            }
+        },
         Ok(Request::Shutdown) => ("OK shutting down".to_string(), true),
     }
 }

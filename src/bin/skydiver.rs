@@ -85,6 +85,8 @@ const USAGE: &str = "usage:
   skydiver select    --signatures FILE.skysig --k K [--method mh|lsh]
                      [--xi 0.2] [--buckets 20]
   skydiver serve     [--addr 127.0.0.1:7878] [--threads 4] [--cache-bytes 67108864]
+                     [--store-dir DIR] [--read-timeout-ms 30000]
+                     [--write-timeout-ms 30000] [--max-line-bytes 65536]
   skydiver query     [--addr 127.0.0.1:7878] --dataset NAME --k K
                      [--method mh|lsh|greedy] [--t 100] [--seed S] [--xi 0.2]
                      [--buckets 20] [--prefs min,max,...] [--timeout-ms MS]
@@ -92,6 +94,7 @@ const USAGE: &str = "usage:
   skydiver query     [--addr ...] --load NAME --path FILE   (install a dataset)
   skydiver query     [--addr ...] --append NAME --path FILE (grow it by one shard)
   skydiver query     [--addr ...] --stats | --shutdown
+  skydiver query     [--addr ...] --snapshot | --restore    (flush / re-sweep the store)
   skydiver info      --input FILE";
 
 /// Per-command flag allowlists — an unknown `--flag` is an error, never
@@ -111,17 +114,22 @@ const COMMANDS: &[(&str, &[&str])] = &[
     ),
     ("fingerprint", &["input", "out", "t", "seed", "prefs"]),
     ("select", &["signatures", "k", "method", "xi", "buckets"]),
-    ("serve", &["addr", "threads", "cache-bytes"]),
+    (
+        "serve",
+        &["addr", "threads", "cache-bytes", "store-dir", "read-timeout-ms", "write-timeout-ms",
+          "max-line-bytes"],
+    ),
     (
         "query",
         &["addr", "dataset", "k", "method", "t", "seed", "xi", "buckets", "prefs", "timeout-ms",
-          "max-dominance-tests", "format", "load", "append", "path", "stats", "shutdown"],
+          "max-dominance-tests", "format", "load", "append", "path", "stats", "shutdown",
+          "snapshot", "restore"],
     ),
     ("info", &["input"]),
 ];
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["stats", "shutdown"];
+const BOOL_FLAGS: &[&str] = &["stats", "shutdown", "snapshot", "restore"];
 
 type Flags = HashMap<String, String>;
 
@@ -432,18 +440,30 @@ fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// `skydiver serve` — bind the query service and run until `SHUTDOWN`.
+/// `--store-dir` makes fingerprints durable (warm restarts); the
+/// timeout/line-cap flags bound how long a silent or dribbling client
+/// can hold a worker.
 fn cmd_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
         threads: num(flags, "threads", 4)?,
         cache_bytes: num(flags, "cache-bytes", 64 << 20)?,
+        store_dir: flags.get("store-dir").cloned(),
+        read_timeout_ms: num(flags, "read-timeout-ms", defaults.read_timeout_ms)?,
+        write_timeout_ms: num(flags, "write-timeout-ms", defaults.write_timeout_ms)?,
+        max_line_bytes: num(flags, "max-line-bytes", defaults.max_line_bytes)?,
     };
     let server = Server::bind(&cfg)?;
     eprintln!(
-        "skydiver-serve listening on {} ({} workers, {} byte fingerprint cache)",
+        "skydiver-serve listening on {} ({} workers, {} byte fingerprint cache{})",
         server.local_addr()?,
         cfg.threads.max(1),
-        cfg.cache_bytes
+        cfg.cache_bytes,
+        match &cfg.store_dir {
+            Some(dir) => format!(", store {dir}"),
+            None => ", no store".to_string(),
+        }
     );
     server.run()?;
     Ok(())
@@ -461,6 +481,14 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     }
     if flags.contains_key("shutdown") {
         println!("{}", client.shutdown().map_err(err)?);
+        return Ok(());
+    }
+    if flags.contains_key("snapshot") {
+        println!("{}", client.snapshot().map_err(err)?);
+        return Ok(());
+    }
+    if flags.contains_key("restore") {
+        println!("{}", client.restore().map_err(err)?);
         return Ok(());
     }
     if let Some(name) = flags.get("load") {

@@ -20,6 +20,7 @@ fn start(threads: usize) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         threads,
         cache_bytes: 64 << 20,
+        ..ServerConfig::default()
     })
     .expect("bind")
     .spawn()
