@@ -8,7 +8,20 @@
 //!         [--out BENCH_pr4.json | --check BENCH_pr4.json]
 //! loadgen --mode restart [--scale 0.1] [--k 10] [--t 64]
 //!         [--out BENCH_pr6.json | --check BENCH_pr6.json]
+//! loadgen --mode kernels [--scale 0.1] [--k 64] [--t 128] [--buckets 8]
+//!         [--out BENCH_pr7.json | --check BENCH_pr7.json]
 //! ```
+//!
+//! `--mode kernels` measures the PR 7 selection-phase kernels against
+//! the engines they replaced, frozen inline in this binary: the
+//! spawn-per-round chunked parallel greedy (the 0.29× regression of
+//! BENCH_pr2) vs the persistent-pool slot-major engine, sequential
+//! `SigGen-IB` vs the active-classification parallel pass, and the
+//! per-pair agreement/Hamming loops vs the batched one-vs-all kernels.
+//! Every before/after pair asserts bit-identical results before timing
+//! counts; `--check` gates the two parallel ratios on
+//! `max(baseline/2, 1.0)` — the committed speedup may degrade by at
+//! most half, and parallel must never again lose to its own baseline.
 //!
 //! `--mode restart` measures the durable signature store: server A
 //! computes a cold fingerprint with `--store-dir` set, `SNAPSHOT`s and
@@ -47,13 +60,24 @@
 //! scale than the committed baseline). The ratio is within-run, so the
 //! gate is machine-independent (absolute times are informational).
 
+use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use skydiver_bench::{Args, Family};
+use skydiver_bench::{time_ms, Args, Family};
+use skydiver_core::dispersion::{select_diverse_parallel, SeedRule, TieBreak};
+use skydiver_core::diversity::SignatureDistance;
+use skydiver_core::lsh::{LshIndex, LshParams};
+use skydiver_core::minhash::{
+    sig_gen_ib, sig_gen_ib_parallel, sig_gen_if, HashFamily, SignatureMatrix,
+    SlotMajorSignatures,
+};
+use skydiver_data::dominance::MinDominance;
 use skydiver_data::{io, Dataset, ShardedDataset};
+use skydiver_rtree::{BufferPool, RTree};
 use skydiver_serve::protocol::{json_u64, json_u64_array, QuerySpec};
 use skydiver_serve::{Client, Server, ServerConfig};
+use skydiver_skyline::sfs;
 
 fn query_once(client: &mut Client, spec: &QuerySpec) -> (Vec<u64>, f64) {
     let t0 = Instant::now();
@@ -372,6 +396,399 @@ fn run_restart_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A before/after timing pair of `--mode kernels`.
+struct KernelPair {
+    name: &'static str,
+    before_ms: f64,
+    after_ms: f64,
+}
+
+impl KernelPair {
+    fn speedup(&self) -> f64 {
+        self.before_ms / self.after_ms.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    \"{}\": {{\"before_ms\": {:.3}, \"after_ms\": {:.3}, \"speedup\": {:.3}}}",
+            self.name,
+            self.before_ms,
+            self.after_ms,
+            self.speedup()
+        )
+    }
+}
+
+/// Extracts `"speedup": <f64>` of the named kernel from a nested
+/// baseline report (the flat [`baseline_f64`] cannot scope by name).
+fn baseline_speedup(json: &str, name: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{name}\""))?;
+    let rest = &json[start..];
+    let sp = rest.find("\"speedup\":")?;
+    let tail = &rest[sp + "\"speedup\":".len()..];
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
+}
+
+/// The pre-PR 7 parallel greedy selection, frozen verbatim: per round,
+/// spawn one scoped thread per chunk of `min_dist`, evaluate the
+/// estimated distance per pair, join, fold the chunk argmaxes. The
+/// spawn/join cost per round and the per-pair column fetches are
+/// exactly what the persistent-pool slot-major engine removed.
+fn frozen_parallel_selection(
+    sig: &SignatureMatrix,
+    scores: &[u64],
+    k: usize,
+    threads: usize,
+) -> Vec<usize> {
+    let m = sig.m();
+    let seed = (0..m)
+        .max_by_key(|&i| (scores[i], std::cmp::Reverse(i)))
+        .expect("non-empty skyline");
+    let mut selected = vec![seed];
+    let mut in_set = vec![false; m];
+    in_set[seed] = true;
+    let mut min_dist = vec![f64::INFINITY; m];
+    while selected.len() < k {
+        let last = *selected.last().expect("seeded");
+        let chunk = m.div_ceil(threads);
+        let mut chunk_bests: Vec<Option<(f64, u64, usize)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (ci, md) in min_dist.chunks_mut(chunk).enumerate() {
+                let lo = ci * chunk;
+                let in_set = &in_set;
+                handles.push(scope.spawn(move || {
+                    let mut best: Option<(f64, u64, usize)> = None;
+                    for (off, slot) in md.iter_mut().enumerate() {
+                        let i = lo + off;
+                        if in_set[i] {
+                            continue;
+                        }
+                        let d = sig.estimated_distance(i, last);
+                        if d < *slot {
+                            *slot = d;
+                        }
+                        let better = match best {
+                            None => true,
+                            Some((bd, bs, _)) => *slot > bd || (*slot == bd && scores[i] > bs),
+                        };
+                        if better {
+                            best = Some((*slot, scores[i], i));
+                        }
+                    }
+                    best
+                }));
+            }
+            for h in handles {
+                chunk_bests.push(h.join().expect("frozen selection chunk"));
+            }
+        });
+        let mut best: Option<(f64, u64, usize)> = None;
+        for cb in chunk_bests.into_iter().flatten() {
+            let better = match best {
+                None => true,
+                Some((bd, bs, _)) => cb.0 > bd || (cb.0 == bd && cb.1 > bs),
+            };
+            if better {
+                best = Some(cb);
+            }
+        }
+        let pick = best.expect("k <= m").2;
+        selected.push(pick);
+        in_set[pick] = true;
+    }
+    selected
+}
+
+/// `--mode kernels`: before/after pairs for the PR 7 kernel round —
+/// parallel selection (frozen spawn-per-round engine vs persistent
+/// pool), SigGen-IB (sequential full reclassification vs the
+/// active-classification parallel pass), and the batched agreement /
+/// Hamming kernels vs their per-pair predecessors.
+fn run_kernels_mode(args: &Args) -> ExitCode {
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let t: usize = args.get_or("t", 128);
+    let k_arg: usize = args.get_or("k", 64);
+    eprintln!("# loadgen kernels mode: n = {n}, t = {t}");
+
+    let ds = Family::Ant.generate(n, 3, 1901);
+    let sky_full = sfs(&ds, &MinDominance);
+    // Cap the column count so the frozen per-pair engines stay tractable
+    // at every scale; the passes only need the points as columns.
+    let sky: Vec<usize> = sky_full.into_iter().take(1024).collect();
+    let m = sky.len();
+    let k = k_arg.min(m);
+    let fam = HashFamily::new(t, 19);
+    let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    eprintln!("# skyline columns m = {m}, k = {k}");
+
+    // Parallel greedy selection: frozen spawn-per-round chunked engine
+    // vs the persistent-pool slot-major engine, both at 4 threads.
+    let sel_iters = 10;
+    let frozen = frozen_parallel_selection(&out.matrix, &out.scores, k, 4);
+    let dist = SignatureDistance::new(&out.matrix);
+    let current = select_diverse_parallel(
+        &dist,
+        &out.scores,
+        k,
+        SeedRule::MaxDominance,
+        TieBreak::MaxDominance,
+        4,
+    )
+    .expect("parallel selection");
+    assert_eq!(frozen, current, "engines must pick identical points");
+    let (_, sel_before) = time_ms(|| {
+        for _ in 0..sel_iters {
+            black_box(frozen_parallel_selection(&out.matrix, &out.scores, k, 4));
+        }
+    });
+    let (_, sel_after) = time_ms(|| {
+        for _ in 0..sel_iters {
+            let dist = SignatureDistance::new(&out.matrix);
+            black_box(
+                select_diverse_parallel(
+                    &dist,
+                    &out.scores,
+                    k,
+                    SeedRule::MaxDominance,
+                    TieBreak::MaxDominance,
+                    4,
+                )
+                .expect("parallel selection"),
+            );
+        }
+    });
+    let selection = KernelPair {
+        name: "selection_par4_old_vs_new",
+        before_ms: sel_before,
+        after_ms: sel_after,
+    };
+
+    // SigGen-IB: the sequential full-reclassification pass (still the
+    // threads <= 1 production path) vs the active-classification
+    // 4-thread partitioned pass.
+    let pts: Vec<&[f64]> = sky.iter().map(|&s| ds.point(s)).collect();
+    let tree = RTree::bulk_load(&ds, 4096);
+    let mut pool = BufferPool::new(1 << 24);
+    let (ib_seq, _) = sig_gen_ib(&tree, &mut pool, &pts, &fam);
+    let mut pool = BufferPool::new(1 << 24);
+    let (ib_par, _) = sig_gen_ib_parallel(&tree, &mut pool, &pts, &fam, 4);
+    assert_eq!(ib_seq.matrix, ib_par.matrix, "IB passes must agree");
+    assert_eq!(ib_seq.scores, ib_par.scores, "IB scores must agree");
+    let (_, ib_before) = time_ms(|| {
+        let mut pool = BufferPool::new(1 << 24);
+        black_box(sig_gen_ib(&tree, &mut pool, &pts, &fam));
+    });
+    let (_, ib_after) = time_ms(|| {
+        let mut pool = BufferPool::new(1 << 24);
+        black_box(sig_gen_ib_parallel(&tree, &mut pool, &pts, &fam, 4));
+    });
+    let siggen_ib = KernelPair {
+        name: "siggen_ib_seq_vs_par4",
+        before_ms: ib_before,
+        after_ms: ib_after,
+    };
+
+    // One-vs-all agreement distances: hoisted per-pair column loop (the
+    // pre-PR 7 distances_row) vs the slot-major batched kernel. The sums
+    // accumulate the same values in the same order, so they must be
+    // bit-identical.
+    let agr_rounds = 64.min(m);
+    let agr_iters = 5;
+    let mut row = vec![0.0f64; m];
+    let before_sum = {
+        let mut acc = 0.0f64;
+        for p in 0..agr_rounds {
+            let col = out.matrix.column(p);
+            for j in 0..m {
+                acc += 1.0 - SignatureMatrix::similarity_between(col, out.matrix.column(j));
+            }
+        }
+        acc
+    };
+    let slots = SlotMajorSignatures::from_matrix(&out.matrix);
+    let after_sum = {
+        let mut acc = 0.0f64;
+        for p in 0..agr_rounds {
+            slots.distances_into(p, 0, &mut row);
+            for &d in row.iter() {
+                acc += d;
+            }
+        }
+        acc
+    };
+    assert_eq!(
+        before_sum.to_bits(),
+        after_sum.to_bits(),
+        "batched agreement must be bit-identical"
+    );
+    let (_, agr_before) = time_ms(|| {
+        for _ in 0..agr_iters {
+            let mut acc = 0.0f64;
+            for p in 0..agr_rounds {
+                let col = out.matrix.column(p);
+                for j in 0..m {
+                    acc += 1.0 - SignatureMatrix::similarity_between(col, out.matrix.column(j));
+                }
+            }
+            black_box(acc);
+        }
+    });
+    let (_, agr_after) = time_ms(|| {
+        for _ in 0..agr_iters {
+            // One transpose per selection, amortised over its rounds —
+            // exactly the production shape in SignatureDistance::new.
+            let slots = SlotMajorSignatures::from_matrix(&out.matrix);
+            let mut acc = 0.0f64;
+            for p in 0..agr_rounds {
+                slots.distances_into(p, 0, &mut row);
+                for &d in row.iter() {
+                    acc += d;
+                }
+            }
+            black_box(acc);
+        }
+    });
+    let agreement = KernelPair {
+        name: "minhash_agreement_batched",
+        before_ms: agr_before,
+        after_ms: agr_after,
+    };
+
+    // One-vs-all Hamming distances: per-pair zone-row agreement vs the
+    // packed word-at-a-time popcount rows.
+    let buckets: usize = args.get_or("buckets", 8);
+    let params = LshParams::from_threshold(t, 0.4).expect("lsh params");
+    let zones = params.zones;
+    let idx = LshIndex::build(&out.matrix, params, buckets, 23).expect("lsh index");
+    let before_sum = {
+        let mut acc = 0.0f64;
+        for p in 0..agr_rounds {
+            let zr = idx.zone_row(p);
+            for j in 0..m {
+                acc += LshIndex::hamming_between(zr, idx.zone_row(j), zones) as f64;
+            }
+        }
+        acc
+    };
+    let after_sum = {
+        let mut acc = 0.0f64;
+        for p in 0..agr_rounds {
+            idx.hamming_row_into(p, 0, &mut row);
+            for &d in row.iter() {
+                acc += d;
+            }
+        }
+        acc
+    };
+    assert_eq!(
+        before_sum.to_bits(),
+        after_sum.to_bits(),
+        "packed Hamming must be bit-identical"
+    );
+    let ham_iters = 20;
+    let (_, ham_before) = time_ms(|| {
+        for _ in 0..ham_iters {
+            let mut acc = 0.0f64;
+            for p in 0..agr_rounds {
+                let zr = idx.zone_row(p);
+                for j in 0..m {
+                    acc += LshIndex::hamming_between(zr, idx.zone_row(j), zones) as f64;
+                }
+            }
+            black_box(acc);
+        }
+    });
+    let (_, ham_after) = time_ms(|| {
+        for _ in 0..ham_iters {
+            let mut acc = 0.0f64;
+            for p in 0..agr_rounds {
+                idx.hamming_row_into(p, 0, &mut row);
+                for &d in row.iter() {
+                    acc += d;
+                }
+            }
+            black_box(acc);
+        }
+    });
+    let hamming = KernelPair {
+        name: "lsh_hamming_batched",
+        before_ms: ham_before,
+        after_ms: ham_after,
+    };
+
+    let checked = [selection, siggen_ib];
+    let info = [agreement, hamming];
+    for p in checked.iter().chain(&info) {
+        eprintln!(
+            "{:>26}: before {:>9.2}ms  after {:>9.2}ms  speedup {:.2}x",
+            p.name,
+            p.before_ms,
+            p.after_ms,
+            p.speedup()
+        );
+    }
+
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n  \"bench\": \"pr7-kernels\",\n");
+    json.push_str(&format!(
+        "  \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \"t\": {t},\n  \"k\": {k},\n  \
+         \"nproc\": {nproc},\n",
+        args.scale
+    ));
+    json.push_str("  \"checked\": {\n");
+    let rows: Vec<String> = checked.iter().map(KernelPair::json).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  },\n  \"informational\": {\n");
+    let rows: Vec<String> = info.iter().map(KernelPair::json).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    if let Some(baseline_path) = args.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut failed = false;
+        for p in &checked {
+            let Some(base) = baseline_speedup(&baseline, p.name) else {
+                eprintln!("CHECK {:>24}: missing from baseline — failing", p.name);
+                failed = true;
+                continue;
+            };
+            // The committed speedup may halve before failing, but the
+            // new engine must never lose outright to the frozen one.
+            let floor = (base / 2.0).max(1.0);
+            let ok = p.speedup() >= floor;
+            eprintln!(
+                "CHECK {:>24}: {:.2}x vs baseline {:.2}x (floor {:.2}x) — {}",
+                p.name,
+                p.speedup(),
+                base,
+                floor,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen kernels --check: all gates passed");
+    } else {
+        let out_path = args.get("out").unwrap_or("BENCH_pr7.json");
+        if let Err(e) = std::fs::write(out_path, &json) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out_path}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Anticorrelated points shifted up by `delta` in every dimension —
 /// "new data that is mostly worse", so most of it is dominated and only
 /// a few new skyline columns appear.
@@ -390,6 +807,9 @@ fn main() -> ExitCode {
     }
     if args.get("mode") == Some("restart") {
         return run_restart_mode(&args);
+    }
+    if args.get("mode") == Some("kernels") {
+        return run_kernels_mode(&args);
     }
     let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
     let conns: usize = args.get_or("conns", 4);

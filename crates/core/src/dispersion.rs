@@ -10,6 +10,9 @@
 //! "treating coverage as a secondary objective". [`brute_force_mmdp`]
 //! and the **k-MSDP** (max-sum) variants exist as baselines/ablations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
 use crate::diversity::{DiversityDistance, SyncDiversityDistance};
 use crate::error::{Result, SkyDiverError};
@@ -173,46 +176,35 @@ fn push<D: DiversityDistance>(
 ) {
     selected.push(x);
     in_set[x] = true;
-    for i in 0..in_set.len() {
-        // lint: allow(R2) -- one O(m) relaxation pass per greedy round;
-        // the caller's round loop polls ctx.check before each push
-        if !in_set[i] {
-            let d = dist.distance(i, x);
-            if d < min_dist[i] {
-                min_dist[i] = d;
-            }
-        }
-    }
-}
-
-/// Runs a [`SyncDiversityDistance`] through the sequential `&mut` API —
-/// the `threads <= 1` fallback of the parallel selection.
-struct SyncAsMut<'a, D: SyncDiversityDistance>(&'a D);
-
-impl<D: SyncDiversityDistance> DiversityDistance for SyncAsMut<'_, D> {
-    fn num_points(&self) -> usize {
-        self.0.num_points()
-    }
-
-    fn distance(&mut self, i: usize, j: usize) -> f64 {
-        self.0.distance_shared(i, j)
-    }
+    // One O(m) relaxation per greedy round, batched by backends that
+    // override `relax_min_dist`; the caller's round loop polls ctx.
+    dist.relax_min_dist(x, in_set, min_dist);
 }
 
 /// Parallel [`select_diverse`] over a thread-safe distance backend.
 ///
-/// Each greedy round fuses the `min_dist` maintenance for the previously
-/// selected point with the candidate scan, splitting the `m` candidates
-/// across `threads` scoped threads. Per-chunk winners are folded in
-/// ascending chunk order under the *exact* sequential comparison —
-/// `min_dist` strictly greater, or equal `min_dist` and strictly greater
-/// domination score under [`TieBreak::MaxDominance`] — so the selection
-/// is **bit-identical** to [`select_diverse`] for every thread count.
-/// (`min_dist` entries are never NaN — the `d < min_dist` fold discards
-/// NaN distances exactly as the sequential code does — so the strict
-/// comparison is a total tournament and the fold order is immaterial to
-/// correctness, only to tie-breaking, which matches the sequential
-/// first-index-wins scan.)
+/// The candidate range is split into `P = min(threads, m)` contiguous
+/// **partitions** — a pure function of `(m, threads)`, independent of
+/// the machine — and served by a persistent pool of
+/// `W = min(P, available_parallelism)` workers (the calling thread is
+/// worker 0; `W − 1` threads are spawned once for the whole selection,
+/// not per round). Each round every partition computes a batched
+/// relax-and-argmax over its range and the partials are folded in
+/// ascending partition order under the *exact* sequential comparison —
+/// `min_dist` strictly greater, or equal `min_dist` and strictly
+/// greater domination score under [`TieBreak::MaxDominance`].
+///
+/// **Determinism.** Under that strictly-better predicate a partition's
+/// winner is the *first* best candidate of its contiguous range, and an
+/// ascending-order fold of first-bests over contiguous ranges yields
+/// the first best of `0..m` — the sequential scan's pick — for *any*
+/// partition boundaries. The result is therefore bit-identical to
+/// [`select_diverse`] for every `threads` value, and clamping `W` to
+/// the machine cannot affect the output (it only changes which worker
+/// computes a partition, never the fold order). `min_dist` entries are
+/// never NaN — the `d < min_dist` fold discards NaN exactly as the
+/// sequential code does — so the strict comparison is a total
+/// tournament.
 pub fn select_diverse_parallel<D: SyncDiversityDistance>(
     dist: &D,
     scores: &[u64],
@@ -226,6 +218,110 @@ pub fn select_diverse_parallel<D: SyncDiversityDistance>(
         select_diverse_parallel_budgeted(dist, scores, k, seed, tie, threads, &ctx)?;
     debug_assert!(interrupt.is_none(), "unlimited context cannot trip");
     Ok(selected)
+}
+
+/// Round commands published by the driver to the persistent pool.
+#[derive(Clone, Copy)]
+enum Cmd {
+    /// Compute the per-partition farthest pair over the full matrix.
+    SeedScan,
+    /// Fold distances to `last` into `min_dist`, report the partition
+    /// argmax under the sequential strictly-better predicate.
+    Relax { last: usize },
+    /// Selection is over: exit the worker loop.
+    Done,
+}
+
+/// One partition's per-round result.
+#[derive(Clone, Copy)]
+enum Part {
+    /// Farthest pair found in the partition's row range (`NEG_INFINITY`
+    /// distance when the range contains no pairs).
+    Pair(usize, usize, f64),
+    /// Partition argmax: `(min_dist, score, index)` of the first best
+    /// unselected candidate, `None` when every entry is selected.
+    Arg(Option<(f64, u64, usize)>),
+}
+
+/// The exact sequential strictly-better comparison shared by the
+/// sequential scan, every partition scan and the ascending fold:
+/// strictly larger `min_dist`, or an exact tie broken by strictly
+/// larger domination score under [`TieBreak::MaxDominance`].
+#[inline]
+fn strictly_better(tie: TieBreak, cand: (f64, u64), best: Option<(f64, u64, usize)>) -> bool {
+    match best {
+        None => true,
+        Some((bd, bs, _)) => {
+            cand.0 > bd || (cand.0 == bd && matches!(tie, TieBreak::MaxDominance) && cand.1 > bs)
+        }
+    }
+}
+
+/// A worker's share of one round: runs `cmd` over every owned
+/// partition `(index, lo, min_dist slice)` and publishes each
+/// partition's [`Part`] into its slot of `partials`.
+///
+/// The relax pass covers *all* entries of the partition, including
+/// already-selected ones — their `min_dist` slots are never read by the
+/// argmax (selected entries are skipped there via `in_set`), and the
+/// unselected entries fold exactly the values the sequential
+/// relaxation would.
+#[allow(clippy::too_many_arguments)] // one worker's full round context
+fn run_partitions<D: SyncDiversityDistance>(
+    dist: &D,
+    scores: &[u64],
+    tie: TieBreak,
+    m: usize,
+    in_set: &[AtomicBool],
+    cmd: Cmd,
+    parts: &mut [(usize, usize, &mut [f64])],
+    partials: &[Mutex<Option<Part>>],
+    scratch: &mut Vec<f64>,
+) {
+    for (pi, lo, md) in parts.iter_mut() {
+        // lint: allow(R2) -- a worker owns O(P/W) partitions and runs
+        // them once per round; the driver's round loop polls ctx
+        let res = match cmd {
+            Cmd::Done => return,
+            Cmd::SeedScan => {
+                let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
+                scratch.resize(m, 0.0);
+                for i in *lo..*lo + md.len() {
+                    if i + 1 >= m {
+                        continue;
+                    }
+                    let out = &mut scratch[..m - i - 1];
+                    dist.distances_row_shared(i, i + 1, out);
+                    for (jj, &d) in out.iter().enumerate() {
+                        if d > bd {
+                            (bi, bj, bd) = (i, i + 1 + jj, d);
+                        }
+                    }
+                }
+                Part::Pair(bi, bj, bd)
+            }
+            Cmd::Relax { last } => {
+                scratch.resize(md.len().max(scratch.len()), 0.0);
+                let out = &mut scratch[..md.len()];
+                dist.distances_row_shared(last, *lo, out);
+                let mut best: Option<(f64, u64, usize)> = None;
+                for (off, slot) in md.iter_mut().enumerate() {
+                    if out[off] < *slot {
+                        *slot = out[off];
+                    }
+                    let i = *lo + off;
+                    if in_set[i].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    if strictly_better(tie, (*slot, scores[i]), best) {
+                        best = Some((*slot, scores[i], i));
+                    }
+                }
+                Part::Arg(best)
+            }
+        };
+        *partials[*pi].lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+    }
 }
 
 /// Budget-aware [`select_diverse_parallel`]: polls `ctx` once per greedy
@@ -244,10 +340,6 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
     ctx: &ExecContext,
 ) -> Result<(Vec<usize>, Option<Interrupt>)> {
     let m = dist.num_points();
-    let threads = threads.max(1);
-    if threads == 1 || m < 2 * threads {
-        return select_diverse_budgeted(&mut SyncAsMut(dist), scores, k, seed, tie, ctx);
-    }
     validate_k(k, m)?;
     if scores.len() != m {
         return Err(SkyDiverError::ScoresLengthMismatch {
@@ -256,157 +348,178 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
         });
     }
 
+    // P contiguous partitions — a pure function of (m, threads). All P
+    // partials are computed and folded every round regardless of how
+    // many OS workers serve them, so the reduction a test exercises at
+    // `threads = 8` is the same one production runs on any machine.
+    let threads = threads.max(1);
+    let chunk = m.div_ceil(threads.min(m));
+    let bounds: Vec<(usize, usize)> = (0..m)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(m)))
+        .collect();
+    let parts_n = bounds.len();
+    // W OS workers (the calling thread is worker 0), clamped to the
+    // machine: on a small host the same partitions are simply served
+    // inline, with no spawns or barrier traffic beyond the free
+    // single-participant case. Output-invariant by the fold argument in
+    // the `select_diverse_parallel` docs.
+    let workers = parts_n
+        .min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1);
+
     let mut selected: Vec<usize> = Vec::with_capacity(k);
-    let mut in_set = vec![false; m];
+    let in_set: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
     let mut min_dist = vec![f64::INFINITY; m];
 
-    match seed {
-        SeedRule::MaxDominance => {
-            if let Err(int) = ctx.check(ExecPhase::Selection) {
-                return Ok((selected, Some(int)));
-            }
-            let first = max_dominance_seed(scores);
-            selected.push(first);
-            in_set[first] = true;
+    // Split min_dist into per-partition slices, grouped contiguously
+    // per worker (worker w serves partitions w·P/W .. (w+1)·P/W).
+    let mut groups: Vec<Vec<(usize, usize, &mut [f64])>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    {
+        let mut rest: &mut [f64] = &mut min_dist;
+        for (pi, &(lo, hi)) in bounds.iter().enumerate() {
+            // lint: allow(R2) -- O(P) setup split of the min_dist buffer
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            groups[pi * workers / parts_n].push((pi, lo, head));
         }
-        SeedRule::FarthestPair => {
-            if let Err(int) = ctx.check(ExecPhase::Selection) {
-                return Ok((selected, Some(int)));
-            }
-            let chunk = m.div_ceil(threads);
-            let mut bests: Vec<(usize, usize, f64)> = Vec::with_capacity(threads);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
-                    // lint: allow(R2) -- spawns exactly `threads` scoped
-                    // workers; the seeding scan sits between two ctx.check
-                    // polls in the caller
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(m);
-                    handles.push(scope.spawn(move || {
-                        let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
-                        for i in lo..hi {
-                            for j in (i + 1)..m {
-                                let d = dist.distance_shared(i, j);
-                                if d > bd {
-                                    (bi, bj, bd) = (i, j, d);
-                                }
-                            }
-                        }
-                        (bi, bj, bd)
-                    }));
-                }
-                for h in handles {
-                    // lint: allow(R2) -- joins at most `threads` handles
-                    // lint: allow(R1) -- a worker panic is re-raised on the
-                    // caller by design; swallowing it would corrupt the fold
-                    bests.push(h.join().expect("seed scan panicked"));
+    }
+
+    let cmd: Mutex<Cmd> = Mutex::new(Cmd::Done);
+    let barrier = Barrier::new(workers);
+    let partials: Vec<Mutex<Option<Part>>> = (0..parts_n).map(|_| Mutex::new(None)).collect();
+    let (in_set_ref, cmd_ref, barrier_ref, partials_ref) = (&in_set, &cmd, &barrier, &partials);
+
+    let (selected, interrupt) = std::thread::scope(|scope| {
+        let mut groups = groups.into_iter();
+        // lint: allow(R1) -- workers >= 1, so group 0 always exists
+        let mut my_parts = groups.next().expect("main worker group");
+        for group in groups {
+            // lint: allow(R2) -- spawns W-1 <= threads persistent
+            // workers once for the whole selection
+            let mut parts = group;
+            scope.spawn(move || {
+                // Persistent worker: two barrier waits per round (cmd
+                // published → work → results visible). A worker panic
+                // inside `run_partitions` would deadlock the barrier;
+                // the closure is pure computation over validated
+                // buffers, so a panic here is a library bug, not a
+                // reachable input state.
+                let mut scratch: Vec<f64> = Vec::new();
+                loop {
+                    // lint: allow(R2) -- round-stepped by the driver's
+                    // barrier; the driver polls ctx once per round and
+                    // releases the pool via Cmd::Done on every exit path
+                    barrier_ref.wait();
+                    let c = *cmd_ref.lock().unwrap_or_else(|e| e.into_inner());
+                    if matches!(c, Cmd::Done) {
+                        break;
+                    }
+                    run_partitions(
+                        dist, scores, tie, m, in_set_ref, c, &mut parts, partials_ref,
+                        &mut scratch,
+                    );
+                    barrier_ref.wait();
                 }
             });
-            // Strict `>` fold in ascending chunk order keeps the first
-            // pair attaining the maximum — the sequential scan's pick.
+        }
+
+        let mut scratch: Vec<f64> = Vec::new();
+        // One pool round: publish cmd, release the workers, serve the
+        // main thread's partitions, wait until every partial is
+        // published (the second barrier is the happens-before edge that
+        // makes the partials readable).
+        let round = |c: Cmd, my_parts: &mut Vec<(usize, usize, &mut [f64])>,
+                         scratch: &mut Vec<f64>| {
+            *cmd_ref.lock().unwrap_or_else(|e| e.into_inner()) = c;
+            barrier_ref.wait();
+            if !matches!(c, Cmd::Done) {
+                run_partitions(
+                    dist, scores, tie, m, in_set_ref, c, my_parts, partials_ref, scratch,
+                );
+                barrier_ref.wait();
+            }
+        };
+        let fold_pair = || {
+            // Strict `>` fold in ascending partition order keeps the
+            // first pair attaining the maximum — the sequential pick.
             let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::NEG_INFINITY);
-            for (i, j, d) in bests {
-                // lint: allow(R2) -- folds `threads` partial results
-                if d > bd {
-                    (bi, bj, bd) = (i, j, d);
-                }
-            }
-            selected.push(bi);
-            in_set[bi] = true;
-            update_and_scan(dist, bi, scores, tie, threads, &in_set, &mut min_dist, false);
-            if k >= 2 {
-                selected.push(bj);
-                in_set[bj] = true;
-            }
-        }
-    }
-
-    while selected.len() < k {
-        if let Err(int) = ctx.check(ExecPhase::Selection) {
-            return Ok((selected, Some(int)));
-        }
-        // lint: allow(R1) -- the seeding block above always pushes at least
-        // one point before this loop runs
-        let last = *selected.last().expect("seeded above");
-        let best = update_and_scan(dist, last, scores, tie, threads, &in_set, &mut min_dist, true)
-            // lint: allow(R1) -- k <= m is validated at entry, so unselected
-            // candidates remain while selected.len() < k
-            .expect("k <= m guarantees a candidate");
-        selected.push(best);
-        in_set[best] = true;
-    }
-    Ok((selected, None))
-}
-
-/// One fused parallel greedy round: folds `distance(i, last)` into
-/// `min_dist[i]` for every unselected `i` and, when `select`, returns
-/// the candidate the sequential scan would pick. Chunk winners are
-/// folded in ascending chunk order under the sequential strictly-better
-/// predicate, preserving first-index-wins tie semantics.
-#[allow(clippy::too_many_arguments)]
-fn update_and_scan<D: SyncDiversityDistance>(
-    dist: &D,
-    last: usize,
-    scores: &[u64],
-    tie: TieBreak,
-    threads: usize,
-    in_set: &[bool],
-    min_dist: &mut [f64],
-    select: bool,
-) -> Option<usize> {
-    let m = in_set.len();
-    let chunk = m.div_ceil(threads);
-    let better = |cand: (f64, u64), best: Option<(f64, u64, usize)>| match best {
-        None => true,
-        Some((bd, bs, _)) => {
-            cand.0 > bd
-                || (cand.0 == bd && matches!(tie, TieBreak::MaxDominance) && cand.1 > bs)
-        }
-    };
-    let mut chunk_bests: Vec<Option<(f64, u64, usize)>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (ci, md_chunk) in min_dist.chunks_mut(chunk).enumerate() {
-            // lint: allow(R2) -- spawns at most `threads` scoped workers;
-            // update_and_scan runs once per round and the round loop polls
-            let lo = ci * chunk;
-            handles.push(scope.spawn(move || {
-                let mut best: Option<(f64, u64, usize)> = None;
-                for (off, slot) in md_chunk.iter_mut().enumerate() {
-                    let i = lo + off;
-                    if in_set[i] {
-                        continue;
-                    }
-                    let d = dist.distance_shared(i, last);
-                    if d < *slot {
-                        *slot = d;
-                    }
-                    if better((*slot, scores[i]), best) {
-                        best = Some((*slot, scores[i], i));
+            for p in partials_ref {
+                // lint: allow(R2) -- folds P <= threads partials
+                if let Some(Part::Pair(i, j, d)) = *p.lock().unwrap_or_else(|e| e.into_inner()) {
+                    if d > bd {
+                        (bi, bj, bd) = (i, j, d);
                     }
                 }
-                best
-            }));
+            }
+            (bi, bj)
+        };
+        let fold_arg = || {
+            let mut best: Option<(f64, u64, usize)> = None;
+            for p in partials_ref {
+                // lint: allow(R2) -- folds P <= threads partials in
+                // ascending partition order
+                if let Some(Part::Arg(Some(c))) = *p.lock().unwrap_or_else(|e| e.into_inner()) {
+                    if strictly_better(tie, (c.0, c.1), best) {
+                        best = Some(c);
+                    }
+                }
+            }
+            best.map(|(_, _, i)| i)
+        };
+        let mark = |i: usize, selected: &mut Vec<usize>| {
+            selected.push(i);
+            in_set_ref[i].store(true, Ordering::Relaxed);
+        };
+
+        let mut interrupt: Option<Interrupt> = None;
+        'drive: {
+            match seed {
+                SeedRule::MaxDominance => {
+                    if let Err(int) = ctx.check(ExecPhase::Selection) {
+                        interrupt = Some(int);
+                        break 'drive;
+                    }
+                    mark(max_dominance_seed(scores), &mut selected);
+                }
+                SeedRule::FarthestPair => {
+                    if let Err(int) = ctx.check(ExecPhase::Selection) {
+                        interrupt = Some(int);
+                        break 'drive;
+                    }
+                    round(Cmd::SeedScan, &mut my_parts, &mut scratch);
+                    let (bi, bj) = fold_pair();
+                    mark(bi, &mut selected);
+                    // Relax d(·, bi) before bj joins — identical to the
+                    // sequential push(bi) (bj is unselected there too).
+                    round(Cmd::Relax { last: bi }, &mut my_parts, &mut scratch);
+                    mark(bj, &mut selected);
+                }
+            }
+            while selected.len() < k {
+                if let Err(int) = ctx.check(ExecPhase::Selection) {
+                    interrupt = Some(int);
+                    break 'drive;
+                }
+                // lint: allow(R1) -- the seeding block above always pushes
+                // at least one point before this loop runs
+                let last = *selected.last().expect("seeded above");
+                round(Cmd::Relax { last }, &mut my_parts, &mut scratch);
+                let best = fold_arg()
+                    // lint: allow(R1) -- k <= m is validated at entry, so
+                    // unselected candidates remain while selected.len() < k
+                    .expect("k <= m guarantees a candidate");
+                mark(best, &mut selected);
+            }
         }
-        for h in handles {
-            // lint: allow(R2) -- joins at most `threads` handles
-            // lint: allow(R1) -- a worker panic is re-raised on the caller
-            // by design; swallowing it would corrupt the fold
-            chunk_bests.push(h.join().expect("selection round panicked"));
-        }
+        // Release the pool on every exit path (success or budget trip):
+        // workers observe Done after the first barrier and exit without
+        // the second.
+        round(Cmd::Done, &mut my_parts, &mut scratch);
+        (selected, interrupt)
     });
-    if !select {
-        return None;
-    }
-    let mut best: Option<(f64, u64, usize)> = None;
-    for cb in chunk_bests.into_iter().flatten() {
-        // lint: allow(R2) -- folds `threads` partial results
-        if better((cb.0, cb.1), best) {
-            best = Some(cb);
-        }
-    }
-    best.map(|(_, _, i)| i)
+    Ok((selected, interrupt))
 }
 
 /// Exact k-MMDP by exhaustive enumeration with branch-and-bound
@@ -977,7 +1090,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_selection_small_input_falls_back() {
+    fn parallel_selection_more_threads_than_points() {
         let mat = random_euclidean(5, 161);
         let scores = vec![1u64; 5];
         let mut d = Matrix(mat.clone());

@@ -17,7 +17,7 @@ use skydiver_rtree::{BufferPool, RTree};
 
 use crate::gamma::GammaSets;
 use crate::lsh::LshIndex;
-use crate::minhash::SignatureMatrix;
+use crate::minhash::{SignatureMatrix, SlotMajorSignatures};
 
 /// A (not necessarily cheap) pairwise distance over the skyline points
 /// `0..num_points()`. `&mut self` lets backends cache and charge I/O.
@@ -39,6 +39,30 @@ pub trait DiversityDistance {
             *slot = self.distance(i, lo + jj);
         }
     }
+
+    /// One greedy relaxation round: folds `distance(i, x)` into
+    /// `min_dist[i]` (element-wise minimum) for every `i` with
+    /// `!in_set[i]`.
+    ///
+    /// The default evaluates pairs one at a time and *skips* selected
+    /// entries — exactly the historical behaviour, which stateful
+    /// backends such as [`RTreeJaccardDistance`] rely on for their
+    /// per-evaluation I/O charging. Pure backends override it with a
+    /// batched full-row kernel; such an override may also evaluate
+    /// already-selected entries (their `min_dist` slots are never read
+    /// by the argmax), but must relax unselected entries identically.
+    fn relax_min_dist(&mut self, x: usize, in_set: &[bool], min_dist: &mut [f64]) {
+        debug_assert_eq!(in_set.len(), min_dist.len());
+        for i in 0..min_dist.len() {
+            if in_set[i] {
+                continue;
+            }
+            let d = self.distance(i, x);
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
 }
 
 /// A [`DiversityDistance`] whose evaluations are pure shared reads, safe
@@ -53,6 +77,19 @@ pub trait SyncDiversityDistance: DiversityDistance + Sync {
     /// reference — must return exactly what
     /// [`DiversityDistance::distance`] would.
     fn distance_shared(&self, i: usize, j: usize) -> f64;
+
+    /// Shared-reference batch form of
+    /// [`DiversityDistance::distances_row`]: writes
+    /// `distance_shared(i, lo + jj)` into `out[jj]`. The parallel
+    /// selection workers call this so each partition gets the batched
+    /// kernel without `&mut` access; overrides must return bitwise the
+    /// same values as `distance_shared` (the trait already requires the
+    /// distance to be symmetric, so row orientation cannot matter).
+    fn distances_row_shared(&self, i: usize, lo: usize, out: &mut [f64]) {
+        for (jj, slot) in out.iter_mut().enumerate() {
+            *slot = self.distance_shared(i, lo + jj);
+        }
+    }
 }
 
 /// Exact Jaccard distance over materialised Γ sets.
@@ -85,15 +122,36 @@ impl SyncDiversityDistance for ExactJaccardDistance<'_> {
 }
 
 /// Estimated Jaccard distance from MinHash signatures (`Ĵd`).
+///
+/// Construction materialises a [`SlotMajorSignatures`] transpose of the
+/// matrix (one `t · m` copy — about one greedy round's reads), so every
+/// batched row evaluation afterwards streams contiguous `u64` lanes
+/// instead of striding across columns. Pairwise [`distance`] calls keep
+/// using the column-major matrix directly; both paths compute
+/// `1 − agreement/t` and are bit-identical.
+///
+/// [`distance`]: DiversityDistance::distance
 #[derive(Debug)]
 pub struct SignatureDistance<'a> {
     sig: &'a SignatureMatrix,
+    slots: SlotMajorSignatures,
+    scratch: Vec<f64>,
 }
 
 impl<'a> SignatureDistance<'a> {
-    /// Wraps a signature matrix.
+    /// Wraps a signature matrix, building the slot-major transpose.
     pub fn new(sig: &'a SignatureMatrix) -> Self {
-        Self { sig }
+        Self {
+            sig,
+            slots: SlotMajorSignatures::from_matrix(sig),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Bytes the distance oracle itself pins on top of the borrowed
+    /// matrix — exactly the slot-major transpose (`t · m · 8`).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.memory_bytes()
     }
 }
 
@@ -107,9 +165,18 @@ impl DiversityDistance for SignatureDistance<'_> {
     }
 
     fn distances_row(&mut self, i: usize, lo: usize, out: &mut [f64]) {
-        let col_i = self.sig.column(i);
-        for (jj, slot) in out.iter_mut().enumerate() {
-            *slot = 1.0 - SignatureMatrix::similarity_between(col_i, self.sig.column(lo + jj));
+        self.slots.distances_into(i, lo, out);
+    }
+
+    fn relax_min_dist(&mut self, x: usize, in_set: &[bool], min_dist: &mut [f64]) {
+        debug_assert_eq!(in_set.len(), min_dist.len());
+        let m = min_dist.len();
+        self.scratch.resize(m, 0.0);
+        self.slots.distances_into(x, 0, &mut self.scratch[..m]);
+        for i in 0..m {
+            if !in_set[i] && self.scratch[i] < min_dist[i] {
+                min_dist[i] = self.scratch[i];
+            }
         }
     }
 }
@@ -118,18 +185,23 @@ impl SyncDiversityDistance for SignatureDistance<'_> {
     fn distance_shared(&self, i: usize, j: usize) -> f64 {
         self.sig.estimated_distance(i, j)
     }
+
+    fn distances_row_shared(&self, i: usize, lo: usize, out: &mut [f64]) {
+        self.slots.distances_into(i, lo, out);
+    }
 }
 
 /// Hamming distance between LSH bucket bit-vectors.
 #[derive(Debug)]
 pub struct LshDistance<'a> {
     idx: &'a LshIndex,
+    scratch: Vec<f64>,
 }
 
 impl<'a> LshDistance<'a> {
     /// Wraps an LSH index.
     pub fn new(idx: &'a LshIndex) -> Self {
-        Self { idx }
+        Self { idx, scratch: Vec::new() }
     }
 }
 
@@ -143,10 +215,18 @@ impl DiversityDistance for LshDistance<'_> {
     }
 
     fn distances_row(&mut self, i: usize, lo: usize, out: &mut [f64]) {
-        let row_i = self.idx.zone_row(i);
-        let zones = self.idx.zones();
-        for (jj, slot) in out.iter_mut().enumerate() {
-            *slot = LshIndex::hamming_between(row_i, self.idx.zone_row(lo + jj), zones) as f64;
+        self.idx.hamming_row_into(i, lo, out);
+    }
+
+    fn relax_min_dist(&mut self, x: usize, in_set: &[bool], min_dist: &mut [f64]) {
+        debug_assert_eq!(in_set.len(), min_dist.len());
+        let m = min_dist.len();
+        self.scratch.resize(m, 0.0);
+        self.idx.hamming_row_into(x, 0, &mut self.scratch[..m]);
+        for i in 0..m {
+            if !in_set[i] && self.scratch[i] < min_dist[i] {
+                min_dist[i] = self.scratch[i];
+            }
         }
     }
 }
@@ -154,6 +234,10 @@ impl DiversityDistance for LshDistance<'_> {
 impl SyncDiversityDistance for LshDistance<'_> {
     fn distance_shared(&self, i: usize, j: usize) -> f64 {
         self.idx.hamming(i, j) as f64
+    }
+
+    fn distances_row_shared(&self, i: usize, lo: usize, out: &mut [f64]) {
+        self.idx.hamming_row_into(i, lo, out);
     }
 }
 
@@ -315,10 +399,68 @@ mod tests {
                     assert_eq!(d, sd.distance(i, lo + jj));
                     assert_eq!(d, sd.distance_shared(i, lo + jj));
                 }
+                sd.distances_row_shared(i, lo, out);
+                for (jj, &d) in out.iter().enumerate() {
+                    assert_eq!(d, sd.distance_shared(i, lo + jj));
+                }
                 ld.distances_row(i, lo, out);
                 for (jj, &d) in out.iter().enumerate() {
                     assert_eq!(d, ld.distance(i, lo + jj));
+                    assert_eq!(d, ld.distance_shared(i, lo + jj));
                 }
+                ld.distances_row_shared(i, lo, out);
+                for (jj, &d) in out.iter().enumerate() {
+                    assert_eq!(d, ld.distance_shared(i, lo + jj));
+                }
+            }
+        }
+    }
+
+    /// The batched `relax_min_dist` overrides must fold unselected
+    /// entries exactly as the default pair-at-a-time loop does.
+    #[test]
+    fn batched_relax_matches_default_relax() {
+        let mut sig = SignatureMatrix::new(8, 10);
+        for j in 0..10 {
+            let vals: Vec<u64> = (0..8).map(|i| ((j * i + 3 * j) % 4) as u64).collect();
+            sig.update_column(j, &vals);
+        }
+        let (_ds, _sky, g) = setup(400, 3, 133);
+        let m_exact = g.len().min(10);
+
+        // Signature backend vs the trait default on an exact backend
+        // with the same override-free semantics.
+        let mut sd = SignatureDistance::new(&sig);
+        let in_set: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        let mut batched = vec![0.9f64; 10];
+        let mut reference = batched.clone();
+        sd.relax_min_dist(4, &in_set, &mut batched);
+        for i in 0..10 {
+            if !in_set[i] {
+                let d = sd.distance(i, 4);
+                if d < reference[i] {
+                    reference[i] = d;
+                }
+            }
+        }
+        for i in 0..10 {
+            if !in_set[i] {
+                assert_eq!(batched[i].to_bits(), reference[i].to_bits(), "slot {i}");
+            }
+        }
+
+        // The default implementation itself (exact backend, no override).
+        let mut exact = ExactJaccardDistance::new(&g);
+        let in_set: Vec<bool> = (0..m_exact).map(|i| i % 2 == 0).collect();
+        let mut md = vec![0.8f64; m_exact];
+        let want = md.clone();
+        exact.relax_min_dist(0, &in_set, &mut md);
+        for i in 0..m_exact {
+            let d = exact.distance(i, 0);
+            if in_set[i] {
+                assert_eq!(md[i], want[i], "selected slots untouched by default");
+            } else {
+                assert_eq!(md[i], want[i].min(d));
             }
         }
     }

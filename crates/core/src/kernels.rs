@@ -45,9 +45,63 @@ pub fn agreement_count(a: &[u64], b: &[u64]) -> usize {
     let (a, b) = (&a[..n], &b[..n]);
     let mut agree = 0usize;
     for i in 0..n {
+        // lint: allow(R2) -- exactly t slot comparisons per distance
+        // evaluation; the greedy round that calls it polls per round
         agree += usize::from(a[i] == b[i]);
     }
     agree
+}
+
+/// One slot-row of the slot-major batched agreement count: for every
+/// candidate column `j` of the block, adds `1` to `acc[j]` when
+/// `row[j] == pivot`.
+///
+/// The accumulators are `u64` on purpose: the compare and the add then
+/// share one lane width (`pcmpeqq` + mask subtract), which LLVM
+/// vectorises cleanly — accumulating into `f64` instead forces a scalar
+/// `u64 → f64` convert per element (no packed form on x86-64) and
+/// measures ~3× *slower* than the per-pair kernel. The caller converts
+/// each count once per tile with the same `1 − count/t` expression as
+/// the per-pair path; counts are integers `≤ t`, exactly representable,
+/// so the distances stay bit-identical.
+#[inline]
+pub fn equality_accumulate(row: &[u64], pivot: u64, acc: &mut [u64]) {
+    debug_assert_eq!(row.len(), acc.len());
+    let n = row.len().min(acc.len());
+    let (row, acc) = (&row[..n], &mut acc[..n]);
+    for j in 0..n {
+        // lint: allow(R2) -- one pass over a candidate block (≤ the
+        // slot-major tile); the greedy round that calls it polls the
+        // budget once per selection round
+        acc[j] += u64::from(row[j] == pivot);
+    }
+}
+
+/// Four slot-rows of the slot-major batched agreement count in one
+/// pass: for every candidate column `j` of the block, adds to `acc[j]`
+/// how many of the four `(row, pivot)` pairs agree at `j`.
+///
+/// Processing four rows per accumulator visit quarters the
+/// load/add/store traffic on `acc` — the read-modify-write on the
+/// counts tile is what made the one-row kernel trail the per-pair
+/// path (~0.9×); with the 4-way join the batched kernel comes out
+/// ahead (1.1–1.3× measured across t ∈ {32..128}, m ∈ {0.4k..4k}).
+/// Wider joins (8-way) measured no better and double the register
+/// pressure, so four is the shipped width.
+#[inline]
+pub fn equality_accumulate4(rows: [&[u64]; 4], pivots: [u64; 4], acc: &mut [u64]) {
+    let n = acc.len();
+    debug_assert!(rows.iter().all(|r| r.len() == n));
+    let (r0, r1, r2, r3) = (&rows[0][..n], &rows[1][..n], &rows[2][..n], &rows[3][..n]);
+    for j in 0..n {
+        // lint: allow(R2) -- one pass over a candidate block (≤ the
+        // slot-major tile); the greedy round that calls it polls the
+        // budget once per selection round
+        acc[j] += u64::from(r0[j] == pivots[0])
+            + u64::from(r1[j] == pivots[1])
+            + u64::from(r2[j] == pivots[2])
+            + u64::from(r3[j] == pivots[3]);
+    }
 }
 
 /// [`agreement_count`] over `u32` slices (LSH zone assignments).
@@ -58,6 +112,8 @@ pub fn agreement_count_u32(a: &[u32], b: &[u32]) -> usize {
     let (a, b) = (&a[..n], &b[..n]);
     let mut agree = 0usize;
     for i in 0..n {
+        // lint: allow(R2) -- exactly ζ zone comparisons per Hamming
+        // evaluation; the greedy round that calls it polls per round
         agree += usize::from(a[i] == b[i]);
     }
     agree
@@ -88,6 +144,8 @@ impl SkylinePack {
         let mut coords = Vec::new();
         let mut m = 0usize;
         for p in points {
+            // lint: allow(R2) -- one-time O(m·d) copy at scan setup; the
+            // row loop that consumes the pack charges the budget
             debug_assert_eq!(p.len(), d);
             coords.extend_from_slice(p);
             m += 1;
@@ -132,6 +190,8 @@ impl SkylinePack {
         debug_assert_eq!(rows.len(), out.len());
         let mut lo = 0;
         while lo < self.m {
+            // lint: allow(R2) -- one blocked m×|rows| scan per row block;
+            // the SigGen-IF row loop charges the budget per block
             let hi = (lo + SKYLINE_TILE).min(self.m);
             match self.d {
                 2 => self.tile_const::<2>(lo, hi, rows, out),
@@ -148,6 +208,8 @@ impl SkylinePack {
     fn tile_const<const D: usize>(&self, lo: usize, hi: usize, rows: &[&[f64]], out: &mut [Vec<usize>]) {
         let tile = &self.coords[lo * D..hi * D];
         for (bi, &p) in rows.iter().enumerate() {
+            // lint: allow(R2) -- one SKYLINE_TILE × ROW_BLOCK tile pass;
+            // the caller's row loop charges the budget per block
             // lint: allow(R1) -- the const-D dispatch only runs when
             // self.d == D, so every row slice has exactly D elements
             let p: &[f64; D] = p.try_into().expect("dimensionality matches pack");
@@ -163,6 +225,8 @@ impl SkylinePack {
         let d = self.d;
         let tile = &self.coords[lo * d..hi * d];
         for (bi, &p) in rows.iter().enumerate() {
+            // lint: allow(R2) -- one SKYLINE_TILE × ROW_BLOCK tile pass;
+            // the caller's row loop charges the budget per block
             for (jj, s) in tile.chunks_exact(d).enumerate() {
                 if dominates_min_generic(s, p) {
                     out[bi].push(lo + jj);
@@ -178,6 +242,8 @@ impl SkylinePack {
         let p: &[f64; D] = p.try_into().expect("dimensionality matches pack");
         let tile = &self.coords[lo * D..hi * D];
         for (jj, s) in tile.chunks_exact(D).enumerate() {
+            // lint: allow(R2) -- m dominance tests for one data row; the
+            // SigGen-IF row loop charges the budget per row
             if dominates_min_const::<D>(s, p) {
                 out.push(lo + jj);
             }
@@ -188,6 +254,8 @@ impl SkylinePack {
         let d = self.d;
         let tile = &self.coords[lo * d..hi * d];
         for (jj, s) in tile.chunks_exact(d).enumerate() {
+            // lint: allow(R2) -- m dominance tests for one data row; the
+            // SigGen-IF row loop charges the budget per row
             if dominates_min_generic(s, p) {
                 out.push(lo + jj);
             }
@@ -203,6 +271,7 @@ impl SkylinePack {
 fn dominates_min_const<const D: usize>(a: &[f64], b: &[f64; D]) -> bool {
     let mut strict = false;
     for i in 0..D {
+        // lint: allow(R2) -- exactly D <= 5 coordinate comparisons
         if a[i] > b[i] {
             return false;
         }
@@ -216,6 +285,7 @@ fn dominates_min_const<const D: usize>(a: &[f64], b: &[f64; D]) -> bool {
 fn dominates_min_generic(a: &[f64], b: &[f64]) -> bool {
     let mut strict = false;
     for (&x, &y) in a.iter().zip(b) {
+        // lint: allow(R2) -- exactly d coordinate comparisons per test
         if x > y {
             return false;
         }
@@ -239,6 +309,40 @@ mod tests {
         assert_eq!(agreement_count(&a, &b), scalar);
         assert_eq!(agreement_count(&a, &a), 37);
         assert_eq!(agreement_count(&[], &[]), 0);
+    }
+
+    #[test]
+    fn equality_accumulate_matches_agreement_count() {
+        let a: Vec<u64> = (0..97).map(|i| i % 6).collect();
+        for pivot in 0..6u64 {
+            let mut acc = vec![0u64; a.len()];
+            equality_accumulate(&a, pivot, &mut acc);
+            let total: u64 = acc.iter().sum();
+            let pivots = vec![pivot; a.len()];
+            assert_eq!(total, agreement_count(&a, &pivots) as u64);
+            for (j, &v) in acc.iter().enumerate() {
+                assert_eq!(v, u64::from(a[j] == pivot));
+            }
+        }
+    }
+
+    #[test]
+    fn equality_accumulate4_matches_four_single_rows() {
+        let rows: Vec<Vec<u64>> = (0..4)
+            .map(|r| (0..131).map(|i| (i * 7 + r) % 5).collect())
+            .collect();
+        let pivots = [0u64, 1, 2, 4];
+        let mut acc4 = vec![0u64; 131];
+        equality_accumulate4(
+            [&rows[0], &rows[1], &rows[2], &rows[3]],
+            pivots,
+            &mut acc4,
+        );
+        let mut acc1 = vec![0u64; 131];
+        for (row, &pv) in rows.iter().zip(&pivots) {
+            equality_accumulate(row, pv, &mut acc1);
+        }
+        assert_eq!(acc4, acc1);
     }
 
     #[test]

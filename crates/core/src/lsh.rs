@@ -58,6 +58,8 @@ impl LshParams {
             return Err(SkyDiverError::NoLshFactorisation { t });
         }
         let mut best: Option<(f64, usize, LshParams)> = None;
+        // lint: allow(R2) -- O(t) parameter search at configuration
+        // time, before any budgeted phase starts
         for r in 1..=t {
             let zones = t / r;
             if zones == 0 {
@@ -100,6 +102,16 @@ pub struct LshIndex {
     buckets: usize,
     /// `m × zones`, row-major per point.
     assignment: Vec<u32>,
+    /// The explicit `ζ·B`-bit vectors of every point, packed row-major
+    /// into `m × words_per_point` words — materialised only when they
+    /// are at most half the size of the `u32` assignment (small `B`),
+    /// so `hamming` runs word-at-a-time popcounts over XOR-ed lanes
+    /// instead of comparing `ζ` bucket ids. `None` for large `B`, where
+    /// the bit-vectors would rival or dwarf the assignment and the
+    /// `u32` agreement kernel stays the faster representation.
+    packed: Option<Vec<u64>>,
+    /// Words per packed bit-vector: `⌈ζ·B / 64⌉`.
+    words_per_point: usize,
 }
 
 impl LshIndex {
@@ -124,6 +136,9 @@ impl LshIndex {
         }
         let mut assignment = Vec::with_capacity(m * z);
         for j in 0..m {
+            // lint: allow(R2) -- one bounded m·ζ hashing pass at index
+            // build; the caller's fingerprint phase has already charged
+            // the budget for every row
             let col = sig.column(j);
             for zone in 0..z {
                 let slice = &col[zone * r..(zone + 1) * r];
@@ -131,10 +146,35 @@ impl LshIndex {
                 assignment.push((h % buckets as u64) as u32);
             }
         }
+        let words_per_point = (z * buckets).div_ceil(64);
+        // Pack iff the bit-vectors are at most *half* the assignment
+        // (8·wpp ≤ 2·ζ bytes per point, i.e. B ≲ 16): below that the
+        // word-at-a-time XOR-popcount rows stream strictly less memory
+        // than the ζ-wide u32 agreement kernel and measure faster;
+        // at the old break-even point (bit-vectors == assignment bytes)
+        // the SWAR popcounts already *lose* to the vectorised compares,
+        // so equality of memory is not worth the extra resident bytes.
+        let packed = if words_per_point * 4 <= z {
+            let mut bits = vec![0u64; m * words_per_point];
+            for (j, row) in assignment.chunks_exact(z.max(1)).enumerate() {
+                // lint: allow(R2) -- bounded m·ζ bit-set pass at index
+                // build, strictly cheaper than the hashing pass above
+                let base = j * words_per_point;
+                for (zone, &b) in row.iter().enumerate() {
+                    let pos = zone * buckets + b as usize;
+                    bits[base + pos / 64] |= 1 << (pos % 64);
+                }
+            }
+            Some(bits)
+        } else {
+            None
+        };
         Ok(LshIndex {
             zones: z,
             buckets,
             assignment,
+            packed,
+            words_per_point,
         })
     }
 
@@ -174,9 +214,45 @@ impl LshIndex {
     /// Hamming distance between the bit-vector representations — twice
     /// the number of zones whose buckets disagree (each point sets
     /// exactly one bit per zone).
+    ///
+    /// When the packed bit-vectors are materialised this is a
+    /// word-at-a-time `popcount(a ⊕ b)`; the two paths are exactly equal
+    /// because each point sets one bit per zone, so every disagreeing
+    /// zone contributes exactly two set bits to the XOR.
     #[inline]
     pub fn hamming(&self, i: usize, j: usize) -> u64 {
+        if let Some(bits) = &self.packed {
+            let w = self.words_per_point;
+            let (a, b) = (&bits[i * w..(i + 1) * w], &bits[j * w..(j + 1) * w]);
+            return a.iter().zip(b).map(|(&x, &y)| u64::from((x ^ y).count_ones())).sum();
+        }
         Self::hamming_between(self.zone_row(i), self.zone_row(j), self.zones)
+    }
+
+    /// Batched one-vs-all Hamming distances: writes
+    /// `hamming(i, lo + jj) as f64` into `out[jj]` for every
+    /// `jj < out.len()`, streaming the packed bit-vectors when they are
+    /// materialised and falling back to the zone-row agreement kernel
+    /// otherwise. Bit-identical to per-pair [`LshIndex::hamming`].
+    pub fn hamming_row_into(&self, i: usize, lo: usize, out: &mut [f64]) {
+        if let Some(bits) = &self.packed {
+            let w = self.words_per_point;
+            let pivot = &bits[i * w..(i + 1) * w];
+            for (jj, slot) in out.iter_mut().enumerate() {
+                // lint: allow(R2) -- one O(m·wpp) pass per greedy round;
+                // the selection round loop polls the budget
+                let row = &bits[(lo + jj) * w..(lo + jj + 1) * w];
+                let h: u64 = pivot.iter().zip(row).map(|(&x, &y)| u64::from((x ^ y).count_ones())).sum();
+                *slot = h as f64;
+            }
+            return;
+        }
+        let row_i = self.zone_row(i);
+        for (jj, slot) in out.iter_mut().enumerate() {
+            // lint: allow(R2) -- same bounded per-round pass, unpacked
+            // fallback for huge bucket counts
+            *slot = Self::hamming_between(row_i, self.zone_row(lo + jj), self.zones) as f64;
+        }
     }
 
     /// Hamming distance between two explicit zone rows.
@@ -192,6 +268,7 @@ impl LshIndex {
     pub fn bit_vector(&self, j: usize) -> Vec<u64> {
         let bits = self.zones * self.buckets;
         let mut v = vec![0u64; bits.div_ceil(64)];
+        // lint: allow(R2) -- O(ζ) bit sets for one inspected point
         for zone in 0..self.zones {
             let pos = zone * self.buckets + self.bucket(j, zone) as usize;
             v[pos / 64] |= 1 << (pos % 64);
@@ -199,10 +276,16 @@ impl LshIndex {
         v
     }
 
-    /// Bytes of the bit-vector representation: `m · ζ · B / 8` — the LSH
-    /// side of the Figure 13 memory comparison.
+    /// Exact bytes resident in the index: the `u32` zone assignment plus
+    /// the packed `ζ·B`-bit vectors when those are materialised — the
+    /// LSH side of the Figure 13 memory comparison, reported as what the
+    /// process actually holds rather than the idealised `m·ζ·B/8`.
     pub fn memory_bytes(&self) -> usize {
-        (self.len() * self.zones * self.buckets).div_ceil(8)
+        let packed_bytes = self
+            .packed
+            .as_ref()
+            .map_or(0, |bits| bits.len() * std::mem::size_of::<u64>());
+        self.assignment.len() * std::mem::size_of::<u32>() + packed_bytes
     }
 }
 
@@ -210,6 +293,7 @@ impl LshIndex {
 fn hash_zone(slots: &[u64], zone: u64, seed: u64) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     h ^= zone.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    // lint: allow(R2) -- O(r) mixing of one zone's slots, r ≤ t
     for &s in slots {
         h ^= s;
         h = h.wrapping_mul(0x100_0000_01b3);
@@ -316,10 +400,55 @@ mod tests {
     fn memory_accounting() {
         let sig = SignatureMatrix::new(100, 40);
         let params = LshParams::from_threshold(100, 0.2).unwrap();
-        let idx = LshIndex::build(&sig, params, 20, 4).unwrap();
-        // m·ζ·B bits = 40 · 50 · 20 / 8 bytes.
-        assert_eq!(idx.memory_bytes(), 40 * 50 * 20 / 8);
+        let idx = LshIndex::build(&sig, params, 12, 4).unwrap();
+        // Exact resident bytes: the u32 assignment (40 · 50 · 4) plus
+        // the packed bit-vectors (ζ·B = 600 bits → 10 words per point,
+        // 40 · 10 · 8 bytes; the pack gate holds: 10 · 4 ≤ 50).
+        assert_eq!((50 * 12usize).div_ceil(64), 10);
+        assert_eq!(idx.memory_bytes(), 40 * 50 * 4 + 40 * 10 * 8);
         assert!(idx.memory_bytes() < sig.memory_bytes());
+        // Above the gate the bit-vectors are skipped and the resident
+        // bytes are the assignment alone.
+        let params = LshParams::from_threshold(100, 0.2).unwrap();
+        let big = LshIndex::build(&sig, params, 20, 4).unwrap();
+        assert_eq!(big.memory_bytes(), 40 * 50 * 4);
+    }
+
+    #[test]
+    fn packed_and_unpacked_hamming_agree() {
+        let mut sig = SignatureMatrix::new(8, 9);
+        for j in 0..9 {
+            let vals: Vec<u64> = (0..8).map(|i| ((j * i + 2 * j) % 6) as u64).collect();
+            sig.update_column(j, &vals);
+        }
+        let params = LshParams {
+            zones: 4,
+            rows_per_zone: 2,
+        };
+        // Small B packs; huge B falls back to the u32 agreement kernel.
+        let packed = LshIndex::build(&sig, params, 16, 11).unwrap();
+        let unpacked = LshIndex::build(&sig, params, 1 << 16, 11).unwrap();
+        let mut row = [0.0f64; 9];
+        for idx in [&packed, &unpacked] {
+            for i in 0..9 {
+                for lo in 0..9 {
+                    let out = &mut row[..9 - lo];
+                    idx.hamming_row_into(i, lo, out);
+                    for (jj, &d) in out.iter().enumerate() {
+                        assert_eq!(d, idx.hamming(i, lo + jj) as f64);
+                        // Cross-check against the explicit bit-vector
+                        // XOR-popcount reference.
+                        let slow: u64 = idx
+                            .bit_vector(i)
+                            .iter()
+                            .zip(idx.bit_vector(lo + jj))
+                            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+                            .sum();
+                        assert_eq!(d, slow as f64);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,14 +27,16 @@ use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, PageId
 use super::{HashFamily, IbStats, SigGenOutput, SignatureMatrix};
 
 /// A persistent chain of "fully dominating" skyline-point sets gathered
-/// along the path from the root.
-struct FullChain {
-    fulls: Vec<usize>,
-    parent: Option<Arc<FullChain>>,
+/// along the path from the root. Shared with the parallel index-based
+/// pass ([`super::sig_gen_ib_parallel`]), whose frontier items carry the
+/// same inherited classifications across thread partitions.
+pub(crate) struct FullChain {
+    pub(crate) fulls: Vec<usize>,
+    pub(crate) parent: Option<Arc<FullChain>>,
 }
 
 impl FullChain {
-    fn for_each(&self, f: &mut impl FnMut(usize)) {
+    pub(crate) fn for_each(&self, f: &mut impl FnMut(usize)) {
         for &j in &self.fulls {
             // lint: allow(R2) -- walks one root-to-leaf chain of full
             // classifications, bounded by tree height * m
@@ -45,7 +47,7 @@ impl FullChain {
         }
     }
 
-    fn count(&self) -> usize {
+    pub(crate) fn count(&self) -> usize {
         self.fulls.len() + self.parent.as_ref().map_or(0, |p| p.count())
     }
 }

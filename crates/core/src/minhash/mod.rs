@@ -43,7 +43,7 @@ pub use parallel::{
     scan_columns_parallel_budgeted, sig_gen_parallel, sig_gen_parallel_budgeted,
 };
 pub use parallel_ib::{sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted};
-pub use signature::{SignatureMatrix, INF_SLOT};
+pub use signature::{SignatureMatrix, SlotMajorSignatures, INF_SLOT};
 
 /// Output of a signature-generation pass: the signature matrix plus the
 /// exact domination scores `|Γ(p)|` gathered along the way (used to seed

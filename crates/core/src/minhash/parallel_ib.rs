@@ -1,5 +1,7 @@
 //! Parallel `SigGen-IB` — the index-based pass over disjoint subtree
-//! partitions on scoped threads.
+//! partitions on scoped threads, with inherited dominance
+//! classifications (the `SigGen-IB/A` refinement) inside every
+//! partition.
 //!
 //! The deterministic row-id ranges of [`sig_gen_ib`](super::sig_gen_ib)
 //! (every entry owns `[base, base + e.count)` from the subtree `count`
@@ -7,10 +9,21 @@
 //! the frontier processes the exact same `(row id, dominator set)`
 //! pairs, and MinHash matrices merge associatively by slot-wise minimum.
 //! So the pass seeds a frontier of independent subtrees breadth-first,
-//! splits it round-robin across threads, and merges the per-thread
-//! partial matrices with
+//! splits it into **contiguous blocks** (one per thread — neighbouring
+//! subtrees share ancestors and MBR locality, so a block is a coarse,
+//! cache-friendly work unit instead of a round-robin shuffle), and
+//! merges the per-thread partial matrices with
 //! [`merge_min`](super::SignatureMatrix::merge_min) — **bit-identical**
 //! to the sequential pass for every thread count.
+//!
+//! Each frontier item carries the `SigGen-IB/A` state
+//! ([`FullChain`] ancestors plus the still-*active* dominator
+//! candidates), so a worker classifies only the points that were
+//! partial on the parent entry instead of all `m` — the classification
+//! monotonicity argument in
+//! [`index_based_active`](super::sig_gen_ib_active) applies unchanged
+//! across partition boundaries because the seed phase builds the same
+//! chains a sequential `SigGen-IB/A` traversal would.
 //!
 //! The buffer pool stays shared behind a mutex (one lock per node read),
 //! so I/O statistics, fault injection, and poisoning behave exactly as
@@ -18,17 +31,22 @@
 //! [`ExecContext`] so run budgets keep working.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use skydiver_rtree::{classify_dominance, BufferPool, Child, MbrDominance, Node, PageId, RTree};
 
 use crate::budget::{ExecContext, ExecPhase, Interrupt};
 
+use super::index_based_active::FullChain;
 use super::{HashFamily, IbStats, SigGenOutput, SignatureAccumulator, SignatureMatrix};
 
 /// How many independent subtrees the breadth-first seed phase gathers
 /// per thread before handing the frontier to the workers.
 const SEED_FACTOR: usize = 4;
+
+/// A subtree awaiting traversal: page, first owned row id, inherited
+/// full-dominator chain and the still-active dominator candidates.
+type FrontierItem = (PageId, u64, Arc<FullChain>, Arc<Vec<usize>>);
 
 /// Per-thread accumulator of one traversal partition: the mergeable
 /// signature fold plus the traversal-only bookkeeping (I/O stats, rows
@@ -39,6 +57,7 @@ struct Acc {
     rows_decided: u64,
     row_hashes: Vec<u64>,
     full: Vec<usize>,
+    partial: Vec<usize>,
 }
 
 impl Acc {
@@ -49,6 +68,7 @@ impl Acc {
             rows_decided: 0,
             row_hashes: vec![0u64; t],
             full: Vec::with_capacity(m),
+            partial: Vec::with_capacity(m),
         }
     }
 
@@ -63,39 +83,52 @@ impl Acc {
     }
 }
 
-/// Processes one node's entries exactly like the sequential pass:
-/// charge, classify, then bulk-update / skip / expand (via `expand`).
+/// Processes one node's entries with inherited classifications: charge
+/// one dominance test per *active* candidate, classify only those, then
+/// bulk-update (newly-full plus the ancestor chain) / skip / expand.
 /// Returns the interrupt if the shared budget trips mid-node.
+///
+/// An entry is expanded iff some point classifies `Partial` against it;
+/// by downward monotonicity that point was `Partial` on the parent too,
+/// i.e. it is in `active` — so expansions, node reads, bulk updates and
+/// skips all match the full-reclassification pass exactly.
+#[allow(clippy::too_many_arguments)]
 fn process_node(
     node: &Node,
     node_base: u64,
+    chain: &Arc<FullChain>,
+    active: &[usize],
     skyline_pts: &[&[f64]],
     family: &HashFamily,
     ctx: &ExecContext,
     acc: &mut Acc,
-    expand: &mut dyn FnMut(PageId, u64),
+    expand: &mut dyn FnMut(PageId, u64, Arc<FullChain>, Arc<Vec<usize>>),
 ) -> Option<Interrupt> {
-    let m = skyline_pts.len();
     let mut base = node_base;
     for e in &node.entries {
         let entry_base = base;
         base += e.count;
-        if let Err(int) = ctx.charge_dominance_tests(m as u64, ExecPhase::Fingerprint) {
+        if let Err(int) = ctx.charge_dominance_tests(active.len() as u64, ExecPhase::Fingerprint)
+        {
             return Some(int);
         }
         acc.full.clear();
-        let mut any_partial = false;
-        for (j, s) in skyline_pts.iter().enumerate() {
-            match classify_dominance(s, &e.mbr) {
+        acc.partial.clear();
+        for &j in active {
+            match classify_dominance(skyline_pts[j], &e.mbr) {
                 MbrDominance::Full => acc.full.push(j),
-                MbrDominance::Partial => any_partial = true,
+                MbrDominance::Partial => acc.partial.push(j),
                 MbrDominance::None => {}
             }
         }
-        if any_partial {
+        if !acc.partial.is_empty() {
             match e.child {
                 Child::Node(c) => {
-                    expand(c, entry_base);
+                    let child_chain = Arc::new(FullChain {
+                        fulls: std::mem::take(&mut acc.full),
+                        parent: Some(chain.clone()),
+                    });
+                    expand(c, entry_base, child_chain, Arc::new(std::mem::take(&mut acc.partial)));
                     continue;
                 }
                 Child::Point(_) => {
@@ -106,7 +139,9 @@ fn process_node(
                 }
             }
         }
-        if acc.full.is_empty() {
+        // Every dominator of this subtree is decided: the inherited
+        // chain plus the newly full ones.
+        if acc.full.is_empty() && chain.count() == 0 {
             acc.rows_decided += e.count;
             acc.stats.skipped += 1;
             continue;
@@ -117,10 +152,14 @@ fn process_node(
             for &j in &acc.full {
                 acc.sig.matrix.update_column(j, &acc.row_hashes);
             }
+            let mut apply = |j: usize| acc.sig.matrix.update_column(j, &acc.row_hashes);
+            chain.for_each(&mut apply);
         }
         for &j in &acc.full {
             acc.sig.scores[j] += e.count;
         }
+        let mut bump = |j: usize| acc.sig.scores[j] += e.count;
+        chain.for_each(&mut bump);
         acc.rows_decided += e.count;
     }
     None
@@ -144,9 +183,10 @@ pub fn sig_gen_ib_parallel(
 
 /// Budget-aware [`sig_gen_ib_parallel`]: same contract as
 /// [`sig_gen_ib_budgeted`](super::sig_gen_ib_budgeted) — every thread
-/// charges the shared `ctx` (`m` classifications per entry) and checks
-/// the shared pool for poisoning before each node read, so budgets and
-/// injected page faults stop all workers within one node's work.
+/// charges the shared `ctx` (one dominance test per still-active
+/// candidate per entry, the work actually done) and checks the shared
+/// pool for poisoning before each node read, so budgets and injected
+/// page faults stop all workers within one node's work.
 ///
 /// Uninterrupted output (matrix, scores, stats, rows) is bit-identical
 /// to the sequential pass; an interrupted or faulted run covers a
@@ -185,11 +225,17 @@ pub fn sig_gen_ib_parallel_budgeted(
     let mut seed_acc = Acc::new(t, m);
     let mut interrupt: Option<Interrupt> = None;
     let target = threads * SEED_FACTOR;
-    let mut queue: VecDeque<(PageId, u64)> = VecDeque::from([(tree.root(), 0)]);
+    let root_chain = Arc::new(FullChain {
+        fulls: Vec::new(),
+        parent: None,
+    });
+    let all_active: Arc<Vec<usize>> = Arc::new((0..m).collect());
+    let mut queue: VecDeque<FrontierItem> =
+        VecDeque::from([(tree.root(), 0, root_chain, all_active)]);
     while queue.len() < target {
         // lint: allow(R2) -- process_node charges the budget per node and
         // its Interrupt return breaks this loop
-        let Some((pid, base)) = queue.pop_front() else {
+        let Some((pid, base, chain, active)) = queue.pop_front() else {
             break;
         };
         if pool.poisoned() {
@@ -197,9 +243,17 @@ pub fn sig_gen_ib_parallel_budgeted(
         }
         let node = tree.read_node(pool, pid);
         seed_acc.stats.nodes_read += 1;
-        if let Some(int) = process_node(node, base, skyline_pts, family, ctx, &mut seed_acc, &mut |c, b| {
-            queue.push_back((c, b))
-        }) {
+        if let Some(int) = process_node(
+            node,
+            base,
+            &chain,
+            &active,
+            skyline_pts,
+            family,
+            ctx,
+            &mut seed_acc,
+            &mut |c, b, ch, act| queue.push_back((c, b, ch, act)),
+        ) {
             interrupt = Some(int);
             break;
         }
@@ -207,16 +261,22 @@ pub fn sig_gen_ib_parallel_budgeted(
 
     let mut partials: Vec<(Acc, Option<Interrupt>)> = Vec::new();
     if interrupt.is_none() && !queue.is_empty() && !pool.poisoned() {
-        let mut buckets: Vec<Vec<(PageId, u64)>> = vec![Vec::new(); threads];
-        for (idx, item) in queue.into_iter().enumerate() {
-            // lint: allow(R2) -- round-robin of at most threads*SEED_FACTOR
-            // queued subtrees
-            buckets[idx % threads].push(item);
+        // Contiguous blocks, not round-robin: the breadth-first queue
+        // lists sibling subtrees in tree order, so a contiguous slice is
+        // a coarse unit whose subtrees share ancestor chains (the Arc'd
+        // FullChains clone by pointer) and spatial locality.
+        let block = queue.len().div_ceil(threads);
+        let mut buckets: Vec<Vec<FrontierItem>> = Vec::with_capacity(threads);
+        while !queue.is_empty() {
+            // lint: allow(R2) -- drains at most threads*SEED_FACTOR queued
+            // subtrees into `threads` blocks
+            let take = block.min(queue.len());
+            buckets.push(queue.drain(..take).collect());
         }
         let pool_mx = Mutex::new(pool);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for bucket in buckets.into_iter().filter(|b| !b.is_empty()) {
+            for bucket in buckets {
                 // lint: allow(R2) -- spawns at most `threads` scoped workers;
                 // each worker's process_node charges the budget per node
                 let pool_mx = &pool_mx;
@@ -224,7 +284,7 @@ pub fn sig_gen_ib_parallel_budgeted(
                     let mut acc = Acc::new(t, m);
                     let mut interrupt = None;
                     let mut frontier = bucket;
-                    while let Some((pid, base)) = frontier.pop() {
+                    while let Some((pid, base, chain, active)) = frontier.pop() {
                         let node = {
                             // lint: allow(R1) -- mutex poison means a sibling
                             // worker panicked mid-read; the join below re-raises
@@ -239,11 +299,13 @@ pub fn sig_gen_ib_parallel_budgeted(
                         if let Some(int) = process_node(
                             node,
                             base,
+                            &chain,
+                            &active,
                             skyline_pts,
                             family,
                             ctx,
                             &mut acc,
-                            &mut |c, b| frontier.push((c, b)),
+                            &mut |c, b, ch, act| frontier.push((c, b, ch, act)),
                         ) {
                             interrupt = Some(int);
                             break;

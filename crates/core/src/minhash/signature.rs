@@ -111,6 +111,124 @@ impl SignatureMatrix {
     }
 }
 
+/// A selection-side transpose of a [`SignatureMatrix`]: `t` slot rows ×
+/// `m` point columns, *slot-major* (`data[i · m + j]` = slot `i` of
+/// point `j`).
+///
+/// The matrix itself stays column-major — that is what `update_column`
+/// (the fingerprint hot path), the shard accumulator merge and the
+/// SKYSIG persist codec all want, and changing it would silently
+/// reshuffle every artefact. Selection wants the opposite orientation:
+/// a greedy round compares one pivot against *all* candidates, and
+/// slot-major storage turns that one-vs-all agreement count into `t`
+/// passes over contiguous `u64` lanes (see DESIGN.md §14). The
+/// transpose is materialised once per selection — a single `t · m` copy,
+/// roughly the cost of one greedy round's reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMajorSignatures {
+    t: usize,
+    m: usize,
+    data: Vec<u64>,
+}
+
+/// Candidate-block width of the batched agreement count: 1024 `f64`
+/// accumulators (8 KiB) stay L1-resident across all `t` slot rows, so
+/// the signature data streams through cache exactly once per call.
+const SLOT_TILE: usize = 1024;
+
+impl SlotMajorSignatures {
+    /// Transposes `sig` (one `t · m` copy).
+    pub fn from_matrix(sig: &SignatureMatrix) -> Self {
+        let (t, m) = (sig.t(), sig.m());
+        let mut data = vec![0u64; t * m];
+        for (j, col) in sig.data.chunks_exact(t.max(1)).enumerate() {
+            // lint: allow(R2) -- one-time O(t·m) transpose at selection
+            // setup, amortised over every greedy round that follows; the
+            // rounds themselves poll the budget
+            for (i, &v) in col.iter().enumerate() {
+                data[i * m + j] = v;
+            }
+        }
+        SlotMajorSignatures { t, m, data }
+    }
+
+    /// Signature size `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of points `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Batched estimated Jaccard distances: writes
+    /// `1 − agreement(pivot, lo + jj) / t` into `out[jj]` for every
+    /// `jj < out.len()` — bit-identical to
+    /// [`SignatureMatrix::estimated_distance`]`(pivot, lo + jj)`.
+    ///
+    /// # Panics
+    /// Panics if `pivot` or `lo + out.len()` is out of range.
+    pub fn distances_into(&self, pivot: usize, lo: usize, out: &mut [f64]) {
+        let n = out.len();
+        assert!(pivot < self.m, "pivot column out of range");
+        assert!(lo + n <= self.m, "candidate range out of range");
+        let t = self.t as f64;
+        // Stack-resident agreement counts for one candidate block: 8 KiB
+        // that stays in L1 across all `t` slot rows, converted to f64
+        // distances once per tile (the u64 → f64 convert has no packed
+        // form, so it must stay out of the per-slot inner loop).
+        let mut counts = [0u64; SLOT_TILE];
+        let mut b0 = 0;
+        while b0 < n {
+            // lint: allow(R2) -- bounded O(t·m) pass, one per greedy
+            // round; the round loop in dispersion.rs polls the budget
+            let b1 = (b0 + SLOT_TILE).min(n);
+            let w = b1 - b0;
+            counts[..w].fill(0);
+            // Four slot rows joined per accumulator pass: the counts
+            // tile is read-modify-written once per quad instead of once
+            // per row, which is what puts the batched kernel ahead of
+            // the per-pair path (see `equality_accumulate4`).
+            let mut i = 0;
+            while i + 4 <= self.t {
+                let base = |k: usize| (i + k) * self.m;
+                let pivots = [
+                    self.data[base(0) + pivot],
+                    self.data[base(1) + pivot],
+                    self.data[base(2) + pivot],
+                    self.data[base(3) + pivot],
+                ];
+                let rows = [
+                    &self.data[base(0) + lo + b0..base(0) + lo + b1],
+                    &self.data[base(1) + lo + b0..base(1) + lo + b1],
+                    &self.data[base(2) + lo + b0..base(2) + lo + b1],
+                    &self.data[base(3) + lo + b0..base(3) + lo + b1],
+                ];
+                crate::kernels::equality_accumulate4(rows, pivots, &mut counts[..w]);
+                i += 4;
+            }
+            while i < self.t {
+                let base = i * self.m;
+                let pv = self.data[base + pivot];
+                let row = &self.data[base + lo + b0..base + lo + b1];
+                crate::kernels::equality_accumulate(row, pv, &mut counts[..w]);
+                i += 1;
+            }
+            for (d, &c) in out[b0..b1].iter_mut().zip(&counts[..w]) {
+                *d = 1.0 - c as f64 / t;
+            }
+            b0 = b1;
+        }
+    }
+
+    /// Bytes resident in the transpose (`t · m · 8`) — exactly the extra
+    /// memory a selection pass pins on top of the matrix itself.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +286,59 @@ mod tests {
         let mut a = SignatureMatrix::new(2, 2);
         let b = SignatureMatrix::new(3, 2);
         a.merge_min(&b);
+    }
+
+    #[test]
+    fn slot_major_distances_are_bit_identical_to_pairwise() {
+        let (t, m) = (7, 23);
+        let mut sig = SignatureMatrix::new(t, m);
+        for j in 0..m {
+            let hashes: Vec<u64> = (0..t).map(|i| ((i * j + j) % 5) as u64).collect();
+            sig.update_column(j, &hashes);
+        }
+        // Leave one column at ∞ to cover the empty-dominated-set case.
+        let slots = SlotMajorSignatures::from_matrix(&sig);
+        assert_eq!((slots.t(), slots.m()), (t, m));
+        let mut out = vec![0.0f64; m];
+        for pivot in 0..m {
+            for lo in [0, 1, m / 2, m - 1] {
+                let n = m - lo;
+                slots.distances_into(pivot, lo, &mut out[..n]);
+                for (jj, &got) in out[..n].iter().enumerate() {
+                    let want = sig.estimated_distance(pivot, lo + jj);
+                    assert!(
+                        got.to_bits() == want.to_bits(),
+                        "pivot {pivot} lo {lo} jj {jj}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_major_spans_multiple_tiles() {
+        // m > SLOT_TILE exercises the candidate-block loop boundary.
+        let (t, m) = (3, SLOT_TILE + 37);
+        let mut sig = SignatureMatrix::new(t, m);
+        for j in 0..m {
+            let hashes: Vec<u64> = (0..t).map(|i| ((j * 31 + i * 7) % 11) as u64).collect();
+            sig.update_column(j, &hashes);
+        }
+        let slots = SlotMajorSignatures::from_matrix(&sig);
+        let mut out = vec![0.0f64; m];
+        slots.distances_into(5, 0, &mut out);
+        for (jj, &d) in out.iter().enumerate() {
+            assert_eq!(d.to_bits(), sig.estimated_distance(5, jj).to_bits(), "jj {jj}");
+        }
+    }
+
+    #[test]
+    fn slot_major_memory_bytes_is_exact() {
+        let sig = SignatureMatrix::new(4, 3);
+        let slots = SlotMajorSignatures::from_matrix(&sig);
+        // Exactly t · m · 8 — the transpose adds no padding, so a
+        // selection pass pins precisely one extra matrix worth of bytes.
+        assert_eq!(slots.memory_bytes(), 4 * 3 * 8);
+        assert_eq!(slots.memory_bytes(), sig.memory_bytes());
     }
 }

@@ -161,8 +161,9 @@ pub struct DiverseResult {
     /// Domination scores `|Γ(p)|` per skyline point. Partial (a prefix
     /// of the data counted) when fingerprinting was curtailed.
     pub scores: Vec<u64>,
-    /// Bytes held by the phase-2 representation (signatures or LSH
-    /// bit-vectors).
+    /// Bytes held by the phase-2 representation: the signature matrix
+    /// plus the slot-major transpose the selection pass pins (MinHash),
+    /// or the LSH zone assignment plus packed bit-vectors.
     pub memory_bytes: usize,
     /// Wall-clock milliseconds of the fingerprinting phase.
     pub fingerprint_ms: f64,
@@ -762,6 +763,12 @@ impl SkyDiver {
     /// Shrinks the signature size to fit the memory budget, if one is
     /// set. `Err` means even one slot per skyline point does not fit —
     /// the run stops before fingerprinting with a memory interrupt.
+    ///
+    /// On the MinHash path one signature slot costs `2 · m · 8` bytes:
+    /// the column-major matrix row plus the slot-major transpose the
+    /// selection pass pins alongside it. LSH selection never builds the
+    /// transpose, so there a slot costs `m · 8` and the index's own
+    /// footprint is bounded separately by [`Self::effective_buckets`].
     fn effective_signature_size(
         &self,
         m: usize,
@@ -770,7 +777,11 @@ impl SkyDiver {
         let Some(limit) = self.budget.max_memory_bytes() else {
             return Ok((t, vec![]));
         };
-        let per_slot = m * std::mem::size_of::<u64>();
+        let layouts = match self.method {
+            SelectionMethod::MinHash => 2,
+            SelectionMethod::Lsh { .. } => 1,
+        };
+        let per_slot = layouts * m * std::mem::size_of::<u64>();
         let needed = t * per_slot;
         if needed <= limit {
             return Ok((t, vec![]));
@@ -873,8 +884,11 @@ impl SkyDiver {
         ctx: &ExecContext,
     ) -> Result<(Vec<usize>, usize, Option<Interrupt>)> {
         let dist = SignatureDistance::new(&out.matrix);
+        // Phase-2 resident bytes: the matrix plus the slot-major
+        // transpose the distance oracle pins for the selection pass.
+        let mem = out.matrix.memory_bytes() + dist.memory_bytes();
         let (sel, int) = self.select(dist, &out.scores, ctx)?;
-        Ok((sel, out.matrix.memory_bytes(), int))
+        Ok((sel, mem, int))
     }
 
     fn finish(
@@ -1141,7 +1155,10 @@ mod tests {
         let prefs = Preference::all_min(3);
         let full = SkyDiver::new(3).signature_size(100).run(&ds, &prefs).unwrap();
         let m = full.skyline.len();
-        // Allow only 10 slots per skyline point.
+        // Allow 10 matrix-slots' worth of bytes. One MinHash slot pins
+        // two layouts (matrix row + slot-major transpose), so the
+        // effective signature size lands at 5 and the *reported* bytes
+        // — which include the transpose — still respect the budget.
         let r = SkyDiver::new(3)
             .signature_size(100)
             .budget(RunBudget::none().with_max_memory_bytes(10 * m * 8))
@@ -1151,8 +1168,9 @@ mod tests {
         assert!(r.degradation.interrupt.is_none());
         assert!(matches!(
             r.degradation.events[..],
-            [DegradationEvent::SignatureSizeReduced { from: 100, to: 10 }]
+            [DegradationEvent::SignatureSizeReduced { from: 100, to: 5 }]
         ));
+        assert_eq!(r.memory_bytes, 2 * 5 * m * 8, "matrix + transpose, exactly");
         assert!(r.memory_bytes <= 10 * m * 8);
     }
 

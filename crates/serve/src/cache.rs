@@ -197,6 +197,27 @@ mod tests {
     }
 
     #[test]
+    fn charged_bytes_pin_the_fingerprint_formula() {
+        // The ceiling maths only works if the charge per entry is the
+        // exact closed form of the fold's layout: t·m·8 for the
+        // column-major matrix, m·8 for the score vector, |columns|·8
+        // for the global-id map. Nothing else — in particular not the
+        // slot-major transpose, which is selection-time-only and never
+        // lives in a cached fold.
+        let (t, m) = (8usize, 10usize);
+        let f = fold(t, m);
+        let formula = t * m * 8 + m * 8 + m * 8;
+        assert_eq!(f.memory_bytes(), formula);
+        let mut c = FingerprintCache::new(1 << 20);
+        assert!(c.insert(key("a", 0, t), f));
+        assert_eq!(c.bytes(), formula);
+        assert!(c.insert(key("a", 1, t), fold(t, m)));
+        assert_eq!(c.bytes(), 2 * formula);
+        assert_eq!(c.invalidate_dataset("a"), 2);
+        assert_eq!(c.bytes(), 0, "every charged byte is returned");
+    }
+
+    #[test]
     fn evicts_least_recently_used_under_pressure() {
         let one = fold(8, 10).memory_bytes();
         // Room for exactly two entries.

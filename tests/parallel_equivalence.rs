@@ -21,7 +21,7 @@ use skydiver::rtree::{BufferPool, RTree};
 use skydiver::skyline::naive_skyline;
 use skydiver::{Dataset, HashFamily, Preference, RunBudget, SkyDiver, StopReason};
 
-const THREADS: [usize; 3] = [2, 3, 8];
+const THREADS: [usize; 5] = [1, 2, 3, 5, 8];
 
 /// Adversarial skyline shapes: a singleton skyline (one point dominates
 /// everything), an all-skyline dataset (nothing dominates anything), and
@@ -190,4 +190,48 @@ fn budgets_trip_on_every_parallel_path() {
     assert!(int.is_some(), "cancellation must interrupt the selection");
     assert!(prefix.len() < 6, "selection was curtailed");
     assert_eq!(prefix[..], full[..prefix.len()], "exact greedy prefix");
+}
+
+#[test]
+fn budget_tripped_selection_prefix_is_bit_identical_across_threads() {
+    // The persistent-pool selection polls once per greedy round for
+    // MaxDominance seeds regardless of thread count or partition shape,
+    // so a tripped budget must cut every thread count (including
+    // partition widths that do not divide m) to the *same* sequential
+    // greedy prefix.
+    let ds = generators::anticorrelated(1500, 3, 1807);
+    let sky = naive_skyline(&ds, &MinDominance);
+    let fam = HashFamily::new(64, 16);
+    let out = sig_gen_if(&ds, &MinDominance, &sky, &fam);
+    let k = 8.min(sky.len());
+    assert!(k >= 4, "need enough skyline points to trip mid-selection");
+    let mut dist = SignatureDistance::new(&out.matrix);
+    let full = select_diverse(
+        &mut dist,
+        &out.scores,
+        k,
+        SeedRule::MaxDominance,
+        TieBreak::MaxDominance,
+    )
+    .unwrap();
+    for threads in THREADS {
+        let token = skydiver::CancelToken::after_polls(4);
+        let ctx = ExecContext::new(RunBudget::none().with_cancel_token(token));
+        let dist = SignatureDistance::new(&out.matrix);
+        let (prefix, int) = skydiver::core::dispersion::select_diverse_parallel_budgeted(
+            &dist,
+            &out.scores,
+            k,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+            threads,
+            &ctx,
+        )
+        .unwrap();
+        assert!(int.is_some(), "threads = {threads}: cancellation must trip");
+        // Poll cadence: 1 seed check + 1 per relax round → 4 polls
+        // admit the seed plus two relax rounds on every thread count.
+        assert_eq!(prefix.len(), 3, "threads = {threads}: fixed poll cadence");
+        assert_eq!(prefix[..], full[..3], "threads = {threads}: exact prefix");
+    }
 }
