@@ -10,7 +10,21 @@
 //!         [--out BENCH_pr6.json | --check BENCH_pr6.json]
 //! loadgen --mode kernels [--scale 0.1] [--k 64] [--t 128] [--buckets 8]
 //!         [--out BENCH_pr7.json | --check BENCH_pr7.json]
+//! loadgen --mode cluster [--scale 0.1] [--conns 4] [--queries 16] [--k 10] [--t 64]
+//!         [--out BENCH_pr8.json | --check BENCH_pr8.json]
 //! ```
+//!
+//! `--mode cluster` measures the PR 8 coordinator/worker fan-out: the
+//! same dataset served single-process, then by a coordinator over 2 and
+//! 4 worker servers (real TCP, one machine). Three numbers per
+//! topology: warm throughput (coordinator-memoised, the steady state),
+//! cold fan-out latency over distinct seeds (every query re-folds on
+//! the workers), and the first-query cold cost. Every topology must
+//! return the bit-identical selected set; the timings are
+//! **informational** — on one box the fan-out only adds hops, the
+//! cluster buys capacity, not single-box speed — so `--check` verifies
+//! the committed report exists and describes this contract rather than
+//! gating on a ratio.
 //!
 //! `--mode kernels` measures the PR 7 selection-phase kernels against
 //! the engines they replaced, frozen inline in this binary: the
@@ -69,14 +83,13 @@ use skydiver_core::dispersion::{select_diverse_parallel, SeedRule, TieBreak};
 use skydiver_core::diversity::SignatureDistance;
 use skydiver_core::lsh::{LshIndex, LshParams};
 use skydiver_core::minhash::{
-    sig_gen_ib, sig_gen_ib_parallel, sig_gen_if, HashFamily, SignatureMatrix,
-    SlotMajorSignatures,
+    sig_gen_ib, sig_gen_ib_parallel, sig_gen_if, HashFamily, SignatureMatrix, SlotMajorSignatures,
 };
 use skydiver_data::dominance::MinDominance;
 use skydiver_data::{io, Dataset, ShardedDataset};
 use skydiver_rtree::{BufferPool, RTree};
 use skydiver_serve::protocol::{json_u64, json_u64_array, QuerySpec};
-use skydiver_serve::{Client, Server, ServerConfig};
+use skydiver_serve::{Client, ClusterConfig, Server, ServerConfig};
 use skydiver_skyline::sfs;
 
 fn query_once(client: &mut Client, spec: &QuerySpec) -> (Vec<u64>, f64) {
@@ -229,7 +242,9 @@ fn run_append_mode(args: &Args) -> ExitCode {
 
     let sweep_json = sweep
         .iter()
-        .map(|(s, ms, tests)| format!("{{\"shards\": {s}, \"cold_ms\": {ms:.3}, \"tests\": {tests}}}"))
+        .map(|(s, ms, tests)| {
+            format!("{{\"shards\": {s}, \"cold_ms\": {ms:.3}, \"tests\": {tests}}}")
+        })
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
@@ -316,7 +331,10 @@ fn run_restart_mode(args: &Args) -> ExitCode {
         .strip_prefix("persisted=")
         .and_then(|v| v.parse().ok())
         .expect("snapshot reply");
-    assert!(persisted >= 1, "snapshot must make the fold durable: {reply}");
+    assert!(
+        persisted >= 1,
+        "snapshot must make the fold durable: {reply}"
+    );
     probe.shutdown().expect("shutdown A");
     handle.join().expect("A exits");
 
@@ -789,6 +807,245 @@ fn run_kernels_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One topology's measurements in `--mode cluster`.
+struct TopoReport {
+    workers: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    qps: f64,
+    p50: f64,
+    p99: f64,
+    fan_qps: f64,
+    fan_p50: f64,
+    fan_p99: f64,
+    selected: Vec<u64>,
+}
+
+impl TopoReport {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"workers\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"throughput_qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"fanout_qps\": {:.1}, \"fanout_p50_ms\": {:.3}, \"fanout_p99_ms\": {:.3}}}",
+            self.workers,
+            self.cold_ms,
+            self.warm_ms,
+            self.qps,
+            self.p50,
+            self.p99,
+            self.fan_qps,
+            self.fan_p50,
+            self.fan_p99,
+        )
+    }
+}
+
+/// Measures one topology: `workers == 0` is the single-process
+/// baseline; otherwise a coordinator fans out to that many in-process
+/// worker servers over real TCP sockets.
+fn run_cluster_topology(
+    path: &str,
+    workers: usize,
+    conns: usize,
+    queries: usize,
+    k: usize,
+    t: usize,
+) -> TopoReport {
+    let mut worker_handles = Vec::with_capacity(workers);
+    let mut addrs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let h = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind worker")
+        .spawn()
+        .expect("spawn worker");
+        addrs.push(h.addr().to_string());
+        worker_handles.push(h);
+    }
+    let cluster = (workers > 0).then(|| ClusterConfig {
+        workers: addrs.clone(),
+        replication: 1,
+        shards: (2 * workers).max(4),
+        fanout_timeout_ms: 10_000,
+    });
+    let handle = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: conns.max(2),
+        cluster,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator")
+    .spawn()
+    .expect("spawn coordinator");
+    let addr = handle.addr();
+
+    let mut probe = Client::connect(addr).expect("connect");
+    probe.load("bench", path).expect("load");
+
+    let mut spec = QuerySpec::new("bench", k);
+    spec.t = t;
+    spec.seed = 7;
+    let (selected, cold_ms) = query_once(&mut probe, &spec);
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let (sel, ms) = query_once(&mut probe, &spec);
+        assert_eq!(sel, selected, "warm cluster query changed the answer");
+        warm_ms = warm_ms.min(ms);
+    }
+
+    // Distinct seeds: every query is a fresh fan-out (or a cold local
+    // fingerprint at 0 workers) — the distributed work itself, not a
+    // memo hit.
+    let t0 = Instant::now();
+    let mut fan_ms = Vec::with_capacity(queries);
+    for q in 0..queries {
+        let mut s = spec.clone();
+        s.seed = 1_000 + q as u64;
+        let (_, ms) = query_once(&mut probe, &s);
+        fan_ms.push(ms);
+    }
+    let fan_qps = queries as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    fan_ms.sort_by(|a, b| a.total_cmp(b));
+    let (fan_p50, fan_p99) = (percentile(&fan_ms, 0.50), percentile(&fan_ms, 0.99));
+
+    // Concurrent warm throughput — the steady state every topology
+    // serves from the coordinator's memo.
+    let t0 = Instant::now();
+    let mut all_ms: Vec<f64> = Vec::with_capacity(conns * queries);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..conns {
+            let spec = spec.clone();
+            let expected = &selected;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(queries);
+                for _ in 0..queries {
+                    let (sel, ms) = query_once(&mut client, &spec);
+                    assert_eq!(
+                        &sel, expected,
+                        "concurrent cluster query changed the answer"
+                    );
+                    lat.push(ms);
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            all_ms.extend(h.join().expect("client thread"));
+        }
+    });
+    let qps = (conns * queries) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    all_ms.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (percentile(&all_ms, 0.50), percentile(&all_ms, 0.99));
+
+    probe.shutdown().expect("coordinator shutdown");
+    handle.join().expect("coordinator exit");
+    for (a, h) in addrs.iter().zip(worker_handles) {
+        let mut c = Client::connect(a.as_str()).expect("connect worker");
+        c.shutdown().ok();
+        h.join().ok();
+    }
+
+    TopoReport {
+        workers,
+        cold_ms,
+        warm_ms,
+        qps,
+        p50,
+        p99,
+        fan_qps,
+        fan_p50,
+        fan_p99,
+        selected,
+    }
+}
+
+/// `--mode cluster`: single-process vs 2- and 4-worker coordinator
+/// topologies over the same dataset — bit-identity asserted, timings
+/// informational.
+fn run_cluster_mode(args: &Args) -> ExitCode {
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let conns: usize = args.get_or("conns", 4);
+    let queries: usize = args.get_or("queries", 16);
+    let k: usize = args.get_or("k", 10);
+    let t: usize = args.get_or("t", 64);
+    eprintln!("# loadgen cluster mode: n = {n}, {conns} conns x {queries} queries");
+
+    let data = Family::Ant.generate(n, 3, 91);
+    let path = format!("target/loadgen_cluster_{}.csv", std::process::id());
+    io::write_csv(&data, &path).expect("write dataset");
+
+    let topologies: Vec<TopoReport> = [0usize, 2, 4]
+        .iter()
+        .map(|&w| run_cluster_topology(&path, w, conns, queries, k, t))
+        .collect();
+    let _ = std::fs::remove_file(&path);
+
+    for topo in &topologies[1..] {
+        assert_eq!(
+            topo.selected, topologies[0].selected,
+            "{}-worker cluster diverged from the single-process answer",
+            topo.workers
+        );
+    }
+    for topo in &topologies {
+        eprintln!(
+            "{} workers: cold {:>8.2}ms  warm {:>6.2}ms  {:>7.0} q/s (p99 {:.2}ms)  \
+             fan-out {:>6.1} q/s (p99 {:.2}ms)",
+            topo.workers,
+            topo.cold_ms,
+            topo.warm_ms,
+            topo.qps,
+            topo.p99,
+            topo.fan_qps,
+            topo.fan_p99,
+        );
+    }
+
+    let rows: Vec<String> = topologies.iter().map(TopoReport::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pr8-loadgen-cluster\",\n  \"scale\": {},\n  \"n\": {n},\n  \
+         \"conns\": {conns},\n  \"queries_per_conn\": {queries},\n  \"k\": {k},\n  \
+         \"t\": {t},\n  \"answers_identical\": true,\n  \"topologies\": [\n{}\n  ]\n}}\n",
+        args.scale,
+        rows.join(",\n"),
+    );
+
+    if let Some(baseline_path) = args.get("check") {
+        // Bit-identity already gated above (the asserts); the timings
+        // are informational, so the baseline check only confirms the
+        // committed report describes this bench.
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ok = baseline.contains("pr8-loadgen-cluster")
+            && baseline.contains("\"answers_identical\": true");
+        eprintln!(
+            "CHECK cluster contract (identical answers, report {baseline_path}) — {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr8.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Anticorrelated points shifted up by `delta` in every dimension —
 /// "new data that is mostly worse", so most of it is dominated and only
 /// a few new skyline columns appear.
@@ -811,6 +1068,9 @@ fn main() -> ExitCode {
     if args.get("mode") == Some("kernels") {
         return run_kernels_mode(&args);
     }
+    if args.get("mode") == Some("cluster") {
+        return run_cluster_mode(&args);
+    }
     let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
     let conns: usize = args.get_or("conns", 4);
     let queries: usize = args.get_or("queries", 25);
@@ -827,7 +1087,9 @@ fn main() -> ExitCode {
         ..ServerConfig::default()
     })
     .expect("bind");
-    server.registry().insert_dataset("bench", Family::Ant.generate(n, 3, 91));
+    server
+        .registry()
+        .insert_dataset("bench", Family::Ant.generate(n, 3, 91));
     let handle = server.spawn().expect("spawn server");
     let addr = handle.addr();
 
@@ -838,7 +1100,11 @@ fn main() -> ExitCode {
     // Cold: the first query fingerprints; warm: best of 5 cache hits.
     let mut probe = Client::connect(addr).expect("connect");
     let (expected, cold_ms) = query_once(&mut probe, &spec);
-    assert_eq!(expected.len(), k.min(expected.len()), "query returned a selection");
+    assert_eq!(
+        expected.len(),
+        k.min(expected.len()),
+        "query returned a selection"
+    );
     let mut warm_ms = f64::INFINITY;
     for _ in 0..5 {
         let (sel, ms) = query_once(&mut probe, &spec);

@@ -1,0 +1,30 @@
+//! Cluster substrate for distributed SkyDiver serving.
+//!
+//! This crate holds the *pure* building blocks of the scatter-gather
+//! serving tier — everything that can be reasoned about (and unit-tested)
+//! without sockets:
+//!
+//! * [`rendezvous`] — highest-random-weight (HRW) shard→node ownership.
+//!   Ownership is a pure function of `(node set, shard id, replication)`,
+//!   so every participant computes the same map with no consensus round.
+//! * [`membership`] — an epoch-numbered node roster with deterministic
+//!   join/leave handoff plans (which shards move where when the roster
+//!   changes).
+//! * [`frame`] — length-prefixed, FNV-checksummed binary frames plus the
+//!   payload codecs used on the wire (shard rows, fold requests).
+//! * [`deadline`] — a single [`deadline::DeadlineBudget`] shared by every
+//!   coordinator→worker leg of one fan-out, so a slow worker cannot
+//!   consume the whole request deadline.
+//!
+//! The crate is `std`-only and has no dependency on the rest of the
+//! workspace: the serve layer composes these primitives with the core
+//! fold/merge pipeline.
+
+pub mod deadline;
+pub mod frame;
+pub mod membership;
+pub mod rendezvous;
+
+pub use deadline::DeadlineBudget;
+pub use membership::{Handoff, Membership};
+pub use rendezvous::owners;

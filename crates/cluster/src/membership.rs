@@ -1,0 +1,181 @@
+//! Epoch-numbered cluster membership with deterministic handoff plans.
+//!
+//! The coordinator owns a single [`Membership`] value. Every roster
+//! change bumps the epoch and yields a [`Handoff`] plan — the exact list
+//! of `(shard, new owner, donor)` moves implied by the rendezvous map
+//! before vs after. Because ownership is a pure function of the roster,
+//! the plan is reproducible from the two rosters alone; there is no
+//! hidden state to reconcile.
+
+use crate::rendezvous::ownership_map;
+
+/// One shard movement implied by a roster change: `to` must acquire
+/// `shard`, preferably by pulling the fold from `from` (a surviving
+/// previous owner) rather than recomputing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handoff {
+    /// Shard index that changes hands.
+    pub shard: usize,
+    /// Node that becomes an owner of the shard at the new epoch.
+    pub to: String,
+    /// A previous owner that survives into the new epoch and can donate
+    /// the shard's artefacts, if any survived the change.
+    pub from: Option<String>,
+}
+
+/// The cluster roster at a given epoch.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    nodes: Vec<String>,
+    epoch: u64,
+}
+
+impl Membership {
+    /// A fresh roster at epoch 1. Node order is canonicalised (sorted,
+    /// deduplicated) so two coordinators booted with the same worker
+    /// list agree byte-for-byte.
+    pub fn new(nodes: Vec<String>) -> Self {
+        let mut nodes = nodes;
+        nodes.sort();
+        nodes.dedup();
+        Membership { nodes, epoch: 1 }
+    }
+
+    /// Current epoch; bumped by every successful [`join`](Self::join) or
+    /// [`leave`](Self::leave).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The canonical node roster (sorted, unique).
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Whether `node` is in the roster.
+    pub fn contains(&self, node: &str) -> bool {
+        self.nodes.iter().any(|n| n == node)
+    }
+
+    /// Add `node`, returning the handoff plan for `shards` shards at
+    /// replication `r`, or `None` if the node was already a member
+    /// (no epoch bump, no moves).
+    pub fn join(&mut self, node: &str, shards: usize, r: usize) -> Option<Vec<Handoff>> {
+        if self.contains(node) {
+            return None;
+        }
+        let before = self.nodes.clone();
+        self.nodes.push(node.to_string());
+        self.nodes.sort();
+        self.epoch += 1;
+        Some(handoff_plan(&before, &self.nodes, shards, r))
+    }
+
+    /// Remove `node`, returning the handoff plan, or `None` if it was
+    /// not a member.
+    pub fn leave(&mut self, node: &str, shards: usize, r: usize) -> Option<Vec<Handoff>> {
+        if !self.contains(node) {
+            return None;
+        }
+        let before = self.nodes.clone();
+        self.nodes.retain(|n| n != node);
+        self.epoch += 1;
+        Some(handoff_plan(&before, &self.nodes, shards, r))
+    }
+}
+
+/// The moves implied by changing the roster from `before` to `after`:
+/// one [`Handoff`] per `(shard, node)` pair that owns the shard after
+/// but not before. The donor is the first pre-change owner that survives
+/// into the new roster, if any.
+pub fn handoff_plan(before: &[String], after: &[String], shards: usize, r: usize) -> Vec<Handoff> {
+    let old = ownership_map(before, shards, r);
+    let new = ownership_map(after, shards, r);
+    let mut plan = Vec::new();
+    for (shard, owners) in new.iter().enumerate() {
+        // lint: allow(R2) -- O(shards x R) diff of two placement maps,
+        // both small and in memory; planning only, no I/O
+        for node in owners {
+            if old[shard].contains(node) {
+                continue;
+            }
+            let from = old[shard].iter().find(|o| after.contains(o)).cloned();
+            plan.push(Handoff {
+                shard,
+                to: node.clone(),
+                from,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roster(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn join_leave_round_trip_restores_roster_and_bumps_epoch() {
+        let mut m = Membership::new(roster(&["b", "a", "a"]));
+        assert_eq!(m.nodes(), &roster(&["a", "b"])[..]);
+        assert_eq!(m.epoch(), 1);
+        assert!(m.join("c", 16, 1).is_some());
+        assert_eq!(m.epoch(), 2);
+        assert!(m.join("c", 16, 1).is_none(), "re-join is a no-op");
+        assert_eq!(m.epoch(), 2);
+        assert!(m.leave("c", 16, 1).is_some());
+        assert_eq!(m.nodes(), &roster(&["a", "b"])[..]);
+        assert_eq!(m.epoch(), 3);
+        assert!(m.leave("zz", 16, 1).is_none());
+    }
+
+    #[test]
+    fn plan_is_pure_function_of_rosters() {
+        let before = roster(&["w1", "w2", "w3"]);
+        let after = roster(&["w1", "w2", "w3", "w4"]);
+        let a = handoff_plan(&before, &after, 64, 2);
+        let b = handoff_plan(&before, &after, 64, 2);
+        assert_eq!(a, b);
+        // Every move targets the joining node and names a surviving donor.
+        for h in &a {
+            assert_eq!(h.to, "w4");
+            assert!(h.from.is_some());
+        }
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn leave_reassigns_every_lost_shard() {
+        let before = roster(&["w1", "w2", "w3"]);
+        let after = roster(&["w1", "w2"]);
+        let shards = 32;
+        let plan = handoff_plan(&before, &after, shards, 1);
+        let lost: Vec<usize> = (0..shards)
+            .filter(|&s| crate::rendezvous::owners(&before, s, 1) == roster(&["w3"]))
+            .collect();
+        let planned: Vec<usize> = plan.iter().map(|h| h.shard).collect();
+        for s in lost {
+            assert!(planned.contains(&s), "shard {s} orphaned");
+        }
+        // Donor of a shard lost with r=1 cannot survive (the only owner left).
+        for h in plan.iter().filter(|h| planned.contains(&h.shard)) {
+            if crate::rendezvous::owners(&before, h.shard, 1) == roster(&["w3"]) {
+                assert!(h.from.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn leave_with_replication_keeps_a_donor() {
+        let before = roster(&["w1", "w2", "w3"]);
+        let after = roster(&["w1", "w2"]);
+        for h in handoff_plan(&before, &after, 32, 2) {
+            // With r=2 one replica survives any single leave.
+            assert!(h.from.is_some(), "shard {} lost both replicas", h.shard);
+        }
+    }
+}

@@ -229,6 +229,13 @@ pub enum StopReason {
         /// The configured ceiling.
         limit: usize,
     },
+    /// A distributed fold could not reach any owner of a shard (every
+    /// replica failed or missed its deadline); the fingerprint is a
+    /// partial merge of the shards that did answer.
+    ShardUnavailable {
+        /// Index of the first shard with no reachable owner.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StopReason {
@@ -236,13 +243,23 @@ impl std::fmt::Display for StopReason {
         match self {
             StopReason::Cancelled => write!(f, "cancelled"),
             StopReason::DeadlineExceeded { elapsed } => {
-                write!(f, "deadline exceeded after {:.1} ms", elapsed.as_secs_f64() * 1e3)
+                write!(
+                    f,
+                    "deadline exceeded after {:.1} ms",
+                    elapsed.as_secs_f64() * 1e3
+                )
             }
             StopReason::DominanceBudgetExhausted { used, limit } => {
                 write!(f, "dominance-test budget exhausted ({used} of {limit})")
             }
             StopReason::MemoryBudgetExhausted { needed, limit } => {
-                write!(f, "memory budget exhausted (need {needed} B, limit {limit} B)")
+                write!(
+                    f,
+                    "memory budget exhausted (need {needed} B, limit {limit} B)"
+                )
+            }
+            StopReason::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} unavailable (no reachable owner)")
             }
         }
     }
@@ -316,15 +333,27 @@ impl std::fmt::Display for DegradationEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DegradationEvent::SignatureSizeReduced { from, to } => {
-                write!(f, "signature size reduced {from} → {to} to fit memory budget")
+                write!(
+                    f,
+                    "signature size reduced {from} → {to} to fit memory budget"
+                )
             }
             DegradationEvent::LshBucketsReduced { from, to } => {
                 write!(f, "LSH buckets reduced {from} → {to} to fit memory budget")
             }
-            DegradationEvent::FingerprintCurtailed { rows_scanned, rows_total } => {
-                write!(f, "fingerprinting curtailed at {rows_scanned} of {rows_total} rows")
+            DegradationEvent::FingerprintCurtailed {
+                rows_scanned,
+                rows_total,
+            } => {
+                write!(
+                    f,
+                    "fingerprinting curtailed at {rows_scanned} of {rows_total} rows"
+                )
             }
-            DegradationEvent::SelectionCurtailed { selected, requested } => {
+            DegradationEvent::SelectionCurtailed {
+                selected,
+                requested,
+            } => {
                 write!(f, "selection curtailed at {selected} of {requested} points")
             }
             DegradationEvent::IndexFreeFallback { cause } => {
@@ -464,7 +493,11 @@ impl ExecContext {
             }
         }
         // Deadline / cancellation polling is amortised.
-        if self.checks.fetch_add(1, Ordering::Relaxed).is_multiple_of(Self::CHECK_INTERVAL) {
+        if self
+            .checks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(Self::CHECK_INTERVAL)
+        {
             self.check(phase)?;
         }
         Ok(())
@@ -479,7 +512,8 @@ mod tests {
     fn unlimited_context_never_trips() {
         let ctx = ExecContext::unlimited();
         for _ in 0..10_000 {
-            ctx.charge_dominance_tests(1_000, ExecPhase::Fingerprint).unwrap();
+            ctx.charge_dominance_tests(1_000, ExecPhase::Fingerprint)
+                .unwrap();
         }
         ctx.check(ExecPhase::Selection).unwrap();
         // Unlimited contexts skip the counter entirely.
@@ -507,15 +541,20 @@ mod tests {
     #[test]
     fn dominance_budget_trips_with_exact_counts() {
         let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(100));
-        ctx.charge_dominance_tests(60, ExecPhase::Fingerprint).unwrap();
-        ctx.charge_dominance_tests(40, ExecPhase::Fingerprint).unwrap();
+        ctx.charge_dominance_tests(60, ExecPhase::Fingerprint)
+            .unwrap();
+        ctx.charge_dominance_tests(40, ExecPhase::Fingerprint)
+            .unwrap();
         let err = ctx
             .charge_dominance_tests(1, ExecPhase::Fingerprint)
             .unwrap_err();
         assert_eq!(err.phase, ExecPhase::Fingerprint);
         assert!(matches!(
             err.reason,
-            StopReason::DominanceBudgetExhausted { used: 101, limit: 100 }
+            StopReason::DominanceBudgetExhausted {
+                used: 101,
+                limit: 100
+            }
         ));
     }
 
@@ -550,7 +589,10 @@ mod tests {
                 phase: ExecPhase::Selection,
                 reason: StopReason::Cancelled,
             }),
-            events: vec![DegradationEvent::SelectionCurtailed { selected: 3, requested: 10 }],
+            events: vec![DegradationEvent::SelectionCurtailed {
+                selected: 3,
+                requested: 10,
+            }],
         };
         assert!(d.is_degraded());
         let s = d.summary();
@@ -566,7 +608,9 @@ mod tests {
             reason: StopReason::DominanceBudgetExhausted { used: 5, limit: 4 },
         };
         assert!(i.to_string().contains("during fingerprint"), "{i}");
-        let e = DegradationEvent::IndexFreeFallback { cause: "page 7 unreadable".into() };
+        let e = DegradationEvent::IndexFreeFallback {
+            cause: "page 7 unreadable".into(),
+        };
         assert!(e.to_string().contains("index-free"), "{e}");
     }
 }

@@ -41,8 +41,8 @@ pub mod canonical;
 pub mod coverage;
 pub mod cross;
 pub mod dispersion;
-pub mod dynamic;
 pub mod diversity;
+pub mod dynamic;
 pub mod error;
 pub mod gamma;
 pub mod graph;
@@ -64,23 +64,21 @@ pub use dispersion::{
     select_diverse_budgeted, select_diverse_parallel, select_diverse_parallel_budgeted, SeedRule,
     TieBreak,
 };
-pub use dynamic::DynamicDiversifier;
 pub use diversity::{
     DiversityDistance, ExactJaccardDistance, LshDistance, RTreeJaccardDistance, SignatureDistance,
     SyncDiversityDistance,
 };
+pub use dynamic::DynamicDiversifier;
 pub use error::{Result, SkyDiverError};
 pub use gamma::GammaSets;
 pub use graph::DominanceGraph;
 pub use lp_baselines::{distance_based_representatives, EuclideanDistance};
 pub use lsh::{LshIndex, LshParams};
 pub use minhash::{
-    diversify_generic, scan_columns_budgeted, scan_columns_parallel_budgeted, sig_gen_ib,
-    sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted,
-    sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic, sig_gen_parallel,
-    sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, SigGenOutput, SignatureAccumulator,
-    SignatureMatrix,
+    diversify_generic, fold_shard, scan_columns_budgeted, scan_columns_parallel_budgeted,
+    sig_gen_ib, sig_gen_ib_active, sig_gen_ib_budgeted, sig_gen_ib_parallel,
+    sig_gen_ib_parallel_budgeted, sig_gen_if, sig_gen_if_budgeted, sig_gen_if_generic,
+    sig_gen_parallel, sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, ShardFold,
+    SigGenOutput, SignatureAccumulator, SignatureMatrix,
 };
-pub use pipeline::{
-    DiverseResult, Fingerprint, SelectionMethod, ShardedFingerprintRun, SkyDiver,
-};
+pub use pipeline::{DiverseResult, Fingerprint, SelectionMethod, ShardedFingerprintRun, SkyDiver};

@@ -23,6 +23,7 @@
 
 mod accumulator;
 mod family;
+mod fold;
 mod generic;
 mod index_based;
 mod index_based_active;
@@ -35,13 +36,12 @@ pub mod theory;
 
 pub use accumulator::{ShardFingerprint, SignatureAccumulator};
 pub use family::HashFamily;
+pub use fold::{fold_shard, ShardFold};
 pub use generic::{diversify_generic, sig_gen_if_generic};
 pub use index_based::{sig_gen_ib, sig_gen_ib_budgeted, IbStats};
 pub use index_based_active::sig_gen_ib_active;
 pub use index_free::{scan_columns_budgeted, sig_gen_if, sig_gen_if_budgeted};
-pub use parallel::{
-    scan_columns_parallel_budgeted, sig_gen_parallel, sig_gen_parallel_budgeted,
-};
+pub use parallel::{scan_columns_parallel_budgeted, sig_gen_parallel, sig_gen_parallel_budgeted};
 pub use parallel_ib::{sig_gen_ib_parallel, sig_gen_ib_parallel_budgeted};
 pub use signature::{SignatureMatrix, SlotMajorSignatures, INF_SLOT};
 

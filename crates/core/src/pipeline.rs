@@ -23,7 +23,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use skydiver_data::{Dataset, Preference, ShardedDataset};
-use skydiver_rtree::{BufferPool, FaultInjection, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE};
+use skydiver_rtree::{
+    BufferPool, FaultInjection, RTree, DEFAULT_CACHE_FRACTION, DEFAULT_PAGE_SIZE,
+};
 use skydiver_skyline::{bbs, sfs};
 
 use crate::budget::{
@@ -39,9 +41,8 @@ use crate::error::{Result, SkyDiverError};
 use crate::graph::DominanceGraph;
 use crate::lsh::{LshIndex, LshParams};
 use crate::minhash::{
-    scan_columns_budgeted, scan_columns_parallel_budgeted, sig_gen_if_budgeted,
-    sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, SigGenOutput, SignatureAccumulator,
-    SignatureMatrix,
+    sig_gen_if_budgeted, sig_gen_parallel_budgeted, HashFamily, ShardFingerprint, SigGenOutput,
+    SignatureAccumulator, SignatureMatrix,
 };
 
 /// Which phase-2 representation drives the selection.
@@ -434,88 +435,44 @@ impl SkyDiver {
                 .and_then(|c| c.as_ref())
                 .filter(|c| c.t() == t_eff);
 
-            let shard_fp = match cache {
-                Some(c) => {
-                    // Columns the cache lacks — freshly exposed skyline
-                    // points, which can only live in shards after the
-                    // cache was built.
-                    let need: Vec<usize> = skyline
-                        .iter()
-                        .copied()
-                        .filter(|&s| c.position(s).is_none())
-                        .collect();
-                    if need.is_empty() && c.columns == skyline {
-                        // Exact fit: reuse the Arc as-is.
-                        merged.merge(&c.acc);
-                        reused_shards += 1;
-                        shards.push(Arc::clone(c));
-                        continue 'shards;
-                    }
-                    let mut shard_acc = SignatureAccumulator::new(t_eff, m);
-                    for (jn, &s) in skyline.iter().enumerate() {
-                        if let Some(jo) = c.position(s) {
-                            shard_acc.matrix.set_column(jn, c.acc.matrix.column(jo));
-                            shard_acc.scores[jn] = c.acc.scores[jo];
-                        }
-                    }
-                    if need.is_empty() {
-                        // Cache is a superset (the skyline shrank):
-                        // every column extracted, nothing to scan.
-                        shard_acc.rows_consumed = c.acc.rows_consumed;
-                        reused_shards += 1;
-                    } else {
-                        let need_cols: Vec<&[f64]> =
-                            need.iter().map(|&s| canon.point(s)).collect();
-                        let mut need_acc = SignatureAccumulator::new(t_eff, need.len());
-                        let int = if self.threads > 1 {
-                            let (acc, int) = scan_columns_parallel_budgeted(
-                                sview, &ord, &need_cols, skip, &family, &ctx, self.threads,
-                            );
-                            need_acc = acc;
-                            int
-                        } else {
-                            scan_columns_budgeted(
-                                sview, &ord, &need_cols, skip, &family, &ctx, &mut need_acc,
-                            )
-                        };
-                        scanned_rows += need_acc.rows_consumed;
-                        shard_acc.rows_consumed = need_acc.rows_consumed;
-                        for (jn, &s) in need.iter().enumerate() {
-                            // lint: allow(R1) -- `need` was computed as the
-                            // subset of `skyline` the fold lacks, so lookup
-                            // cannot miss
-                            let j = skyline.binary_search(&s).expect("need ⊆ skyline");
-                            shard_acc.matrix.set_column(j, need_acc.matrix.column(jn));
-                            shard_acc.scores[j] = need_acc.scores[jn];
-                        }
-                        if let Some(int) = int {
-                            merged.merge(&shard_acc);
-                            tripped = Some(int);
-                            break 'shards;
-                        }
-                    }
-                    shard_acc
+            // The per-shard fold itself (cache reuse + budgeted scan)
+            // lives in `minhash::fold_shard`, shared verbatim with the
+            // distributed workers of the cluster tier.
+            let shard_fp = match crate::minhash::fold_shard(
+                sview,
+                &skyline,
+                &all_cols,
+                skip,
+                &family,
+                cache.map(|c| c.as_ref()),
+                self.threads,
+                &ctx,
+            ) {
+                crate::minhash::ShardFold::ReusedExact => {
+                    // lint: allow(R1) -- ReusedExact is only returned
+                    // when `cache` was Some
+                    let c = cache.expect("exact reuse implies a cache");
+                    merged.merge(&c.acc);
+                    reused_shards += 1;
+                    shards.push(Arc::clone(c));
+                    continue 'shards;
                 }
-                None => {
-                    let mut shard_acc = SignatureAccumulator::new(t_eff, m);
-                    let int = if self.threads > 1 {
-                        let (acc, int) = scan_columns_parallel_budgeted(
-                            sview, &ord, &all_cols, skip, &family, &ctx, self.threads,
-                        );
-                        shard_acc = acc;
-                        int
-                    } else {
-                        scan_columns_budgeted(
-                            sview, &ord, &all_cols, skip, &family, &ctx, &mut shard_acc,
-                        )
-                    };
-                    scanned_rows += shard_acc.rows_consumed;
-                    if let Some(int) = int {
-                        merged.merge(&shard_acc);
+                crate::minhash::ShardFold::ReusedSuperset(acc) => {
+                    reused_shards += 1;
+                    acc
+                }
+                crate::minhash::ShardFold::Scanned {
+                    acc,
+                    scanned_rows: sr,
+                    interrupt,
+                } => {
+                    scanned_rows += sr;
+                    if let Some(int) = interrupt {
+                        merged.merge(&acc);
                         tripped = Some(int);
                         break 'shards;
                     }
-                    shard_acc
+                    acc
                 }
             };
             merged.merge(&shard_fp);
@@ -628,7 +585,13 @@ impl SkyDiver {
                 rows_total: canon.len(),
             });
         }
-        Ok(Fingerprint { skyline, output: out, fingerprint_ms, events, interrupt })
+        Ok(Fingerprint {
+            skyline,
+            output: out,
+            fingerprint_ms,
+            events,
+            interrupt,
+        })
     }
 
     fn select_from_ctx(&self, fp: &Fingerprint, ctx: &ExecContext) -> Result<DiverseResult> {
@@ -642,7 +605,13 @@ impl SkyDiver {
                 fp.events.clone(),
             ));
         }
-        self.finish(&fp.skyline, &fp.output, fp.fingerprint_ms, fp.events.clone(), ctx)
+        self.finish(
+            &fp.skyline,
+            &fp.output,
+            fp.fingerprint_ms,
+            fp.events.clone(),
+            ctx,
+        )
     }
 
     /// Index-based run: bulk-load an aggregate R*-tree (paper defaults:
@@ -669,7 +638,10 @@ impl SkyDiver {
             pool.inject_faults(plan);
         }
         if let Err(int) = ctx.check(ExecPhase::Skyline) {
-            return Ok((Self::partial(vec![], vec![], 0, 0.0, int, vec![]), pool.stats()));
+            return Ok((
+                Self::partial(vec![], vec![], 0, 0.0, int, vec![]),
+                pool.stats(),
+            ));
         }
         let skyline = bbs(&tree, &mut pool);
         if let Some(fail) = pool.failure() {
@@ -874,7 +846,14 @@ impl SkyDiver {
                 ctx,
             )
         } else {
-            select_diverse_budgeted(&mut dist, scores, self.k, self.seed_rule, self.tie_break, ctx)
+            select_diverse_budgeted(
+                &mut dist,
+                scores,
+                self.k,
+                self.seed_rule,
+                self.tie_break,
+                ctx,
+            )
         }
     }
 
@@ -905,8 +884,12 @@ impl SkyDiver {
             SelectionMethod::Lsh { threshold, buckets } => {
                 match LshParams::from_threshold(out.matrix.t(), threshold) {
                     Ok(params) => {
-                        let buckets =
-                            self.effective_buckets(out.matrix.m(), params.zones, buckets, &mut events);
+                        let buckets = self.effective_buckets(
+                            out.matrix.m(),
+                            params.zones,
+                            buckets,
+                            &mut events,
+                        );
                         let idx = LshIndex::build(&out.matrix, params, buckets, self.hash_seed)?;
                         let dist = LshDistance::new(&idx);
                         let (sel, int) = self.select(dist, &out.scores, ctx)?;
@@ -1011,7 +994,10 @@ mod tests {
     fn select_from_partial_fingerprint_matches_partial_run() {
         let ds = independent(2000, 3, 166);
         let prefs = Preference::all_min(3);
-        let full = SkyDiver::new(3).signature_size(32).run(&ds, &prefs).unwrap();
+        let full = SkyDiver::new(3)
+            .signature_size(32)
+            .run(&ds, &prefs)
+            .unwrap();
         let m = full.skyline.len() as u64;
         let cfg = SkyDiver::new(3)
             .signature_size(32)
@@ -1100,7 +1086,11 @@ mod tests {
     fn parallel_threads_do_not_change_result() {
         let ds = anticorrelated(2000, 3, 154);
         let prefs = Preference::all_min(3);
-        let seq = SkyDiver::new(4).signature_size(64).hash_seed(5).run(&ds, &prefs).unwrap();
+        let seq = SkyDiver::new(4)
+            .signature_size(64)
+            .hash_seed(5)
+            .run(&ds, &prefs)
+            .unwrap();
         let par = SkyDiver::new(4)
             .signature_size(64)
             .hash_seed(5)
@@ -1130,7 +1120,10 @@ mod tests {
     fn dominance_budget_curtails_fingerprinting() {
         let ds = independent(2000, 3, 156);
         let prefs = Preference::all_min(3);
-        let full = SkyDiver::new(3).signature_size(32).run(&ds, &prefs).unwrap();
+        let full = SkyDiver::new(3)
+            .signature_size(32)
+            .run(&ds, &prefs)
+            .unwrap();
         let m = full.skyline.len() as u64;
         let r = SkyDiver::new(3)
             .signature_size(32)
@@ -1141,7 +1134,10 @@ mod tests {
         assert!(r.selected.is_empty(), "selection skipped after interrupt");
         let int = r.degradation.interrupt.as_ref().unwrap();
         assert_eq!(int.phase, ExecPhase::Fingerprint);
-        assert!(matches!(int.reason, StopReason::DominanceBudgetExhausted { .. }));
+        assert!(matches!(
+            int.reason,
+            StopReason::DominanceBudgetExhausted { .. }
+        ));
         assert!(r
             .degradation
             .events
@@ -1153,7 +1149,10 @@ mod tests {
     fn memory_budget_shrinks_signature_size() {
         let ds = anticorrelated(2000, 3, 157);
         let prefs = Preference::all_min(3);
-        let full = SkyDiver::new(3).signature_size(100).run(&ds, &prefs).unwrap();
+        let full = SkyDiver::new(3)
+            .signature_size(100)
+            .run(&ds, &prefs)
+            .unwrap();
         let m = full.skyline.len();
         // Allow 10 matrix-slots' worth of bytes. One MinHash slot pins
         // two layouts (matrix row + slot-major transpose), so the
@@ -1183,7 +1182,10 @@ mod tests {
             .unwrap();
         let int = r.degradation.interrupt.as_ref().unwrap();
         assert_eq!(int.phase, ExecPhase::Fingerprint);
-        assert!(matches!(int.reason, StopReason::MemoryBudgetExhausted { .. }));
+        assert!(matches!(
+            int.reason,
+            StopReason::MemoryBudgetExhausted { .. }
+        ));
         assert!(r.selected.is_empty());
         assert!(!r.skyline.is_empty(), "completed phases are kept");
     }
@@ -1229,7 +1231,11 @@ mod tests {
             DegradationEvent::IndexFreeFallback { .. }
         ));
         // And matches a plain index-free run bit for bit.
-        let plain = SkyDiver::new(4).signature_size(32).hash_seed(9).run(&ds, &prefs).unwrap();
+        let plain = SkyDiver::new(4)
+            .signature_size(32)
+            .hash_seed(9)
+            .run(&ds, &prefs)
+            .unwrap();
         assert_eq!(r.selected, plain.selected);
         assert_eq!(r.scores, plain.scores);
     }
@@ -1238,7 +1244,10 @@ mod tests {
     fn run_auto_without_faults_uses_the_index() {
         let ds = independent(1000, 2, 161);
         let prefs = Preference::all_min(2);
-        let r = SkyDiver::new(3).signature_size(32).run_auto(&ds, &prefs).unwrap();
+        let r = SkyDiver::new(3)
+            .signature_size(32)
+            .run_auto(&ds, &prefs)
+            .unwrap();
         assert_eq!(r.selected.len(), 3);
         assert!(r.is_complete());
     }
@@ -1250,7 +1259,11 @@ mod tests {
         let cfg = SkyDiver::new(5).signature_size(64).hash_seed(6);
         let (seq, _) = cfg.run_index_based(&ds, &prefs).unwrap();
         for threads in [2, 4] {
-            let (par, _) = cfg.clone().threads(threads).run_index_based(&ds, &prefs).unwrap();
+            let (par, _) = cfg
+                .clone()
+                .threads(threads)
+                .run_index_based(&ds, &prefs)
+                .unwrap();
             assert_eq!(seq.selected, par.selected, "threads = {threads}");
             assert_eq!(seq.scores, par.scores, "threads = {threads}");
         }
@@ -1260,7 +1273,10 @@ mod tests {
     fn parallel_lsh_selection_matches_sequential() {
         let ds = anticorrelated(2500, 3, 163);
         let prefs = Preference::all_min(3);
-        let cfg = SkyDiver::new(5).signature_size(100).hash_seed(7).lsh(0.2, 16);
+        let cfg = SkyDiver::new(5)
+            .signature_size(100)
+            .hash_seed(7)
+            .lsh(0.2, 16);
         let seq = cfg.run(&ds, &prefs).unwrap();
         let par = cfg.clone().threads(3).run(&ds, &prefs).unwrap();
         assert_eq!(seq.selected, par.selected);
@@ -1281,7 +1297,11 @@ mod tests {
             r.degradation.events[0],
             DegradationEvent::IndexFreeFallback { .. }
         ));
-        let plain = SkyDiver::new(4).signature_size(32).hash_seed(8).run(&ds, &prefs).unwrap();
+        let plain = SkyDiver::new(4)
+            .signature_size(32)
+            .hash_seed(8)
+            .run(&ds, &prefs)
+            .unwrap();
         assert_eq!(r.selected, plain.selected);
         assert_eq!(r.scores, plain.scores);
     }

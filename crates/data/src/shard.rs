@@ -276,6 +276,22 @@ impl ShardedDataset {
         (0..self.shards.len()).map(|i| self.shard_view(i)).collect()
     }
 
+    /// Global-id half-open range `[lo, hi)` covered by shard `i` — the
+    /// ownership unit routed to cluster workers.
+    #[inline]
+    pub fn shard_range(&self, i: usize) -> (usize, usize) {
+        let lo = self.bases[i];
+        (lo, lo + self.shards[i].len())
+    }
+
+    /// Global-id ranges of all shards in order; `ranges[i]` is
+    /// [`shard_range`](Self::shard_range)`(i)`.
+    pub fn shard_ranges(&self) -> Vec<(usize, usize)> {
+        (0..self.shards.len())
+            .map(|i| self.shard_range(i))
+            .collect()
+    }
+
     /// Borrows the row with global id `g`.
     ///
     /// # Panics

@@ -24,7 +24,21 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: stream })
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Wraps an already-connected stream (the cluster layer connects
+    /// with its own deadline-budgeted `connect_timeout` and socket
+    /// timeouts, then hands the stream here).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
     }
 
     /// Connects, retrying `attempts` times with `delay` between tries —
@@ -69,6 +83,50 @@ impl Client {
     pub fn exchange(&mut self, line: &str) -> Result<String, String> {
         let response = self.request(line).map_err(|e| format!("transport: {e}"))?;
         parse_response(&response)
+    }
+
+    /// Sends one request line followed by an optional raw binary body,
+    /// and reads the response line plus its body (present whenever the
+    /// payload carries a `bytes=<n>` token). The cluster verbs
+    /// (`SHARDPUT`/`FOLD`/`FETCH`) speak this shape; the body bytes are
+    /// checksummed frames, validated by the caller.
+    pub fn exchange_frame(
+        &mut self,
+        line: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(String, Option<Vec<u8>>), String> {
+        let io = |e: std::io::Error| format!("transport: {e}");
+        writeln!(self.writer, "{line}").map_err(io)?;
+        if let Some(body) = body {
+            self.writer.write_all(body).map_err(io)?;
+        }
+        self.writer.flush().map_err(io)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io)?;
+        if n == 0 {
+            return Err("transport: server closed the connection".to_string());
+        }
+        let payload = parse_response(response.trim_end())?;
+        let body_len = payload
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("bytes="))
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad bytes= token in {payload:?}"))
+            })
+            .transpose()?;
+        match body_len {
+            None | Some(0) => Ok((payload, None)),
+            Some(len) => {
+                if len > skydiver_cluster::frame::MAX_FRAME_BYTES {
+                    return Err(format!("response frame of {len} bytes exceeds the cap"));
+                }
+                use std::io::Read as _;
+                let mut buf = vec![0u8; len];
+                self.reader.read_exact(&mut buf).map_err(io)?;
+                Ok((payload, Some(buf)))
+            }
+        }
     }
 
     /// `LOAD name=<name> path=<path>` — returns the summary payload.

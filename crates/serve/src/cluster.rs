@@ -1,0 +1,1372 @@
+//! Distributed scatter-gather serving on the shard-merge invariant.
+//!
+//! A cluster is one **coordinator** plus N **workers**, all running the
+//! same `skydiver serve` binary. The coordinator owns the dataset (it is
+//! where `LOAD`/`APPEND` arrive), partitions it into shards, and routes
+//! each shard to the workers that own it under rendezvous hashing with
+//! replication factor R ([`skydiver_cluster::rendezvous`]). A `QUERY`
+//! fans out as per-shard `FOLD` requests; each worker folds its shard
+//! with the **same** `fold_shard` code the monolithic pipeline uses,
+//! returns the fold as a checksummed `SKYSIG02` frame, and the
+//! coordinator merges the folds in ascending shard order with the
+//! associative [`SignatureAccumulator`] merge, then runs selection
+//! locally.
+//!
+//! **Determinism contract.** The cluster answer is bit-identical to the
+//! single-process answer because every ingredient is: canonicalisation
+//! is row-local, row hashes are seeded by *global* ids (shipped with
+//! each shard at `SHARDPUT` time as the view base), the skyline and its
+//! canonical columns are computed once on the coordinator and shipped
+//! in the `FOLD` body, and slot-min/score-sum merge is associative and
+//! commutative. Budget-tripped prefixes match too: with a
+//! dominance-test budget the fan-out runs **sequentially in shard
+//! order**, forwarding the remaining budget to each leg, so the trip
+//! lands on the same absolute row and the degraded payload (ids,
+//! status string, dominance-test count) is byte-identical.
+//!
+//! **Failure model.** Every leg shares one [`DeadlineBudget`] per
+//! request. A dead or slow owner is retried on the next replica with
+//! whatever time is left; a shard with no reachable owner degrades the
+//! fingerprint with [`StopReason::ShardUnavailable`] instead of failing
+//! the query. A worker joining (or recovering) pulls its shards' folds
+//! from surviving replicas via `REPLICATE`/`FETCH` — the PR 6 store
+//! codec is the replication transport — and recomputes only on a miss.
+
+use std::collections::{HashMap, HashSet};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use skydiver_cluster::frame;
+use skydiver_cluster::rendezvous;
+use skydiver_cluster::{DeadlineBudget, Membership};
+use skydiver_core::minhash::persist::{decode_shard_signatures, encode_shard_signatures, fnv1a64};
+use skydiver_core::{
+    canonicalise, fold_shard, CancelToken, DegradationEvent, ExecContext, ExecPhase, Fingerprint,
+    HashFamily, Interrupt, RunBudget, ShardFingerprint, ShardFold, SigGenOutput,
+    SignatureAccumulator, SignatureMatrix, StopReason,
+};
+use skydiver_data::dominance::MinDominance;
+use skydiver_data::{Dataset, DatasetView, Preference, ShardedDataset};
+use skydiver_skyline::sfs;
+
+use crate::cache::{FingerprintCache, FingerprintKey};
+use crate::client::Client;
+use crate::metrics::Metrics;
+use crate::protocol::{json_escape, json_u64};
+use crate::registry::{parse_prefs, read_points, Registry};
+use crate::store::{prefs_hash, SignatureStore, StoreKey};
+
+/// Replication pulls at handoff time use this ceiling when no request
+/// deadline applies.
+const HANDOFF_TIMEOUT_MS: u64 = 10_000;
+
+/// Cluster role configuration carried by
+/// [`ServerConfig`](crate::ServerConfig). Present ⇒ the server is a
+/// coordinator; absent ⇒ it serves as a plain single-process server
+/// that also answers the worker verbs (`SHARDPUT`/`FOLD`/…).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker addresses (`host:port`) forming the initial roster.
+    pub workers: Vec<String>,
+    /// Replication factor R: each shard is owned by `min(R, workers)`
+    /// nodes.
+    pub replication: usize,
+    /// Shards a `LOAD` is partitioned into (appends add more).
+    pub shards: usize,
+    /// Deadline budget in milliseconds shared by **all** legs of one
+    /// fan-out (a slow worker cannot consume more than what the other
+    /// legs leave unused).
+    pub fanout_timeout_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: vec![],
+            replication: 1,
+            shards: 4,
+            fanout_timeout_ms: 10_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side: hosted shards + fold handling
+// ---------------------------------------------------------------------
+
+/// One shard of one dataset hosted on this worker.
+#[derive(Debug)]
+struct OwnedShard {
+    /// Global id of the shard's first row.
+    base: usize,
+    /// FNV-1a of the shard's points payload — the generation tag a
+    /// `FOLD` must match, so a worker that missed a `LOAD` can never
+    /// fold stale rows undetected.
+    shard_hash: u64,
+    /// The rows.
+    data: Arc<Dataset>,
+}
+
+#[derive(Debug, Default)]
+struct HostedDataset {
+    dims: usize,
+    shards: HashMap<usize, OwnedShard>,
+}
+
+/// Worker-side state: the shards this node owns, plus its own
+/// fingerprint LRU (and optional durable store) for fold reuse. Every
+/// server carries one — a node needs no restart to be drafted into a
+/// cluster.
+pub struct ShardHost {
+    hosted: RwLock<HashMap<String, HostedDataset>>,
+    cache: Mutex<FingerprintCache>,
+    store: Option<Arc<SignatureStore>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardHost {
+    /// A host with an LRU fold cache of `cache_bytes` and an optional
+    /// durable store shared with the rest of the server.
+    pub fn new(
+        cache_bytes: usize,
+        metrics: Arc<Metrics>,
+        store: Option<Arc<SignatureStore>>,
+    ) -> Self {
+        ShardHost {
+            hosted: RwLock::new(HashMap::new()),
+            cache: Mutex::new(FingerprintCache::new(cache_bytes)),
+            store,
+            metrics,
+        }
+    }
+
+    /// `(datasets, shards)` hosted — for reporting.
+    pub fn hosted_counts(&self) -> (usize, usize) {
+        let hosted = self.hosted.read().unwrap_or_else(|e| e.into_inner());
+        let shards = hosted.values().map(|d| d.shards.len()).sum();
+        (hosted.len(), shards)
+    }
+
+    fn remember(&self, key: FingerprintKey, store_key: &StoreKey, fp: &Arc<ShardFingerprint>) {
+        if let Some(store) = &self.store {
+            store.enqueue_persist(store_key.clone(), Arc::clone(fp));
+        }
+        let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.insert(key, Arc::clone(fp));
+        self.metrics
+            .bytes_resident
+            .store(cache.bytes() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.metrics
+            .cache_evictions
+            .store(cache.evictions(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// `SHARDPUT`: install (or overwrite) one hosted shard. `replace`
+    /// drops every shard previously hosted under `name` first (the
+    /// coordinator sets it on the first put of a `LOAD` generation).
+    /// Any change of a shard's content tag invalidates the dataset's
+    /// cached folds — stale reuse is impossible by construction.
+    pub fn shardput(
+        &self,
+        name: &str,
+        shard: usize,
+        base: usize,
+        replace: bool,
+        body: &[u8],
+    ) -> Result<String, String> {
+        let payload = frame::decode(body).map_err(|e| e.to_string())?;
+        let (dims, flat) = frame::decode_points(payload).map_err(|e| e.to_string())?;
+        let rows = flat.len() / dims;
+        let shard_hash = fnv1a64(payload);
+        let data = Arc::new(Dataset::from_flat(dims, flat));
+        let invalidate = {
+            let mut hosted = self.hosted.write().unwrap_or_else(|e| e.into_inner());
+            let entry = hosted.entry(name.to_string()).or_default();
+            let mut invalidate = false;
+            if replace || (entry.dims != dims && !entry.shards.is_empty()) {
+                entry.shards.clear();
+                invalidate = true;
+            }
+            entry.dims = dims;
+            if let Some(old) = entry.shards.get(&shard) {
+                if old.shard_hash != shard_hash {
+                    invalidate = true;
+                }
+            }
+            entry.shards.insert(
+                shard,
+                OwnedShard {
+                    base,
+                    shard_hash,
+                    data,
+                },
+            );
+            invalidate
+        };
+        if invalidate {
+            self.cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .invalidate_dataset(name);
+        }
+        Ok(format!("dataset={name} shard={shard} rows={rows}"))
+    }
+
+    /// `FOLD`: fold the hosted shard against the coordinator's skyline
+    /// (shipped in the body), reusing this node's cached/stored fold
+    /// exactly like the monolithic warm path. Returns the response
+    /// header tail and the `SKYSIG02` frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fold(
+        &self,
+        name: &str,
+        dataset_hash: u64,
+        shard: usize,
+        want_shard_hash: u64,
+        prefs_spec: &str,
+        t: usize,
+        seed: u64,
+        max_dominance_tests: Option<u64>,
+        timeout_ms: Option<u64>,
+        body: &[u8],
+        cancel: &CancelToken,
+    ) -> Result<(String, Vec<u8>), String> {
+        let payload = frame::decode(body).map_err(|e| e.to_string())?;
+        let (dims, ids, cols_flat) =
+            frame::decode_fold_request(payload).map_err(|e| e.to_string())?;
+        let (base, data) = {
+            let hosted = self.hosted.read().unwrap_or_else(|e| e.into_inner());
+            let ds = hosted
+                .get(name)
+                .ok_or_else(|| format!("dataset {name:?} not hosted here"))?;
+            let owned = ds
+                .shards
+                .get(&shard)
+                .ok_or_else(|| format!("shard {shard} of {name:?} not hosted here"))?;
+            if owned.shard_hash != want_shard_hash {
+                return Err(format!(
+                    "shard {shard} of {name:?} is a stale generation \
+                     (have {:#018x}, coordinator expects {want_shard_hash:#018x})",
+                    owned.shard_hash
+                ));
+            }
+            if ds.dims != dims {
+                return Err(format!(
+                    "fold request has {dims} dims, hosted shard has {}",
+                    ds.dims
+                ));
+            }
+            (owned.base, Arc::clone(&owned.data))
+        };
+        let (prefs, prefs_key) = parse_prefs(Some(prefs_spec), dims)?;
+        let canon = canonicalise(&data, &prefs).map_err(|e| e.to_string())?;
+
+        let mut budget = RunBudget::none().with_cancel_token(cancel.clone());
+        if let Some(n) = max_dominance_tests {
+            budget = budget.with_max_dominance_tests(n);
+        }
+        if let Some(ms) = timeout_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        let ctx = ExecContext::new(budget);
+        let family = HashFamily::new(t, seed);
+        let m = ids.len();
+        let cols: Vec<&[f64]> = (0..m)
+            .map(|j| &cols_flat[j * dims..(j + 1) * dims])
+            .collect();
+        let mut skip = vec![false; data.len()];
+        for (r, s) in skip.iter_mut().enumerate() {
+            *s = ids.binary_search(&(base + r)).is_ok();
+        }
+
+        let key = FingerprintKey {
+            dataset: name.to_string(),
+            shard,
+            prefs: prefs_key.clone(),
+            t,
+            seed,
+        };
+        let store_key = StoreKey {
+            dataset_hash,
+            shard,
+            prefs_hash: prefs_hash(&prefs_key),
+            t,
+            seed,
+        };
+        let mut cached = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .filter(|c| c.t() == t);
+        if cached.is_none() {
+            if let Some(store) = &self.store {
+                cached = store.load(&store_key).filter(|c| c.t() == t);
+            }
+        }
+
+        let sview = DatasetView::with_base(canon.as_ref(), base);
+        let outcome = fold_shard(
+            sview,
+            &ids,
+            &cols,
+            &skip,
+            &family,
+            cached.as_deref(),
+            1,
+            &ctx,
+        );
+        let tests = ctx.dominance_tests();
+        let (encoded, reused, scanned, interrupt) = match outcome {
+            ShardFold::ReusedExact => {
+                // lint: allow(R1) -- ReusedExact is only returned when a
+                // cache was supplied
+                let c = cached.clone().expect("exact reuse implies a cache");
+                (
+                    encode_shard_signatures(&c, &store_key.tags()),
+                    true,
+                    0usize,
+                    None,
+                )
+            }
+            ShardFold::ReusedSuperset(acc) => {
+                let fp = Arc::new(ShardFingerprint {
+                    columns: ids.clone(),
+                    acc,
+                });
+                self.remember(key, &store_key, &fp);
+                (
+                    encode_shard_signatures(&fp, &store_key.tags()),
+                    true,
+                    0,
+                    None,
+                )
+            }
+            ShardFold::Scanned {
+                acc,
+                scanned_rows,
+                interrupt,
+            } => {
+                let fp = Arc::new(ShardFingerprint {
+                    columns: ids.clone(),
+                    acc,
+                });
+                if interrupt.is_none() {
+                    self.remember(key, &store_key, &fp);
+                }
+                (
+                    encode_shard_signatures(&fp, &store_key.tags()),
+                    false,
+                    scanned_rows,
+                    interrupt,
+                )
+            }
+        };
+        self.metrics.add(&self.metrics.dominance_tests, tests);
+        if reused {
+            self.metrics.bump(&self.metrics.shards_reused);
+        }
+        let body = frame::encode(&encoded);
+        let mut header = format!(
+            "reused={} scanned={scanned} tests={tests} tripped={}",
+            reused as u8,
+            match &interrupt {
+                None => "none",
+                Some(i) => match i.reason {
+                    StopReason::Cancelled => "cancelled",
+                    StopReason::DeadlineExceeded { .. } => "deadline",
+                    StopReason::DominanceBudgetExhausted { .. } => "dominance",
+                    _ => "other",
+                },
+            }
+        );
+        if let Some(Interrupt {
+            reason: StopReason::DominanceBudgetExhausted { used, limit },
+            ..
+        }) = &interrupt
+        {
+            header.push_str(&format!(" trip_used={used} trip_limit={limit}"));
+        }
+        header.push_str(&format!(" bytes={}", body.len()));
+        Ok((header, body))
+    }
+
+    /// `FETCH`: serve a fold artefact from this node's LRU or store,
+    /// as a `SKYSIG02` frame — the replication transport. Replies
+    /// `found=0` (no body) on a miss.
+    pub fn fetch(
+        &self,
+        name: &str,
+        dataset_hash: u64,
+        shard: usize,
+        prefs_spec: &str,
+        t: usize,
+        seed: u64,
+    ) -> Result<(String, Option<Vec<u8>>), String> {
+        let dims_hint = prefs_spec.split(',').count();
+        let (_, prefs_key) = parse_prefs(Some(prefs_spec), dims_hint)?;
+        let key = FingerprintKey {
+            dataset: name.to_string(),
+            shard,
+            prefs: prefs_key.clone(),
+            t,
+            seed,
+        };
+        let store_key = StoreKey {
+            dataset_hash,
+            shard,
+            prefs_hash: prefs_hash(&prefs_key),
+            t,
+            seed,
+        };
+        let mut fp = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .filter(|c| c.t() == t);
+        if fp.is_none() {
+            if let Some(store) = &self.store {
+                fp = store.load(&store_key).filter(|c| c.t() == t);
+            }
+        }
+        match fp {
+            Some(fp) => {
+                let body = frame::encode(&encode_shard_signatures(&fp, &store_key.tags()));
+                Ok((format!("found=1 bytes={}", body.len()), Some(body)))
+            }
+            None => Ok(("found=0".to_string(), None)),
+        }
+    }
+
+    /// `REPLICATE`: pull one fold artefact from a peer (`FETCH`) and
+    /// install it locally. Best-effort by design — a miss or transport
+    /// failure replies `replicated=0` and the next `FOLD` recomputes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replicate(
+        &self,
+        name: &str,
+        dataset_hash: u64,
+        shard: usize,
+        prefs_spec: &str,
+        t: usize,
+        seed: u64,
+        from: &str,
+    ) -> Result<String, String> {
+        let dims_hint = prefs_spec.split(',').count();
+        let (_, prefs_key) = parse_prefs(Some(prefs_spec), dims_hint)?;
+        let store_key = StoreKey {
+            dataset_hash,
+            shard,
+            prefs_hash: prefs_hash(&prefs_key),
+            t,
+            seed,
+        };
+        let deadline = DeadlineBudget::from_millis(HANDOFF_TIMEOUT_MS);
+        let pulled = pull_artefact(from, name, &store_key, &prefs_key, &deadline);
+        match pulled {
+            Some(fp) => {
+                let key = FingerprintKey {
+                    dataset: name.to_string(),
+                    shard,
+                    prefs: prefs_key,
+                    t,
+                    seed,
+                };
+                self.remember(key, &store_key, &fp);
+                Ok("replicated=1".to_string())
+            }
+            None => Ok("replicated=0".to_string()),
+        }
+    }
+}
+
+/// Fetches one artefact from a peer, validating frame checksum, key
+/// tags and signature size before accepting it.
+fn pull_artefact(
+    from: &str,
+    name: &str,
+    store_key: &StoreKey,
+    prefs_key: &str,
+    deadline: &DeadlineBudget,
+) -> Option<Arc<ShardFingerprint>> {
+    let mut client = connect_deadline(from, deadline).ok()?;
+    let line = format!(
+        "FETCH name={name} hash={} shard={} prefs={prefs_key} t={} seed={}",
+        store_key.dataset_hash, store_key.shard, store_key.t, store_key.seed
+    );
+    let (header, body) = client.exchange_frame(&line, None).ok()?;
+    if json_kv_u64(&header, "found") != Some(1) {
+        return None;
+    }
+    let body = body?;
+    let payload = frame::decode(&body).ok()?;
+    let (fp, tags) = decode_shard_signatures(payload).ok()?;
+    if tags != store_key.tags() || fp.t() != store_key.t {
+        return None;
+    }
+    Some(Arc::new(fp))
+}
+
+/// Extracts `key=<u64>` from a space-separated response header.
+fn json_kv_u64(header: &str, key: &str) -> Option<u64> {
+    header
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+/// Per-dataset routing state the coordinator keeps alongside the
+/// registry: the durable-store coordinate plus each shard's content tag
+/// and global-id range.
+#[derive(Debug, Clone)]
+struct DatasetRouting {
+    content_hash: u64,
+    dims: usize,
+    shard_hashes: Vec<u64>,
+}
+
+/// One completed fold leg of a fan-out.
+struct Leg {
+    fp: ShardFingerprint,
+    reused: bool,
+    tests: u64,
+    trip: Option<LegTrip>,
+}
+
+/// A budget trip reported by a worker, in coordinator terms.
+enum LegTrip {
+    Cancelled,
+    Deadline,
+    Dominance { used: u64 },
+}
+
+/// Coordinator state: the roster, per-dataset routing, and the fold
+/// combinations seen so far (replayed to joining workers as
+/// `REPLICATE` pulls).
+pub struct ClusterState {
+    replication: usize,
+    shards: usize,
+    fanout_timeout_ms: u64,
+    membership: Mutex<Membership>,
+    routing: Mutex<HashMap<String, DatasetRouting>>,
+    seen: Mutex<Vec<(String, String, usize, u64)>>,
+    metrics: Arc<Metrics>,
+}
+
+/// Fold combinations remembered for join-time replication (bounded).
+const SEEN_CAP: usize = 64;
+
+impl ClusterState {
+    /// A coordinator over `cfg`'s initial roster.
+    pub fn new(cfg: &ClusterConfig, metrics: Arc<Metrics>) -> Self {
+        ClusterState {
+            replication: cfg.replication.max(1),
+            shards: cfg.shards.max(1),
+            fanout_timeout_ms: cfg.fanout_timeout_ms.max(1),
+            membership: Mutex::new(Membership::new(cfg.workers.clone())),
+            routing: Mutex::new(HashMap::new()),
+            seen: Mutex::new(Vec::new()),
+            metrics,
+        }
+    }
+
+    fn roster(&self) -> (u64, Vec<String>) {
+        let m = self.membership.lock().unwrap_or_else(|e| e.into_inner());
+        (m.epoch(), m.nodes().to_vec())
+    }
+
+    fn note_seen(&self, name: &str, prefs_key: &str, t: usize, seed: u64) {
+        let combo = (name.to_string(), prefs_key.to_string(), t, seed);
+        let mut seen = self.seen.lock().unwrap_or_else(|e| e.into_inner());
+        if !seen.contains(&combo) {
+            if seen.len() >= SEEN_CAP {
+                seen.remove(0);
+            }
+            seen.push(combo);
+        }
+    }
+
+    /// Coordinator `LOAD`: read, partition into the configured shard
+    /// count, install locally (the coordinator keeps a full copy — it
+    /// is the source of truth for routing and the greedy baseline),
+    /// and route every shard to its owners. Fails if any shard reaches
+    /// no owner at all.
+    pub fn load(&self, registry: &Registry, name: &str, path: &str) -> Result<String, String> {
+        let data = read_points(path)?;
+        let sd = ShardedDataset::partition(&data, self.shards.min(data.len().max(1)));
+        let (points, dims) = registry.insert_sharded(name, sd);
+        self.reroute_all(registry, name, true)?;
+        let (_, nodes) = self.roster();
+        let shards = registry
+            .dataset(name)
+            .map(|d| d.data.num_shards())
+            .unwrap_or(0);
+        Ok(format!(
+            "dataset={name} points={points} dims={dims} shards={shards} workers={}",
+            nodes.len()
+        ))
+    }
+
+    /// Coordinator `APPEND`: grow the local dataset by one shard and
+    /// route only the new shard to its owners (old shards — and their
+    /// folds on the workers — stay valid, the warm-append contract).
+    pub fn append(&self, registry: &Registry, name: &str, path: &str) -> Result<String, String> {
+        let block = read_points(path)?;
+        let (points, dims, shards, appended) = registry.append_dataset(name, block)?;
+        let ds = registry
+            .dataset(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let new_shard = shards - 1;
+        let payload = frame::encode_points(dims, ds.data.shard_view(new_shard).as_flat());
+        let shard_hash = fnv1a64(&payload);
+        {
+            let mut routing = self.routing.lock().unwrap_or_else(|e| e.into_inner());
+            match routing.get_mut(name) {
+                Some(r) => {
+                    r.content_hash = ds.content_hash;
+                    r.shard_hashes.push(shard_hash);
+                }
+                None => {
+                    drop(routing);
+                    self.reroute_all(registry, name, false)?;
+                }
+            }
+        }
+        let (_, nodes) = self.roster();
+        let deadline = DeadlineBudget::from_millis(self.fanout_timeout_ms);
+        let (lo, _) = ds.data.shard_range(new_shard);
+        let mut placed = 0usize;
+        let owners = rendezvous::owners(&nodes, new_shard, self.replication);
+        for owner in &owners {
+            if self
+                .put_shard(owner, name, new_shard, lo, false, &payload, &deadline)
+                .is_ok()
+            {
+                placed += 1;
+            }
+        }
+        if placed == 0 && !owners.is_empty() {
+            return Err(format!("appended shard {new_shard} reached no owner"));
+        }
+        Ok(format!(
+            "dataset={name} points={points} dims={dims} shards={shards} appended={appended}"
+        ))
+    }
+
+    /// Rebuilds routing for `name` from the registry copy and pushes
+    /// every shard to its owners (`replace` marks a fresh generation —
+    /// the first put to each worker clears its previous shards of this
+    /// dataset).
+    fn reroute_all(&self, registry: &Registry, name: &str, replace: bool) -> Result<(), String> {
+        let ds = registry
+            .dataset(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let dims = ds.data.dims();
+        let nshards = ds.data.num_shards();
+        let mut payloads = Vec::with_capacity(nshards);
+        let mut shard_hashes = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let payload = frame::encode_points(dims, ds.data.shard_view(i).as_flat());
+            shard_hashes.push(fnv1a64(&payload));
+            payloads.push(payload);
+        }
+        self.routing
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(
+                name.to_string(),
+                DatasetRouting {
+                    content_hash: ds.content_hash,
+                    dims,
+                    shard_hashes,
+                },
+            );
+        let (_, nodes) = self.roster();
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let deadline = DeadlineBudget::from_millis(self.fanout_timeout_ms);
+        let mut cleared: HashSet<String> = HashSet::new();
+        for (shard, payload) in payloads.iter().enumerate() {
+            let (lo, _) = ds.data.shard_range(shard);
+            let mut placed = 0usize;
+            for owner in rendezvous::owners(&nodes, shard, self.replication) {
+                let first_contact = cleared.insert(owner.clone());
+                let rep = replace && first_contact;
+                match self.put_shard(&owner, name, shard, lo, rep, payload, &deadline) {
+                    Ok(()) => placed += 1,
+                    Err(e) => eprintln!(
+                        "skydiver-cluster: SHARDPUT {name}/{shard} -> {owner} failed: {e}"
+                    ),
+                }
+            }
+            if placed == 0 {
+                return Err(format!("shard {shard} of {name:?} reached no owner"));
+            }
+        }
+        Ok(())
+    }
+
+    /// One `SHARDPUT` to one worker.
+    #[allow(clippy::too_many_arguments)]
+    fn put_shard(
+        &self,
+        owner: &str,
+        name: &str,
+        shard: usize,
+        base: usize,
+        replace: bool,
+        payload: &[u8],
+        deadline: &DeadlineBudget,
+    ) -> Result<(), String> {
+        let body = frame::encode(payload);
+        let mut client = connect_deadline(owner, deadline).map_err(|e| e.to_string())?;
+        let line = format!(
+            "SHARDPUT name={name} shard={shard} base={base} replace={} bytes={}",
+            replace as u8,
+            body.len()
+        );
+        client
+            .exchange_frame(&line, Some(&body))
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    /// `JOIN addr=…`: add a worker, push it the shards it now owns and
+    /// ask it to pull the known fold artefacts from surviving donors.
+    pub fn join(&self, registry: &Registry, addr: &str) -> Result<String, String> {
+        self.reshape(registry, addr, true)
+    }
+
+    /// `LEAVE addr=…`: retire a worker; shards it owned move to the
+    /// rendezvous successors, which pull folds from surviving replicas.
+    pub fn leave(&self, registry: &Registry, addr: &str) -> Result<String, String> {
+        self.reshape(registry, addr, false)
+    }
+
+    fn reshape(&self, registry: &Registry, addr: &str, join: bool) -> Result<String, String> {
+        let max_shards = {
+            let routing = self.routing.lock().unwrap_or_else(|e| e.into_inner());
+            routing
+                .values()
+                .map(|r| r.shard_hashes.len())
+                .max()
+                .unwrap_or(0)
+        }
+        .max(self.shards);
+        let (epoch, workers, plan) = {
+            let mut m = self.membership.lock().unwrap_or_else(|e| e.into_inner());
+            let plan = if join {
+                m.join(addr, max_shards, self.replication)
+            } else {
+                m.leave(addr, max_shards, self.replication)
+            };
+            (m.epoch(), m.nodes().len(), plan)
+        };
+        let Some(plan) = plan else {
+            return Ok(format!("epoch={epoch} workers={workers} moved=0"));
+        };
+        let moved = self.apply_handoffs(registry, &plan);
+        Ok(format!("epoch={epoch} workers={workers} moved={moved}"))
+    }
+
+    /// Executes a handoff plan: for every `(shard, new owner)` move and
+    /// every dataset, ship the rows from the coordinator's copy, then
+    /// ask the new owner to pull the fold artefacts this cluster has
+    /// computed so far from a surviving donor. Best-effort per leg —
+    /// a failed move surfaces at query time as a replica retry.
+    fn apply_handoffs(&self, registry: &Registry, plan: &[skydiver_cluster::Handoff]) -> usize {
+        let routing: Vec<(String, DatasetRouting)> = {
+            let r = self.routing.lock().unwrap_or_else(|e| e.into_inner());
+            r.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let seen: Vec<(String, String, usize, u64)> = {
+            let s = self.seen.lock().unwrap_or_else(|e| e.into_inner());
+            s.clone()
+        };
+        let deadline = DeadlineBudget::from_millis(HANDOFF_TIMEOUT_MS);
+        let mut moved = 0usize;
+        for h in plan {
+            for (name, route) in &routing {
+                if h.shard >= route.shard_hashes.len() {
+                    continue;
+                }
+                let Some(ds) = registry.dataset(name) else {
+                    continue;
+                };
+                if h.shard >= ds.data.num_shards() {
+                    continue;
+                }
+                let payload =
+                    frame::encode_points(route.dims, ds.data.shard_view(h.shard).as_flat());
+                let (lo, _) = ds.data.shard_range(h.shard);
+                match self.put_shard(&h.to, name, h.shard, lo, false, &payload, &deadline) {
+                    Ok(()) => {
+                        moved += 1;
+                        self.metrics.bump(&self.metrics.handoffs);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "skydiver-cluster: handoff {name}/{} -> {} failed: {e}",
+                            h.shard, h.to
+                        );
+                        continue;
+                    }
+                }
+                let Some(from) = &h.from else { continue };
+                for (cname, prefs_key, t, seed) in &seen {
+                    if cname != name {
+                        continue;
+                    }
+                    let line = format!(
+                        "REPLICATE name={name} hash={} shard={} prefs={prefs_key} \
+                         t={t} seed={seed} from={from}",
+                        route.content_hash, h.shard
+                    );
+                    if let Ok(mut client) = connect_deadline(&h.to, &deadline) {
+                        let _ = client.exchange_frame(&line, None);
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// The coordinator's fingerprint path — the cluster twin of
+    /// [`Registry::fingerprint`], with identical memoisation, budget and
+    /// return semantics. Fan-out is parallel, except when a
+    /// dominance-test budget is set: then legs run sequentially in
+    /// shard order forwarding the remaining budget, so the trip lands
+    /// on the same absolute row as the monolithic run and the degraded
+    /// payload is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fingerprint(
+        &self,
+        registry: &Registry,
+        name: &str,
+        prefs: &[Preference],
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        budget: RunBudget,
+        max_dominance_tests: Option<u64>,
+        timeout_ms: Option<u64>,
+    ) -> Result<(Arc<Fingerprint>, bool, u64), String> {
+        let ds = registry
+            .dataset(name)
+            .ok_or_else(|| format!("unknown dataset {name:?} (LOAD it first)"))?;
+        let memo_key = (prefs_key.to_string(), t, seed);
+        if let Some(fp) = ds.memo_get(&memo_key) {
+            self.metrics.bump(&self.metrics.cache_hits);
+            return Ok((fp, true, 0));
+        }
+        let (_, nodes) = self.roster();
+        let routing = {
+            let r = self.routing.lock().unwrap_or_else(|e| e.into_inner());
+            r.get(name).cloned()
+        };
+        let (Some(routing), false) = (routing, nodes.is_empty()) else {
+            // No workers (or a dataset loaded outside cluster routing):
+            // fall back to the local monolithic path — same bits.
+            return registry.fingerprint(name, prefs, prefs_key, t, seed, budget);
+        };
+        self.metrics.bump(&self.metrics.cache_misses);
+        if t == 0 {
+            return Err("signature size t must be positive".to_string());
+        }
+
+        // Phase 1 locally: canonicalise + skyline, exactly as the
+        // monolithic `fingerprint_sharded_with` does before its shard
+        // loop (neither charges dominance tests).
+        let ctx = ExecContext::new(budget);
+        let whole = ds.whole();
+        let canon = canonicalise(&whole, prefs).map_err(|e| e.to_string())?;
+        if let Err(int) = ctx.check(ExecPhase::Skyline) {
+            let fp = Fingerprint {
+                skyline: vec![],
+                output: SigGenOutput {
+                    matrix: SignatureMatrix::new(t, 0),
+                    scores: vec![],
+                },
+                fingerprint_ms: 0.0,
+                events: vec![],
+                interrupt: Some(int),
+            };
+            return Ok((Arc::new(fp), false, 0));
+        }
+        let skyline = sfs(canon.as_ref(), &MinDominance);
+        if skyline.is_empty() {
+            return Err("empty skyline: no finite points to diversify".to_string());
+        }
+        let m = skyline.len();
+        let dims = routing.dims;
+        let mut cols_flat = Vec::with_capacity(m * dims);
+        for &s in &skyline {
+            cols_flat.extend_from_slice(canon.point(s));
+        }
+        let fold_payload = frame::encode(&frame::encode_fold_request(dims, &skyline, &cols_flat));
+        let nshards = ds.data.num_shards();
+        let deadline = DeadlineBudget::from_millis(
+            timeout_ms
+                .unwrap_or(self.fanout_timeout_ms)
+                .min(self.fanout_timeout_ms),
+        );
+
+        let t0 = Instant::now();
+        let legs: Vec<Result<Leg, String>> = if let Some(limit) = max_dominance_tests {
+            // Sequential, shard order, forwarding the remaining budget:
+            // worker i trips exactly when global used would exceed the
+            // limit, reproducing the monolithic trip row.
+            let mut out = Vec::with_capacity(nshards);
+            let mut consumed = 0u64;
+            // lint: allow(R2) -- every iteration runs under the shared
+            // fan-out `deadline` and the forwarded dominance budget; a
+            // tripped leg breaks out below
+            for shard in 0..nshards {
+                let remaining = limit.saturating_sub(consumed);
+                let leg = self.fold_leg(
+                    &nodes,
+                    name,
+                    &routing,
+                    shard,
+                    &fold_payload,
+                    prefs_key,
+                    t,
+                    seed,
+                    Some(remaining),
+                    &deadline,
+                    &skyline,
+                );
+                let stop = match &leg {
+                    Ok(l) => {
+                        consumed += l.tests;
+                        l.trip.is_some()
+                    }
+                    Err(_) => false,
+                };
+                out.push(leg);
+                if stop {
+                    break;
+                }
+            }
+            out
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nshards)
+                    .map(|shard| {
+                        let nodes = &nodes;
+                        let routing = &routing;
+                        let fold_payload = &fold_payload;
+                        let skyline = &skyline;
+                        let deadline = &deadline;
+                        scope.spawn(move || {
+                            self.fold_leg(
+                                nodes,
+                                name,
+                                routing,
+                                shard,
+                                fold_payload,
+                                prefs_key,
+                                t,
+                                seed,
+                                None,
+                                deadline,
+                                skyline,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|_| Err("fold leg panicked".into())))
+                    .collect()
+            })
+        };
+
+        // Merge in ascending shard order (the monolithic order; the
+        // merge is commutative, so parallel completion order is moot).
+        let mut merged = SignatureAccumulator::new(t, m);
+        let mut dominance_tests = 0u64;
+        let mut reused = 0u64;
+        let mut prefix_tests = 0u64;
+        let mut interrupt: Option<Interrupt> = None;
+        let mut failed_shard: Option<usize> = None;
+        for (shard, leg) in legs.iter().enumerate() {
+            match leg {
+                Ok(l) => {
+                    merged.merge(&l.fp.acc);
+                    dominance_tests += l.tests;
+                    if l.reused {
+                        reused += 1;
+                    }
+                    if interrupt.is_none() && failed_shard.is_none() {
+                        interrupt = l.trip.as_ref().map(|trip| Interrupt {
+                            phase: ExecPhase::Fingerprint,
+                            reason: match trip {
+                                LegTrip::Cancelled => StopReason::Cancelled,
+                                LegTrip::Deadline => StopReason::DeadlineExceeded {
+                                    elapsed: ctx.elapsed(),
+                                },
+                                LegTrip::Dominance { used } => {
+                                    StopReason::DominanceBudgetExhausted {
+                                        used: prefix_tests + used,
+                                        limit: max_dominance_tests.unwrap_or(0),
+                                    }
+                                }
+                            },
+                        });
+                    }
+                    prefix_tests += l.tests;
+                }
+                Err(e) => {
+                    if failed_shard.is_none() && interrupt.is_none() {
+                        failed_shard = Some(shard);
+                        eprintln!("skydiver-cluster: shard {shard} of {name:?} failed: {e}");
+                    }
+                }
+            }
+        }
+        if let Some(shard) = failed_shard {
+            interrupt = Some(Interrupt {
+                phase: ExecPhase::Fingerprint,
+                reason: StopReason::ShardUnavailable { shard },
+            });
+        }
+        let mut events = Vec::new();
+        if interrupt.is_some() {
+            events.push(DegradationEvent::FingerprintCurtailed {
+                rows_scanned: merged.rows_consumed,
+                rows_total: canon.len(),
+            });
+        }
+        let fingerprint_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let fp = Arc::new(Fingerprint {
+            skyline,
+            output: merged.into_output(),
+            fingerprint_ms,
+            events,
+            interrupt,
+        });
+        self.metrics
+            .add(&self.metrics.dominance_tests, dominance_tests);
+        self.metrics.add(&self.metrics.shards_reused, reused);
+        if fp.is_complete() {
+            ds.memo_put(memo_key, Arc::clone(&fp));
+            self.note_seen(name, prefs_key, t, seed);
+        }
+        Ok((fp, false, dominance_tests))
+    }
+
+    /// One shard's fold: try each owner in rendezvous order under the
+    /// shared deadline; first success wins, a failed owner falls
+    /// through to the next replica with whatever time is left.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_leg(
+        &self,
+        nodes: &[String],
+        name: &str,
+        routing: &DatasetRouting,
+        shard: usize,
+        fold_payload: &[u8],
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        max_dominance_tests: Option<u64>,
+        deadline: &DeadlineBudget,
+        skyline: &[usize],
+    ) -> Result<Leg, String> {
+        let owners = rendezvous::owners(nodes, shard, self.replication);
+        let mut last_err = format!("shard {shard}: no owners in roster");
+        // lint: allow(R2) -- bounded by the replication factor and the
+        // shared fan-out deadline checked on entry to every attempt
+        for (attempt, owner) in owners.iter().enumerate() {
+            let Some(ms) = deadline.remaining_ms() else {
+                last_err = format!("shard {shard}: fan-out deadline exhausted");
+                break;
+            };
+            self.metrics.bump(&self.metrics.fanout_legs);
+            if attempt > 0 {
+                self.metrics.bump(&self.metrics.fanout_retries);
+            }
+            let t0 = Instant::now();
+            match self.try_fold(
+                owner,
+                name,
+                routing,
+                shard,
+                fold_payload,
+                prefs_key,
+                t,
+                seed,
+                max_dominance_tests,
+                ms,
+                deadline,
+                skyline,
+            ) {
+                Ok(leg) => {
+                    self.metrics
+                        .fanout
+                        .record_micros(t0.elapsed().as_micros() as u64);
+                    return Ok(leg);
+                }
+                Err(e) => last_err = format!("shard {shard} via {owner}: {e}"),
+            }
+        }
+        self.metrics.bump(&self.metrics.fanout_failures);
+        Err(last_err)
+    }
+
+    /// One `FOLD` exchange with one owner.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fold(
+        &self,
+        owner: &str,
+        name: &str,
+        routing: &DatasetRouting,
+        shard: usize,
+        fold_payload: &[u8],
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        max_dominance_tests: Option<u64>,
+        timeout_ms: u64,
+        deadline: &DeadlineBudget,
+        skyline: &[usize],
+    ) -> Result<Leg, String> {
+        let mut client = connect_deadline(owner, deadline).map_err(|e| e.to_string())?;
+        let mut line = format!(
+            "FOLD dataset={name} hash={} shard={shard} shard_hash={} prefs={prefs_key} \
+             t={t} seed={seed} timeout_ms={timeout_ms}",
+            routing.content_hash, routing.shard_hashes[shard]
+        );
+        if let Some(n) = max_dominance_tests {
+            line.push_str(&format!(" max_dominance_tests={n}"));
+        }
+        line.push_str(&format!(" bytes={}", fold_payload.len()));
+        let (header, body) = client.exchange_frame(&line, Some(fold_payload))?;
+        let body = body.ok_or_else(|| "fold response carried no frame".to_string())?;
+        let payload = frame::decode(&body).map_err(|e| e.to_string())?;
+        let (fp, tags) = decode_shard_signatures(payload).map_err(|e| e.to_string())?;
+        let want = [
+            routing.content_hash,
+            shard as u64,
+            prefs_hash(prefs_key),
+            seed,
+        ];
+        if tags != want {
+            return Err("fold artefact key tags do not match the request".to_string());
+        }
+        if fp.t() != t || fp.columns != skyline {
+            return Err("fold artefact does not cover the current skyline".to_string());
+        }
+        let tests = json_kv_u64(&header, "tests").unwrap_or(0);
+        let reused = json_kv_u64(&header, "reused") == Some(1);
+        let trip = match header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("tripped="))
+        {
+            None | Some("none") => None,
+            Some("cancelled") => Some(LegTrip::Cancelled),
+            Some("deadline") => Some(LegTrip::Deadline),
+            Some("dominance") => Some(LegTrip::Dominance {
+                used: json_kv_u64(&header, "trip_used").unwrap_or(tests),
+            }),
+            Some(other) => return Err(format!("unknown trip kind {other:?}")),
+        };
+        Ok(Leg {
+            fp,
+            reused,
+            tests,
+            trip,
+        })
+    }
+
+    /// The cluster `STATS` roll-up: the coordinator's own snapshot plus
+    /// a `cluster` object with the roster, every worker's snapshot
+    /// (fetched under one shared deadline) and a merged view of the
+    /// core counters.
+    pub fn stats_rollup(&self, registry: &Registry) -> String {
+        let mut json = registry.stats_json();
+        let (epoch, nodes) = self.roster();
+        let deadline = DeadlineBudget::from_millis(self.fanout_timeout_ms);
+        let mut node_parts = Vec::with_capacity(nodes.len());
+        let mut merged: [(&str, u64); 5] = [
+            ("queries", 0),
+            ("errors", 0),
+            ("dominance_tests", 0),
+            ("shards_reused", 0),
+            ("store_hits", 0),
+        ];
+        for node in &nodes {
+            let stats = connect_deadline(node, &deadline)
+                .map_err(|e| e.to_string())
+                .and_then(|mut c| c.stats());
+            match stats {
+                Ok(s) => {
+                    for (key, acc) in merged.iter_mut() {
+                        *acc += json_u64(&s, key).unwrap_or(0);
+                    }
+                    node_parts.push(format!(
+                        "{{\"addr\":\"{}\",\"ok\":true,\"stats\":{s}}}",
+                        json_escape(node)
+                    ));
+                }
+                Err(e) => node_parts.push(format!(
+                    "{{\"addr\":\"{}\",\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(node),
+                    json_escape(&e)
+                )),
+            }
+        }
+        let merged_json = merged
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        // Same splice discipline as `Registry::stats_json`: the pop
+        // must run in every profile.
+        debug_assert!(json.ends_with('}'));
+        json.pop();
+        json.push_str(&format!(
+            ",\"cluster\":{{\"epoch\":{epoch},\"workers\":{},\"replication\":{},\
+             \"shards\":{},\"nodes\":[{}],\"merged\":{{{merged_json}}}}}}}",
+            nodes.len(),
+            self.replication,
+            self.shards,
+            node_parts.join(","),
+        ));
+        json
+    }
+}
+
+/// Connects to `addr` within the shared deadline budget, with socket
+/// read/write timeouts cut to the remaining time — the satellite fix
+/// for per-connection-only timeouts: K legs can never spend K × the
+/// request deadline.
+fn connect_deadline(addr: &str, deadline: &DeadlineBudget) -> std::io::Result<Client> {
+    let remaining = deadline.remaining().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "fan-out deadline exhausted")
+    })?;
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, remaining)?;
+    let per_io = deadline.remaining().unwrap_or(Duration::from_millis(1));
+    stream.set_read_timeout(Some(per_io))?;
+    stream.set_write_timeout(Some(per_io))?;
+    stream.set_nodelay(true).ok();
+    Client::from_stream(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> ShardHost {
+        ShardHost::new(1 << 22, Arc::new(Metrics::new()), None)
+    }
+
+    fn put(h: &ShardHost, name: &str, shard: usize, base: usize, dims: usize, rows: &[f64]) {
+        let body = frame::encode(&frame::encode_points(dims, rows));
+        h.shardput(name, shard, base, false, &body).unwrap();
+    }
+
+    #[test]
+    fn shardput_then_fold_matches_local_fold() {
+        let h = host();
+        // 6 rows, 2 dims; rows 2 and 4 are skyline members (toy mask).
+        let rows: Vec<f64> = (0..12).map(|i| (i % 5) as f64).collect();
+        put(&h, "d", 1, 10, 2, &rows);
+        let payload = frame::encode_points(2, &rows);
+        let shard_hash = fnv1a64(&payload);
+        let ids = vec![10usize, 12];
+        let cols = vec![0.0, 1.0, 2.0, 3.0];
+        let body = frame::encode(&frame::encode_fold_request(2, &ids, &cols));
+        let cancel = CancelToken::new();
+        let (header, frame_bytes) = h
+            .fold(
+                "d", 7, 1, shard_hash, "min,min", 16, 3, None, None, &body, &cancel,
+            )
+            .unwrap();
+        assert!(header.contains("tripped=none"), "{header}");
+        let decoded = frame::decode(&frame_bytes).unwrap();
+        let (fp, tags) = decode_shard_signatures(decoded).unwrap();
+        assert_eq!(tags[0], 7);
+        assert_eq!(fp.columns, ids);
+
+        // Local truth: same fold via the shared core path.
+        let data = Dataset::from_flat(2, rows.clone());
+        let prefs = Preference::all_min(2);
+        let canon = canonicalise(&data, &prefs).unwrap();
+        let family = HashFamily::new(16, 3);
+        let ctx = ExecContext::new(RunBudget::none().with_max_dominance_tests(u64::MAX));
+        let view = DatasetView::with_base(canon.as_ref(), 10);
+        let skip = vec![true, false, true, false, false, false];
+        let col_refs: Vec<&[f64]> = cols.chunks(2).collect();
+        let ShardFold::Scanned { acc, .. } =
+            fold_shard(view, &ids, &col_refs, &skip, &family, None, 1, &ctx)
+        else {
+            panic!("expected a scan");
+        };
+        assert_eq!(fp.acc.matrix, acc.matrix);
+        assert_eq!(fp.acc.scores, acc.scores);
+    }
+
+    #[test]
+    fn fold_rejects_stale_generation() {
+        let h = host();
+        let rows = vec![1.0, 2.0, 3.0, 4.0];
+        put(&h, "d", 0, 0, 2, &rows);
+        let ids = vec![0usize];
+        let body = frame::encode(&frame::encode_fold_request(2, &ids, &[1.0, 2.0]));
+        let cancel = CancelToken::new();
+        let err = h
+            .fold(
+                "d",
+                1,
+                0,
+                0xdead_beef,
+                "min,min",
+                8,
+                0,
+                None,
+                None,
+                &body,
+                &cancel,
+            )
+            .unwrap_err();
+        assert!(err.contains("stale"), "{err}");
+    }
+
+    #[test]
+    fn replace_clears_previous_generation() {
+        let h = host();
+        put(&h, "d", 0, 0, 2, &[1.0, 2.0]);
+        put(&h, "d", 1, 1, 2, &[3.0, 4.0]);
+        assert_eq!(h.hosted_counts(), (1, 2));
+        let body = frame::encode(&frame::encode_points(2, &[9.0, 9.0]));
+        h.shardput("d", 0, 0, true, &body).unwrap();
+        assert_eq!(h.hosted_counts(), (1, 1), "replace drops the old shards");
+    }
+
+    #[test]
+    fn fetch_misses_cleanly_without_artefacts() {
+        let h = host();
+        let (header, body) = h.fetch("ghost", 1, 0, "min,min", 8, 0).unwrap();
+        assert_eq!(header, "found=0");
+        assert!(body.is_none());
+    }
+
+    #[test]
+    fn header_kv_parser_reads_u64s() {
+        assert_eq!(json_kv_u64("reused=1 tests=42 bytes=7", "tests"), Some(42));
+        assert_eq!(json_kv_u64("reused=1", "tests"), None);
+    }
+}

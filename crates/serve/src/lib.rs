@@ -24,6 +24,12 @@
 //!   persistence, and a startup recovery sweep that quarantines
 //!   corruption instead of serving it. Makes restarts warm
 //!   (`SNAPSHOT` flushes, `RESTORE` re-sweeps).
+//! - [`cluster`] — the distributed layer: a worker-side
+//!   [`ShardHost`] every server carries (hosted
+//!   shards + fold reuse) and a coordinator-side
+//!   [`ClusterState`] that routes shards by
+//!   rendezvous hashing, fans fingerprint folds out, and merges them
+//!   to bits identical to the single-process run.
 //! - [`server`] / [`client`] — a std-only TCP worker pool and its
 //!   blocking counterpart. No async runtime: the build is offline and
 //!   the protocol is one line per request. Connections carry
@@ -37,6 +43,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
@@ -45,6 +52,7 @@ pub mod store;
 
 pub use cache::{FingerprintCache, FingerprintKey};
 pub use client::Client;
+pub use cluster::{ClusterConfig, ClusterState, ShardHost};
 pub use metrics::{LatencyHistogram, Metrics};
 pub use protocol::{parse_request, parse_response, Method, QuerySpec, Request};
 pub use registry::{parse_prefs, LoadedDataset, Registry};

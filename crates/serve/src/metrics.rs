@@ -20,7 +20,9 @@ pub struct LatencyHistogram {
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 }
 
@@ -89,8 +91,18 @@ pub struct Metrics {
     pub store_quarantined: AtomicU64,
     /// Write-behind persistence attempts that failed (ENOSPC, rename…).
     pub store_write_failures: AtomicU64,
+    /// Cluster fold legs dispatched to workers (every attempt counts).
+    pub fanout_legs: AtomicU64,
+    /// Fold legs retried on a replica after the preferred owner failed.
+    pub fanout_retries: AtomicU64,
+    /// Fold legs that exhausted every replica (the shard degraded).
+    pub fanout_failures: AtomicU64,
+    /// Shard movements executed by join/leave handoff plans.
+    pub handoffs: AtomicU64,
     /// End-to-end `QUERY` latency.
     pub latency: LatencyHistogram,
+    /// Per-leg cluster fan-out latency (connect through fold frame).
+    pub fanout: LatencyHistogram,
 }
 
 impl Metrics {
@@ -123,7 +135,10 @@ impl Metrics {
                 "\"shards_reused\":{},\"bytes_resident\":{},",
                 "\"store_hits\":{},\"store_quarantined\":{},",
                 "\"store_write_failures\":{},",
-                "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}"
+                "\"fanout_legs\":{},\"fanout_retries\":{},",
+                "\"fanout_failures\":{},\"handoffs\":{},",
+                "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},",
+                "\"fanout_count\":{},\"fanout_p50_ms\":{:.3},\"fanout_p99_ms\":{:.3}}}"
             ),
             self.get(&self.queries),
             self.get(&self.loads),
@@ -139,9 +154,16 @@ impl Metrics {
             self.get(&self.store_hits),
             self.get(&self.store_quarantined),
             self.get(&self.store_write_failures),
+            self.get(&self.fanout_legs),
+            self.get(&self.fanout_retries),
+            self.get(&self.fanout_failures),
+            self.get(&self.handoffs),
             self.latency.count(),
             self.latency.quantile_ms(0.50),
             self.latency.quantile_ms(0.99),
+            self.fanout.count(),
+            self.fanout.quantile_ms(0.50),
+            self.fanout.quantile_ms(0.99),
         )
     }
 }

@@ -16,11 +16,34 @@
 //! SNAPSHOT
 //! RESTORE
 //! SHUTDOWN
+//! JOIN addr=<host:port>
+//! LEAVE addr=<host:port>
+//! SHARDPUT name=<id> shard=<i> base=<row> replace=<0|1> bytes=<n>
+//! FOLD dataset=<id> hash=<u64> shard=<i> shard_hash=<u64>
+//!      prefs=min,max,... t=<t> seed=<s> [max_dominance_tests=<n>]
+//!      [timeout_ms=<ms>] bytes=<n>
+//! FETCH name=<id> hash=<u64> shard=<i> prefs=min,max,... t=<t> seed=<s>
+//! REPLICATE name=<id> hash=<u64> shard=<i> prefs=min,max,... t=<t>
+//!           seed=<s> from=<host:port>
 //! ```
 //!
 //! Unknown verbs and unknown or malformed `key=value` pairs are
 //! rejected with `ERR` — the protocol mirrors the CLI's strict flag
 //! policy so a misspelled parameter can never be silently ignored.
+//!
+//! **Cluster verbs.** `JOIN`/`LEAVE` edit a coordinator's worker roster
+//! (plain text, coordinator-only). `SHARDPUT`, `FOLD`, `FETCH` and
+//! `REPLICATE` are the worker-side data plane: a request whose line
+//! carries a `bytes=<n>` token is followed by exactly `n` raw bytes — a
+//! length-prefixed, FNV-1a-checksummed frame (see
+//! `skydiver_cluster::frame`) — and a response payload carrying
+//! `bytes=<n>` is likewise followed by `n` raw frame bytes. `SHARDPUT`
+//! ships one shard's rows to an owner (`replace=1` drops the worker's
+//! previous shards of that dataset first — a new `LOAD` generation);
+//! `FOLD` asks the owner to fold its shard against the coordinator's
+//! shipped skyline columns and return the fold as a `SKYSIG02` frame;
+//! `FETCH` serves a cached fold artefact (the replication transport);
+//! `REPLICATE` asks a worker to pull one artefact from a peer.
 //!
 //! **`LOAD` semantics**: loading under an already-registered name
 //! *replaces* that dataset — the name now denotes exactly the new
@@ -177,6 +200,101 @@ pub enum Request {
     Restore,
     /// Stop accepting connections and exit after draining.
     Shutdown,
+    /// Coordinator only: add a worker to the roster and hand shards off
+    /// to it.
+    Join {
+        /// Worker address (`host:port`).
+        addr: String,
+    },
+    /// Coordinator only: retire a worker and reassign its shards.
+    Leave {
+        /// Worker address (`host:port`).
+        addr: String,
+    },
+    /// Install one shard of a dataset on this worker (the request line
+    /// is followed by `bytes` raw bytes: a frame wrapping the points
+    /// payload).
+    ShardPut {
+        /// Dataset name.
+        name: String,
+        /// Shard index.
+        shard: usize,
+        /// Global id of the shard's first row.
+        base: usize,
+        /// Drop every previously hosted shard of `name` first.
+        replace: bool,
+        /// Raw body length following the line.
+        bytes: usize,
+    },
+    /// Fold a hosted shard against the shipped skyline columns (the
+    /// request line is followed by `bytes` raw bytes: a frame wrapping
+    /// the fold-request payload).
+    Fold {
+        /// Dataset name.
+        dataset: String,
+        /// Coordinator's content hash of the whole dataset generation.
+        hash: u64,
+        /// Shard index.
+        shard: usize,
+        /// Expected content tag of the hosted shard's points payload.
+        shard_hash: u64,
+        /// Canonical preference spec (`min,max,...`).
+        prefs: String,
+        /// Signature size.
+        t: usize,
+        /// Hash-family seed.
+        seed: u64,
+        /// Remaining dominance-test budget forwarded by the coordinator.
+        max_dominance_tests: Option<u64>,
+        /// Remaining wall-clock budget forwarded by the coordinator.
+        timeout_ms: Option<u64>,
+        /// Raw body length following the line.
+        bytes: usize,
+    },
+    /// Serve a cached fold artefact as a `SKYSIG02` frame.
+    Fetch {
+        /// Dataset name.
+        name: String,
+        /// Content hash of the dataset generation.
+        hash: u64,
+        /// Shard index.
+        shard: usize,
+        /// Canonical preference spec.
+        prefs: String,
+        /// Signature size.
+        t: usize,
+        /// Hash-family seed.
+        seed: u64,
+    },
+    /// Pull one fold artefact from a peer (`FETCH`) and install it.
+    Replicate {
+        /// Dataset name.
+        name: String,
+        /// Content hash of the dataset generation.
+        hash: u64,
+        /// Shard index.
+        shard: usize,
+        /// Canonical preference spec.
+        prefs: String,
+        /// Signature size.
+        t: usize,
+        /// Hash-family seed.
+        seed: u64,
+        /// Peer address to pull from.
+        from: String,
+    },
+}
+
+impl Request {
+    /// Raw bytes that follow the request line, if this verb carries a
+    /// binary body. The server reads exactly this many bytes off the
+    /// connection before dispatching.
+    pub fn body_bytes(&self) -> Option<usize> {
+        match self {
+            Request::ShardPut { bytes, .. } | Request::Fold { bytes, .. } => Some(*bytes),
+            _ => None,
+        }
+    }
 }
 
 /// A protocol-level parse failure (reported as an `ERR` line).
@@ -208,7 +326,9 @@ fn pairs(tokens: &[&str]) -> Result<Vec<(String, String)>, ParseError> {
 }
 
 fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ParseError> {
-    value.parse().map_err(|_| bad(format!("invalid {key}={value:?}")))
+    value
+        .parse()
+        .map_err(|_| bad(format!("invalid {key}={value:?}")))
 }
 
 /// Parses one request line. The verb is case-insensitive; keys are not.
@@ -303,8 +423,133 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             }
             Ok(Request::Shutdown)
         }
+        verb @ ("JOIN" | "LEAVE") => {
+            let mut addr = None;
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "addr" => addr = Some(v),
+                    other => return Err(bad(format!("unknown {verb} key {other:?}"))),
+                }
+            }
+            let addr = addr.ok_or_else(|| bad(format!("{verb} requires addr=<host:port>")))?;
+            Ok(if verb == "JOIN" {
+                Request::Join { addr }
+            } else {
+                Request::Leave { addr }
+            })
+        }
+        "SHARDPUT" => {
+            let (mut name, mut shard, mut base, mut replace, mut bytes) =
+                (None, None, None, false, None);
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "name" => name = Some(v),
+                    "shard" => shard = Some(parse_num("shard", &v)?),
+                    "base" => base = Some(parse_num("base", &v)?),
+                    "replace" => replace = parse_num::<u8>("replace", &v)? != 0,
+                    "bytes" => bytes = Some(parse_num("bytes", &v)?),
+                    other => return Err(bad(format!("unknown SHARDPUT key {other:?}"))),
+                }
+            }
+            Ok(Request::ShardPut {
+                name: name.ok_or_else(|| bad("SHARDPUT requires name=<id>"))?,
+                shard: shard.ok_or_else(|| bad("SHARDPUT requires shard=<i>"))?,
+                base: base.ok_or_else(|| bad("SHARDPUT requires base=<row>"))?,
+                replace,
+                bytes: bytes.ok_or_else(|| bad("SHARDPUT requires bytes=<n>"))?,
+            })
+        }
+        "FOLD" => {
+            let mut dataset = None;
+            let mut hash = None;
+            let mut shard = None;
+            let mut shard_hash = None;
+            let mut prefs = None;
+            let mut t = None;
+            let mut seed = None;
+            let mut max_dominance_tests = None;
+            let mut timeout_ms = None;
+            let mut bytes = None;
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "dataset" => dataset = Some(v),
+                    "hash" => hash = Some(parse_num("hash", &v)?),
+                    "shard" => shard = Some(parse_num("shard", &v)?),
+                    "shard_hash" => shard_hash = Some(parse_num("shard_hash", &v)?),
+                    "prefs" => prefs = Some(v),
+                    "t" => t = Some(parse_num("t", &v)?),
+                    "seed" => seed = Some(parse_num("seed", &v)?),
+                    "max_dominance_tests" => {
+                        max_dominance_tests = Some(parse_num("max_dominance_tests", &v)?)
+                    }
+                    "timeout_ms" => timeout_ms = Some(parse_num("timeout_ms", &v)?),
+                    "bytes" => bytes = Some(parse_num("bytes", &v)?),
+                    other => return Err(bad(format!("unknown FOLD key {other:?}"))),
+                }
+            }
+            Ok(Request::Fold {
+                dataset: dataset.ok_or_else(|| bad("FOLD requires dataset=<id>"))?,
+                hash: hash.ok_or_else(|| bad("FOLD requires hash=<u64>"))?,
+                shard: shard.ok_or_else(|| bad("FOLD requires shard=<i>"))?,
+                shard_hash: shard_hash.ok_or_else(|| bad("FOLD requires shard_hash=<u64>"))?,
+                prefs: prefs.ok_or_else(|| bad("FOLD requires prefs=<spec>"))?,
+                t: t.ok_or_else(|| bad("FOLD requires t=<t>"))?,
+                seed: seed.ok_or_else(|| bad("FOLD requires seed=<s>"))?,
+                max_dominance_tests,
+                timeout_ms,
+                bytes: bytes.ok_or_else(|| bad("FOLD requires bytes=<n>"))?,
+            })
+        }
+        verb @ ("FETCH" | "REPLICATE") => {
+            let mut name = None;
+            let mut hash = None;
+            let mut shard = None;
+            let mut prefs = None;
+            let mut t = None;
+            let mut seed = None;
+            let mut from = None;
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "name" => name = Some(v),
+                    "hash" => hash = Some(parse_num("hash", &v)?),
+                    "shard" => shard = Some(parse_num("shard", &v)?),
+                    "prefs" => prefs = Some(v),
+                    "t" => t = Some(parse_num("t", &v)?),
+                    "seed" => seed = Some(parse_num("seed", &v)?),
+                    "from" if verb == "REPLICATE" => from = Some(v),
+                    other => return Err(bad(format!("unknown {verb} key {other:?}"))),
+                }
+            }
+            let name = name.ok_or_else(|| bad(format!("{verb} requires name=<id>")))?;
+            let hash = hash.ok_or_else(|| bad(format!("{verb} requires hash=<u64>")))?;
+            let shard = shard.ok_or_else(|| bad(format!("{verb} requires shard=<i>")))?;
+            let prefs = prefs.ok_or_else(|| bad(format!("{verb} requires prefs=<spec>")))?;
+            let t = t.ok_or_else(|| bad(format!("{verb} requires t=<t>")))?;
+            let seed = seed.ok_or_else(|| bad(format!("{verb} requires seed=<s>")))?;
+            Ok(if verb == "FETCH" {
+                Request::Fetch {
+                    name,
+                    hash,
+                    shard,
+                    prefs,
+                    t,
+                    seed,
+                }
+            } else {
+                Request::Replicate {
+                    name,
+                    hash,
+                    shard,
+                    prefs,
+                    t,
+                    seed,
+                    from: from.ok_or_else(|| bad("REPLICATE requires from=<host:port>"))?,
+                }
+            })
+        }
         other => Err(bad(format!(
-            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SNAPSHOT|RESTORE|SHUTDOWN)"
+            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SNAPSHOT|RESTORE|SHUTDOWN|\
+             JOIN|LEAVE|SHARDPUT|FOLD|FETCH|REPLICATE)"
         ))),
     }
 }
@@ -393,7 +638,9 @@ mod tests {
     #[test]
     fn parses_minimal_query() {
         let r = parse_request("QUERY dataset=hotels k=5").unwrap();
-        let Request::Query(q) = r else { panic!("not a query") };
+        let Request::Query(q) = r else {
+            panic!("not a query")
+        };
         assert_eq!(q.dataset, "hotels");
         assert_eq!(q.k, 5);
         assert_eq!(q.method, Method::MinHash);
@@ -403,7 +650,10 @@ mod tests {
     #[test]
     fn query_round_trips_through_to_line() {
         let mut q = QuerySpec::new("d", 4);
-        q.method = Method::Lsh { xi: 0.3, buckets: 8 };
+        q.method = Method::Lsh {
+            xi: 0.3,
+            buckets: 8,
+        };
         q.timeout_ms = Some(250);
         let Request::Query(back) = parse_request(&q.to_line()).unwrap() else {
             panic!("not a query");
@@ -435,7 +685,10 @@ mod tests {
         let r = parse_request("load name=x path=/tmp/x.csv").unwrap();
         assert_eq!(
             r,
-            Request::Load { name: "x".into(), path: "/tmp/x.csv".into() }
+            Request::Load {
+                name: "x".into(),
+                path: "/tmp/x.csv".into()
+            }
         );
     }
 
@@ -447,8 +700,80 @@ mod tests {
         let r = parse_request("append name=x path=/tmp/x.csv").unwrap();
         assert_eq!(
             r,
-            Request::Append { name: "x".into(), path: "/tmp/x.csv".into() }
+            Request::Append {
+                name: "x".into(),
+                path: "/tmp/x.csv".into()
+            }
         );
+    }
+
+    #[test]
+    fn cluster_verbs_parse_strictly() {
+        assert_eq!(
+            parse_request("JOIN addr=127.0.0.1:9001").unwrap(),
+            Request::Join {
+                addr: "127.0.0.1:9001".into()
+            }
+        );
+        assert_eq!(
+            parse_request("leave addr=w1:9001").unwrap(),
+            Request::Leave {
+                addr: "w1:9001".into()
+            }
+        );
+        assert!(parse_request("JOIN").is_err());
+        assert!(parse_request("JOIN addr=x extra=1").is_err());
+
+        let r = parse_request("SHARDPUT name=d shard=2 base=100 replace=1 bytes=64").unwrap();
+        assert_eq!(
+            r,
+            Request::ShardPut {
+                name: "d".into(),
+                shard: 2,
+                base: 100,
+                replace: true,
+                bytes: 64
+            }
+        );
+        assert_eq!(r.body_bytes(), Some(64));
+        assert!(
+            parse_request("SHARDPUT name=d shard=2 base=0").is_err(),
+            "bytes required"
+        );
+
+        let r = parse_request(
+            "FOLD dataset=d hash=7 shard=1 shard_hash=9 prefs=min,max t=32 seed=3 \
+             max_dominance_tests=100 timeout_ms=250 bytes=16",
+        )
+        .unwrap();
+        let Request::Fold {
+            dataset,
+            hash,
+            shard_hash,
+            max_dominance_tests,
+            bytes,
+            ..
+        } = &r
+        else {
+            panic!("not a fold");
+        };
+        assert_eq!((dataset.as_str(), *hash, *shard_hash), ("d", 7, 9));
+        assert_eq!(*max_dominance_tests, Some(100));
+        assert_eq!(*bytes, 16);
+        assert_eq!(r.body_bytes(), Some(16));
+        assert!(parse_request("FOLD dataset=d hash=7 shard=1 bytes=16").is_err());
+
+        let r = parse_request("FETCH name=d hash=7 shard=0 prefs=min t=8 seed=0").unwrap();
+        assert_eq!(r.body_bytes(), None);
+        assert!(matches!(r, Request::Fetch { .. }));
+        assert!(
+            parse_request("FETCH name=d hash=7 shard=0 prefs=min t=8 seed=0 from=w").is_err(),
+            "from is REPLICATE-only"
+        );
+        let r =
+            parse_request("REPLICATE name=d hash=7 shard=0 prefs=min t=8 seed=0 from=w:1").unwrap();
+        assert!(matches!(r, Request::Replicate { ref from, .. } if from == "w:1"));
+        assert!(parse_request("REPLICATE name=d hash=7 shard=0 prefs=min t=8 seed=0").is_err());
     }
 
     #[test]

@@ -59,7 +59,12 @@ pub struct LoadedDataset {
 impl LoadedDataset {
     fn new(name: String, data: ShardedDataset) -> Self {
         let content_hash = content_hash(&data);
-        LoadedDataset { name, data, content_hash, memo: Mutex::new(HashMap::new()) }
+        LoadedDataset {
+            name,
+            data,
+            content_hash,
+            memo: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The dataset as one contiguous block — borrowed when there is a
@@ -73,11 +78,15 @@ impl LoadedDataset {
         }
     }
 
-    fn memo_get(&self, key: &(String, usize, u64)) -> Option<Arc<Fingerprint>> {
-        self.memo.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
+    pub(crate) fn memo_get(&self, key: &(String, usize, u64)) -> Option<Arc<Fingerprint>> {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
     }
 
-    fn memo_put(&self, key: (String, usize, u64), fp: Arc<Fingerprint>) {
+    pub(crate) fn memo_put(&self, key: (String, usize, u64), fp: Arc<Fingerprint>) {
         let mut memo = self.memo.lock().unwrap_or_else(|e| e.into_inner());
         if memo.len() >= MEMO_CAP {
             memo.clear();
@@ -102,7 +111,10 @@ pub fn parse_prefs(spec: Option<&str>, dims: usize) -> Result<(Vec<Preference>, 
             .collect::<Result<Vec<_>, _>>()?,
     };
     if prefs.len() != dims {
-        return Err(format!("{} preferences for {dims}-dimensional data", prefs.len()));
+        return Err(format!(
+            "{} preferences for {dims}-dimensional data",
+            prefs.len()
+        ));
     }
     let key = prefs
         .iter()
@@ -189,8 +201,14 @@ impl Registry {
         let name = name.into();
         let (points, dims) = (data.len(), data.dims());
         let entry = Arc::new(LoadedDataset::new(name.clone(), data));
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).invalidate_dataset(&name);
-        self.datasets.write().unwrap_or_else(|e| e.into_inner()).insert(name, entry);
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .invalidate_dataset(&name);
+        self.datasets
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name, entry);
         (points, dims)
     }
 
@@ -211,7 +229,9 @@ impl Registry {
         name: &str,
         block: Dataset,
     ) -> Result<(usize, usize, usize, usize), String> {
-        let old = self.dataset(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let old = self
+            .dataset(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
         if block.dims() != old.data.dims() {
             return Err(format!(
                 "appended block has {} dims, dataset {name:?} has {}",
@@ -233,7 +253,10 @@ impl Registry {
         // fingerprint memo; the per-shard LRU is deliberately *not*
         // invalidated — that reuse is the point of APPEND.
         let entry = Arc::new(LoadedDataset::new(name.to_string(), grown));
-        self.datasets.write().unwrap_or_else(|e| e.into_inner()).insert(name.to_string(), entry);
+        self.datasets
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), entry);
         Ok((points, dims, shards, appended))
     }
 
@@ -249,13 +272,22 @@ impl Registry {
 
     /// Resolves a dataset by name.
     pub fn dataset(&self, name: &str) -> Option<Arc<LoadedDataset>> {
-        self.datasets.read().unwrap_or_else(|e| e.into_inner()).get(name).cloned()
+        self.datasets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
     }
 
     /// Names of the installed datasets (sorted, for reporting).
     pub fn dataset_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.datasets.read().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .datasets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
@@ -306,7 +338,9 @@ impl Registry {
         seed: u64,
         budget: RunBudget,
     ) -> Result<(Arc<Fingerprint>, bool, u64), String> {
-        let ds = self.dataset(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        let ds = self
+            .dataset(name)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
         let memo_key = (prefs_key.to_string(), t, seed);
         if let Some(fp) = ds.memo_get(&memo_key) {
             self.metrics.bump(&self.metrics.cache_hits);
@@ -322,7 +356,9 @@ impl Registry {
         };
         let mut cached: Vec<_> = {
             let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-            (0..ds.data.num_shards()).map(|i| cache.get(&shard_key(i))).collect()
+            (0..ds.data.num_shards())
+                .map(|i| cache.get(&shard_key(i)))
+                .collect()
         };
         // LRU misses fall through to the durable store — disk reads
         // happen here, after the cache lock is dropped. A corrupt or
@@ -343,12 +379,17 @@ impl Registry {
             }
         }
         // `k` is irrelevant to phase 1; 2 is the smallest valid value.
-        let diver = SkyDiver::new(2).signature_size(t).hash_seed(seed).budget(budget);
+        let diver = SkyDiver::new(2)
+            .signature_size(t)
+            .hash_seed(seed)
+            .budget(budget);
         let run = diver
             .fingerprint_sharded_with(&ds.data, prefs, &cached)
             .map_err(|e| e.to_string())?;
-        self.metrics.add(&self.metrics.dominance_tests, run.dominance_tests);
-        self.metrics.add(&self.metrics.shards_reused, run.reused_shards as u64);
+        self.metrics
+            .add(&self.metrics.dominance_tests, run.dominance_tests);
+        self.metrics
+            .add(&self.metrics.shards_reused, run.reused_shards as u64);
         let dominance_tests = run.dominance_tests;
         let fp = Arc::new(run.fingerprint);
         if fp.is_complete() {
@@ -398,7 +439,7 @@ impl Registry {
 
 /// Reads a `.sky` binary snapshot or headerless CSV, refusing empty
 /// files.
-fn read_points(path: &str) -> Result<Dataset, String> {
+pub(crate) fn read_points(path: &str) -> Result<Dataset, String> {
     let data = if path.ends_with(".sky") {
         io::read_binary(path).map_err(|e| format!("cannot read {path}: {e}"))?
     } else {
@@ -457,12 +498,14 @@ mod tests {
         let reg = Registry::new(1 << 24, Arc::clone(&metrics));
         reg.insert_dataset("ant", anticorrelated(2000, 3, 17));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        let (cold, hit, spent) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
+        let (cold, hit, spent) = reg
+            .fingerprint("ant", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(!hit);
         assert!(spent > 0, "a cold run charges dominance tests");
-        let (warm, hit, spent) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
+        let (warm, hit, spent) = reg
+            .fingerprint("ant", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(hit);
         assert_eq!(spent, 0, "a memo hit touches no data");
         assert!(Arc::ptr_eq(&cold, &warm), "hit returns the same allocation");
@@ -471,7 +514,9 @@ mod tests {
         assert_eq!(metrics.cache_misses.load(Relaxed), 1);
         assert!(metrics.bytes_resident.load(Relaxed) > 0);
         // A different seed is a different cache coordinate.
-        let (_, hit, _) = reg.fingerprint("ant", &prefs, &key, 32, 8, RunBudget::none()).unwrap();
+        let (_, hit, _) = reg
+            .fingerprint("ant", &prefs, &key, 32, 8, RunBudget::none())
+            .unwrap();
         assert!(!hit);
         assert_eq!(reg.cache_usage().0, 2);
     }
@@ -485,10 +530,15 @@ mod tests {
         let (fp, hit, _) = reg.fingerprint("ant", &prefs, &key, 32, 7, tiny).unwrap();
         assert!(!hit);
         assert!(!fp.is_complete());
-        assert_eq!(reg.cache_usage().0, 0, "partial artefact must not be cached");
+        assert_eq!(
+            reg.cache_usage().0,
+            0,
+            "partial artefact must not be cached"
+        );
         // The next unbudgeted query recomputes from scratch (a miss).
-        let (fp, hit, _) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        let (fp, hit, _) = reg
+            .fingerprint("ant", &prefs, &key, 32, 7, RunBudget::none())
+            .unwrap();
         assert!(!hit);
         assert!(fp.is_complete());
         assert_eq!(reg.cache_usage().0, 1);
@@ -498,7 +548,9 @@ mod tests {
     fn unknown_dataset_is_an_error() {
         let reg = Registry::new(1 << 20, Arc::new(Metrics::new()));
         let (prefs, key) = parse_prefs(None, 2).unwrap();
-        let err = reg.fingerprint("ghost", &prefs, &key, 8, 0, RunBudget::none()).unwrap_err();
+        let err = reg
+            .fingerprint("ghost", &prefs, &key, 8, 0, RunBudget::none())
+            .unwrap_err();
         assert!(err.contains("ghost"), "{err}");
     }
 
@@ -508,15 +560,21 @@ mod tests {
         let reg = Registry::new(1 << 24, Arc::clone(&metrics));
         reg.insert_dataset("d", anticorrelated(1000, 3, 19));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        let (first, hit, _) =
-            reg.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        let (first, hit, _) = reg
+            .fingerprint("d", &prefs, &key, 32, 7, RunBudget::none())
+            .unwrap();
         assert!(!hit);
         assert_eq!(reg.cache_usage().0, 1);
         // Re-LOAD under the same name: different data, same coordinates.
         reg.insert_dataset("d", anticorrelated(1000, 3, 77));
-        assert_eq!(reg.cache_usage().0, 0, "LOAD drops the old generation's folds");
-        let (second, hit, _) =
-            reg.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        assert_eq!(
+            reg.cache_usage().0,
+            0,
+            "LOAD drops the old generation's folds"
+        );
+        let (second, hit, _) = reg
+            .fingerprint("d", &prefs, &key, 32, 7, RunBudget::none())
+            .unwrap();
         assert!(!hit, "the memo died with the replaced dataset");
         assert!(
             first.output.scores != second.output.scores || first.skyline != second.skyline,
@@ -530,14 +588,17 @@ mod tests {
         let reg = Registry::new(1 << 24, Arc::clone(&metrics));
         reg.insert_dataset("d", anticorrelated(2000, 3, 20));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        let (_, _, cold) = reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        let (_, _, cold) = reg
+            .fingerprint("d", &prefs, &key, 32, 7, counted())
+            .unwrap();
         // The appended block changes the skyline, so the old shard's fold
         // is extended (new columns only), not fully reused.
         let (points, dims, shards, appended) =
             reg.append_dataset("d", anticorrelated(100, 3, 21)).unwrap();
         assert_eq!((points, dims, shards, appended), (2100, 3, 2, 100));
-        let (fp, hit, warm) =
-            reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        let (fp, hit, warm) = reg
+            .fingerprint("d", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(!hit, "a fresh generation cannot be memo-served");
         assert!(fp.is_complete());
         assert!(
@@ -550,8 +611,9 @@ mod tests {
         sd.push_shard(anticorrelated(2000, 3, 20));
         sd.push_shard(anticorrelated(100, 3, 21));
         scratch.insert_sharded("d", sd);
-        let (truth, _, _) =
-            scratch.fingerprint("d", &prefs, &key, 32, 7, RunBudget::none()).unwrap();
+        let (truth, _, _) = scratch
+            .fingerprint("d", &prefs, &key, 32, 7, RunBudget::none())
+            .unwrap();
         assert_eq!(fp.output.matrix, truth.output.matrix);
         assert_eq!(fp.output.scores, truth.output.scores);
         assert_eq!(fp.skyline, truth.skyline);
@@ -563,7 +625,8 @@ mod tests {
         let reg = Registry::new(1 << 24, Arc::clone(&metrics));
         reg.insert_dataset("d", anticorrelated(2000, 3, 22));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        reg.fingerprint("d", &prefs, &key, 32, 7, counted())
+            .unwrap();
         // Every appended point is dominated by the existing data (the
         // generator emits coordinates well below 10), so the skyline —
         // and with it the old shard's fold — is unchanged.
@@ -571,8 +634,9 @@ mod tests {
         reg.append_dataset("d", sunk).unwrap();
         use std::sync::atomic::Ordering::Relaxed;
         let reused_before = metrics.shards_reused.load(Relaxed);
-        let (fp, hit, warm) =
-            reg.fingerprint("d", &prefs, &key, 32, 7, counted()).unwrap();
+        let (fp, hit, warm) = reg
+            .fingerprint("d", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(!hit);
         assert!(fp.is_complete());
         assert!(
@@ -586,9 +650,13 @@ mod tests {
     #[test]
     fn append_validates_dims_and_name() {
         let reg = Registry::new(1 << 20, Arc::new(Metrics::new()));
-        assert!(reg.append_dataset("ghost", anticorrelated(10, 3, 0)).is_err());
+        assert!(reg
+            .append_dataset("ghost", anticorrelated(10, 3, 0))
+            .is_err());
         reg.insert_dataset("d", anticorrelated(10, 3, 0));
-        let err = reg.append_dataset("d", anticorrelated(10, 2, 0)).unwrap_err();
+        let err = reg
+            .append_dataset("d", anticorrelated(10, 2, 0))
+            .unwrap_err();
         assert!(err.contains("dims"), "{err}");
     }
 
@@ -608,8 +676,9 @@ mod tests {
         let reg = Registry::with_store(1 << 24, Arc::clone(&metrics), Some(Arc::new(store)));
         reg.insert_dataset("ant", anticorrelated(2000, 3, 23));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        let (cold, _, cold_tests) =
-            reg.fingerprint("ant", &prefs, &key, 32, 7, counted()).unwrap();
+        let (cold, _, cold_tests) = reg
+            .fingerprint("ant", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(cold_tests > 0);
         assert_eq!(reg.store_snapshot().unwrap(), 1, "one shard fold flushed");
         drop(reg);
@@ -622,20 +691,25 @@ mod tests {
         assert_eq!(report.valid, 1, "{report:?}");
         let reg2 = Registry::with_store(1 << 24, Arc::clone(&m2), Some(Arc::new(store2)));
         reg2.insert_dataset("renamed", anticorrelated(2000, 3, 23));
-        let (warm, hit, warm_tests) =
-            reg2.fingerprint("renamed", &prefs, &key, 32, 7, counted()).unwrap();
+        let (warm, hit, warm_tests) = reg2
+            .fingerprint("renamed", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(!hit, "first post-restart query cannot be memo-served");
         assert_eq!(warm_tests, 0, "every shard must come from the store");
         assert!(warm.is_complete());
-        assert_eq!(warm.output.matrix, cold.output.matrix, "bit-identical restore");
+        assert_eq!(
+            warm.output.matrix, cold.output.matrix,
+            "bit-identical restore"
+        );
         assert_eq!(warm.output.scores, cold.output.scores);
         assert_eq!(warm.skyline, cold.skyline);
         assert_eq!(m2.store_hits.load(Relaxed), 1);
         // Different data under the same name is a different content
         // hash — the store must *not* serve the old artefact.
         reg2.insert_dataset("renamed", anticorrelated(2000, 3, 777));
-        let (_, _, other_tests) =
-            reg2.fingerprint("renamed", &prefs, &key, 32, 7, counted()).unwrap();
+        let (_, _, other_tests) = reg2
+            .fingerprint("renamed", &prefs, &key, 32, 7, counted())
+            .unwrap();
         assert!(other_tests > 0, "changed content must recompute");
         drop(reg2);
         let _ = std::fs::remove_dir_all(&dir);
@@ -657,7 +731,8 @@ mod tests {
         let reg = Arc::new(Registry::new(1 << 24, Arc::new(Metrics::new())));
         reg.insert_dataset("d", anticorrelated(500, 3, 29));
         let (prefs, key) = parse_prefs(None, 3).unwrap();
-        reg.fingerprint("d", &prefs, &key, 16, 3, counted()).unwrap();
+        reg.fingerprint("d", &prefs, &key, 16, 3, counted())
+            .unwrap();
 
         let r = Arc::clone(&reg);
         let _ = std::thread::spawn(move || {
@@ -681,7 +756,9 @@ mod tests {
         // Reads, the memoised fingerprint path, and both write paths
         // still work on the poisoned locks.
         assert_eq!(reg.dataset_names(), vec!["d"]);
-        let (fp, hit, _) = reg.fingerprint("d", &prefs, &key, 16, 3, counted()).unwrap();
+        let (fp, hit, _) = reg
+            .fingerprint("d", &prefs, &key, 16, 3, counted())
+            .unwrap();
         assert!(hit, "memo still serves after poison");
         assert!(fp.is_complete());
         reg.insert_dataset("e", anticorrelated(100, 3, 30));

@@ -25,6 +25,16 @@
 //! finish promptly), and pokes the accept loop awake with a loopback
 //! connection. Queued connections are drained before [`Server::run`]
 //! returns; the final metrics snapshot is dumped to stderr.
+//!
+//! **Cluster roles.** Every server answers the worker verbs
+//! (`SHARDPUT`/`FOLD`/`FETCH`/`REPLICATE`) through its [`ShardHost`] —
+//! a node needs no restart to be drafted into a cluster. A server
+//! started with [`ClusterConfig`] additionally acts as coordinator:
+//! `LOAD`/`APPEND` route shards to workers, `QUERY` fans folds out and
+//! merges, `JOIN`/`LEAVE` reshape the roster, and `STATS` rolls the
+//! workers' snapshots up. Request lines carrying a `bytes=<n>` token
+//! are followed by exactly `n` raw body bytes, bounded by
+//! `max_frame_bytes`.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,6 +49,7 @@ use skydiver_core::{
 use skydiver_data::dominance::MinDominance;
 use skydiver_skyline::sfs;
 
+use crate::cluster::{ClusterConfig, ClusterState, ShardHost};
 use crate::metrics::Metrics;
 use crate::protocol::{json_escape, parse_request, Method, QuerySpec, Request};
 use crate::registry::{parse_prefs, Registry};
@@ -67,6 +78,15 @@ pub struct ServerConfig {
     /// Longest accepted request line in bytes; a connection exceeding
     /// it gets one `ERR` and is closed (bounds per-connection memory).
     pub max_line_bytes: usize,
+    /// Largest binary body (`SHARDPUT`/`FOLD` frame) accepted after a
+    /// request line; a larger announcement gets one `ERR` and the
+    /// connection is closed (the unread body cannot be resynced).
+    pub max_frame_bytes: usize,
+    /// Coordinator configuration. `Some` makes this server route
+    /// `LOAD`/`APPEND` shards to workers and fan `QUERY` folds out to
+    /// them; `None` serves single-process (but still answers the
+    /// worker verbs).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +99,8 @@ impl Default for ServerConfig {
             read_timeout_ms: 30_000,
             write_timeout_ms: 30_000,
             max_line_bytes: 64 << 10,
+            max_frame_bytes: 256 << 20,
+            cluster: None,
         }
     }
 }
@@ -90,6 +112,7 @@ struct ConnLimits {
     read_timeout_ms: u64,
     write_timeout_ms: u64,
     max_line_bytes: usize,
+    max_frame_bytes: usize,
 }
 
 /// A bound (not yet running) diversification query server.
@@ -97,6 +120,8 @@ pub struct Server {
     listener: TcpListener,
     registry: Arc<Registry>,
     metrics: Arc<Metrics>,
+    host: Arc<ShardHost>,
+    cluster: Option<Arc<ClusterState>>,
     shutdown: Arc<AtomicBool>,
     cancel: CancelToken,
     threads: usize,
@@ -134,12 +159,29 @@ impl Server {
             },
             None => None,
         };
-        let registry =
-            Arc::new(Registry::with_store(cfg.cache_bytes, Arc::clone(&metrics), store));
+        // The worker-side host shares the store (and its write-behind
+        // queue) with the registry, so a node serves folds warm whether
+        // it is queried directly or through a coordinator.
+        let host = Arc::new(ShardHost::new(
+            cfg.cache_bytes,
+            Arc::clone(&metrics),
+            store.clone(),
+        ));
+        let registry = Arc::new(Registry::with_store(
+            cfg.cache_bytes,
+            Arc::clone(&metrics),
+            store,
+        ));
+        let cluster = cfg
+            .cluster
+            .as_ref()
+            .map(|c| Arc::new(ClusterState::new(c, Arc::clone(&metrics))));
         Ok(Server {
             listener,
             registry,
             metrics,
+            host,
+            cluster,
             shutdown: Arc::new(AtomicBool::new(false)),
             cancel: CancelToken::new(),
             threads: cfg.threads.max(1),
@@ -147,6 +189,7 @@ impl Server {
                 read_timeout_ms: cfg.read_timeout_ms,
                 write_timeout_ms: cfg.write_timeout_ms,
                 max_line_bytes: cfg.max_line_bytes.max(64),
+                max_frame_bytes: cfg.max_frame_bytes.max(1024),
             },
         })
     }
@@ -178,6 +221,8 @@ impl Server {
         for wid in 0..self.threads {
             let rx = Arc::clone(&rx);
             let registry = Arc::clone(&self.registry);
+            let host = Arc::clone(&self.host);
+            let cluster = self.cluster.clone();
             let shutdown = Arc::clone(&self.shutdown);
             let cancel = self.cancel.clone();
             let limits = self.limits;
@@ -187,7 +232,16 @@ impl Server {
                     .spawn(move || loop {
                         let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
                         let Ok(stream) = next else { break };
-                        serve_connection(stream, &registry, &shutdown, &cancel, addr, limits);
+                        serve_connection(
+                            stream,
+                            &registry,
+                            &host,
+                            cluster.as_deref(),
+                            &shutdown,
+                            &cancel,
+                            addr,
+                            limits,
+                        );
                     })?,
             );
         }
@@ -204,7 +258,10 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        eprintln!("skydiver-serve: shutdown, final stats {}", self.metrics.snapshot_json());
+        eprintln!(
+            "skydiver-serve: shutdown, final stats {}",
+            self.metrics.snapshot_json()
+        );
         Ok(())
     }
 
@@ -218,7 +275,12 @@ impl Server {
         let join = std::thread::Builder::new()
             .name("skydiver-serve-accept".into())
             .spawn(move || self.run())?;
-        Ok(ServerHandle { addr, registry, metrics, join })
+        Ok(ServerHandle {
+            addr,
+            registry,
+            metrics,
+            join,
+        })
     }
 }
 
@@ -278,12 +340,35 @@ fn read_request_line(reader: &mut BufReader<TcpStream>, max: usize) -> ReadLine 
     }
 }
 
-/// Serves one connection: request line in, response line out, until the
-/// client disconnects, idles past the read timeout, oversteps the line
-/// cap, or sends `SHUTDOWN`.
+/// One response: the status line, an optional raw body (announced by a
+/// `bytes=<n>` token inside the line's payload), and the shutdown flag.
+struct Reply {
+    line: String,
+    body: Option<Vec<u8>>,
+    shutdown: bool,
+}
+
+impl Reply {
+    /// A body-less response line.
+    fn line(line: String) -> Reply {
+        Reply {
+            line,
+            body: None,
+            shutdown: false,
+        }
+    }
+}
+
+/// Serves one connection: request line (plus optional binary body) in,
+/// response line (plus optional binary body) out, until the client
+/// disconnects, idles past the read timeout, oversteps the line or
+/// frame cap, or sends `SHUTDOWN`.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     registry: &Registry,
+    host: &ShardHost,
+    cluster: Option<&ClusterState>,
     shutdown: &AtomicBool,
     cancel: &CancelToken,
     addr: SocketAddr,
@@ -295,7 +380,9 @@ fn serve_connection(
     if limits.write_timeout_ms > 0 {
         let _ = stream.set_write_timeout(Some(Duration::from_millis(limits.write_timeout_ms)));
     }
-    let Ok(read_half) = stream.try_clone() else { return };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -315,11 +402,54 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, is_shutdown) = respond(&line, registry, cancel);
-        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+        // Parse before reading any body: only a well-formed line can
+        // announce how many bytes follow. A malformed line never has a
+        // body to skip, so the connection can keep serving after the
+        // `ERR`.
+        let req = match parse_request(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                registry.metrics().bump(&registry.metrics().errors);
+                if writeln!(writer, "ERR {e}").is_err() || writer.flush().is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let body = match req.body_bytes() {
+            Some(n) if n > limits.max_frame_bytes => {
+                // The unread body cannot be resynced — shed the client.
+                registry.metrics().bump(&registry.metrics().errors);
+                let _ = writeln!(
+                    writer,
+                    "ERR request body of {n} bytes exceeds {} bytes",
+                    limits.max_frame_bytes
+                );
+                let _ = writer.flush();
+                break;
+            }
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                if reader.read_exact(&mut buf).is_err() {
+                    break;
+                }
+                Some(buf)
+            }
+            None => None,
+        };
+        let reply = respond(req, body.as_deref(), registry, host, cluster, cancel);
+        if writeln!(writer, "{}", reply.line).is_err() {
             break;
         }
-        if is_shutdown {
+        if let Some(body) = &reply.body {
+            if writer.write_all(body).is_err() {
+                break;
+            }
+        }
+        if writer.flush().is_err() {
+            break;
+        }
+        if reply.shutdown {
             shutdown.store(true, Ordering::Release);
             cancel.cancel();
             // Poke the blocking accept loop awake so it observes the flag.
@@ -329,77 +459,172 @@ fn serve_connection(
     }
 }
 
-/// Dispatches one request line; returns the response line and whether it
-/// was a shutdown.
-fn respond(line: &str, registry: &Registry, cancel: &CancelToken) -> (String, bool) {
+/// Dispatches one parsed request (body already read off the wire).
+fn respond(
+    req: Request,
+    body: Option<&[u8]>,
+    registry: &Registry,
+    host: &ShardHost,
+    cluster: Option<&ClusterState>,
+    cancel: &CancelToken,
+) -> Reply {
     let metrics = Arc::clone(registry.metrics());
-    match parse_request(line) {
-        Err(e) => {
-            metrics.bump(&metrics.errors);
-            (format!("ERR {e}"), false)
+    let err = |e: String| {
+        metrics.bump(&metrics.errors);
+        Reply::line(format!("ERR {e}"))
+    };
+    match req {
+        Request::Load { name, path } => {
+            let result = match cluster {
+                Some(cs) => cs.load(registry, &name, &path),
+                None => registry
+                    .load_path(&name, &path)
+                    .map(|(points, dims)| format!("dataset={name} points={points} dims={dims}")),
+            };
+            match result {
+                Ok(payload) => {
+                    metrics.bump(&metrics.loads);
+                    Reply::line(format!("OK {payload}"))
+                }
+                Err(e) => err(e),
+            }
         }
-        Ok(Request::Load { name, path }) => match registry.load_path(&name, &path) {
-            Ok((points, dims)) => {
-                metrics.bump(&metrics.loads);
-                (format!("OK dataset={name} points={points} dims={dims}"), false)
-            }
-            Err(e) => {
-                metrics.bump(&metrics.errors);
-                (format!("ERR {e}"), false)
-            }
-        },
-        Ok(Request::Append { name, path }) => match registry.append_path(&name, &path) {
-            Ok((points, dims, shards, appended)) => {
-                metrics.bump(&metrics.appends);
-                (
-                    format!(
-                        "OK dataset={name} points={points} dims={dims} \
-                         shards={shards} appended={appended}"
+        Request::Append { name, path } => {
+            let result =
+                match cluster {
+                    Some(cs) => cs.append(registry, &name, &path),
+                    None => registry.append_path(&name, &path).map(
+                        |(points, dims, shards, appended)| {
+                            format!(
+                                "dataset={name} points={points} dims={dims} \
+                             shards={shards} appended={appended}"
+                            )
+                        },
                     ),
-                    false,
-                )
+                };
+            match result {
+                Ok(payload) => {
+                    metrics.bump(&metrics.appends);
+                    Reply::line(format!("OK {payload}"))
+                }
+                Err(e) => err(e),
             }
-            Err(e) => {
-                metrics.bump(&metrics.errors);
-                (format!("ERR {e}"), false)
-            }
-        },
-        Ok(Request::Query(q)) => {
+        }
+        Request::Query(q) => {
             let t0 = Instant::now();
-            match answer_query(&q, registry, cancel) {
+            match answer_query(&q, registry, cluster, cancel) {
                 Ok(json) => {
                     metrics.bump(&metrics.queries);
-                    metrics.latency.record_micros(t0.elapsed().as_micros() as u64);
-                    (format!("OK {json}"), false)
+                    metrics
+                        .latency
+                        .record_micros(t0.elapsed().as_micros() as u64);
+                    Reply::line(format!("OK {json}"))
                 }
-                Err(e) => {
-                    metrics.bump(&metrics.errors);
-                    (format!("ERR {e}"), false)
-                }
+                Err(e) => err(e),
             }
         }
-        Ok(Request::Stats) => (format!("OK {}", registry.stats_json()), false),
-        Ok(Request::Snapshot) => match registry.store_snapshot() {
-            Ok(persisted) => (format!("OK persisted={persisted}"), false),
-            Err(e) => {
-                metrics.bump(&metrics.errors);
-                (format!("ERR {e}"), false)
-            }
+        Request::Stats => match cluster {
+            Some(cs) => Reply::line(format!("OK {}", cs.stats_rollup(registry))),
+            None => Reply::line(format!("OK {}", registry.stats_json())),
         },
-        Ok(Request::Restore) => match registry.store_restore() {
-            Ok(r) => (
-                format!(
-                    "OK artifacts={} quarantined={} removed_temps={}",
-                    r.valid, r.quarantined, r.removed_temps
-                ),
-                false,
-            ),
-            Err(e) => {
-                metrics.bump(&metrics.errors);
-                (format!("ERR {e}"), false)
-            }
+        Request::Snapshot => match registry.store_snapshot() {
+            Ok(persisted) => Reply::line(format!("OK persisted={persisted}")),
+            Err(e) => err(e),
         },
-        Ok(Request::Shutdown) => ("OK shutting down".to_string(), true),
+        Request::Restore => match registry.store_restore() {
+            Ok(r) => Reply::line(format!(
+                "OK artifacts={} quarantined={} removed_temps={}",
+                r.valid, r.quarantined, r.removed_temps
+            )),
+            Err(e) => err(e),
+        },
+        Request::Join { addr } => match cluster {
+            Some(cs) => match cs.join(registry, &addr) {
+                Ok(payload) => Reply::line(format!("OK {payload}")),
+                Err(e) => err(e),
+            },
+            None => err("not a coordinator (start with --workers)".to_string()),
+        },
+        Request::Leave { addr } => match cluster {
+            Some(cs) => match cs.leave(registry, &addr) {
+                Ok(payload) => Reply::line(format!("OK {payload}")),
+                Err(e) => err(e),
+            },
+            None => err("not a coordinator (start with --workers)".to_string()),
+        },
+        Request::ShardPut {
+            name,
+            shard,
+            base,
+            replace,
+            ..
+        } => match host.shardput(&name, shard, base, replace, body.unwrap_or_default()) {
+            Ok(payload) => Reply::line(format!("OK {payload}")),
+            Err(e) => err(e),
+        },
+        Request::Fold {
+            dataset,
+            hash,
+            shard,
+            shard_hash,
+            prefs,
+            t,
+            seed,
+            max_dominance_tests,
+            timeout_ms,
+            ..
+        } => match host.fold(
+            &dataset,
+            hash,
+            shard,
+            shard_hash,
+            &prefs,
+            t,
+            seed,
+            max_dominance_tests,
+            timeout_ms,
+            body.unwrap_or_default(),
+            cancel,
+        ) {
+            Ok((header, frame)) => Reply {
+                line: format!("OK {header}"),
+                body: Some(frame),
+                shutdown: false,
+            },
+            Err(e) => err(e),
+        },
+        Request::Fetch {
+            name,
+            hash,
+            shard,
+            prefs,
+            t,
+            seed,
+        } => match host.fetch(&name, hash, shard, &prefs, t, seed) {
+            Ok((header, frame)) => Reply {
+                line: format!("OK {header}"),
+                body: frame,
+                shutdown: false,
+            },
+            Err(e) => err(e),
+        },
+        Request::Replicate {
+            name,
+            hash,
+            shard,
+            prefs,
+            t,
+            seed,
+            from,
+        } => match host.replicate(&name, hash, shard, &prefs, t, seed, &from) {
+            Ok(payload) => Reply::line(format!("OK {payload}")),
+            Err(e) => err(e),
+        },
+        Request::Shutdown => Reply {
+            line: "OK shutting down".to_string(),
+            body: None,
+            shutdown: true,
+        },
     }
 }
 
@@ -418,8 +643,16 @@ fn request_budget(q: &QuerySpec, cancel: &CancelToken) -> RunBudget {
 
 /// Answers a `QUERY`: signature methods go through the fingerprint
 /// cache + [`SkyDiver::select_from`]; the exact `greedy` baseline
-/// recomputes dominated sets per query (never cached).
-fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Result<String, String> {
+/// recomputes dominated sets per query (never cached). On a
+/// coordinator the fingerprint comes from the cluster fan-out — merged
+/// to the same bits, so selection (and the response payload) is
+/// identical to the single-process answer.
+fn answer_query(
+    q: &QuerySpec,
+    registry: &Registry,
+    cluster: Option<&ClusterState>,
+    cancel: &CancelToken,
+) -> Result<String, String> {
     let t0 = Instant::now();
     let ds = registry
         .dataset(&q.dataset)
@@ -429,47 +662,90 @@ fn answer_query(q: &QuerySpec, registry: &Registry, cancel: &CancelToken) -> Res
     let metrics = Arc::clone(registry.metrics());
 
     #[allow(clippy::type_complexity)]
-    let (skyline_len, selected, gamma, fingerprint_ms, selection_ms, memory_bytes, cached, dominance_tests, degradation): (usize, Vec<usize>, Vec<u64>, f64, f64, usize, bool, u64, Degradation) =
-        match q.method {
-            Method::Greedy => {
-                let whole = ds.whole();
-                let (skyline_len, selected, gamma, selection_ms, degradation) =
-                    answer_exact(q, &whole, &prefs, budget)?;
-                (skyline_len, selected, gamma, 0.0, selection_ms, 0usize, false, 0, degradation)
-            }
-            Method::MinHash | Method::Lsh { .. } => {
-                let (fp, cached, dominance_tests) = registry.fingerprint(
+    let (
+        skyline_len,
+        selected,
+        gamma,
+        fingerprint_ms,
+        selection_ms,
+        memory_bytes,
+        cached,
+        dominance_tests,
+        degradation,
+    ): (
+        usize,
+        Vec<usize>,
+        Vec<u64>,
+        f64,
+        f64,
+        usize,
+        bool,
+        u64,
+        Degradation,
+    ) = match q.method {
+        Method::Greedy => {
+            let whole = ds.whole();
+            let (skyline_len, selected, gamma, selection_ms, degradation) =
+                answer_exact(q, &whole, &prefs, budget)?;
+            (
+                skyline_len,
+                selected,
+                gamma,
+                0.0,
+                selection_ms,
+                0usize,
+                false,
+                0,
+                degradation,
+            )
+        }
+        Method::MinHash | Method::Lsh { .. } => {
+            let (fp, cached, dominance_tests) = match cluster {
+                Some(cs) => cs.fingerprint(
+                    registry,
                     &q.dataset,
                     &prefs,
                     &prefs_key,
                     q.t,
                     q.seed,
                     budget.clone(),
-                )?;
-                let mut diver =
-                    SkyDiver::new(q.k).signature_size(q.t).hash_seed(q.seed).budget(budget);
-                if let Method::Lsh { xi, buckets } = q.method {
-                    diver = diver.lsh(xi, buckets);
-                }
-                let r = diver.select_from(&fp).map_err(|e| e.to_string())?;
-                let gamma: Vec<u64> =
-                    r.selected_positions.iter().map(|&p| r.scores[p]).collect();
-                // A cache hit charges no fingerprinting (and no dominance
-                // tests) to this request.
-                let fingerprint_ms = if cached { 0.0 } else { r.fingerprint_ms };
-                (
-                    r.skyline.len(),
-                    r.selected,
-                    gamma,
-                    fingerprint_ms,
-                    r.selection_ms,
-                    r.memory_bytes,
-                    cached,
-                    dominance_tests,
-                    r.degradation,
-                )
+                    q.max_dominance_tests,
+                    q.timeout_ms,
+                )?,
+                None => registry.fingerprint(
+                    &q.dataset,
+                    &prefs,
+                    &prefs_key,
+                    q.t,
+                    q.seed,
+                    budget.clone(),
+                )?,
+            };
+            let mut diver = SkyDiver::new(q.k)
+                .signature_size(q.t)
+                .hash_seed(q.seed)
+                .budget(budget);
+            if let Method::Lsh { xi, buckets } = q.method {
+                diver = diver.lsh(xi, buckets);
             }
-        };
+            let r = diver.select_from(&fp).map_err(|e| e.to_string())?;
+            let gamma: Vec<u64> = r.selected_positions.iter().map(|&p| r.scores[p]).collect();
+            // A cache hit charges no fingerprinting (and no dominance
+            // tests) to this request.
+            let fingerprint_ms = if cached { 0.0 } else { r.fingerprint_ms };
+            (
+                r.skyline.len(),
+                r.selected,
+                gamma,
+                fingerprint_ms,
+                r.selection_ms,
+                r.memory_bytes,
+                cached,
+                dominance_tests,
+                r.degradation,
+            )
+        }
+    };
 
     let degraded = degradation.is_degraded();
     if degraded {

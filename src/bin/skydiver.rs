@@ -37,7 +37,7 @@ use std::process::ExitCode;
 use skydiver::data::dominance::MinDominance;
 use skydiver::data::{generators, io, surrogates};
 use skydiver::serve::protocol::{json_escape, json_u64_array, Method, QuerySpec};
-use skydiver::serve::{Client, Server, ServerConfig};
+use skydiver::serve::{Client, ClusterConfig, Server, ServerConfig};
 use skydiver::skyline as sky;
 use skydiver::{Dataset, DiverseResult, Preference, SkyDiver};
 
@@ -87,12 +87,16 @@ const USAGE: &str = "usage:
   skydiver serve     [--addr 127.0.0.1:7878] [--threads 4] [--cache-bytes 67108864]
                      [--store-dir DIR] [--read-timeout-ms 30000]
                      [--write-timeout-ms 30000] [--max-line-bytes 65536]
+                     [--max-frame-bytes 268435456]
+                     [--workers host:port,...] [--replication 1]
+                     [--cluster-shards 4] [--fanout-timeout-ms 10000]
   skydiver query     [--addr 127.0.0.1:7878] --dataset NAME --k K
                      [--method mh|lsh|greedy] [--t 100] [--seed S] [--xi 0.2]
                      [--buckets 20] [--prefs min,max,...] [--timeout-ms MS]
                      [--max-dominance-tests N] [--format text|json]
   skydiver query     [--addr ...] --load NAME --path FILE   (install a dataset)
   skydiver query     [--addr ...] --append NAME --path FILE (grow it by one shard)
+  skydiver query     [--addr ...] --join ADDR | --leave ADDR  (reshape the cluster)
   skydiver query     [--addr ...] --stats | --shutdown
   skydiver query     [--addr ...] --snapshot | --restore    (flush / re-sweep the store)
   skydiver info      --input FILE";
@@ -104,26 +108,83 @@ const COMMANDS: &[(&str, &[&str])] = &[
     ("skyline", &["input", "algo", "prefs"]),
     (
         "diversify",
-        &["input", "k", "t", "method", "xi", "buckets", "prefs", "threads", "seed", "timeout-ms",
-          "max-memory"],
+        &[
+            "input",
+            "k",
+            "t",
+            "method",
+            "xi",
+            "buckets",
+            "prefs",
+            "threads",
+            "seed",
+            "timeout-ms",
+            "max-memory",
+        ],
     ),
     (
         "run",
-        &["input", "k", "t", "method", "xi", "buckets", "prefs", "threads", "seed", "timeout-ms",
-          "max-memory", "max-dominance-tests", "format", "shards"],
+        &[
+            "input",
+            "k",
+            "t",
+            "method",
+            "xi",
+            "buckets",
+            "prefs",
+            "threads",
+            "seed",
+            "timeout-ms",
+            "max-memory",
+            "max-dominance-tests",
+            "format",
+            "shards",
+        ],
     ),
     ("fingerprint", &["input", "out", "t", "seed", "prefs"]),
     ("select", &["signatures", "k", "method", "xi", "buckets"]),
     (
         "serve",
-        &["addr", "threads", "cache-bytes", "store-dir", "read-timeout-ms", "write-timeout-ms",
-          "max-line-bytes"],
+        &[
+            "addr",
+            "threads",
+            "cache-bytes",
+            "store-dir",
+            "read-timeout-ms",
+            "write-timeout-ms",
+            "max-line-bytes",
+            "max-frame-bytes",
+            "workers",
+            "replication",
+            "cluster-shards",
+            "fanout-timeout-ms",
+        ],
     ),
     (
         "query",
-        &["addr", "dataset", "k", "method", "t", "seed", "xi", "buckets", "prefs", "timeout-ms",
-          "max-dominance-tests", "format", "load", "append", "path", "stats", "shutdown",
-          "snapshot", "restore"],
+        &[
+            "addr",
+            "dataset",
+            "k",
+            "method",
+            "t",
+            "seed",
+            "xi",
+            "buckets",
+            "prefs",
+            "timeout-ms",
+            "max-dominance-tests",
+            "format",
+            "load",
+            "append",
+            "path",
+            "stats",
+            "shutdown",
+            "snapshot",
+            "restore",
+            "join",
+            "leave",
+        ],
     ),
     ("info", &["input"]),
 ];
@@ -150,7 +211,11 @@ fn parse(args: &[String]) -> Result<(String, Flags), String> {
         if !allowed.contains(&key.as_str()) {
             return Err(format!(
                 "unknown flag --{key} for {cmd:?} (expected one of: {})",
-                allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ")
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ));
         }
         let val = if BOOL_FLAGS.contains(&key.as_str()) {
@@ -271,7 +336,12 @@ fn cmd_skyline(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
-    let _ = writeln!(out, "# skyline: {} of {} points ({algo})", skyline.len(), ds.len());
+    let _ = writeln!(
+        out,
+        "# skyline: {} of {} points ({algo})",
+        skyline.len(),
+        ds.len()
+    );
     for &i in &skyline {
         let row: Vec<String> = ds.point(i).iter().map(|v| v.to_string()).collect();
         if writeln!(out, "{i},{}", row.join(",")).is_err() {
@@ -330,8 +400,11 @@ fn print_result_text(ds: &Dataset, r: &DiverseResult, label: &str) {
 
 fn print_result_json(r: &DiverseResult) {
     let selected: Vec<String> = r.selected.iter().map(|i| i.to_string()).collect();
-    let gamma: Vec<String> =
-        r.selected_positions.iter().map(|&p| r.scores[p].to_string()).collect();
+    let gamma: Vec<String> = r
+        .selected_positions
+        .iter()
+        .map(|&p| r.scores[p].to_string())
+        .collect();
     println!(
         concat!(
             "{{\"skyline\":{},\"selected\":[{}],\"gamma\":[{}],",
@@ -352,7 +425,9 @@ fn print_result_json(r: &DiverseResult) {
 fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let ds = load(flag(flags, "input")?)?;
     let prefs = prefs_for(flags, ds.dims())?;
-    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let k: usize = flag(flags, "k")?
+        .parse()
+        .map_err(|_| err("bad value for --k"))?;
     let r = pipeline_for(flags, k)?.run(&ds, &prefs)?;
     print_result_text(&ds, &r, "");
     Ok(())
@@ -366,7 +441,9 @@ fn cmd_diversify(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_run(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let ds = load(flag(flags, "input")?)?;
     let prefs = prefs_for(flags, ds.dims())?;
-    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let k: usize = flag(flags, "k")?
+        .parse()
+        .map_err(|_| err("bad value for --k"))?;
     let threads: usize = num(flags, "threads", 1)?;
     let shards: usize = num(flags, "shards", 1)?;
     let pipeline = pipeline_for(flags, k)?;
@@ -384,7 +461,10 @@ fn cmd_run(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
             format!("threads {threads}, shards {}, ", sd.num_shards()),
         )
     } else {
-        (pipeline.run_auto(&ds, &prefs)?, format!("threads {threads}, "))
+        (
+            pipeline.run_auto(&ds, &prefs)?,
+            format!("threads {threads}, "),
+        )
     };
     if json_format(flags)? {
         print_result_json(&r);
@@ -419,15 +499,29 @@ fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
         select_diverse, LshDistance, LshIndex, LshParams, SeedRule, SignatureDistance, TieBreak,
     };
     let out = persist::read_signatures(flag(flags, "signatures")?)?;
-    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let k: usize = flag(flags, "k")?
+        .parse()
+        .map_err(|_| err("bad value for --k"))?;
     let positions = if flags.get("method").map(|s| s.as_str()) == Some("lsh") {
         let params = LshParams::from_threshold(out.matrix.t(), num(flags, "xi", 0.2)?)?;
         let idx = LshIndex::build(&out.matrix, params, num(flags, "buckets", 20)?, 0)?;
         let mut dist = LshDistance::new(&idx);
-        select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)?
+        select_diverse(
+            &mut dist,
+            &out.scores,
+            k,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )?
     } else {
         let mut dist = SignatureDistance::new(&out.matrix);
-        select_diverse(&mut dist, &out.scores, k, SeedRule::MaxDominance, TieBreak::MaxDominance)?
+        select_diverse(
+            &mut dist,
+            &out.scores,
+            k,
+            SeedRule::MaxDominance,
+            TieBreak::MaxDominance,
+        )?
     };
     println!(
         "# {k} most diverse of {} skyline points (skyline position, gamma):",
@@ -442,27 +536,72 @@ fn cmd_select(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 /// `skydiver serve` — bind the query service and run until `SHUTDOWN`.
 /// `--store-dir` makes fingerprints durable (warm restarts); the
 /// timeout/line-cap flags bound how long a silent or dribbling client
-/// can hold a worker.
+/// can hold a worker. `--workers` makes this server a cluster
+/// coordinator over the listed nodes.
 fn cmd_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let defaults = ServerConfig::default();
+    let cluster_defaults = ClusterConfig::default();
+    let cluster = match flags.get("workers") {
+        Some(list) => {
+            let workers: Vec<String> = list
+                .split(',')
+                .map(|w| w.trim().to_string())
+                .filter(|w| !w.is_empty())
+                .collect();
+            if workers.is_empty() {
+                return Err(err("--workers needs at least one host:port"));
+            }
+            Some(ClusterConfig {
+                workers,
+                replication: num(flags, "replication", cluster_defaults.replication)?,
+                shards: num(flags, "cluster-shards", cluster_defaults.shards)?,
+                fanout_timeout_ms: num(
+                    flags,
+                    "fanout-timeout-ms",
+                    cluster_defaults.fanout_timeout_ms,
+                )?,
+            })
+        }
+        None => {
+            for f in ["replication", "cluster-shards", "fanout-timeout-ms"] {
+                if flags.contains_key(f) {
+                    return Err(err(format!("--{f} needs --workers (coordinator mode)")));
+                }
+            }
+            None
+        }
+    };
     let cfg = ServerConfig {
-        addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7878".into()),
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7878".into()),
         threads: num(flags, "threads", 4)?,
         cache_bytes: num(flags, "cache-bytes", 64 << 20)?,
         store_dir: flags.get("store-dir").cloned(),
         read_timeout_ms: num(flags, "read-timeout-ms", defaults.read_timeout_ms)?,
         write_timeout_ms: num(flags, "write-timeout-ms", defaults.write_timeout_ms)?,
         max_line_bytes: num(flags, "max-line-bytes", defaults.max_line_bytes)?,
+        max_frame_bytes: num(flags, "max-frame-bytes", defaults.max_frame_bytes)?,
+        cluster,
     };
     let server = Server::bind(&cfg)?;
     eprintln!(
-        "skydiver-serve listening on {} ({} workers, {} byte fingerprint cache{})",
+        "skydiver-serve listening on {} ({} workers, {} byte fingerprint cache{}{})",
         server.local_addr()?,
         cfg.threads.max(1),
         cfg.cache_bytes,
         match &cfg.store_dir {
             Some(dir) => format!(", store {dir}"),
             None => ", no store".to_string(),
+        },
+        match &cfg.cluster {
+            Some(c) => format!(
+                ", coordinating {} node(s) at replication {}",
+                c.workers.len(),
+                c.replication.max(1)
+            ),
+            None => String::new(),
         }
     );
     server.run()?;
@@ -472,9 +611,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 /// `skydiver query` — line-protocol client: LOAD / QUERY / STATS /
 /// SHUTDOWN against a running `skydiver serve`.
 fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
-    let addr = flags.get("addr").map(|s| s.as_str()).unwrap_or("127.0.0.1:7878");
-    let mut client = Client::connect(addr)
-        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let addr = flags
+        .get("addr")
+        .map(|s| s.as_str())
+        .unwrap_or("127.0.0.1:7878");
+    let mut client =
+        Client::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
     if flags.contains_key("stats") {
         println!("{}", client.stats().map_err(err)?);
         return Ok(());
@@ -491,6 +633,22 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", client.restore().map_err(err)?);
         return Ok(());
     }
+    if let Some(node) = flags.get("join") {
+        println!(
+            "{}",
+            client.exchange(&format!("JOIN addr={node}")).map_err(err)?
+        );
+        return Ok(());
+    }
+    if let Some(node) = flags.get("leave") {
+        println!(
+            "{}",
+            client
+                .exchange(&format!("LEAVE addr={node}"))
+                .map_err(err)?
+        );
+        return Ok(());
+    }
     if let Some(name) = flags.get("load") {
         let path = flag(flags, "path")?;
         println!("{}", client.load(name, path).map_err(err)?);
@@ -503,7 +661,9 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     }
     // A diversification query.
     let dataset = flag(flags, "dataset")?;
-    let k: usize = flag(flags, "k")?.parse().map_err(|_| err("bad value for --k"))?;
+    let k: usize = flag(flags, "k")?
+        .parse()
+        .map_err(|_| err("bad value for --k"))?;
     let mut spec = QuerySpec::new(dataset, k);
     spec.t = num(flags, "t", spec.t)?;
     spec.seed = num(flags, "seed", spec.seed)?;

@@ -80,7 +80,9 @@ fn random_partitions_fold_bit_identically() {
         let ds = grid_dataset(&mut rng, 240, 3);
         let prefs = Preference::all_min(3);
         let pipe = SkyDiver::new(2).signature_size(24).hash_seed(case);
-        let reference = pipe.fingerprint(&ds, &prefs).expect("reference fingerprint");
+        let reference = pipe
+            .fingerprint(&ds, &prefs)
+            .expect("reference fingerprint");
 
         let shards = rng.range(1, 9) as usize;
         let sd = random_partition(&mut rng, &ds, shards);
@@ -94,7 +96,10 @@ fn random_partitions_fold_bit_identically() {
                 .expect("sharded fingerprint");
             let fp = &run.fingerprint;
             assert!(fp.is_complete(), "case {case}: unlimited run tripped");
-            assert_eq!(fp.skyline, reference.skyline, "case {case}, threads {threads}");
+            assert_eq!(
+                fp.skyline, reference.skyline,
+                "case {case}, threads {threads}"
+            );
             assert_eq!(
                 fp.output.matrix, reference.output.matrix,
                 "case {case}, threads {threads}, {shards} shards: matrix diverged"
@@ -103,7 +108,11 @@ fn random_partitions_fold_bit_identically() {
                 fp.output.scores, reference.output.scores,
                 "case {case}, threads {threads}, {shards} shards: Γ-scores diverged"
             );
-            assert_eq!(run.shards.len(), sd.num_shards(), "case {case}: fold per shard");
+            assert_eq!(
+                run.shards.len(),
+                sd.num_shards(),
+                "case {case}: fold per shard"
+            );
         }
     }
 }
@@ -124,9 +133,16 @@ fn cached_shard_folds_change_nothing() {
             .fingerprint_sharded_with(&sd, &prefs, &cached)
             .expect("warm run");
 
-        assert_eq!(warm.reused_shards, sd.num_shards(), "case {case}: exact-fit reuse");
+        assert_eq!(
+            warm.reused_shards,
+            sd.num_shards(),
+            "case {case}: exact-fit reuse"
+        );
         assert_eq!(warm.scanned_rows, 0, "case {case}: nothing left to scan");
-        assert_eq!(warm.fingerprint.skyline, cold.fingerprint.skyline, "case {case}");
+        assert_eq!(
+            warm.fingerprint.skyline, cold.fingerprint.skyline,
+            "case {case}"
+        );
         assert_eq!(
             warm.fingerprint.output.matrix, cold.fingerprint.output.matrix,
             "case {case}: cached merge diverged"
@@ -157,10 +173,14 @@ fn budget_trips_identically_on_sequential_folds() {
             .hash_seed(case)
             .budget(budget);
 
-        let reference = pipe.fingerprint(&ds, &prefs).expect("reference fingerprint");
+        let reference = pipe
+            .fingerprint(&ds, &prefs)
+            .expect("reference fingerprint");
         let shards = rng.range(2, 9) as usize;
         let sd = random_partition(&mut rng, &ds, shards);
-        let run = pipe.fingerprint_sharded(&sd, &prefs).expect("sharded fingerprint");
+        let run = pipe
+            .fingerprint_sharded(&sd, &prefs)
+            .expect("sharded fingerprint");
         let fp = &run.fingerprint;
 
         assert_eq!(
@@ -249,5 +269,327 @@ fn appended_shards_extend_old_folds_exactly() {
                 "case {case}: skyline unchanged yet old rows were rescanned"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-process cluster determinism (PR 8).
+//
+// The same merge algebra, but with the shards owned by *separate worker
+// processes*: a coordinator fans fingerprint folds out over TCP and
+// merges the returned frames. Every answer — cold, warm, appended,
+// budget-tripped, after a kill -9 of a replica, after LEAVE + handoff —
+// must match the monolithic single-process payload field for field
+// (timings excluded).
+// ---------------------------------------------------------------------
+
+mod cluster_process {
+    use std::process::{Child, Command, Stdio};
+    use std::time::Duration;
+
+    use skydiver::data::generators::anticorrelated;
+    use skydiver::data::io;
+    use skydiver::serve::protocol::{json_bool, json_u64, json_u64_array, QuerySpec};
+    use skydiver::serve::{Client, ClusterConfig, Server, ServerConfig, ServerHandle};
+
+    const T: usize = 64;
+    const K: usize = 7;
+
+    /// Worker child processes, killed (SIGKILL) on drop so a failing
+    /// assertion never leaks servers.
+    struct Workers(Vec<(String, Child)>);
+
+    impl Drop for Workers {
+        fn drop(&mut self) {
+            for (_, child) in &mut self.0 {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    impl Workers {
+        fn addrs(&self) -> Vec<String> {
+            self.0.iter().map(|(a, _)| a.clone()).collect()
+        }
+
+        /// SIGKILLs one worker (no drain, no goodbye — the crash case).
+        fn kill(&mut self, idx: usize) {
+            let (_, child) = &mut self.0[idx];
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn free_port() -> u16 {
+        std::net::TcpListener::bind("127.0.0.1:0")
+            .expect("probe port")
+            .local_addr()
+            .expect("probe addr")
+            .port()
+    }
+
+    /// Spawns `n` plain `skydiver serve` processes and waits until each
+    /// accepts connections.
+    fn spawn_workers(n: usize) -> Workers {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let addr = format!("127.0.0.1:{}", free_port());
+            let child = Command::new(env!("CARGO_BIN_EXE_skydiver"))
+                .args(["serve", "--addr", &addr])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn worker process");
+            v.push((addr, child));
+        }
+        for (addr, _) in &v {
+            Client::connect_retry(addr.as_str(), 200, Duration::from_millis(25))
+                .expect("worker did not come up");
+        }
+        Workers(v)
+    }
+
+    /// An in-process coordinator over `workers` at replication `r`.
+    fn start_coordinator(workers: &[String], r: usize) -> ServerHandle {
+        Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            cluster: Some(ClusterConfig {
+                workers: workers.to_vec(),
+                replication: r,
+                shards: 4,
+                fanout_timeout_ms: 10_000,
+            }),
+            ..ServerConfig::default()
+        })
+        .expect("bind coordinator")
+        .spawn()
+        .expect("spawn coordinator")
+    }
+
+    /// An in-process monolithic reference server.
+    fn start_monolithic() -> ServerHandle {
+        Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind monolithic")
+        .spawn()
+        .expect("spawn monolithic")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("skydiver-cluster-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn spec(seed: u64) -> QuerySpec {
+        let mut s = QuerySpec::new("d", K);
+        s.t = T;
+        s.seed = seed;
+        s
+    }
+
+    fn json_str(json: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\":\"");
+        let start = json.find(&pat)? + pat.len();
+        let rest = &json[start..];
+        Some(rest[..rest.find('"')?].to_string())
+    }
+
+    /// Every payload field that must be bit-identical across process
+    /// topologies (everything except the timing fields).
+    #[derive(Debug, PartialEq)]
+    struct Answer {
+        selected: Vec<u64>,
+        gamma: Vec<u64>,
+        skyline: u64,
+        dominance_tests: u64,
+        cached: bool,
+        degraded: bool,
+        status: String,
+    }
+
+    fn answer(payload: &str) -> Answer {
+        Answer {
+            selected: json_u64_array(payload, "selected").expect("selected"),
+            gamma: json_u64_array(payload, "gamma").expect("gamma"),
+            skyline: json_u64(payload, "skyline").expect("skyline"),
+            dominance_tests: json_u64(payload, "dominance_tests").expect("dominance_tests"),
+            cached: json_bool(payload, "cached").expect("cached"),
+            degraded: json_bool(payload, "degraded").expect("degraded"),
+            status: json_str(payload, "status").expect("status"),
+        }
+    }
+
+    fn query(client: &mut Client, s: &QuerySpec) -> Answer {
+        answer(&client.query(s).expect("query"))
+    }
+
+    /// Acceptance: for K ∈ {1, 2, 4} worker processes and R ∈ {1, 2},
+    /// the coordinator's QUERY payload matches the monolithic server
+    /// field for field — cold, warm (memoised), and after an APPEND.
+    #[test]
+    fn cluster_topologies_answer_bit_identically_to_monolithic() {
+        let base_csv = tmp("base.csv");
+        let block_csv = tmp("block.csv");
+        io::write_csv(&anticorrelated(4_000, 3, 77), &base_csv).expect("write base");
+        io::write_csv(&anticorrelated(800, 3, 78), &block_csv).expect("write block");
+        let base_path = base_csv.to_str().unwrap().to_string();
+        let block_path = block_csv.to_str().unwrap().to_string();
+
+        let mono = start_monolithic();
+        let mut mc = Client::connect(mono.addr()).expect("connect monolithic");
+        mc.load("d", &base_path).expect("monolithic load");
+        let cold = query(&mut mc, &spec(5));
+        let warm = query(&mut mc, &spec(5));
+        assert!(warm.cached && !cold.cached, "monolithic memo sanity");
+        mc.append("d", &block_path).expect("monolithic append");
+        let grown = query(&mut mc, &spec(9));
+
+        for (nworkers, r) in [(1usize, 1usize), (2, 1), (2, 2), (4, 1), (4, 2)] {
+            let workers = spawn_workers(nworkers);
+            let coord = start_coordinator(&workers.addrs(), r);
+            let mut cc = Client::connect(coord.addr()).expect("connect coordinator");
+            cc.load("d", &base_path).expect("cluster load");
+            assert_eq!(
+                query(&mut cc, &spec(5)),
+                cold,
+                "cold answer diverged ({nworkers} workers, R={r})"
+            );
+            assert_eq!(
+                query(&mut cc, &spec(5)),
+                warm,
+                "warm answer diverged ({nworkers} workers, R={r})"
+            );
+            cc.append("d", &block_path).expect("cluster append");
+            assert_eq!(
+                query(&mut cc, &spec(9)),
+                grown,
+                "post-append answer diverged ({nworkers} workers, R={r})"
+            );
+            cc.shutdown().expect("coordinator shutdown");
+        }
+
+        mc.shutdown().expect("monolithic shutdown");
+        std::fs::remove_file(base_csv).ok();
+        std::fs::remove_file(block_csv).ok();
+    }
+
+    /// A dominance-test budget must trip at the same absolute row in the
+    /// cluster as in the monolithic run: identical degraded prefix,
+    /// identical status string (`used`/`limit` included).
+    #[test]
+    fn budget_tripped_cluster_prefix_is_identical() {
+        let csv = tmp("budget.csv");
+        io::write_csv(&anticorrelated(4_000, 3, 90), &csv).expect("write csv");
+        let path = csv.to_str().unwrap().to_string();
+
+        let mono = start_monolithic();
+        let mut mc = Client::connect(mono.addr()).expect("connect monolithic");
+        mc.load("d", &path).expect("monolithic load");
+        let mut s = spec(5);
+        s.max_dominance_tests = Some(500);
+        let reference = query(&mut mc, &s);
+        assert!(
+            reference.degraded,
+            "budget must actually trip: {reference:?}"
+        );
+
+        let workers = spawn_workers(2);
+        let coord = start_coordinator(&workers.addrs(), 1);
+        let mut cc = Client::connect(coord.addr()).expect("connect coordinator");
+        cc.load("d", &path).expect("cluster load");
+        assert_eq!(query(&mut cc, &s), reference, "tripped prefix diverged");
+
+        cc.shutdown().expect("coordinator shutdown");
+        mc.shutdown().expect("monolithic shutdown");
+        std::fs::remove_file(csv).ok();
+    }
+
+    /// R=2 survives a kill -9: after one replica dies mid-cluster the
+    /// answer is still complete and bit-identical; after `LEAVE` retires
+    /// the dead node (handing its shards off) it still is.
+    #[test]
+    fn killed_replica_and_leave_keep_answers_identical() {
+        let csv = tmp("kill.csv");
+        io::write_csv(&anticorrelated(4_000, 3, 91), &csv).expect("write csv");
+        let path = csv.to_str().unwrap().to_string();
+
+        let mono = start_monolithic();
+        let mut mc = Client::connect(mono.addr()).expect("connect monolithic");
+        mc.load("d", &path).expect("monolithic load");
+        let ref5 = query(&mut mc, &spec(5));
+        let ref11 = query(&mut mc, &spec(11));
+        let ref13 = query(&mut mc, &spec(13));
+
+        let mut workers = spawn_workers(3);
+        let coord = start_coordinator(&workers.addrs(), 2);
+        let mut cc = Client::connect(coord.addr()).expect("connect coordinator");
+        cc.load("d", &path).expect("cluster load");
+        assert_eq!(
+            query(&mut cc, &spec(5)),
+            ref5,
+            "healthy-cluster answer diverged"
+        );
+
+        workers.kill(0);
+        let after_kill = query(&mut cc, &spec(11));
+        assert_eq!(
+            after_kill, ref11,
+            "answer diverged after kill -9 of a replica"
+        );
+        assert!(!after_kill.degraded, "R=2 must mask a single dead node");
+
+        let dead = workers.addrs()[0].clone();
+        cc.exchange(&format!("LEAVE addr={dead}")).expect("leave");
+        assert_eq!(
+            query(&mut cc, &spec(13)),
+            ref13,
+            "answer diverged after LEAVE + handoff"
+        );
+
+        cc.shutdown().expect("coordinator shutdown");
+        mc.shutdown().expect("monolithic shutdown");
+        std::fs::remove_file(csv).ok();
+    }
+
+    /// R=1 with a dead owner cannot mask the loss — the query must still
+    /// answer (degraded, shard reported unavailable) instead of erroring
+    /// or hanging.
+    #[test]
+    fn dead_owner_without_replica_degrades_gracefully() {
+        let csv = tmp("degrade.csv");
+        io::write_csv(&anticorrelated(2_000, 3, 92), &csv).expect("write csv");
+        let path = csv.to_str().unwrap().to_string();
+
+        let mut workers = spawn_workers(2);
+        let coord = start_coordinator(&workers.addrs(), 1);
+        let mut cc = Client::connect(coord.addr()).expect("connect coordinator");
+        cc.load("d", &path).expect("cluster load");
+
+        workers.kill(0);
+        let mut degraded = query(&mut cc, &spec(21));
+        if !degraded.degraded {
+            // Rendezvous placement can (rarely) put every shard on
+            // worker 1 — kill it too so a shard is certainly lost.
+            workers.kill(1);
+            degraded = query(&mut cc, &spec(22));
+        }
+        assert!(
+            degraded.degraded,
+            "lost shard must degrade the answer: {degraded:?}"
+        );
+        assert!(
+            degraded.status.contains("unavailable"),
+            "status must name the unreachable shard: {}",
+            degraded.status
+        );
+
+        cc.shutdown().expect("coordinator shutdown");
+        std::fs::remove_file(csv).ok();
     }
 }
