@@ -12,7 +12,22 @@
 //!         [--out BENCH_pr7.json | --check BENCH_pr7.json]
 //! loadgen --mode cluster [--scale 0.1] [--conns 4] [--queries 16] [--k 10] [--t 64]
 //!         [--out BENCH_pr8.json | --check BENCH_pr8.json]
+//! loadgen --mode pipeline [--scale 0.1] [--conns 4] [--depth 32] [--bursts 16]
+//!         [--k 10] [--t 64] [--out BENCH_pr9.json | --check BENCH_pr9.json]
 //! ```
+//!
+//! `--mode pipeline` measures the PR 9 readiness-driven server core:
+//! the same warm-query stream issued four ways over the same
+//! connections — depth-1 text (one round trip per query, the
+//! BENCH_pr3 serving shape), depth-`N` text pipelining (one round trip
+//! per burst), depth-`N` `SKYWIRE01` binary framing, and `BATCH` (one
+//! request, `N` selections). Every reply's selected set is asserted
+//! against the sequential answer before timing counts, so the speedup
+//! can never come from dropping work. `--check` gates the within-run
+//! pipelined/single throughput ratio (machine-independent — both sides
+//! share one server, one binary, one box) against the committed
+//! baseline's, floored at a quarter (never below 2x), and requires the
+//! pipelined warm p99 to stay under 5 ms.
 //!
 //! `--mode cluster` measures the PR 8 coordinator/worker fan-out: the
 //! same dataset served single-process, then by a coordinator over 2 and
@@ -88,7 +103,9 @@ use skydiver_core::minhash::{
 use skydiver_data::dominance::MinDominance;
 use skydiver_data::{io, Dataset, ShardedDataset};
 use skydiver_rtree::{BufferPool, RTree};
-use skydiver_serve::protocol::{json_u64, json_u64_array, QuerySpec};
+use skydiver_serve::protocol::{
+    json_u64, json_u64_array, parse_response, BatchSpec, Method, QuerySpec,
+};
 use skydiver_serve::{Client, ClusterConfig, Server, ServerConfig};
 use skydiver_skyline::sfs;
 
@@ -1046,6 +1063,287 @@ fn run_cluster_mode(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One serving shape's measurements in `--mode pipeline`.
+struct PipeReport {
+    name: &'static str,
+    qps: f64,
+    p50: f64,
+    p99: f64,
+}
+
+impl PipeReport {
+    fn json(&self) -> String {
+        format!(
+            "  \"{}_qps\": {:.1},\n  \"{}_p50_ms\": {:.3},\n  \"{}_p99_ms\": {:.3}",
+            self.name, self.qps, self.name, self.p50, self.name, self.p99
+        )
+    }
+}
+
+/// Splits a `BATCH` payload's `"results":[...]` array into its
+/// per-item objects (flat objects, so splitting on `"},{"` is exact).
+fn batch_results(payload: &str) -> Vec<String> {
+    let start = payload.find("\"results\":[").expect("results array") + "\"results\":[".len();
+    let end = payload[start..].rfind(']').expect("results close") + start;
+    payload[start..end]
+        .split("},{")
+        .map(str::to_string)
+        .collect()
+}
+
+/// Fires `conns` client threads, each running `bursts` bursts through
+/// `burst` (which returns the burst's round-trip in ms and verifies
+/// every reply), and reports aggregate throughput plus per-query
+/// latency quantiles (burst round-trip divided by `depth`).
+fn pipeline_load<F>(
+    name: &'static str,
+    addr: std::net::SocketAddr,
+    conns: usize,
+    bursts: usize,
+    depth: usize,
+    framed: bool,
+    burst: F,
+) -> PipeReport
+where
+    F: Fn(&mut Client) -> f64 + Sync,
+{
+    let t0 = Instant::now();
+    let mut per_query_ms: Vec<f64> = Vec::with_capacity(conns * bursts * depth);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..conns {
+            let burst = &burst;
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                if framed {
+                    client.hello().expect("HELLO negotiation");
+                }
+                let mut lat = Vec::with_capacity(bursts * depth);
+                for _ in 0..bursts {
+                    let rtt = burst(&mut client);
+                    lat.extend(std::iter::repeat_n(rtt / depth as f64, depth));
+                }
+                lat
+            }));
+        }
+        for h in handles {
+            per_query_ms.extend(h.join().expect("client thread"));
+        }
+    });
+    let qps = (conns * bursts * depth) as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    per_query_ms.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (
+        percentile(&per_query_ms, 0.50),
+        percentile(&per_query_ms, 0.99),
+    );
+    PipeReport {
+        name,
+        qps,
+        p50,
+        p99,
+    }
+}
+
+/// `--mode pipeline`: the PR 9 serving shapes — depth-1 text (the
+/// BENCH_pr3 single-request path), pipelined text, pipelined binary,
+/// and `BATCH` — over the same warm query, answers asserted identical.
+fn run_pipeline_mode(args: &Args) -> ExitCode {
+    let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
+    let conns: usize = args.get_or("conns", 4);
+    let depth: usize = args.get_or("depth", 32);
+    let bursts: usize = args.get_or("bursts", 16);
+    let k: usize = args.get_or("k", 10);
+    let t: usize = args.get_or("t", 64);
+    let threads: usize = args.get_or("threads", conns);
+    eprintln!(
+        "# loadgen pipeline mode: n = {n}, {conns} conns x {bursts} bursts x depth {depth}"
+    );
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        cache_bytes: 64 << 20,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    server
+        .registry()
+        .insert_dataset("bench", Family::Ant.generate(n, 3, 91));
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let mut spec = QuerySpec::new("bench", k);
+    spec.t = t;
+    spec.seed = 7;
+    let line = spec.to_line();
+
+    // Warm the fingerprint once; every timed shape below replays this
+    // query and must return this selected set.
+    let mut probe = Client::connect(addr).expect("connect");
+    let (expected, cold_ms) = query_once(&mut probe, &spec);
+    eprintln!("# cold fingerprint {cold_ms:.1}ms, selected |{}|", expected.len());
+    let verify = |raw: &str| {
+        let payload = parse_response(raw).expect("OK reply");
+        let selected = json_u64_array(&payload, "selected").expect("selected array");
+        assert_eq!(selected, expected, "serving shape changed the answer");
+    };
+
+    // Depth 1, text: one request, one reply, one round trip — the
+    // exact shape BENCH_pr3's throughput leg measures.
+    let single = pipeline_load("single", addr, conns, bursts * depth, 1, false, |client| {
+        let t0 = Instant::now();
+        let raw = client.request(&line).expect("request");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        verify(&raw);
+        ms
+    });
+
+    // Depth N, text then binary: one flush and one round trip per
+    // burst; replies must come back in order.
+    let lines = vec![line.clone(); depth];
+    let pipe_burst = |client: &mut Client| {
+        let t0 = Instant::now();
+        let replies = client.pipeline(&lines).expect("pipeline");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        for raw in &replies {
+            verify(raw);
+        }
+        ms
+    };
+    let pipe_text = pipeline_load("pipe_text", addr, conns, bursts, depth, false, pipe_burst);
+    let pipe_bin = pipeline_load("pipe_bin", addr, conns, bursts, depth, true, pipe_burst);
+
+    // BATCH: one request resolves the fingerprint once and runs all
+    // `depth` selections server-side — no per-item wire cost at all.
+    let mut batch = BatchSpec::new("bench", vec![(k, Method::MinHash); depth]);
+    batch.t = t;
+    batch.seed = 7;
+    let batch_rep = pipeline_load("batch", addr, conns, bursts, depth, false, |client| {
+        let t0 = Instant::now();
+        let payload = client.batch(&batch).expect("batch");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let results = batch_results(&payload);
+        assert_eq!(results.len(), depth, "BATCH must answer every item");
+        for item in &results {
+            let selected = json_u64_array(item, "selected").expect("selected array");
+            assert_eq!(selected, expected, "BATCH item changed the answer");
+        }
+        ms
+    });
+
+    let stats = probe.stats().expect("stats");
+    let pipelined_reqs = json_u64(&stats, "pipeline_count").unwrap_or(0);
+    let hellos = json_u64(&stats, "hellos").unwrap_or(0);
+    probe.shutdown().expect("shutdown");
+    handle.join().expect("server exit");
+    assert!(
+        pipelined_reqs > 0,
+        "the pipelined legs must batch requests per read: {stats}"
+    );
+    assert!(hellos >= conns as u64, "binary legs must negotiate: {stats}");
+
+    let shapes = [single, pipe_text, pipe_bin, batch_rep];
+    for s in &shapes {
+        eprintln!(
+            "{:>9}: {:>8.0} q/s  p50 {:.3}ms  p99 {:.3}ms",
+            s.name, s.qps, s.p50, s.p99
+        );
+    }
+    let best_pipe = shapes[1].qps.max(shapes[2].qps).max(shapes[3].qps);
+    let ratio = best_pipe / shapes[0].qps.max(1e-9);
+    let pipe_p99 = shapes[1].p99.max(shapes[2].p99);
+    eprintln!("pipelined/single ratio {ratio:.1}x  pipelined p99 {pipe_p99:.3}ms");
+
+    // The headline acceptance compares against the committed PR 3
+    // report: the old blocking server's single-request text throughput
+    // on this same workload (warm queries, 4 conns).
+    let pr3_path = args.get("pr3").unwrap_or("BENCH_pr3.json");
+    let pr3_single = std::fs::read_to_string(pr3_path)
+        .ok()
+        .and_then(|s| baseline_f64(&s, "throughput_qps"));
+    let vs_pr3 = pr3_single.map(|qps| best_pipe / qps.max(1e-9));
+    let pr3_json = match (pr3_single, vs_pr3) {
+        (Some(qps), Some(r)) => {
+            eprintln!("vs BENCH_pr3 single-request path ({qps:.1} q/s): {r:.1}x");
+            format!("  \"pr3_single_qps\": {qps:.1},\n  \"vs_pr3_single\": {r:.3},\n")
+        }
+        _ => String::new(),
+    };
+
+    let rows: Vec<String> = shapes.iter().map(PipeReport::json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pr9-loadgen-pipeline\",\n  \"scale\": {},\n  \"n\": {n},\n  \
+         \"conns\": {conns},\n  \"depth\": {depth},\n  \"bursts\": {bursts},\n  \
+         \"k\": {k},\n  \"t\": {t},\n  \"server_threads\": {threads},\n{},\n  \
+         \"pipeline_over_single\": {ratio:.3},\n  \"pipelined_p99_ms\": {pipe_p99:.3},\n\
+         {pr3_json}  \"answers_identical\": true\n}}\n",
+        args.scale,
+        rows.join(",\n"),
+    );
+
+    if let Some(baseline_path) = args.get("check") {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(base_ratio) = baseline_f64(&baseline, "pipeline_over_single") else {
+            eprintln!("baseline {baseline_path} lacks pipeline_over_single");
+            return ExitCode::FAILURE;
+        };
+        // The ratio is within-run (same server, same box, same binary),
+        // so it transfers across machines; a quarter of the committed
+        // baseline (never below 2x) catches the event loop losing its
+        // batching without flaking on scheduler noise.
+        let floor = (base_ratio / 4.0).max(2.0);
+        let ratio_ok = ratio >= floor;
+        eprintln!(
+            "CHECK pipeline_over_single: {ratio:.2}x vs baseline {base_ratio:.2}x (floor {floor:.2}x) — {}",
+            if ratio_ok { "ok" } else { "REGRESSED" }
+        );
+        // The acceptance latency bound is absolute and generous enough
+        // to hold on small CI runners: warm pipelined queries must stay
+        // under 5 ms at p99.
+        let p99_ok = pipe_p99 < 5.0;
+        eprintln!(
+            "CHECK pipelined p99: {pipe_p99:.3}ms (bound 5.000ms) — {}",
+            if p99_ok { "ok" } else { "REGRESSED" }
+        );
+        // The headline 10x: best pipelined throughput vs the committed
+        // PR 3 single-request figure. Cross-machine, but the margin is
+        // wide — the memo + pipelining path answers a warm query in a
+        // few microseconds of server work, so any runner that could
+        // record BENCH_pr3-like numbers clears 10x comfortably.
+        let pr3_ok = match vs_pr3 {
+            Some(r) => {
+                let ok = r >= 10.0;
+                eprintln!(
+                    "CHECK vs BENCH_pr3 single-request path: {r:.1}x (floor 10.0x) — {}",
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                ok
+            }
+            None => {
+                eprintln!("CHECK vs BENCH_pr3: {pr3_path} unreadable — failing");
+                false
+            }
+        };
+        if !ratio_ok || !p99_ok || !pr3_ok {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        let out = args.get("out").unwrap_or("BENCH_pr9.json");
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Anticorrelated points shifted up by `delta` in every dimension —
 /// "new data that is mostly worse", so most of it is dominated and only
 /// a few new skyline columns appear.
@@ -1070,6 +1368,9 @@ fn main() -> ExitCode {
     }
     if args.get("mode") == Some("cluster") {
         return run_cluster_mode(&args);
+    }
+    if args.get("mode") == Some("pipeline") {
+        return run_pipeline_mode(&args);
     }
     let n = ((1_000_000f64 * args.scale) as usize).max(2_000);
     let conns: usize = args.get_or("conns", 4);

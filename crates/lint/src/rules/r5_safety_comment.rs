@@ -45,7 +45,10 @@ impl Rule for R5SafetyComment {
 }
 
 /// A `SAFETY:` comment counts when it sits on the same line as the
-/// `unsafe` keyword or in the run of comments directly above it.
+/// `unsafe` keyword or in the run of comments directly above the line
+/// that starts the statement — `let n = unsafe { … }` binds to the
+/// comments above the `let`, so binding the result of an unsafe call
+/// does not hide the justification from the reader or this rule.
 fn has_safety_comment(f: &SourceFile, unsafe_byte: usize, unsafe_line: u32) -> bool {
     // Same line (leading or trailing).
     if f.toks.iter().any(|t| {
@@ -55,8 +58,10 @@ fn has_safety_comment(f: &SourceFile, unsafe_byte: usize, unsafe_line: u32) -> b
     }) {
         return true;
     }
-    // Walk back over the directly preceding tokens: any comments before
-    // the previous code token may justify the block.
+    // Walk back over the directly preceding tokens: code on the same
+    // line as `unsafe` (the `let n =` prefix) is skipped; above the
+    // line, any comments before the first code token may justify the
+    // block.
     let mut idx = match f.toks.iter().position(|t| t.start == unsafe_byte) {
         Some(i) => i,
         None => return false,
@@ -70,6 +75,7 @@ fn has_safety_comment(f: &SourceFile, unsafe_byte: usize, unsafe_line: u32) -> b
                     return true;
                 }
             }
+            _ if t.line == unsafe_line => continue,
             _ => return false,
         }
     }
@@ -100,6 +106,29 @@ mod tests {
             "fn f(p: *const u8) -> u8 {\n  // SAFETY: caller guarantees p is valid\n  unsafe { *p }\n}\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn safety_comment_above_let_binding_passes() {
+        assert!(run(
+            "fn f(p: *const u8) -> u8 {\n  // SAFETY: caller guarantees p is valid\n  let v = unsafe { *p };\n  v\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn bare_let_binding_unsafe_is_flagged() {
+        let d = run("fn f(p: *const u8) -> u8 {\n  let v = unsafe { *p };\n  v\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn comment_two_statements_up_does_not_count() {
+        let d = run(
+            "fn f(p: *const u8) -> u8 {\n  // SAFETY: stale\n  let q = p;\n  let v = unsafe { *q };\n  v\n}\n",
+        );
+        assert_eq!(d.len(), 1);
     }
 
     #[test]

@@ -1,43 +1,52 @@
-//! Blocking line-protocol client.
+//! Blocking protocol client: line-delimited by default, `SKYWIRE01`
+//! binary frames after [`Client::hello`], pipelined on demand.
 //!
-//! One request line out, one response line back — the transport really
-//! is that small. The typed helpers ([`Client::load`], [`Client::append`],
-//! [`Client::query`], [`Client::stats`], [`Client::shutdown`]) strip the
-//! `OK `/`ERR ` status prefix and hand back the payload.
+//! One request out, one response back — or, with
+//! [`Client::pipeline`], N requests written back-to-back and N replies
+//! read in order, paying one round trip for the whole burst. The typed
+//! helpers ([`Client::load`], [`Client::append`], [`Client::query`],
+//! [`Client::batch`], [`Client::stats`], [`Client::shutdown`]) strip
+//! the `OK `/`ERR ` status prefix and hand back the payload.
+//!
+//! Both transports carry the same bytes: a binary frame's payload is
+//! exactly the text request/response (line, plus `\n` + raw body when
+//! the line announces `bytes=<n>`), so switching modes never changes a
+//! reply's content.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{parse_response, QuerySpec};
+use skydiver_cluster::frame;
 
-/// A connected client. Not thread-safe — open one client per thread
-/// (the server pairs one worker with one connection anyway).
+use crate::protocol::{parse_response, BatchSpec, QuerySpec, WIRE_PROTO};
+
+/// A connected client. Not thread-safe — open one client per thread.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    framed: bool,
 }
 
 impl Client {
     /// Connects to a running server.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Wraps an already-connected stream (the cluster layer connects
+    /// with its own deadline-budgeted `connect_timeout`, then hands
+    /// the stream here). Request/response turnarounds are latency
+    /// sensitive on every path, so `TCP_NODELAY` is set here — once,
+    /// for every constructor.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: stream,
-        })
-    }
-
-    /// Wraps an already-connected stream (the cluster layer connects
-    /// with its own deadline-budgeted `connect_timeout` and socket
-    /// timeouts, then hands the stream here).
-    pub fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: stream,
+            framed: false,
         })
     }
 
@@ -63,19 +72,104 @@ impl Client {
         Err(last.expect("at least one attempt"))
     }
 
+    /// Whether the connection has been switched to binary framing.
+    pub fn is_framed(&self) -> bool {
+        self.framed
+    }
+
+    /// Negotiates the `SKYWIRE01` binary framing: sends `HELLO` in
+    /// plain text, checks the acknowledgement, and frames everything
+    /// after it (both directions).
+    pub fn hello(&mut self) -> Result<(), String> {
+        let payload = self.exchange(&format!("HELLO proto={WIRE_PROTO}"))?;
+        if payload.trim() != format!("proto={WIRE_PROTO}") {
+            return Err(format!("unexpected HELLO acknowledgement {payload:?}"));
+        }
+        self.framed = true;
+        Ok(())
+    }
+
+    /// Writes one request (line + optional raw body) in the current
+    /// transport mode, without flushing — pipelining batches many of
+    /// these before one flush.
+    fn send_request(&mut self, line: &str, body: Option<&[u8]>) -> std::io::Result<()> {
+        if self.framed {
+            let mut payload = Vec::with_capacity(line.len() + 1 + body.map_or(0, |b| b.len()));
+            payload.extend_from_slice(line.as_bytes());
+            if let Some(b) = body {
+                payload.push(b'\n');
+                payload.extend_from_slice(b);
+            }
+            self.writer.write_all(&frame::encode(&payload))
+        } else {
+            writeln!(self.writer, "{line}")?;
+            if let Some(b) = body {
+                self.writer.write_all(b)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// Reads one reply in the current transport mode: the status line
+    /// plus its raw body, present whenever the line announces
+    /// `bytes=<n>` (text) or the frame payload carries trailing bytes
+    /// (binary).
+    fn recv_reply(&mut self) -> std::io::Result<(String, Option<Vec<u8>>)> {
+        if self.framed {
+            let mut len8 = [0u8; 8];
+            self.reader.read_exact(&mut len8)?;
+            let plen = u64::from_le_bytes(len8);
+            if plen > frame::MAX_FRAME_BYTES as u64 {
+                return Err(std::io::Error::other(format!(
+                    "response frame of {plen} bytes exceeds the cap"
+                )));
+            }
+            let mut whole = vec![0u8; 8 + plen as usize + 8];
+            whole[..8].copy_from_slice(&len8);
+            self.reader.read_exact(&mut whole[8..])?;
+            let payload = frame::decode(&whole)?;
+            match payload.iter().position(|&b| b == b'\n') {
+                Some(i) => Ok((
+                    String::from_utf8_lossy(&payload[..i]).into_owned(),
+                    Some(payload[i + 1..].to_vec()),
+                )),
+                None => Ok((String::from_utf8_lossy(payload).into_owned(), None)),
+            }
+        } else {
+            let mut response = String::new();
+            let n = self.reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let line = response.trim_end().to_string();
+            let body_len = line
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("bytes="))
+                .and_then(|v| v.parse::<usize>().ok());
+            match body_len {
+                None | Some(0) => Ok((line, None)),
+                Some(len) => {
+                    if len > frame::MAX_FRAME_BYTES {
+                        return Err(std::io::Error::other(format!(
+                            "response frame of {len} bytes exceeds the cap"
+                        )));
+                    }
+                    let mut buf = vec![0u8; len];
+                    self.reader.read_exact(&mut buf)?;
+                    Ok((line, Some(buf)))
+                }
+            }
+        }
+    }
+
     /// Sends one raw request line, returns the raw response line.
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
+        self.send_request(line, None)?;
         self.writer.flush()?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Ok(response.trim_end().to_string())
+        Ok(self.recv_reply()?.0)
     }
 
     /// Sends one request line and splits the response into
@@ -83,6 +177,22 @@ impl Client {
     pub fn exchange(&mut self, line: &str) -> Result<String, String> {
         let response = self.request(line).map_err(|e| format!("transport: {e}"))?;
         parse_response(&response)
+    }
+
+    /// Writes every request back-to-back, flushes once, then reads the
+    /// replies in order — the whole burst costs one round trip instead
+    /// of one per request. Replies are returned as raw response lines,
+    /// index-aligned with `lines`.
+    pub fn pipeline(&mut self, lines: &[String]) -> std::io::Result<Vec<String>> {
+        for line in lines {
+            self.send_request(line, None)?;
+        }
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in 0..lines.len() {
+            replies.push(self.recv_reply()?.0);
+        }
+        Ok(replies)
     }
 
     /// Sends one request line followed by an optional raw binary body,
@@ -96,37 +206,11 @@ impl Client {
         body: Option<&[u8]>,
     ) -> Result<(String, Option<Vec<u8>>), String> {
         let io = |e: std::io::Error| format!("transport: {e}");
-        writeln!(self.writer, "{line}").map_err(io)?;
-        if let Some(body) = body {
-            self.writer.write_all(body).map_err(io)?;
-        }
+        self.send_request(line, body).map_err(io)?;
         self.writer.flush().map_err(io)?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response).map_err(io)?;
-        if n == 0 {
-            return Err("transport: server closed the connection".to_string());
-        }
-        let payload = parse_response(response.trim_end())?;
-        let body_len = payload
-            .split_whitespace()
-            .find_map(|tok| tok.strip_prefix("bytes="))
-            .map(|v| {
-                v.parse::<usize>()
-                    .map_err(|_| format!("bad bytes= token in {payload:?}"))
-            })
-            .transpose()?;
-        match body_len {
-            None | Some(0) => Ok((payload, None)),
-            Some(len) => {
-                if len > skydiver_cluster::frame::MAX_FRAME_BYTES {
-                    return Err(format!("response frame of {len} bytes exceeds the cap"));
-                }
-                use std::io::Read as _;
-                let mut buf = vec![0u8; len];
-                self.reader.read_exact(&mut buf).map_err(io)?;
-                Ok((payload, Some(buf)))
-            }
-        }
+        let (response, body) = self.recv_reply().map_err(io)?;
+        let payload = parse_response(&response)?;
+        Ok((payload, body.filter(|b| !b.is_empty())))
     }
 
     /// `LOAD name=<name> path=<path>` — returns the summary payload.
@@ -142,6 +226,12 @@ impl Client {
 
     /// Runs a query; returns the one-line JSON result payload.
     pub fn query(&mut self, spec: &QuerySpec) -> Result<String, String> {
+        self.exchange(&spec.to_line())
+    }
+
+    /// Runs a batch (one fingerprint, many selections); returns the
+    /// one-line JSON result payload with its `results` array.
+    pub fn batch(&mut self, spec: &BatchSpec) -> Result<String, String> {
         self.exchange(&spec.to_line())
     }
 

@@ -33,7 +33,9 @@
 //! codec is the replication transport — and recomputes only on a miss.
 
 use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -53,7 +55,8 @@ use skydiver_skyline::sfs;
 use crate::cache::{FingerprintCache, FingerprintKey};
 use crate::client::Client;
 use crate::metrics::Metrics;
-use crate::protocol::{json_escape, json_u64};
+use crate::poll::{Interest, Poller};
+use crate::protocol::{json_escape, json_u64, parse_response};
 use crate::registry::{parse_prefs, read_points, Registry};
 use crate::store::{prefs_hash, SignatureStore, StoreKey};
 
@@ -840,11 +843,12 @@ impl ClusterState {
 
     /// The coordinator's fingerprint path — the cluster twin of
     /// [`Registry::fingerprint`], with identical memoisation, budget and
-    /// return semantics. Fan-out is parallel, except when a
-    /// dominance-test budget is set: then legs run sequentially in
-    /// shard order forwarding the remaining budget, so the trip lands
-    /// on the same absolute row as the monolithic run and the degraded
-    /// payload is bit-identical.
+    /// return semantics. Fan-out legs run concurrently — multiplexed on
+    /// the calling thread by the readiness shim, not a thread per shard
+    /// — except when a dominance-test budget is set: then legs run
+    /// sequentially in shard order forwarding the remaining budget, so
+    /// the trip lands on the same absolute row as the monolithic run
+    /// and the degraded payload is bit-identical.
     #[allow(clippy::too_many_arguments)]
     pub fn fingerprint(
         &self,
@@ -957,36 +961,21 @@ impl ClusterState {
             }
             out
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nshards)
-                    .map(|shard| {
-                        let nodes = &nodes;
-                        let routing = &routing;
-                        let fold_payload = &fold_payload;
-                        let skyline = &skyline;
-                        let deadline = &deadline;
-                        scope.spawn(move || {
-                            self.fold_leg(
-                                nodes,
-                                name,
-                                routing,
-                                shard,
-                                fold_payload,
-                                prefs_key,
-                                t,
-                                seed,
-                                None,
-                                deadline,
-                                skyline,
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|_| Err("fold leg panicked".into())))
-                    .collect()
-            })
+            // Unbudgeted fan-out: all legs multiplexed on this thread by
+            // the readiness shim — no thread per shard, and the shared
+            // deadline bounds the slowest worker, not the sum of legs.
+            self.fold_legs_multiplexed(
+                &nodes,
+                name,
+                &routing,
+                nshards,
+                &fold_payload,
+                prefs_key,
+                t,
+                seed,
+                &deadline,
+                &skyline,
+            )
         };
 
         // Merge in ascending shard order (the monolithic order; the
@@ -1140,51 +1129,285 @@ impl ClusterState {
         skyline: &[usize],
     ) -> Result<Leg, String> {
         let mut client = connect_deadline(owner, deadline).map_err(|e| e.to_string())?;
-        let mut line = format!(
-            "FOLD dataset={name} hash={} shard={shard} shard_hash={} prefs={prefs_key} \
-             t={t} seed={seed} timeout_ms={timeout_ms}",
-            routing.content_hash, routing.shard_hashes[shard]
-        );
-        if let Some(n) = max_dominance_tests {
-            line.push_str(&format!(" max_dominance_tests={n}"));
-        }
-        line.push_str(&format!(" bytes={}", fold_payload.len()));
-        let (header, body) = client.exchange_frame(&line, Some(fold_payload))?;
-        let body = body.ok_or_else(|| "fold response carried no frame".to_string())?;
-        let payload = frame::decode(&body).map_err(|e| e.to_string())?;
-        let (fp, tags) = decode_shard_signatures(payload).map_err(|e| e.to_string())?;
-        let want = [
-            routing.content_hash,
-            shard as u64,
-            prefs_hash(prefs_key),
+        let line = fold_request_line(
+            name,
+            routing,
+            shard,
+            prefs_key,
+            t,
             seed,
-        ];
-        if tags != want {
-            return Err("fold artefact key tags do not match the request".to_string());
-        }
-        if fp.t() != t || fp.columns != skyline {
-            return Err("fold artefact does not cover the current skyline".to_string());
-        }
-        let tests = json_kv_u64(&header, "tests").unwrap_or(0);
-        let reused = json_kv_u64(&header, "reused") == Some(1);
-        let trip = match header
-            .split_whitespace()
-            .find_map(|tok| tok.strip_prefix("tripped="))
-        {
-            None | Some("none") => None,
-            Some("cancelled") => Some(LegTrip::Cancelled),
-            Some("deadline") => Some(LegTrip::Deadline),
-            Some("dominance") => Some(LegTrip::Dominance {
-                used: json_kv_u64(&header, "trip_used").unwrap_or(tests),
-            }),
-            Some(other) => return Err(format!("unknown trip kind {other:?}")),
+            max_dominance_tests,
+            timeout_ms,
+            fold_payload.len(),
+        );
+        let (header, body) = client.exchange_frame(&line, Some(fold_payload))?;
+        parse_fold_leg(&header, body, routing, shard, prefs_key, t, seed, skyline)
+    }
+
+    /// All unbudgeted legs multiplexed on the calling thread: each leg
+    /// is a connect→write→read state machine driven by the readiness
+    /// shim, retried on the next replica on any failure, all under the
+    /// one shared deadline. Replaces a thread per shard — the slowest
+    /// worker bounds the wall clock, and a stalled peer can never pin a
+    /// coordinator thread past the deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_legs_multiplexed(
+        &self,
+        nodes: &[String],
+        name: &str,
+        routing: &DatasetRouting,
+        nshards: usize,
+        fold_payload: &[u8],
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        budget: &DeadlineBudget,
+        skyline: &[usize],
+    ) -> Vec<Result<Leg, String>> {
+        let mut poller = match Poller::new() {
+            Ok(p) => p,
+            Err(e) => {
+                // A node-local resource failure (fd limit); the blocking
+                // per-shard path still answers correctly, just serially.
+                eprintln!("skydiver-cluster: poller unavailable ({e}); sequential fan-out");
+                return (0..nshards)
+                    .map(|shard| {
+                        self.fold_leg(
+                            nodes,
+                            name,
+                            routing,
+                            shard,
+                            fold_payload,
+                            prefs_key,
+                            t,
+                            seed,
+                            None,
+                            budget,
+                            skyline,
+                        )
+                    })
+                    .collect();
+            }
         };
-        Ok(Leg {
-            fp,
-            reused,
-            tests,
-            trip,
-        })
+        let mut legs: Vec<LegState> = (0..nshards)
+            .map(|shard| LegState {
+                owners: rendezvous::owners(nodes, shard, self.replication),
+                attempt: 0,
+                conn: None,
+                last_err: format!("shard {shard}: no owners in roster"),
+                done: None,
+            })
+            .collect();
+        for (shard, leg) in legs.iter_mut().enumerate() {
+            self.start_leg_attempt(
+                &mut poller,
+                leg,
+                shard,
+                name,
+                routing,
+                prefs_key,
+                t,
+                seed,
+                fold_payload,
+                budget,
+            );
+        }
+        let mut events = Vec::new();
+        // lint: allow(R2) -- every pass checks the shared fan-out
+        // `budget` and fails all pending legs once it expires
+        while legs.iter().any(|l| l.done.is_none()) {
+            let Some(ms) = budget.remaining_ms() else {
+                fail_pending(&mut poller, &mut legs, &self.metrics, |shard| {
+                    format!("shard {shard}: fan-out deadline exhausted")
+                });
+                break;
+            };
+            if let Err(e) = poller.wait(&mut events, Some(Duration::from_millis(ms.min(50)))) {
+                fail_pending(&mut poller, &mut legs, &self.metrics, |shard| {
+                    format!("shard {shard}: poll wait failed: {e}")
+                });
+                break;
+            }
+            for ev in &events {
+                let shard = ev.token as usize;
+                let Some(leg) = legs.get_mut(shard) else {
+                    continue;
+                };
+                if leg.done.is_some() {
+                    continue;
+                }
+                let Some(conn) = leg.conn.as_mut() else {
+                    continue;
+                };
+                match drive_conn(
+                    &mut poller,
+                    conn,
+                    ev.token,
+                    ev.readable,
+                    ev.writable,
+                    ev.closed,
+                ) {
+                    Drive::Pending => {}
+                    Drive::Complete(line, body) => {
+                        let parsed = parse_response(&line).and_then(|header| {
+                            parse_fold_leg(
+                                &header, body, routing, shard, prefs_key, t, seed, skyline,
+                            )
+                        });
+                        match parsed {
+                            Ok(l) => {
+                                if let Some(conn) = leg.conn.take() {
+                                    self.metrics
+                                        .fanout
+                                        .record_micros(conn.started.elapsed().as_micros() as u64);
+                                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                                }
+                                leg.done = Some(Ok(l));
+                            }
+                            Err(e) => self.retry_leg(
+                                &mut poller,
+                                leg,
+                                shard,
+                                &e,
+                                name,
+                                routing,
+                                prefs_key,
+                                t,
+                                seed,
+                                fold_payload,
+                                budget,
+                            ),
+                        }
+                    }
+                    Drive::Failed(e) => self.retry_leg(
+                        &mut poller,
+                        leg,
+                        shard,
+                        &e,
+                        name,
+                        routing,
+                        prefs_key,
+                        t,
+                        seed,
+                        fold_payload,
+                        budget,
+                    ),
+                }
+            }
+        }
+        legs.into_iter()
+            .enumerate()
+            .map(|(shard, l)| {
+                l.done
+                    .unwrap_or_else(|| Err(format!("shard {shard}: fan-out incomplete")))
+            })
+            .collect()
+    }
+
+    /// Drops a failed attempt's connection and moves the leg to its
+    /// next replica (or marks it failed when none remain).
+    #[allow(clippy::too_many_arguments)]
+    fn retry_leg(
+        &self,
+        poller: &mut Poller,
+        leg: &mut LegState,
+        shard: usize,
+        err: &str,
+        name: &str,
+        routing: &DatasetRouting,
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        fold_payload: &[u8],
+        budget: &DeadlineBudget,
+    ) {
+        if let Some(conn) = leg.conn.take() {
+            let _ = poller.deregister(conn.stream.as_raw_fd());
+            leg.last_err = format!("shard {shard} via {}: {err}", conn.owner);
+        }
+        self.start_leg_attempt(
+            poller,
+            leg,
+            shard,
+            name,
+            routing,
+            prefs_key,
+            t,
+            seed,
+            fold_payload,
+            budget,
+        );
+    }
+
+    /// Connects the leg's next replica (blocking connect bounded by the
+    /// remaining deadline, then switched nonblocking), queues the `FOLD`
+    /// request bytes, and registers the socket with the poller. Marks
+    /// the leg failed when every replica has been tried.
+    #[allow(clippy::too_many_arguments)]
+    fn start_leg_attempt(
+        &self,
+        poller: &mut Poller,
+        leg: &mut LegState,
+        shard: usize,
+        name: &str,
+        routing: &DatasetRouting,
+        prefs_key: &str,
+        t: usize,
+        seed: u64,
+        fold_payload: &[u8],
+        budget: &DeadlineBudget,
+    ) {
+        // lint: allow(R2) -- bounded by the replication factor, with the
+        // shared fan-out budget checked on entry to every attempt
+        while leg.attempt < leg.owners.len() {
+            let Some(ms) = budget.remaining_ms() else {
+                leg.last_err = format!("shard {shard}: fan-out deadline exhausted");
+                break;
+            };
+            let owner = leg.owners[leg.attempt].clone();
+            let attempt = leg.attempt;
+            leg.attempt += 1;
+            self.metrics.bump(&self.metrics.fanout_legs);
+            if attempt > 0 {
+                self.metrics.bump(&self.metrics.fanout_retries);
+            }
+            let started = Instant::now();
+            match connect_nonblocking(&owner, budget) {
+                Ok(stream) => {
+                    if let Err(e) = poller.register(stream.as_raw_fd(), shard as u64, Interest::BOTH)
+                    {
+                        leg.last_err = format!("shard {shard} via {owner}: register: {e}");
+                        continue;
+                    }
+                    let line = fold_request_line(
+                        name,
+                        routing,
+                        shard,
+                        prefs_key,
+                        t,
+                        seed,
+                        None,
+                        ms,
+                        fold_payload.len(),
+                    );
+                    let mut wbuf = line.into_bytes();
+                    wbuf.push(b'\n');
+                    wbuf.extend_from_slice(fold_payload);
+                    leg.conn = Some(LegConn {
+                        stream,
+                        owner,
+                        wbuf,
+                        wpos: 0,
+                        rbuf: Vec::new(),
+                        started,
+                    });
+                    return;
+                }
+                Err(e) => leg.last_err = format!("shard {shard} via {owner}: {e}"),
+            }
+        }
+        self.metrics.bump(&self.metrics.fanout_failures);
+        leg.done = Some(Err(std::mem::take(&mut leg.last_err)));
     }
 
     /// The cluster `STATS` roll-up: the coordinator's own snapshot plus
@@ -1243,6 +1466,252 @@ impl ClusterState {
         ));
         json
     }
+}
+
+/// One in-flight multiplexed fan-out connection: the queued request
+/// bytes going out and the buffered response coming back.
+struct LegConn {
+    stream: TcpStream,
+    owner: String,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rbuf: Vec<u8>,
+    started: Instant,
+}
+
+/// One shard's leg in the multiplexed fan-out.
+struct LegState {
+    owners: Vec<String>,
+    attempt: usize,
+    conn: Option<LegConn>,
+    last_err: String,
+    done: Option<Result<Leg, String>>,
+}
+
+/// Outcome of driving one connection through a readiness event.
+enum Drive {
+    /// More bytes to move; keep the connection registered.
+    Pending,
+    /// One full response buffered: the raw status line and its body.
+    Complete(String, Option<Vec<u8>>),
+    /// The attempt failed; the caller retries on the next replica.
+    Failed(String),
+}
+
+/// Builds the `FOLD` request line — one format string for the blocking
+/// and multiplexed paths, so the wire bytes cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn fold_request_line(
+    name: &str,
+    routing: &DatasetRouting,
+    shard: usize,
+    prefs_key: &str,
+    t: usize,
+    seed: u64,
+    max_dominance_tests: Option<u64>,
+    timeout_ms: u64,
+    body_len: usize,
+) -> String {
+    let mut line = format!(
+        "FOLD dataset={name} hash={} shard={shard} shard_hash={} prefs={prefs_key} \
+         t={t} seed={seed} timeout_ms={timeout_ms}",
+        routing.content_hash, routing.shard_hashes[shard]
+    );
+    if let Some(n) = max_dominance_tests {
+        line.push_str(&format!(" max_dominance_tests={n}"));
+    }
+    line.push_str(&format!(" bytes={body_len}"));
+    line
+}
+
+/// Validates one `FOLD` response (header payload plus `SKYSIG02` frame)
+/// into a completed leg: frame checksum, key tags, signature size and
+/// skyline coverage must all match the request. Shared by the blocking
+/// and multiplexed fan-out paths.
+#[allow(clippy::too_many_arguments)]
+fn parse_fold_leg(
+    header: &str,
+    body: Option<Vec<u8>>,
+    routing: &DatasetRouting,
+    shard: usize,
+    prefs_key: &str,
+    t: usize,
+    seed: u64,
+    skyline: &[usize],
+) -> Result<Leg, String> {
+    let body = body.ok_or_else(|| "fold response carried no frame".to_string())?;
+    let payload = frame::decode(&body).map_err(|e| e.to_string())?;
+    let (fp, tags) = decode_shard_signatures(payload).map_err(|e| e.to_string())?;
+    let want = [
+        routing.content_hash,
+        shard as u64,
+        prefs_hash(prefs_key),
+        seed,
+    ];
+    if tags != want {
+        return Err("fold artefact key tags do not match the request".to_string());
+    }
+    if fp.t() != t || fp.columns != skyline {
+        return Err("fold artefact does not cover the current skyline".to_string());
+    }
+    let tests = json_kv_u64(header, "tests").unwrap_or(0);
+    let reused = json_kv_u64(header, "reused") == Some(1);
+    let trip = match header
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("tripped="))
+    {
+        None | Some("none") => None,
+        Some("cancelled") => Some(LegTrip::Cancelled),
+        Some("deadline") => Some(LegTrip::Deadline),
+        Some("dominance") => Some(LegTrip::Dominance {
+            used: json_kv_u64(header, "trip_used").unwrap_or(tests),
+        }),
+        Some(other) => return Err(format!("unknown trip kind {other:?}")),
+    };
+    Ok(Leg {
+        fp,
+        reused,
+        tests,
+        trip,
+    })
+}
+
+/// Fails every still-pending leg with `msg(shard)` — deadline expiry or
+/// a poller breakdown ends the whole fan-out at once.
+fn fail_pending(
+    poller: &mut Poller,
+    legs: &mut [LegState],
+    metrics: &Metrics,
+    msg: impl Fn(usize) -> String,
+) {
+    for (shard, leg) in legs.iter_mut().enumerate() {
+        if leg.done.is_none() {
+            if let Some(conn) = leg.conn.take() {
+                let _ = poller.deregister(conn.stream.as_raw_fd());
+            }
+            metrics.bump(&metrics.fanout_failures);
+            leg.done = Some(Err(msg(shard)));
+        }
+    }
+}
+
+/// Connects within the remaining shared deadline, then switches the
+/// socket nonblocking for the readiness-driven exchange.
+fn connect_nonblocking(addr: &str, budget: &DeadlineBudget) -> std::io::Result<TcpStream> {
+    let remaining = budget.remaining().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "fan-out deadline exhausted")
+    })?;
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, remaining)?;
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Responses the multiplexed reader will buffer a status line for; a
+/// worker reply never legitimately approaches this.
+const MAX_RESPONSE_LINE: usize = 1 << 20;
+
+/// One parsed text response: the status line plus the binary body its
+/// `bytes=<n>` token announced, if any.
+type ResponseParts = (String, Option<Vec<u8>>);
+
+/// Scans the buffered bytes for one complete text response (status line
+/// plus the body its `bytes=<n>` token announces). `Ok(None)` means more
+/// bytes are needed.
+fn complete_response(rbuf: &[u8]) -> Result<Option<ResponseParts>, String> {
+    let Some(nl) = rbuf.iter().position(|&b| b == b'\n') else {
+        if rbuf.len() > MAX_RESPONSE_LINE {
+            return Err(format!(
+                "response line exceeds {MAX_RESPONSE_LINE} bytes without a newline"
+            ));
+        }
+        return Ok(None);
+    };
+    let line = String::from_utf8_lossy(&rbuf[..nl]).trim_end().to_string();
+    let body_len = line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("bytes="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if body_len > frame::MAX_FRAME_BYTES {
+        return Err(format!("response frame of {body_len} bytes exceeds the cap"));
+    }
+    let total = nl + 1 + body_len;
+    if rbuf.len() < total {
+        return Ok(None);
+    }
+    let body = (body_len > 0).then(|| rbuf[nl + 1..total].to_vec());
+    Ok(Some((line, body)))
+}
+
+/// Moves bytes for one connection after a readiness event: drains the
+/// request while writable (downgrading to read-only interest once it is
+/// out), then reads until the response completes or the socket would
+/// block.
+fn drive_conn(
+    poller: &mut Poller,
+    conn: &mut LegConn,
+    token: u64,
+    readable: bool,
+    writable: bool,
+    closed: bool,
+) -> Drive {
+    if writable && conn.wpos < conn.wbuf.len() {
+        // lint: allow(R2) -- drains a bounded request buffer and exits
+        // on WouldBlock; the outer fan-out loop holds the budget
+        loop {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return Drive::Failed("transport: connection closed mid-request".into()),
+                Ok(n) => {
+                    conn.wpos += n;
+                    if conn.wpos == conn.wbuf.len() {
+                        let _ = poller.modify(conn.stream.as_raw_fd(), token, Interest::READ);
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Drive::Failed(format!("transport: {e}")),
+            }
+        }
+    }
+    if readable {
+        let mut chunk = [0u8; 16 * 1024];
+        // lint: allow(R2) -- reads until WouldBlock/EOF or a complete
+        // response; response size is capped by `complete_response`
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return match complete_response(&conn.rbuf) {
+                        Ok(Some((line, body))) => Drive::Complete(line, body),
+                        Ok(None) => {
+                            Drive::Failed("transport: server closed the connection".into())
+                        }
+                        Err(e) => Drive::Failed(e),
+                    };
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    match complete_response(&conn.rbuf) {
+                        Ok(Some((line, body))) => return Drive::Complete(line, body),
+                        Ok(None) => {}
+                        Err(e) => return Drive::Failed(e),
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Drive::Failed(format!("transport: {e}")),
+            }
+        }
+    }
+    if closed && !readable {
+        return Drive::Failed("transport: connection closed".into());
+    }
+    Drive::Pending
 }
 
 /// Connects to `addr` within the shared deadline budget, with socket

@@ -30,11 +30,19 @@
 //!   [`ClusterState`] that routes shards by
 //!   rendezvous hashing, fans fingerprint folds out, and merges them
 //!   to bits identical to the single-process run.
-//! - [`server`] / [`client`] — a std-only TCP worker pool and its
-//!   blocking counterpart. No async runtime: the build is offline and
-//!   the protocol is one line per request. Connections carry
-//!   read/write timeouts and a request-line size cap, so a stalled or
-//!   slow-loris client is shed instead of pinning a worker.
+//! - [`poll`] — a hand-rolled readiness shim (`epoll` on Linux via
+//!   direct FFI, portable `poll(2)` fallback) that keeps the std-only
+//!   policy while letting one thread multiplex thousands of sockets.
+//! - [`server`] / [`client`] — a nonblocking, readiness-driven event
+//!   loop and its client counterpart. No async runtime: the build is
+//!   offline and the state machines are hand-rolled over [`poll`].
+//!   Connections support request **pipelining** (every complete
+//!   request in the read buffer is answered, in order), an optional
+//!   length-prefixed binary framing (`SKYWIRE01`, negotiated with
+//!   `HELLO`), and a `BATCH` verb that amortises one fingerprint
+//!   lookup across many `(k, method)` selections. Idle/stalled and
+//!   slow-loris clients are shed by deadline sweeps instead of
+//!   per-socket timeouts.
 //!
 //! Every query runs under a per-request
 //! [`RunBudget`](skydiver_core::RunBudget) plus a server-wide
@@ -45,6 +53,7 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -54,7 +63,8 @@ pub use cache::{FingerprintCache, FingerprintKey};
 pub use client::Client;
 pub use cluster::{ClusterConfig, ClusterState, ShardHost};
 pub use metrics::{LatencyHistogram, Metrics};
-pub use protocol::{parse_request, parse_response, Method, QuerySpec, Request};
+pub use poll::{Event, Interest, Poller};
+pub use protocol::{parse_request, parse_response, BatchSpec, Method, QuerySpec, Request};
 pub use registry::{parse_prefs, LoadedDataset, Registry};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use store::{

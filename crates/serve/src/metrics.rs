@@ -42,6 +42,14 @@ impl LatencyHistogram {
     /// of the bucket holding the `ceil(q · count)`-th observation.
     /// Returns 0 when nothing has been recorded.
     pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) / 1_000.0
+    }
+
+    /// The `q`-quantile in the raw recorded unit (the upper bucket
+    /// bound). The histogram is unit-agnostic — the server also uses
+    /// one to track pipeline depths, where the unit is requests per
+    /// network read rather than microseconds.
+    pub fn quantile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
             return 0.0;
@@ -51,12 +59,12 @@ impl LatencyHistogram {
         for (idx, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                return 2f64.powi(idx as i32) / 1_000.0;
+                return 2f64.powi(idx as i32);
             }
         }
         // Concurrent recording can move `count()` between the two scans;
         // the top bucket's bound is the honest answer then.
-        2f64.powi(self.buckets.len() as i32 - 1) / 1_000.0
+        2f64.powi(self.buckets.len() as i32 - 1)
     }
 }
 
@@ -75,6 +83,9 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Cache entries evicted under the byte ceiling.
     pub cache_evictions: AtomicU64,
+    /// Whole selections served from the per-dataset result memo
+    /// (budget-free repeats of an identical query — no selection ran).
+    pub selection_hits: AtomicU64,
     /// Queries that returned a degraded (budget-curtailed) result.
     pub degraded: AtomicU64,
     /// `APPEND` requests served.
@@ -99,10 +110,27 @@ pub struct Metrics {
     pub fanout_failures: AtomicU64,
     /// Shard movements executed by join/leave handoff plans.
     pub handoffs: AtomicU64,
+    /// `BATCH` requests answered.
+    pub batches: AtomicU64,
+    /// Selections run inside `BATCH` requests (items across all batches).
+    pub batch_items: AtomicU64,
+    /// Connections switched to the binary framing via `HELLO`.
+    pub hellos: AtomicU64,
+    /// Request bytes read off accepted connections.
+    pub bytes_in: AtomicU64,
+    /// Response bytes written to accepted connections.
+    pub bytes_out: AtomicU64,
+    /// Connections accepted by the event loops.
+    pub conns_accepted: AtomicU64,
+    /// Connections shed by the idle/read or write deadline sweeps.
+    pub conns_shed: AtomicU64,
     /// End-to-end `QUERY` latency.
     pub latency: LatencyHistogram,
     /// Per-leg cluster fan-out latency (connect through fold frame).
     pub fanout: LatencyHistogram,
+    /// Requests parsed per network read (the pipelining depth actually
+    /// observed on the wire; unit is requests, not time).
+    pub pipeline: LatencyHistogram,
 }
 
 impl Metrics {
@@ -131,14 +159,20 @@ impl Metrics {
             concat!(
                 "{{\"queries\":{},\"loads\":{},\"errors\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
+                "\"selection_hits\":{},",
                 "\"degraded\":{},\"appends\":{},\"dominance_tests\":{},",
                 "\"shards_reused\":{},\"bytes_resident\":{},",
                 "\"store_hits\":{},\"store_quarantined\":{},",
                 "\"store_write_failures\":{},",
                 "\"fanout_legs\":{},\"fanout_retries\":{},",
                 "\"fanout_failures\":{},\"handoffs\":{},",
+                "\"batches\":{},\"batch_items\":{},\"hellos\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},",
+                "\"conns_accepted\":{},\"conns_shed\":{},",
                 "\"latency_count\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3},",
-                "\"fanout_count\":{},\"fanout_p50_ms\":{:.3},\"fanout_p99_ms\":{:.3}}}"
+                "\"fanout_count\":{},\"fanout_p50_ms\":{:.3},\"fanout_p99_ms\":{:.3},",
+                "\"pipeline_count\":{},\"pipeline_depth_p50\":{:.0},",
+                "\"pipeline_depth_p99\":{:.0}}}"
             ),
             self.get(&self.queries),
             self.get(&self.loads),
@@ -146,6 +180,7 @@ impl Metrics {
             self.get(&self.cache_hits),
             self.get(&self.cache_misses),
             self.get(&self.cache_evictions),
+            self.get(&self.selection_hits),
             self.get(&self.degraded),
             self.get(&self.appends),
             self.get(&self.dominance_tests),
@@ -158,12 +193,22 @@ impl Metrics {
             self.get(&self.fanout_retries),
             self.get(&self.fanout_failures),
             self.get(&self.handoffs),
+            self.get(&self.batches),
+            self.get(&self.batch_items),
+            self.get(&self.hellos),
+            self.get(&self.bytes_in),
+            self.get(&self.bytes_out),
+            self.get(&self.conns_accepted),
+            self.get(&self.conns_shed),
             self.latency.count(),
             self.latency.quantile_ms(0.50),
             self.latency.quantile_ms(0.99),
             self.fanout.count(),
             self.fanout.quantile_ms(0.50),
             self.fanout.quantile_ms(0.99),
+            self.pipeline.count(),
+            self.pipeline.quantile(0.50),
+            self.pipeline.quantile(0.99),
         )
     }
 }

@@ -12,6 +12,10 @@
 //! QUERY dataset=<id> k=<k> [method=mh|lsh|greedy] [t=<t>] [seed=<s>]
 //!       [xi=<f>] [buckets=<b>] [prefs=min,max,...]
 //!       [timeout_ms=<ms>] [max_dominance_tests=<n>]
+//! BATCH dataset=<id> specs=<k>:<method>[:<xi>:<buckets>][,<k>:<method>...]
+//!       [t=<t>] [seed=<s>] [prefs=min,max,...]
+//!       [timeout_ms=<ms>] [max_dominance_tests=<n>]
+//! HELLO proto=SKYWIRE01
 //! STATS
 //! SNAPSHOT
 //! RESTORE
@@ -60,6 +64,30 @@
 //! exposed skyline columns) and merges the rest from the cache. Replies
 //! `OK dataset=<id> points=<n> dims=<d> shards=<s> appended=<a>`.
 //!
+//! **`BATCH` semantics**: one fingerprint resolution, many selections.
+//! Every item in `specs` shares the request's `(dataset, prefs, t,
+//! seed)` — exactly the fingerprint cache key — so the server resolves
+//! the signature matrix once and runs each `(k, method)` selection
+//! against it. Methods are restricted to `mh` and `lsh` (`greedy`
+//! bypasses the fingerprint and would defeat the amortisation). A spec
+//! token is `k:method`, with LSH optionally carrying its parameters as
+//! `k:lsh:<xi>:<buckets>`. The reply is one JSON object whose
+//! `results` array holds, in spec order, objects **byte-identical** to
+//! what the equivalent sequence of `QUERY` lines would have produced
+//! on a fresh connection.
+//!
+//! **`HELLO` / binary framing**: `HELLO proto=SKYWIRE01` switches the
+//! connection to the length-prefixed binary framing — the server
+//! replies `OK proto=SKYWIRE01` in plain text, and every subsequent
+//! request and response on that connection (in both directions) is one
+//! frame: `[u64 LE payload length][payload][u64 LE FNV-1a of payload]`
+//! (the `skydiver_cluster::frame` codec from the cluster data plane).
+//! The frame payload is exactly the text-protocol bytes — the request
+//! or response line without its trailing newline, plus `\n` and the
+//! raw body when the line carries `bytes=<n>` — so text and binary
+//! replies are bit-identical by construction and the framing composes
+//! with pipelining (frames are self-delimiting).
+//!
 //! **`SNAPSHOT` / `RESTORE` semantics** (require a server started with
 //! a store directory): `SNAPSHOT` drains the write-behind queue so
 //! every completed fingerprint is durable on disk, replying
@@ -79,6 +107,9 @@ pub const DEFAULT_T: usize = 100;
 pub const DEFAULT_XI: f64 = 0.2;
 /// Default LSH buckets per zone.
 pub const DEFAULT_BUCKETS: usize = 20;
+/// Protocol token a `HELLO` must carry to switch a connection to the
+/// length-prefixed binary framing.
+pub const WIRE_PROTO: &str = "SKYWIRE01";
 
 /// Phase-2 flavour a `QUERY` asks for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -171,6 +202,90 @@ impl QuerySpec {
     }
 }
 
+/// A parsed `BATCH` request: one fingerprint resolution shared by many
+/// `(k, method)` selections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// Registry name of the dataset to query.
+    pub dataset: String,
+    /// The `(k, method)` selections to run, in reply order. Methods
+    /// are `mh`/`lsh` only — `greedy` has no shared fingerprint.
+    pub items: Vec<(usize, Method)>,
+    /// Signature size `t` (cache-key component, shared by all items).
+    pub t: usize,
+    /// Hash-family seed (cache-key component, shared by all items).
+    pub seed: u64,
+    /// Preference spec (`min,max,...`); `None` means all-min.
+    pub prefs: Option<String>,
+    /// Wall-clock budget for the whole batch.
+    pub timeout_ms: Option<u64>,
+    /// Dominance-test budget for the whole batch.
+    pub max_dominance_tests: Option<u64>,
+}
+
+impl BatchSpec {
+    /// A batch with the protocol defaults, mirroring [`QuerySpec::new`].
+    pub fn new(dataset: impl Into<String>, items: Vec<(usize, Method)>) -> Self {
+        BatchSpec {
+            dataset: dataset.into(),
+            items,
+            t: DEFAULT_T,
+            seed: 0,
+            prefs: None,
+            timeout_ms: None,
+            max_dominance_tests: None,
+        }
+    }
+
+    /// Renders the batch as a wire-format `BATCH` line (no newline).
+    pub fn to_line(&self) -> String {
+        let specs: Vec<String> = self
+            .items
+            .iter()
+            .map(|(k, m)| match m {
+                Method::Lsh { xi, buckets } => format!("{k}:lsh:{xi}:{buckets}"),
+                other => format!("{k}:{}", other.token()),
+            })
+            .collect();
+        let mut line = format!(
+            "BATCH dataset={} specs={} t={} seed={}",
+            self.dataset,
+            specs.join(","),
+            self.t,
+            self.seed
+        );
+        if let Some(p) = &self.prefs {
+            line.push_str(&format!(" prefs={p}"));
+        }
+        if let Some(ms) = self.timeout_ms {
+            line.push_str(&format!(" timeout_ms={ms}"));
+        }
+        if let Some(n) = self.max_dominance_tests {
+            line.push_str(&format!(" max_dominance_tests={n}"));
+        }
+        line
+    }
+
+    /// The equivalent stand-alone `QUERY` specs, in item order — the
+    /// batch contract is that `results[i]` is byte-identical to what
+    /// `queries()[i]` would return.
+    pub fn queries(&self) -> Vec<QuerySpec> {
+        self.items
+            .iter()
+            .map(|&(k, method)| QuerySpec {
+                dataset: self.dataset.clone(),
+                k,
+                method,
+                t: self.t,
+                seed: self.seed,
+                prefs: self.prefs.clone(),
+                timeout_ms: self.timeout_ms,
+                max_dominance_tests: self.max_dominance_tests,
+            })
+            .collect()
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -192,6 +307,13 @@ pub enum Request {
     },
     /// Answer a diversification query.
     Query(QuerySpec),
+    /// Answer many selections against one shared fingerprint.
+    Batch(BatchSpec),
+    /// Switch this connection to the binary framing (`SKYWIRE01`).
+    Hello {
+        /// Requested protocol token; only [`WIRE_PROTO`] is accepted.
+        proto: String,
+    },
     /// Report the metrics snapshot.
     Stats,
     /// Flush the write-behind signature store to disk.
@@ -399,6 +521,85 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                 max_dominance_tests,
             }))
         }
+        "BATCH" => {
+            let mut dataset = None;
+            let mut specs = None;
+            let mut t = DEFAULT_T;
+            let mut seed = 0u64;
+            let mut prefs = None;
+            let mut timeout_ms = None;
+            let mut max_dominance_tests = None;
+            for (key, v) in pairs(&rest)? {
+                match key.as_str() {
+                    "dataset" => dataset = Some(v),
+                    "specs" => specs = Some(v),
+                    "t" => t = parse_num("t", &v)?,
+                    "seed" => seed = parse_num("seed", &v)?,
+                    "prefs" => prefs = Some(v),
+                    "timeout_ms" => timeout_ms = Some(parse_num("timeout_ms", &v)?),
+                    "max_dominance_tests" => {
+                        max_dominance_tests = Some(parse_num("max_dominance_tests", &v)?)
+                    }
+                    other => return Err(bad(format!("unknown BATCH key {other:?}"))),
+                }
+            }
+            let specs = specs.ok_or_else(|| bad("BATCH requires specs=<k>:<method>[,...]"))?;
+            let mut items = Vec::new();
+            for tok in specs.split(',') {
+                let parts: Vec<&str> = tok.split(':').collect();
+                let (k_str, m_str, lsh_params) = match parts.as_slice() {
+                    [k, m] => (*k, *m, None),
+                    [k, m, xi, buckets] => (*k, *m, Some((*xi, *buckets))),
+                    _ => {
+                        return Err(bad(format!(
+                            "invalid spec {tok:?} (want k:mh, k:lsh, or k:lsh:xi:buckets)"
+                        )))
+                    }
+                };
+                let k: usize = parse_num("spec k", k_str)?;
+                let method = match (m_str, lsh_params) {
+                    ("mh", None) => Method::MinHash,
+                    ("lsh", None) => Method::Lsh {
+                        xi: DEFAULT_XI,
+                        buckets: DEFAULT_BUCKETS,
+                    },
+                    ("lsh", Some((xi, buckets))) => Method::Lsh {
+                        xi: parse_num("spec xi", xi)?,
+                        buckets: parse_num("spec buckets", buckets)?,
+                    },
+                    ("greedy", _) => {
+                        return Err(bad(
+                            "BATCH methods are mh|lsh (greedy has no shared fingerprint)",
+                        ))
+                    }
+                    (other, _) => {
+                        return Err(bad(format!("unknown spec method {other:?} (mh|lsh)")))
+                    }
+                };
+                items.push((k, method));
+            }
+            Ok(Request::Batch(BatchSpec {
+                dataset: dataset.ok_or_else(|| bad("BATCH requires dataset=<id>"))?,
+                items,
+                t,
+                seed,
+                prefs,
+                timeout_ms,
+                max_dominance_tests,
+            }))
+        }
+        "HELLO" => {
+            let mut proto = None;
+            for (k, v) in pairs(&rest)? {
+                match k.as_str() {
+                    "proto" => proto = Some(v),
+                    other => return Err(bad(format!("unknown HELLO key {other:?}"))),
+                }
+            }
+            Ok(Request::Hello {
+                proto: proto.ok_or_else(|| bad(format!("HELLO requires proto={WIRE_PROTO}")))?,
+            })
+        }
         "STATS" => {
             if !rest.is_empty() {
                 return Err(bad("STATS takes no arguments"));
@@ -548,8 +749,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             })
         }
         other => Err(bad(format!(
-            "unknown verb {other:?} (LOAD|APPEND|QUERY|STATS|SNAPSHOT|RESTORE|SHUTDOWN|\
-             JOIN|LEAVE|SHARDPUT|FOLD|FETCH|REPLICATE)"
+            "unknown verb {other:?} (LOAD|APPEND|QUERY|BATCH|HELLO|STATS|SNAPSHOT|RESTORE|\
+             SHUTDOWN|JOIN|LEAVE|SHARDPUT|FOLD|FETCH|REPLICATE)"
         ))),
     }
 }
@@ -774,6 +975,70 @@ mod tests {
             parse_request("REPLICATE name=d hash=7 shard=0 prefs=min t=8 seed=0 from=w:1").unwrap();
         assert!(matches!(r, Request::Replicate { ref from, .. } if from == "w:1"));
         assert!(parse_request("REPLICATE name=d hash=7 shard=0 prefs=min t=8 seed=0").is_err());
+    }
+
+    #[test]
+    fn batch_parses_and_round_trips() {
+        let r = parse_request("BATCH dataset=d specs=3:mh,5:lsh,7:lsh:0.3:8 t=64 seed=9").unwrap();
+        let Request::Batch(b) = r else {
+            panic!("not a batch");
+        };
+        assert_eq!(b.dataset, "d");
+        assert_eq!(b.t, 64);
+        assert_eq!(b.seed, 9);
+        assert_eq!(
+            b.items,
+            vec![
+                (3, Method::MinHash),
+                (
+                    5,
+                    Method::Lsh {
+                        xi: DEFAULT_XI,
+                        buckets: DEFAULT_BUCKETS
+                    }
+                ),
+                (
+                    7,
+                    Method::Lsh {
+                        xi: 0.3,
+                        buckets: 8
+                    }
+                ),
+            ]
+        );
+        // to_line round-trips (lsh always rendered with explicit params).
+        let Request::Batch(back) = parse_request(&b.to_line()).unwrap() else {
+            panic!("not a batch");
+        };
+        assert_eq!(back, b);
+        // queries() mirrors the shared key into each item.
+        let qs = b.queries();
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|q| q.dataset == "d" && q.t == 64 && q.seed == 9));
+        assert_eq!(qs[0].k, 3);
+    }
+
+    #[test]
+    fn batch_rejects_greedy_and_malformed_specs() {
+        assert!(parse_request("BATCH dataset=d specs=3:greedy").is_err());
+        assert!(parse_request("BATCH dataset=d specs=3").is_err());
+        assert!(parse_request("BATCH dataset=d specs=3:lsh:0.3").is_err());
+        assert!(parse_request("BATCH dataset=d specs=x:mh").is_err());
+        assert!(parse_request("BATCH dataset=d").is_err());
+        assert!(parse_request("BATCH specs=3:mh").is_err());
+        assert!(parse_request("BATCH dataset=d specs=3:mh nope=1").is_err());
+    }
+
+    #[test]
+    fn hello_parses_strictly() {
+        assert_eq!(
+            parse_request("HELLO proto=SKYWIRE01").unwrap(),
+            Request::Hello {
+                proto: WIRE_PROTO.into()
+            }
+        );
+        assert!(parse_request("HELLO").is_err());
+        assert!(parse_request("HELLO proto=SKYWIRE01 extra=1").is_err());
     }
 
     #[test]

@@ -39,6 +39,32 @@ use crate::store::{content_hash, prefs_hash, SignatureStore, StoreKey, SweepRepo
 /// stale whole-dataset artefact.
 const MEMO_CAP: usize = 16;
 
+/// Finished selections memoised per dataset generation, keyed by the
+/// full query identity. Entries are small (k ids + k scores), so the
+/// cap is roomier than [`MEMO_CAP`].
+const SELECTION_MEMO_CAP: usize = 256;
+
+/// Everything deterministic in a finished selection: enough to render
+/// a `QUERY`/`BATCH` reply without re-running the selection. Only
+/// budget-free, undegraded runs over a *complete* fingerprint are
+/// memoised, so a hit is bit-identical (timing fields aside) to the
+/// recompute it replaces.
+#[derive(Debug)]
+pub struct SelectionMemo {
+    /// Skyline cardinality (the `skyline` reply field).
+    pub skyline_len: usize,
+    /// Selected row ids, in pick order.
+    pub selected: Vec<usize>,
+    /// Dominance scores of the selected rows, index-aligned.
+    pub gamma: Vec<u64>,
+    /// The fingerprint's resident-byte figure (deterministic).
+    pub memory_bytes: usize,
+}
+
+/// Memo key: the full identity of one selection —
+/// `(prefs, t, seed, k, method-with-parameters)`.
+pub(crate) type SelectionKey = (String, usize, u64, usize, String);
+
 /// A dataset installed in the registry.
 #[derive(Debug)]
 pub struct LoadedDataset {
@@ -54,6 +80,10 @@ pub struct LoadedDataset {
     /// `(prefs, t, seed)`. Bounded at [`MEMO_CAP`] (cleared when full —
     /// the per-shard LRU makes re-assembly cheap).
     memo: Mutex<HashMap<(String, usize, u64), Arc<Fingerprint>>>,
+    /// Finished selections for this generation, keyed by the full query
+    /// identity. Dies with the generation like `memo`, so `LOAD` and
+    /// `APPEND` can never serve a stale answer.
+    selections: Mutex<HashMap<SelectionKey, Arc<SelectionMemo>>>,
 }
 
 impl LoadedDataset {
@@ -64,6 +94,7 @@ impl LoadedDataset {
             data,
             content_hash,
             memo: Mutex::new(HashMap::new()),
+            selections: Mutex::new(HashMap::new()),
         }
     }
 
@@ -92,6 +123,22 @@ impl LoadedDataset {
             memo.clear();
         }
         memo.insert(key, fp);
+    }
+
+    pub(crate) fn selection_get(&self, key: &SelectionKey) -> Option<Arc<SelectionMemo>> {
+        self.selections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn selection_put(&self, key: SelectionKey, memo: Arc<SelectionMemo>) {
+        let mut memos = self.selections.lock().unwrap_or_else(|e| e.into_inner());
+        if memos.len() >= SELECTION_MEMO_CAP {
+            memos.clear();
+        }
+        memos.insert(key, memo);
     }
 }
 

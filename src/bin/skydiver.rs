@@ -36,7 +36,7 @@ use std::process::ExitCode;
 
 use skydiver::data::dominance::MinDominance;
 use skydiver::data::{generators, io, surrogates};
-use skydiver::serve::protocol::{json_escape, json_u64_array, Method, QuerySpec};
+use skydiver::serve::protocol::{json_escape, json_u64_array, BatchSpec, Method, QuerySpec};
 use skydiver::serve::{Client, ClusterConfig, Server, ServerConfig};
 use skydiver::skyline as sky;
 use skydiver::{Dataset, DiverseResult, Preference, SkyDiver};
@@ -93,7 +93,10 @@ const USAGE: &str = "usage:
   skydiver query     [--addr 127.0.0.1:7878] --dataset NAME --k K
                      [--method mh|lsh|greedy] [--t 100] [--seed S] [--xi 0.2]
                      [--buckets 20] [--prefs min,max,...] [--timeout-ms MS]
-                     [--max-dominance-tests N] [--format text|json]
+                     [--max-dominance-tests N] [--format text|json] [--binary]
+  skydiver query     [--addr ...] --dataset NAME --batch K:METHOD[,K:METHOD...]
+                     (one fingerprint, many selections; METHOD is mh or
+                      lsh:XI:BUCKETS, e.g. --batch 5:mh,10:lsh:0.2:20)
   skydiver query     [--addr ...] --load NAME --path FILE   (install a dataset)
   skydiver query     [--addr ...] --append NAME --path FILE (grow it by one shard)
   skydiver query     [--addr ...] --join ADDR | --leave ADDR  (reshape the cluster)
@@ -184,13 +187,15 @@ const COMMANDS: &[(&str, &[&str])] = &[
             "restore",
             "join",
             "leave",
+            "binary",
+            "batch",
         ],
     ),
     ("info", &["input"]),
 ];
 
 /// Flags that take no value (presence means `true`).
-const BOOL_FLAGS: &[&str] = &["stats", "shutdown", "snapshot", "restore"];
+const BOOL_FLAGS: &[&str] = &["stats", "shutdown", "snapshot", "restore", "binary"];
 
 type Flags = HashMap<String, String>;
 
@@ -608,8 +613,36 @@ fn cmd_serve(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// `skydiver query` — line-protocol client: LOAD / QUERY / STATS /
-/// SHUTDOWN against a running `skydiver serve`.
+/// Parses `--batch`'s `K:METHOD[,K:METHOD...]` list into `(k, method)`
+/// selections (METHOD is `mh` or `lsh:XI:BUCKETS`).
+fn parse_batch_items(spec: &str) -> Result<Vec<(usize, Method)>, Box<dyn std::error::Error>> {
+    let mut items = Vec::new();
+    for item in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let parts: Vec<&str> = item.trim().split(':').collect();
+        let bad = || err(format!("bad batch item {item:?} (want K:mh or K:lsh:XI:BUCKETS)"));
+        let k: usize = parts
+            .first()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(bad)?;
+        let method = match parts.get(1..) {
+            Some(["mh"]) => Method::MinHash,
+            Some(["lsh", xi, buckets]) => Method::Lsh {
+                xi: xi.parse().map_err(|_| bad())?,
+                buckets: buckets.parse().map_err(|_| bad())?,
+            },
+            _ => return Err(bad()),
+        };
+        items.push((k, method));
+    }
+    if items.is_empty() {
+        return Err(err("--batch needs at least one K:METHOD item"));
+    }
+    Ok(items)
+}
+
+/// `skydiver query` — line-protocol client: LOAD / QUERY / BATCH /
+/// STATS / SHUTDOWN against a running `skydiver serve`. `--binary`
+/// negotiates the `SKYWIRE01` framing before the request goes out.
 fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let addr = flags
         .get("addr")
@@ -617,6 +650,9 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or("127.0.0.1:7878");
     let mut client =
         Client::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    if flags.contains_key("binary") {
+        client.hello().map_err(err)?;
+    }
     if flags.contains_key("stats") {
         println!("{}", client.stats().map_err(err)?);
         return Ok(());
@@ -657,6 +693,17 @@ fn cmd_query(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(name) = flags.get("append") {
         let path = flag(flags, "path")?;
         println!("{}", client.append(name, path).map_err(err)?);
+        return Ok(());
+    }
+    if let Some(items) = flags.get("batch") {
+        let dataset = flag(flags, "dataset")?;
+        let mut spec = BatchSpec::new(dataset, parse_batch_items(items)?);
+        spec.t = num(flags, "t", spec.t)?;
+        spec.seed = num(flags, "seed", spec.seed)?;
+        spec.prefs = flags.get("prefs").cloned();
+        spec.timeout_ms = opt_num(flags, "timeout-ms")?;
+        spec.max_dominance_tests = opt_num(flags, "max-dominance-tests")?;
+        println!("{}", client.batch(&spec).map_err(err)?);
         return Ok(());
     }
     // A diversification query.

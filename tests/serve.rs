@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use skydiver::data::generators::anticorrelated;
 use skydiver::data::io;
 use skydiver::serve::protocol::{
-    json_bool, json_f64, json_u64, json_u64_array, Method, QuerySpec,
+    json_bool, json_f64, json_u64, json_u64_array, BatchSpec, Method, QuerySpec,
 };
 use skydiver::serve::{Client, Server, ServerConfig, ServerHandle};
 use skydiver::{Preference, SkyDiver};
@@ -387,4 +387,323 @@ impl CloneWith for QuerySpec {
         s.dataset = name.into();
         s
     }
+}
+
+/// A reply minus its timing fields: `*_ms` values vary run to run,
+/// every other byte must be identical across transports and batching.
+fn det_fields(reply: &str) -> String {
+    reply
+        .split(',')
+        .filter(|part| !part.contains("_ms\":"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Splits a `BATCH` payload's `results` array into its per-item JSON
+/// objects (flat objects — no nested braces).
+fn split_results(payload: &str) -> Vec<String> {
+    let open = "\"results\":[";
+    let start = payload.find(open).expect("results array") + open.len();
+    let inner = &payload[start..payload.rfind(']').expect("array close")];
+    inner
+        .split("},{")
+        .map(|s| {
+            let mut obj = s.to_string();
+            if !obj.starts_with('{') {
+                obj.insert(0, '{');
+            }
+            if !obj.ends_with('}') {
+                obj.push('}');
+            }
+            obj
+        })
+        .collect()
+}
+
+/// Satellite: a slow-loris client dribbling bytes without ever
+/// completing a request is shed by the read deadline — without pinning
+/// the single event-loop thread (well-behaved clients are served the
+/// whole time) and with the shed visible in `conns_shed`.
+#[test]
+fn slow_loris_dribbler_is_shed_without_stalling_the_loop() {
+    use std::io::{Read, Write};
+
+    let handle = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        read_timeout_ms: 400,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    handle.registry().insert_dataset("ant", anticorrelated(3_000, 3, 99));
+    let addr = handle.addr();
+
+    // The dribbler: a byte of a never-finished request line at a time.
+    let mut loris = std::net::TcpStream::connect(addr).expect("loris connect");
+    loris
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .expect("loris read timeout");
+
+    let mut served = 0usize;
+    let mut shed = false;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        // Well-behaved traffic must flow while the dribbler drips.
+        let mut client = Client::connect(addr).expect("connect");
+        let payload = client.query(&spec(3)).expect("query while loris drips");
+        assert_eq!(selected_of(&payload).len(), 3);
+        served += 1;
+
+        if loris.write_all(b"Q").is_err() {
+            shed = true;
+        } else {
+            let mut buf = [0u8; 16];
+            match loris.read(&mut buf) {
+                Ok(0) => shed = true, // orderly close from the sweep
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => shed = true, // reset also counts as shed
+            }
+        }
+        if shed {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(shed, "dribbler was never shed by the read deadline");
+    assert!(served >= 1, "the loop served others while the loris dripped");
+
+    let mut client = Client::connect(addr).expect("connect after shed");
+    let stats = client.stats().expect("stats");
+    assert!(json_u64(&stats, "conns_shed").unwrap() >= 1, "{stats}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// Tentpole: N pipelined queries — written back-to-back, flushed once —
+/// come back in order, each identical (timing fields aside) to a
+/// sequential replay of the same lines, including a budget-starved cold
+/// query tripping mid-pipeline without derailing the replies behind it.
+#[test]
+fn pipelined_replies_arrive_in_order_and_match_sequential() {
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(9_000, 3, 21));
+    handle.registry().insert_dataset("cold", anticorrelated(9_000, 3, 22));
+    let addr = handle.addr();
+
+    // Warm "ant" so the pipelined run and its sequential replay see the
+    // same cache state; "cold" stays cold and is starved mid-pipeline (a
+    // degraded resolve is never cached, so both runs trip identically).
+    let mut warmup = Client::connect(addr).expect("connect warmup");
+    warmup.query(&spec(5)).expect("warm ant");
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut expect_k: Vec<Option<usize>> = Vec::new();
+    for k in 2..=9 {
+        if k == 5 {
+            let mut starved = spec(6).clone_with_dataset("cold");
+            starved.max_dominance_tests = Some(0);
+            lines.push(starved.to_line());
+            expect_k.push(None);
+        }
+        lines.push(spec(k).to_line());
+        expect_k.push(Some(k));
+    }
+
+    let mut piped_client = Client::connect(addr).expect("connect piped");
+    let piped = piped_client.pipeline(&lines).expect("pipeline");
+    assert_eq!(piped.len(), lines.len());
+
+    // In order: reply i answers query i — visible in the k progression.
+    for (i, reply) in piped.iter().enumerate() {
+        match expect_k[i] {
+            Some(k) => assert_eq!(
+                selected_of(reply).len(),
+                k,
+                "reply {i} out of order: {reply}"
+            ),
+            None => assert_eq!(
+                json_bool(reply, "degraded"),
+                Some(true),
+                "the starved query must trip mid-pipeline: {reply}"
+            ),
+        }
+    }
+
+    // Bit-identical to a sequential replay of the very same lines.
+    let mut seq_client = Client::connect(addr).expect("connect sequential");
+    for (i, line) in lines.iter().enumerate() {
+        let seq = seq_client.request(line).expect("sequential request");
+        assert_eq!(
+            det_fields(&piped[i]),
+            det_fields(&seq),
+            "reply {i} diverged between pipelined and sequential"
+        );
+    }
+
+    // The wire-observed pipeline depth made it into the histogram.
+    let stats = seq_client.stats().expect("stats");
+    assert!(json_u64(&stats, "pipeline_count").unwrap() >= 1, "{stats}");
+
+    seq_client.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// Tentpole: the `SKYWIRE01` binary framing carries exactly the text
+/// protocol's bytes — QUERY replies and pipelined bursts answer
+/// field-for-field identically across the two transports, and the
+/// negotiation is counted.
+#[test]
+fn binary_framing_answers_bit_identically_to_text() {
+    let handle = start(2);
+    handle.registry().insert_dataset("ant", anticorrelated(9_000, 3, 31));
+    let addr = handle.addr();
+
+    let mut text = Client::connect(addr).expect("text connect");
+    text.query(&spec(5)).expect("text cold"); // populate the cache
+    let warm_text = text.query(&spec(5)).expect("text warm");
+
+    let mut bin = Client::connect(addr).expect("binary connect");
+    assert!(!bin.is_framed());
+    bin.hello().expect("hello");
+    assert!(bin.is_framed());
+    let warm_bin = bin.query(&spec(5)).expect("binary warm");
+    assert_eq!(
+        det_fields(&warm_text),
+        det_fields(&warm_bin),
+        "binary reply diverged from text"
+    );
+
+    // Pipelined bursts match across transports too.
+    let lines: Vec<String> = (2..=6).map(|k| spec(k).to_line()).collect();
+    let text_burst = text.pipeline(&lines).expect("text pipeline");
+    let bin_burst = bin.pipeline(&lines).expect("binary pipeline");
+    for (i, (t, b)) in text_burst.iter().zip(&bin_burst).enumerate() {
+        assert_eq!(
+            det_fields(t),
+            det_fields(b),
+            "pipelined reply {i} diverged between transports"
+        );
+    }
+
+    let stats = text.stats().expect("stats");
+    assert!(json_u64(&stats, "hellos").unwrap() >= 1, "{stats}");
+    assert!(json_u64(&stats, "bytes_in").unwrap() > 0, "{stats}");
+    assert!(json_u64(&stats, "bytes_out").unwrap() > 0, "{stats}");
+
+    text.shutdown().expect("shutdown");
+    handle.join().expect("clean server exit");
+}
+
+/// Tentpole: one `BATCH` answers exactly like the equivalent `QUERY`
+/// sequence — item 0 pays the one fingerprint resolution, the rest ride
+/// the shared fingerprint — compared cold-for-cold on two servers over
+/// the same dataset.
+#[test]
+fn batch_matches_the_equivalent_query_sequence() {
+    let items = vec![
+        (3, Method::MinHash),
+        (7, Method::MinHash),
+        (
+            5,
+            Method::Lsh {
+                xi: 0.2,
+                buckets: 16,
+            },
+        ),
+    ];
+    let mut batch = BatchSpec::new("ant", items);
+    batch.t = T;
+    batch.seed = SEED;
+
+    // Server A runs the batch against a cold cache.
+    let ha = start(2);
+    ha.registry().insert_dataset("ant", anticorrelated(9_000, 3, 41));
+    let mut ca = Client::connect(ha.addr()).expect("connect A");
+    let payload = ca.batch(&batch).expect("batch");
+    assert_eq!(json_u64(&payload, "batch"), Some(3), "{payload}");
+    let results = split_results(&payload);
+    assert_eq!(results.len(), 3);
+
+    let stats = ca.stats().expect("stats A");
+    assert_eq!(json_u64(&stats, "batches"), Some(1), "{stats}");
+    assert_eq!(json_u64(&stats, "batch_items"), Some(3), "{stats}");
+    assert_eq!(
+        json_u64(&stats, "cache_misses"),
+        Some(1),
+        "one resolve for the whole batch: {stats}"
+    );
+
+    // Server B replays the equivalent QUERYs sequentially, also cold.
+    let hb = start(2);
+    hb.registry().insert_dataset("ant", anticorrelated(9_000, 3, 41));
+    let mut cb = Client::connect(hb.addr()).expect("connect B");
+    for (i, q) in batch.queries().iter().enumerate() {
+        let seq = cb.query(q).expect("equivalent query");
+        assert_eq!(
+            det_fields(&results[i]),
+            det_fields(&seq),
+            "batch item {i} diverged from its equivalent QUERY"
+        );
+    }
+
+    // BATCH methods are mh|lsh only: greedy has no shared fingerprint.
+    let err = ca
+        .exchange(&format!("BATCH dataset=ant specs=3:greedy t={T} seed={SEED}"))
+        .unwrap_err();
+    assert!(err.contains("mh|lsh"), "{err}");
+
+    ca.shutdown().expect("shutdown A");
+    ha.join().expect("clean exit A");
+    cb.shutdown().expect("shutdown B");
+    hb.join().expect("clean exit B");
+}
+
+/// Tentpole: budget-free repeats of an identical query are served from
+/// the per-dataset selection memo — no selection re-runs — and the
+/// reply stays bit-identical (timing fields aside) to the first warm
+/// recompute. Budgeted queries bypass the memo and still agree.
+#[test]
+fn selection_memo_repeats_bit_identically_without_recomputing() {
+    let handle = start(2);
+    handle
+        .registry()
+        .insert_dataset("ant", anticorrelated(9_000, 3, 41));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Cold: computes and populates both memos. Warm: the first reply
+    // rendered from the selection memo.
+    let cold = client.query(&spec(6)).expect("cold query");
+    let warm = client.query(&spec(6)).expect("warm query");
+    assert_eq!(
+        selected_of(&cold),
+        selected_of(&warm),
+        "memoised selection changed the answer"
+    );
+    for _ in 0..3 {
+        let again = client.query(&spec(6)).expect("repeat query");
+        assert_eq!(det_fields(&warm), det_fields(&again), "repeat diverged");
+    }
+
+    // A budgeted variant of the same query must bypass the memo (its
+    // budget could trip mid-selection) yet agree on every
+    // deterministic field — the budget is generous, so it never trips.
+    let mut budgeted = spec(6);
+    budgeted.max_dominance_tests = Some(u64::MAX / 2);
+    let careful = client.query(&budgeted).expect("budgeted query");
+    assert_eq!(det_fields(&warm), det_fields(&careful), "budget changed the answer");
+
+    let stats = client.stats().expect("stats");
+    let selection_hits = json_u64(&stats, "selection_hits").expect("selection_hits");
+    assert_eq!(
+        selection_hits, 4,
+        "exactly the four budget-free repeats hit the memo: {stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean exit");
 }

@@ -510,6 +510,79 @@ mod cluster_process {
         std::fs::remove_file(csv).ok();
     }
 
+    /// PR 9: transports and batching are topology-invariant. Against a
+    /// coordinator-backed cluster, the `SKYWIRE01` binary client, the
+    /// pipelined text client and a `BATCH` all answer field-for-field
+    /// identically to the monolithic server's sequential `QUERY`s.
+    #[test]
+    fn cluster_pipelined_binary_and_batch_match_monolithic() {
+        use skydiver::serve::protocol::{BatchSpec, Method};
+
+        fn split_results(payload: &str) -> Vec<String> {
+            let open = "\"results\":[";
+            let start = payload.find(open).expect("results array") + open.len();
+            let inner = &payload[start..payload.rfind(']').expect("array close")];
+            inner
+                .split("},{")
+                .map(|s| {
+                    let mut obj = s.to_string();
+                    if !obj.starts_with('{') {
+                        obj.insert(0, '{');
+                    }
+                    if !obj.ends_with('}') {
+                        obj.push('}');
+                    }
+                    obj
+                })
+                .collect()
+        }
+
+        let csv = tmp("pr9.csv");
+        io::write_csv(&anticorrelated(4_000, 3, 92), &csv).expect("write csv");
+        let path = csv.to_str().unwrap().to_string();
+
+        let mono = start_monolithic();
+        let mut mc = Client::connect(mono.addr()).expect("connect monolithic");
+        mc.load("d", &path).expect("monolithic load");
+        let cold5 = query(&mut mc, &spec(5));
+        let warm5 = query(&mut mc, &spec(5));
+        let cold6 = query(&mut mc, &spec(6));
+        let warm6 = query(&mut mc, &spec(6));
+
+        let workers = spawn_workers(2);
+        let coord = start_coordinator(&workers.addrs(), 1);
+
+        // Binary transport: HELLO, then cold + warm QUERYs.
+        let mut bin = Client::connect(coord.addr()).expect("connect binary");
+        bin.hello().expect("hello");
+        bin.load("d", &path).expect("cluster load");
+        assert_eq!(query(&mut bin, &spec(5)), cold5, "binary cold diverged");
+        assert_eq!(query(&mut bin, &spec(5)), warm5, "binary warm diverged");
+
+        // Pipelined text: a warm burst, every reply identical in order.
+        let mut piped = Client::connect(coord.addr()).expect("connect piped");
+        let lines = vec![spec(5).to_line(), spec(5).to_line(), spec(5).to_line()];
+        for (i, reply) in piped.pipeline(&lines).expect("pipeline").iter().enumerate() {
+            assert_eq!(answer(reply), warm5, "pipelined reply {i} diverged");
+        }
+
+        // BATCH under a fresh seed: item 0 pays the cluster fan-out
+        // resolve (== the monolithic cold query), item 1 rides it
+        // (== the monolithic warm query).
+        let mut batch = BatchSpec::new("d", vec![(K, Method::MinHash), (K, Method::MinHash)]);
+        batch.t = T;
+        batch.seed = 6;
+        let payload = bin.batch(&batch).expect("cluster batch");
+        let results = split_results(&payload);
+        assert_eq!(results.len(), 2, "{payload}");
+        assert_eq!(answer(&results[0]), cold6, "batch item 0 diverged");
+        assert_eq!(answer(&results[1]), warm6, "batch item 1 diverged");
+
+        bin.shutdown().expect("coordinator shutdown");
+        mc.shutdown().expect("monolithic shutdown");
+        std::fs::remove_file(csv).ok();
+    }
+
     /// R=2 survives a kill -9: after one replica dies mid-cluster the
     /// answer is still complete and bit-identical; after `LEAVE` retires
     /// the dead node (handing its shards off) it still is.
