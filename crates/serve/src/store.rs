@@ -40,6 +40,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use skydiver_core::minhash::persist;
 use skydiver_core::ShardFingerprint;
@@ -253,7 +254,9 @@ impl SignatureStore {
 
     /// Drains the write-behind queue (the `SNAPSHOT` verb): blocks
     /// until every previously queued artefact hit disk (or failed and
-    /// was counted). Returns the total artefacts persisted since open.
+    /// was counted), bounded by `FLUSH_ACK_WAIT`. Returns the total
+    /// artefacts persisted since open — the running count when the
+    /// store is closed or the worker stays silent past the bound.
     pub fn flush(&self) -> u64 {
         let (ack_tx, ack_rx) = mpsc::channel();
         let sent = {
@@ -266,13 +269,29 @@ impl SignatureStore {
         if !sent {
             return self.persisted_total.load(Ordering::Relaxed);
         }
-        ack_rx.recv().unwrap_or_else(|_| self.persisted_total.load(Ordering::Relaxed))
+        wait_ack(&ack_rx, FLUSH_ACK_WAIT, || self.persisted_total.load(Ordering::Relaxed))
     }
 
     /// Re-runs the recovery sweep (the `RESTORE` verb): re-validates
     /// every artefact on disk, quarantining what no longer decodes.
     pub fn sweep(&self) -> io::Result<SweepReport> {
         sweep_dir(&self.dir, &self.metrics)
+    }
+}
+
+/// Upper bound on the `flush` ack wait. `SNAPSHOT` runs on an
+/// event-loop thread: a wedged worker (a disk write that never
+/// completes) may stall that loop for a bounded time, never forever.
+const FLUSH_ACK_WAIT: Duration = Duration::from_secs(10);
+
+/// Bounded ack wait: the acked total, or `fallback()` when the worker
+/// goes away *or stays alive but silent past `wait`*. A plain `recv()`
+/// here hangs the calling event-loop thread — and every connection it
+/// owns — for as long as the writer is wedged.
+fn wait_ack(rx: &mpsc::Receiver<u64>, wait: Duration, fallback: impl Fn() -> u64) -> u64 {
+    match rx.recv_timeout(wait) {
+        Ok(total) => total,
+        Err(_) => fallback(),
     }
 }
 
@@ -512,6 +531,26 @@ mod tests {
         assert_eq!(metrics.store_quarantined.load(Relaxed), 0);
         drop(store);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_ack_wait_is_bounded_when_worker_stays_silent() {
+        // Regression: `flush` used a plain `recv()`, so a wedged-but-
+        // alive worker (sender held, ack never sent) hung the calling
+        // event-loop thread forever. The bounded wait must fall back.
+        let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+        let start = std::time::Instant::now();
+        let total = wait_ack(&ack_rx, Duration::from_millis(50), || 42);
+        assert_eq!(total, 42, "silent worker falls back to the running count");
+        assert!(start.elapsed() < Duration::from_secs(5), "wait must be bounded");
+        drop(ack_tx);
+    }
+
+    #[test]
+    fn flush_ack_wait_returns_the_acked_total() {
+        let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+        ack_tx.send(7).unwrap();
+        assert_eq!(wait_ack(&ack_rx, Duration::from_secs(5), || 0), 7);
     }
 
     #[test]
