@@ -408,9 +408,9 @@ pub fn select_diverse_parallel_budgeted<D: SyncDiversityDistance>(
                 // reachable input state.
                 let mut scratch: Vec<f64> = Vec::new();
                 loop {
-                    // lint: allow(R2) -- round-stepped by the driver's
-                    // barrier; the driver polls ctx once per round and
-                    // releases the pool via Cmd::Done on every exit path
+                    // Round-stepped by the driver's barrier; the driver
+                    // polls ctx once per round and releases the pool
+                    // via Cmd::Done on every exit path.
                     barrier_ref.wait();
                     let c = *cmd_ref.lock().unwrap_or_else(|e| e.into_inner());
                     if matches!(c, Cmd::Done) {

@@ -21,10 +21,26 @@ pub struct Config {
     pub r6_metrics: String,
     /// R6: path of the document holding the STATS wire-spec table.
     pub r6_readme: String,
+    /// R8: names of the event-loop entry functions reachability starts
+    /// from.
+    pub r8_entries: Vec<String>,
+    /// R9: files whose exact all-caps string literals define the
+    /// parsed wire-verb set.
+    pub r9_parse: Vec<String>,
+    /// R9: files whose verb-leading string literals are the senders.
+    pub r9_senders: Vec<String>,
+    /// R9: the document holding the wire verb table.
+    pub r9_readme: String,
+    /// R9: test files each verb must be exercised in (case-insensitive
+    /// word match).
+    pub r9_tests: Vec<String>,
+    /// Report reasoned allow comments that suppressed nothing
+    /// (`--strict-allows`, on in CI).
+    pub strict_allows: bool,
 }
 
 /// Every rule id the engine knows, in reporting order.
-pub const ALL_RULES: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
+pub const ALL_RULES: [&str; 9] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"];
 
 impl Default for Config {
     /// The committed workspace scope — used when no `lint.toml` exists.
@@ -61,11 +77,38 @@ impl Default for Config {
         );
         includes.insert("R4".to_string(), vec!["crates/serve/src/**".to_string()]);
         includes.insert("R5".to_string(), vec!["crates/*/src/**".to_string()]);
+        includes.insert(
+            "R7".to_string(),
+            vec![
+                "crates/serve/src/**".to_string(),
+                "crates/cluster/src/**".to_string(),
+                "crates/core/src/**".to_string(),
+            ],
+        );
+        includes.insert(
+            "R8".to_string(),
+            vec!["crates/serve/src/**".to_string(), "crates/cluster/src/**".to_string()],
+        );
         Config {
             rules: ALL_RULES.iter().map(|s| s.to_string()).collect(),
             includes,
             r6_metrics: "crates/serve/src/metrics.rs".to_string(),
             r6_readme: "README.md".to_string(),
+            r8_entries: vec!["event_loop".to_string()],
+            r9_parse: vec!["crates/serve/src/protocol.rs".to_string()],
+            r9_senders: vec![
+                "crates/serve/src/client.rs".to_string(),
+                "crates/serve/src/cluster.rs".to_string(),
+                "crates/serve/src/protocol.rs".to_string(),
+                "src/bin/skydiver.rs".to_string(),
+            ],
+            r9_readme: "README.md".to_string(),
+            r9_tests: vec![
+                "tests/serve.rs".to_string(),
+                "tests/sharding.rs".to_string(),
+                "tests/store.rs".to_string(),
+            ],
+            strict_allows: false,
         }
     }
 }
@@ -121,6 +164,11 @@ impl Config {
                 }
                 ("rules.R6", "metrics", Value::Str(p)) => cfg.r6_metrics = p,
                 ("rules.R6", "stats_table", Value::Str(p)) => cfg.r6_readme = p,
+                ("rules.R8", "entries", Value::List(names)) => cfg.r8_entries = names,
+                ("rules.R9", "parse", Value::List(paths)) => cfg.r9_parse = paths,
+                ("rules.R9", "senders", Value::List(paths)) => cfg.r9_senders = paths,
+                ("rules.R9", "readme", Value::Str(p)) => cfg.r9_readme = p,
+                ("rules.R9", "tests", Value::List(paths)) => cfg.r9_tests = paths,
                 (s, k, _) => {
                     return Err(format!(
                         "lint.toml:{}: unknown key `{k}` in section `[{s}]`",
@@ -224,8 +272,25 @@ mod tests {
     #[test]
     fn defaults_cover_all_rules() {
         let c = Config::default();
-        assert_eq!(c.rules.len(), 6);
+        assert_eq!(c.rules.len(), 9);
         assert!(c.includes["R2"].iter().any(|g| g.contains("minhash")));
+        assert!(c.includes["R8"].iter().any(|g| g.contains("serve")));
+        assert_eq!(c.r8_entries, vec!["event_loop"]);
+    }
+
+    #[test]
+    fn parse_r8_and_r9_keys() {
+        let c = Config::parse(
+            "rules = [\"R8\", \"R9\"]\n[rules.R8]\ninclude = [\"src/**\"]\nentries = [\"wake\"]\n\
+             [rules.R9]\nparse = [\"src/server.rs\"]\nsenders = [\"src/client.rs\"]\n\
+             readme = \"README.md\"\ntests = [\"tests/wire.rs\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(c.r8_entries, vec!["wake"]);
+        assert_eq!(c.r9_parse, vec!["src/server.rs"]);
+        assert_eq!(c.r9_senders, vec!["src/client.rs"]);
+        assert_eq!(c.r9_readme, "README.md");
+        assert_eq!(c.r9_tests, vec!["tests/wire.rs"]);
     }
 
     #[test]
@@ -251,7 +316,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_and_malformed_lines_error() {
-        assert!(Config::parse("rules = [\"R9\"]\n").is_err());
+        assert!(Config::parse("rules = [\"R12\"]\n").is_err());
         assert!(Config::parse("what is this\n").is_err());
         assert!(Config::parse("[rules.R1]\nfrobnicate = \"x\"\n").is_err());
     }

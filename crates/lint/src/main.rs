@@ -2,8 +2,14 @@
 //! finding, so CI can gate on it.
 //!
 //! ```text
-//! skydiver-lint [--root DIR] [--config FILE] [--rules R1,R2] [--json] [--list-rules]
+//! skydiver-lint [--root DIR] [--config FILE] [--rules R1,R2] [--json] \
+//!               [--strict-allows] [--github] [--list-rules]
 //! ```
+//!
+//! `--strict-allows` (on in CI) additionally reports reasoned allow
+//! comments that suppressed nothing. `--github` emits one
+//! `::error file=…` workflow annotation per finding alongside the
+//! normal rendering, so findings surface inline on the PR diff.
 //!
 //! Exit codes: `0` clean, `1` diagnostics reported, `2` usage or
 //! configuration error.
@@ -17,17 +23,22 @@ use skydiver_lint::config::Config;
 use skydiver_lint::rules::all_rules;
 
 const USAGE: &str = "usage: skydiver-lint [--root DIR] [--config FILE] [--rules R1,R2,...] \
-                     [--json] [--list-rules]\n\
+                     [--json] [--strict-allows] [--github] [--list-rules]\n\
                      \n\
                      Checks the SkyDiver workspace invariants (determinism, cancellation,\n\
-                     lock discipline, panic-freedom, SAFETY comments, STATS wire spec).\n\
-                     Scope lives in lint.toml at the root; exit 1 on any diagnostic.";
+                     lock discipline, panic-freedom, SAFETY comments, STATS wire spec,\n\
+                     lock order, event-loop blocking, wire-verb conformance).\n\
+                     Scope lives in lint.toml at the root; exit 1 on any diagnostic.\n\
+                     --strict-allows also reports reasoned allows that suppress nothing;\n\
+                     --github emits ::error workflow annotations for CI.";
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
     rules: Option<Vec<String>>,
     json: bool,
+    strict_allows: bool,
+    github: bool,
     list_rules: bool,
 }
 
@@ -37,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         rules: None,
         json: false,
+        strict_allows: false,
+        github: false,
         list_rules: false,
     };
     let mut it = std::env::args().skip(1);
@@ -53,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
                 args.rules = Some(list.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--json" => args.json = true,
+            "--strict-allows" => args.strict_allows = true,
+            "--github" => args.github = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -96,6 +111,9 @@ fn main() -> ExitCode {
         }
         cfg.rules = rules;
     }
+    if args.strict_allows {
+        cfg.strict_allows = true;
+    }
     let report = match skydiver_lint::run(&args.root, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -103,6 +121,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.github {
+        for d in &report.diagnostics {
+            println!(
+                "::error file={},line={},title={}::{}",
+                annotation_escape(&d.file),
+                d.line,
+                annotation_escape(&d.rule),
+                annotation_escape(&d.message)
+            );
+        }
+    }
     if args.json {
         println!("{}", report.to_json());
     } else {
@@ -121,4 +150,10 @@ fn main() -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Escapes a value for a GitHub `::error` workflow command: `%`, CR
+/// and LF are the command syntax's only metacharacters.
+fn annotation_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
 }

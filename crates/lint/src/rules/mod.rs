@@ -4,7 +4,10 @@
 //!
 //! Scope (which files each rule sees) lives in `lint.toml`, not in the
 //! rule: the engine feeds a rule only files matching its `include`
-//! globs, so rules stay pure visitors.
+//! globs, so rules stay pure visitors. Workspace rules additionally
+//! see every parsed file plus the [`crate::graph::Graph`] built over
+//! them, which is how the whole-program rules (R7–R9) reason across
+//! crate boundaries.
 
 mod r1_no_panic;
 mod r2_cancel_poll;
@@ -12,9 +15,13 @@ mod r3_determinism;
 mod r4_lock_io;
 mod r5_safety_comment;
 mod r6_stats_spec;
+mod r7_lock_order;
+mod r8_event_loop;
+mod r9_verb_conformance;
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
+use crate::graph::Graph;
 use crate::scan::SourceFile;
 
 pub use r1_no_panic::R1NoPanic;
@@ -23,11 +30,18 @@ pub use r3_determinism::R3Determinism;
 pub use r4_lock_io::R4LockAcrossIo;
 pub use r5_safety_comment::R5SafetyComment;
 pub use r6_stats_spec::R6StatsSpec;
+pub use r7_lock_order::R7LockOrder;
+pub use r8_event_loop::R8EventLoop;
+pub use r9_verb_conformance::R9VerbConformance;
 
 /// Read-only view of the lint root handed to workspace-level hooks.
 pub struct WorkspaceView<'a> {
     /// The lint root directory.
     pub root: &'a std::path::Path,
+    /// Every parsed in-scope file, path-sorted.
+    pub files: &'a [SourceFile],
+    /// The call/lock graph built over `files`.
+    pub graph: &'a Graph,
 }
 
 impl WorkspaceView<'_> {
@@ -37,9 +51,10 @@ impl WorkspaceView<'_> {
     }
 }
 
-/// One invariant checker.
-pub trait Rule {
-    /// Stable rule id (`R1` … `R6`) — what allow comments reference.
+/// One invariant checker. `Sync` because the engine fans per-file
+/// checks out over a thread scope.
+pub trait Rule: Sync {
+    /// Stable rule id (`R1` … `R9`) — what allow comments reference.
     fn id(&self) -> &'static str;
 
     /// One-line description of the invariant the rule guards.
@@ -79,5 +94,8 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(R4LockAcrossIo),
         Box::new(R5SafetyComment),
         Box::new(R6StatsSpec),
+        Box::new(R7LockOrder),
+        Box::new(R8EventLoop),
+        Box::new(R9VerbConformance),
     ]
 }

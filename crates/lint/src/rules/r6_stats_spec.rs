@@ -161,7 +161,12 @@ mod tests {
     use super::*;
 
     fn view(dir: &std::path::Path) -> WorkspaceView<'_> {
-        WorkspaceView { root: dir }
+        // R6 reads its artifacts from disk; an empty graph suffices.
+        WorkspaceView {
+            root: dir,
+            files: &[],
+            graph: Box::leak(Box::new(crate::graph::Graph::default())),
+        }
     }
 
     fn write(dir: &std::path::Path, rel: &str, text: &str) {

@@ -1,0 +1,319 @@
+//! R7 — global lock acquisition order.
+//!
+//! The cluster fan-out, the registry and the store each carry several
+//! `Mutex`/`RwLock` fields; a deadlock needs only two code paths that
+//! nest two of them in opposite orders. This rule builds the lock
+//! acquisition graph over the whole workspace — an edge `A -> B` when
+//! lock `B` is taken while a guard of `A` is live, directly or through
+//! one level of resolved calls — and reports every edge that
+//! participates in a cycle, with the witness path printed. Taking the
+//! *same* lock again while its guard is live (a `std::sync::Mutex`
+//! self-deadlock) is reported outright.
+//!
+//! An edge whose acquisition site carries `// lint: allow(R7) --
+//! reason` is removed *before* cycle detection: a justified ordering
+//! exception (e.g. a `try_lock` fallback) breaks the cycle for every
+//! other participant too.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{Rule, WorkspaceView};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::glob::glob_match;
+
+/// Flags lock-order cycles and same-lock re-acquisition.
+pub struct R7LockOrder;
+
+/// One acquisition edge: `to` taken while a guard of `from` is live.
+struct Edge {
+    from: String,
+    to: String,
+    /// File index + line of the inner acquisition (or the call that
+    /// reaches it).
+    file: usize,
+    line: u32,
+    /// Function the edge crosses into, for one-level call edges.
+    via: Option<String>,
+    /// Line the outer guard was taken on.
+    held_line: u32,
+}
+
+impl Rule for R7LockOrder {
+    fn id(&self) -> &'static str {
+        "R7"
+    }
+
+    fn summary(&self) -> &'static str {
+        "lock acquisition order is acyclic (no A->B and B->A nesting across the workspace)"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "acquire the two locks in one global order (or scope the first guard to death \
+         before the second); a provably safe crossing may carry \
+         `// lint: allow(R7) -- <why the cycle cannot close>`"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceView<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let g = ws.graph;
+        let files = ws.files;
+        let mut edges: Vec<Edge> = Vec::new();
+        for a in &g.locks {
+            // Direct nesting: another acquisition inside the guard's
+            // live range, same file (live ranges never span files).
+            for b in &g.locks {
+                if b.file != a.file || b.byte == a.byte {
+                    continue;
+                }
+                if b.byte < a.live.0 || b.byte >= a.live.1 {
+                    continue;
+                }
+                if a.name == b.name {
+                    // Same node: only a guaranteed self-deadlock when it
+                    // is provably the same object — identical `self.`
+                    // chain, no indexing.
+                    if a.chain == b.chain
+                        && a.chain.starts_with("self.")
+                        && !a.indexed
+                        && !files[b.file].allowed_at("R7", b.line)
+                    {
+                        out.push(self.diag(
+                            &files[b.file].rel,
+                            b.line,
+                            format!(
+                                "lock `{}` re-acquired while its guard from line {} is \
+                                 still live (self-deadlock on a non-reentrant lock)",
+                                a.name, a.line
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                edges.push(Edge {
+                    from: a.name.clone(),
+                    to: b.name.clone(),
+                    file: b.file,
+                    line: b.line,
+                    via: None,
+                    held_line: a.line,
+                });
+            }
+            // One level through resolved calls inside the live range.
+            let Some(fi) = a.fn_idx else { continue };
+            for call in &g.calls[fi] {
+                if call.byte < a.live.0 || call.byte >= a.live.1 {
+                    continue;
+                }
+                for c in g.locks.iter().filter(|l| l.fn_idx == Some(call.callee)) {
+                    if a.name == c.name {
+                        continue; // cross-object aliasing is unknowable here
+                    }
+                    edges.push(Edge {
+                        from: a.name.clone(),
+                        to: c.name.clone(),
+                        file: a.file,
+                        line: call.line,
+                        via: Some(g.fns[call.callee].name.clone()),
+                        held_line: a.line,
+                    });
+                }
+            }
+        }
+        // Reasoned allows at the acquisition site remove the edge from
+        // the graph before cycle detection.
+        edges.retain(|e| !files[e.file].allowed_at("R7", e.line));
+        // First edge per (from, to) pair is the witness; the rest are
+        // duplicates of the same ordering fact.
+        let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut witnesses: Vec<&Edge> = Vec::new();
+        for e in &edges {
+            if seen.insert((e.from.clone(), e.to.clone())) {
+                witnesses.push(e);
+                adj.entry(e.from.as_str()).or_default().push(e.to.as_str());
+            }
+        }
+        for e in witnesses {
+            let Some(path) = shortest_path(&adj, &e.to, &e.from) else { continue };
+            let in_scope = cfg
+                .includes
+                .get("R7")
+                .is_none_or(|globs| globs.iter().any(|g2| glob_match(g2, &files[e.file].rel)));
+            if !in_scope {
+                continue;
+            }
+            let mut cycle = vec![e.from.clone()];
+            cycle.extend(path);
+            let via = match &e.via {
+                Some(f2) => format!(" through call to `{f2}`"),
+                None => String::new(),
+            };
+            out.push(self.diag(
+                &files[e.file].rel,
+                e.line,
+                format!(
+                    "taking `{}`{via} while `{}` (held since line {}) is live closes a lock \
+                     cycle: {}",
+                    e.to,
+                    e.from,
+                    e.held_line,
+                    cycle.join(" -> "),
+                ),
+            ));
+        }
+    }
+}
+
+/// Shortest `from -> … -> to` node path, BFS over the edge map.
+fn shortest_path(
+    adj: &BTreeMap<&str, Vec<&str>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: Vec<&str> = vec![from];
+    let mut qi = 0usize;
+    let mut found = from == to;
+    while qi < queue.len() && !found {
+        let u = queue[qi];
+        qi += 1;
+        for &v in adj.get(u).into_iter().flatten() {
+            if v != from && parent.contains_key(v) {
+                continue;
+            }
+            if !parent.contains_key(v) {
+                parent.insert(v, u);
+                queue.push(v);
+            }
+            if v == to {
+                found = true;
+                break;
+            }
+        }
+    }
+    if !found {
+        return None;
+    }
+    let mut path = vec![to.to_string()];
+    let mut cur = to;
+    while let Some(&p) = parent.get(cur) {
+        path.push(p.to_string());
+        cur = p;
+        if cur == from {
+            break;
+        }
+    }
+    if cur != from {
+        path.push(from.to_string());
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::scan::SourceFile;
+
+    fn check(srcs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> =
+            srcs.iter().map(|(rel, s)| SourceFile::parse(rel.to_string(), s.to_string())).collect();
+        let graph = Graph::build(&files);
+        let dir = std::env::temp_dir();
+        let ws = WorkspaceView { root: &dir, files: &files, graph: &graph };
+        let mut cfg = Config::default();
+        cfg.includes.remove("R7"); // report everywhere in unit tests
+        let mut out = Vec::new();
+        R7LockOrder.check_workspace(&ws, &cfg, &mut out);
+        out
+    }
+
+    const CROSSED: &str = "struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }\n\
+         impl S {\n\
+           fn forward(&self) {\n    let ga = self.a.lock();\n    let gb = self.b.lock();\n    let _ = (ga, gb);\n  }\n\
+           fn backward(&self) {\n    let gb = self.b.lock();\n    let ga = self.a.lock();\n    let _ = (ga, gb);\n  }\n\
+         }\n";
+
+    #[test]
+    fn crossed_orders_report_both_edges_with_witness() {
+        let d = check(&[("s.rs", CROSSED)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("S::a -> S::b -> S::a") || d[0].message.contains("S::b -> S::a -> S::b"), "{}", d[0].message);
+        assert!(d.iter().all(|x| x.rule == "R7"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let d = check(&[(
+            "s.rs",
+            "struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }\n\
+             impl S {\n\
+               fn one(&self) {\n    let ga = self.a.lock();\n    let gb = self.b.lock();\n    let _ = (ga, gb);\n  }\n\
+               fn two(&self) {\n    let ga = self.a.lock();\n    let gb = self.b.lock();\n    let _ = (ga, gb);\n  }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn scoped_first_guard_breaks_the_edge() {
+        let d = check(&[(
+            "s.rs",
+            "struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }\n\
+             impl S {\n\
+               fn one(&self) {\n    let x = { let ga = self.a.lock(); *ga };\n    let gb = self.b.lock();\n    let _ = (x, gb);\n  }\n\
+               fn two(&self) {\n    let gb = self.b.lock();\n    let ga = self.a.lock();\n    let _ = (ga, gb);\n  }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "guard a dies inside the block: {d:?}");
+    }
+
+    #[test]
+    fn one_level_call_edge_closes_a_cycle() {
+        let d = check(&[(
+            "s.rs",
+            "struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }\n\
+             impl S {\n\
+               fn outer(&self) {\n    let ga = self.a.lock();\n    self.inner_b();\n    let _ = ga;\n  }\n\
+               fn inner_b(&self) {\n    let gb = self.b.lock();\n    let _ = gb;\n  }\n\
+               fn backward(&self) {\n    let gb = self.b.lock();\n    let ga = self.a.lock();\n    let _ = (ga, gb);\n  }\n\
+             }\n",
+        )]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("through call to `inner_b`")), "{d:?}");
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_self_deadlock() {
+        let d = check(&[(
+            "s.rs",
+            "struct S { m: std::sync::Mutex<u8> }\n\
+             impl S {\n  fn f(&self) {\n    let g = self.m.lock();\n    let h = self.m.lock();\n    let _ = (g, h);\n  }\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("self-deadlock"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn indexed_same_name_locks_are_not_self_deadlocks() {
+        let d = check(&[(
+            "s.rs",
+            "fn f(p: &[std::sync::Mutex<u8>]) {\n  let g = p[0].lock();\n  let h = p[1].lock();\n  let _ = (g, h);\n}\n",
+        )]);
+        assert!(d.is_empty(), "distinct elements of one pool: {d:?}");
+    }
+
+    #[test]
+    fn allow_on_one_edge_breaks_the_cycle_for_both() {
+        let d = check(&[(
+            "s.rs",
+            "struct S { a: std::sync::Mutex<u8>, b: std::sync::Mutex<u8> }\n\
+             impl S {\n\
+               fn forward(&self) {\n    let ga = self.a.lock();\n    let gb = self.b.lock();\n    let _ = (ga, gb);\n  }\n\
+               fn backward(&self) {\n    let gb = self.b.lock();\n    // lint: allow(R7) -- b is only polled via try_lock upstream of this path\n    let ga = self.a.lock();\n    let _ = (ga, gb);\n  }\n\
+             }\n",
+        )]);
+        assert!(d.is_empty(), "removing the allowed edge breaks the cycle: {d:?}");
+    }
+}

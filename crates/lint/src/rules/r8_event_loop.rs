@@ -1,0 +1,239 @@
+//! R8 — nothing reachable from the event loop may block.
+//!
+//! The PR 9 server core multiplexes every connection over a handful of
+//! nonblocking loop threads; one blocking call on that path stalls
+//! every connection the thread owns. This rule computes call-graph
+//! reachability from the configured entry functions (`lint.toml
+//! [rules.R8] entries`, the poll-loop body) and flags any reachable
+//! blocking operation:
+//!
+//! * `thread::sleep`
+//! * `JoinHandle::join` (a no-argument `.join()`)
+//! * channel `.recv()` without a timeout (`recv_timeout`/`try_recv`
+//!   pass)
+//! * `TcpStream::connect` without a timeout (`connect_timeout` passes)
+//! * `std::fs` writes (`fs::write`/`rename`/`create_dir…`,
+//!   `File::create`, `.sync_all()`/`.sync_data()`)
+//!
+//! Such work belongs on the write-behind/worker threads. Reads are
+//! deliberately not flagged: the cold query path loads artefacts
+//! inline by design and is budget-bounded.
+
+use super::{Rule, WorkspaceView};
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::glob::glob_match;
+use crate::lexer::TokKind;
+use crate::scan::SourceFile;
+
+/// Flags blocking operations reachable from the event-loop entries.
+pub struct R8EventLoop;
+
+/// `fs::`-qualified write operations.
+const FS_WRITES: [&str; 9] = [
+    "write",
+    "rename",
+    "copy",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "hard_link",
+];
+
+/// No-argument methods that fsync.
+const SYNC_METHODS: [&str; 2] = ["sync_all", "sync_data"];
+
+impl Rule for R8EventLoop {
+    fn id(&self) -> &'static str {
+        "R8"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no blocking call (sleep/join/recv/connect/fs write) reachable from the event loop"
+    }
+
+    fn fix_hint(&self) -> &'static str {
+        "move the blocking work to the write-behind/worker threads, or bound it \
+         (`recv_timeout`, `connect_timeout`); a deliberate operator-path stall may carry \
+         `// lint: allow(R8) -- <why the stall is acceptable>`"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceView<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let g = ws.graph;
+        let files = ws.files;
+        let mut roots: Vec<usize> = Vec::new();
+        for entry in &cfg.r8_entries {
+            let found = g.by_name.get(entry.as_str());
+            match found {
+                Some(idxs) => roots.extend(idxs.iter().copied()),
+                None => out.push(self.diag(
+                    "lint.toml",
+                    1,
+                    format!(
+                        "R8 entry `{entry}` names no function in the scanned workspace \
+                         (check [rules.R8] entries)"
+                    ),
+                )),
+            }
+        }
+        if roots.is_empty() {
+            return;
+        }
+        let reach = g.reachable(&roots);
+        for (fi, f) in files.iter().enumerate() {
+            let in_scope = cfg
+                .includes
+                .get("R8")
+                .is_none_or(|globs| globs.iter().any(|g2| glob_match(g2, &f.rel)));
+            if !in_scope {
+                continue;
+            }
+            for c in 0..f.code.len() {
+                let Some(op) = blocking_op(f, c) else { continue };
+                let tok = f.toks[f.code[c]];
+                if f.in_test(tok.start) {
+                    continue;
+                }
+                let Some(holder) = g.enclosing_fn(fi, tok.start) else { continue };
+                if !reach.contains_key(&holder) {
+                    continue;
+                }
+                let chain = g.path_names(&reach, holder);
+                out.push(self.diag(
+                    &f.rel,
+                    tok.line,
+                    format!(
+                        "blocking `{op}` on the event-loop path {} (entry `{}`)",
+                        chain.join(" -> "),
+                        chain.first().map(String::as_str).unwrap_or("?"),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The blocking operation at code index `c`, if any.
+fn blocking_op(f: &SourceFile, c: usize) -> Option<&'static str> {
+    let name = ident_at(f, c)?;
+    let called = punct_at(f, c + 1, '(');
+    if !called {
+        return None;
+    }
+    let no_args = punct_at(f, c + 2, ')');
+    let method = c > 0 && punct_at(f, c - 1, '.');
+    let qualifier = if c >= 3 && punct_at(f, c - 1, ':') && punct_at(f, c - 2, ':') {
+        ident_at(f, c - 3)
+    } else {
+        None
+    };
+    match name {
+        "sleep" => Some("thread::sleep"),
+        "join" if method && no_args => Some("JoinHandle::join"),
+        "recv" if method && no_args => Some("recv (channel receive without timeout)"),
+        "connect" => Some("TcpStream::connect (no timeout)"),
+        n if SYNC_METHODS.contains(&n) && method && no_args => Some("fsync (sync_all/sync_data)"),
+        n if FS_WRITES.contains(&n) && qualifier == Some("fs") => Some("std::fs write"),
+        "create" if qualifier == Some("File") => Some("File::create"),
+        _ => None,
+    }
+}
+
+fn ident_at(f: &SourceFile, c: usize) -> Option<&str> {
+    f.code.get(c).and_then(|&ti| {
+        let t = f.toks[ti];
+        (t.kind == TokKind::Ident).then(|| f.text_of(&t))
+    })
+}
+
+fn punct_at(f: &SourceFile, c: usize, ch: char) -> bool {
+    f.code.get(c).is_some_and(|&ti| {
+        let t = f.toks[ti];
+        t.kind == TokKind::Punct && f.text.as_bytes()[t.start] == ch as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::scan::SourceFile;
+
+    fn check(entries: &[&str], srcs: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> =
+            srcs.iter().map(|(rel, s)| SourceFile::parse(rel.to_string(), s.to_string())).collect();
+        let graph = Graph::build(&files);
+        let dir = std::env::temp_dir();
+        let ws = WorkspaceView { root: &dir, files: &files, graph: &graph };
+        let mut cfg = Config {
+            r8_entries: entries.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        };
+        cfg.includes.remove("R8");
+        let mut out = Vec::new();
+        R8EventLoop.check_workspace(&ws, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn sleep_two_hops_from_the_entry_is_flagged_with_path() {
+        let d = check(
+            &["wake"],
+            &[(
+                "s.rs",
+                "fn wake() { handle(); }\nfn handle() { backoff(); }\n\
+                 fn backoff() { std::thread::sleep(std::time::Duration::from_millis(1)); }\n",
+            )],
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("wake -> handle -> backoff"), "{}", d[0].message);
+        assert!(d[0].message.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn unreachable_blocking_code_is_clean() {
+        let d = check(
+            &["wake"],
+            &[(
+                "s.rs",
+                "fn wake() {}\nfn worker() { rx.recv(); std::thread::sleep(d); }\n",
+            )],
+        );
+        assert!(d.is_empty(), "worker is not reachable from wake: {d:?}");
+    }
+
+    #[test]
+    fn bounded_variants_pass() {
+        let d = check(
+            &["wake"],
+            &[(
+                "s.rs",
+                "fn wake() {\n  rx.recv_timeout(d);\n  rx.try_recv();\n  \
+                 TcpStream::connect_timeout(&addr, d);\n  parts.join(\",\");\n}\n",
+            )],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn fs_write_and_empty_join_are_flagged() {
+        let d = check(
+            &["wake"],
+            &[(
+                "s.rs",
+                "fn wake() {\n  std::fs::rename(a, b);\n  handle.join();\n  file.sync_all();\n}\n",
+            )],
+        );
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn missing_entry_is_a_config_finding() {
+        let d = check(&["no_such_fn"], &[("s.rs", "fn wake() {}\n")]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no_such_fn"));
+    }
+}

@@ -64,6 +64,9 @@ pub struct Allow {
     pub rules: Vec<String>,
     /// Whether a non-empty reason follows the `--` separator.
     pub has_reason: bool,
+    /// Set when the allow suppresses at least one finding during a
+    /// run; `--strict-allows` reports reasoned allows left unused.
+    pub used: std::cell::Cell<bool>,
 }
 
 /// A lexed and structurally scanned source file.
@@ -122,15 +125,20 @@ impl SourceFile {
     /// Whether an `allow` for `rule` *with a reason* covers `line`: the
     /// comment sits on the line itself or above it, separated from the
     /// code only by comment lines (a reason may wrap onto continuation
-    /// lines).
+    /// lines). A match marks the allow used (see [`Allow::used`]).
     pub fn allowed_at(&self, rule: &str, line: u32) -> bool {
-        self.allows.iter().any(|a| {
+        let hit = self.allows.iter().find(|a| {
             a.has_reason
                 && a.rules.iter().any(|r| r == rule)
                 && a.line <= line
                 && (a.line == line
                     || ((a.line + 1)..line).all(|l| self.comment_only_line(l)))
-        })
+        });
+        if let Some(a) = hit {
+            a.used.set(true);
+            return true;
+        }
+        false
     }
 
     /// Whether the line holds comments and nothing else.
@@ -150,14 +158,19 @@ impl SourceFile {
     }
 
     /// Whether an `allow` for `rule` with a reason sits inside the
-    /// byte range (used for loop bodies).
+    /// byte range (used for loop bodies). A match marks the allow used.
     pub fn allowed_within(&self, rule: &str, range: (usize, usize)) -> bool {
-        self.allows.iter().any(|a| {
+        let hit = self.allows.iter().find(|a| {
             a.has_reason
                 && a.rules.iter().any(|r| r == rule)
                 && range.0 <= a.byte
                 && a.byte < range.1
-        })
+        });
+        if let Some(a) = hit {
+            a.used.set(true);
+            return true;
+        }
+        false
     }
 
     fn scan(&mut self) {
@@ -199,7 +212,13 @@ impl SourceFile {
                 .trim_start()
                 .strip_prefix("--")
                 .is_some_and(|r| !r.trim().trim_end_matches("*/").trim().is_empty());
-            self.allows.push(Allow { line: t.line, byte: t.start, rules, has_reason });
+            self.allows.push(Allow {
+                line: t.line,
+                byte: t.start,
+                rules,
+                has_reason,
+                used: std::cell::Cell::new(false),
+            });
         }
     }
 
@@ -283,7 +302,13 @@ impl SourceFile {
             match self.text_of(&tok) {
                 kw @ ("for" | "while" | "loop") => {
                     if let Some(body) = self.loop_body(code, c, kw, closer) {
-                        let parent = loop_stack.last().copied();
+                        // On malformed (unbalanced-brace) input a body can
+                        // pair with a `}` outside the enclosing loop; only a
+                        // loop that truly contains the body may be parent.
+                        let parent = loop_stack.iter().rev().copied().find(|&l| {
+                            let (ps, pe) = self.loops[l].body;
+                            ps <= body.0 && body.1 <= pe
+                        });
                         self.loops.push(LoopInfo {
                             line: tok.line,
                             kw_byte: tok.start,

@@ -1,0 +1,23 @@
+//! Allow case: the same crossed shape, but one edge carries a reasoned
+//! allow. Removing that edge from the acquisition graph breaks the
+//! cycle, so *neither* function is reported.
+
+pub struct Journal {
+    hot: std::sync::Mutex<Vec<u64>>,
+    cold: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Journal {
+    pub fn append(&self) {
+        let hot = self.hot.lock();
+        let cold = self.cold.lock();
+        let _ = (hot, cold);
+    }
+
+    pub fn compact(&self) {
+        let cold = self.cold.lock();
+        // lint: allow(R7) -- compaction runs single-threaded at startup, before append is reachable
+        let hot = self.hot.lock();
+        let _ = (hot, cold);
+    }
+}

@@ -1,0 +1,21 @@
+//! True positive: two paths nest the same two locks in opposite
+//! orders, so each can hold what the other waits for.
+
+pub struct Registry {
+    members: std::sync::Mutex<Vec<u64>>,
+    epochs: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn admit(&self) {
+        let members = self.members.lock();
+        let epochs = self.epochs.lock();
+        let _ = (members, epochs);
+    }
+
+    pub fn expire(&self) {
+        let epochs = self.epochs.lock();
+        let members = self.members.lock();
+        let _ = (members, epochs);
+    }
+}

@@ -1,0 +1,28 @@
+//! True positive: the wake handler reaches `thread::sleep` two calls
+//! deep. Allow case: the snapshot rename on the same path carries a
+//! reasoned allow. The worker thread may block freely — it is not
+//! reachable from `wake`.
+
+pub fn wake(conn: &mut Conn) {
+    dispatch(conn);
+    persist(conn);
+}
+
+fn dispatch(conn: &mut Conn) {
+    backoff(conn.retries);
+}
+
+fn backoff(retries: u32) {
+    std::thread::sleep(std::time::Duration::from_millis(u64::from(retries)));
+}
+
+fn persist(conn: &mut Conn) {
+    // lint: allow(R8) -- rename of a same-directory tmp file; bounded and rarer than one per snapshot
+    let _ = std::fs::rename(conn.tmp_path(), conn.final_path());
+}
+
+pub fn worker(rx: &std::sync::mpsc::Receiver<u64>) {
+    while let Ok(n) = rx.recv() {
+        let _ = n;
+    }
+}

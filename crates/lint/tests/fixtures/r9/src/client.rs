@@ -1,0 +1,11 @@
+//! Sender fixture: PING is sent (so only the README drifts); KICK is
+//! sent but nothing parses it (reverse true positive).
+
+pub fn ping(io: &mut impl std::io::Write) {
+    let _ = io.write_all(b"x");
+    send(io, "PING now");
+}
+
+pub fn kick(io: &mut impl std::io::Write) {
+    send(io, "KICK 7");
+}

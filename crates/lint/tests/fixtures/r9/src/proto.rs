@@ -1,0 +1,11 @@
+//! Parser fixture: PING is fully wired except for the README (true
+//! positive); ECHO is a reasoned internal verb (allow case).
+
+pub fn parse(verb: &str) -> Option<Cmd> {
+    match verb {
+        "PING" => Some(Cmd::Ping),
+        // lint: allow(R9) -- internal loopback probe, deliberately undocumented and untested externally
+        "ECHO" => Some(Cmd::Echo),
+        _ => None,
+    }
+}

@@ -1,0 +1,6 @@
+#[test]
+fn ping_roundtrip() {
+    let mut buf = Vec::new();
+    ping(&mut buf);
+    assert!(!buf.is_empty());
+}

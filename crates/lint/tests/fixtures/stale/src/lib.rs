@@ -1,0 +1,9 @@
+pub fn used(slot: &Option<u64>) -> u64 {
+    // lint: allow(R1) -- the constructor fills the slot before readers exist
+    slot.unwrap()
+}
+
+pub fn stale(slot: &Option<u64>) -> u64 {
+    // lint: allow(R1) -- left behind after the unwrap was refactored away
+    slot.copied().unwrap_or(0)
+}

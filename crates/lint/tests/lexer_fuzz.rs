@@ -1,0 +1,191 @@
+//! Adversarial property tests for the lexer: thousands of seeded,
+//! randomly assembled inputs stuffed with the constructs most likely
+//! to desynchronise a hand-rolled scanner — raw strings with arbitrary
+//! `#` fencing, nested block comments, byte/char literals containing
+//! quotes and braces, lifetimes next to char literals, multibyte
+//! unicode and truncated tails. The lexer must never panic, and every
+//! token stream must satisfy the span invariants the rules rely on.
+
+use skydiver_lint::lexer::{lex, Tok, TokKind};
+use skydiver_lint::scan::SourceFile;
+
+/// Deterministic splitmix64 — no external crates, stable across runs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.below(options.len())]
+    }
+}
+
+/// One adversarial fragment. The pool mixes well-formed tokens with
+/// the pathological shapes named in the module doc.
+fn fragment(rng: &mut Rng, out: &mut String) {
+    match rng.below(20) {
+        0 => {
+            // Raw string with 0..=4 hashes; body may contain quotes
+            // followed by too few hashes to terminate.
+            let hashes = "#".repeat(rng.below(5));
+            let body = rng.pick(&["plain", "\"#", "\"##x", "{ } \\", "line\nbreak", "δοκιμή"]);
+            out.push('r');
+            out.push_str(&hashes);
+            out.push('"');
+            out.push_str(body);
+            out.push('"');
+            out.push_str(&hashes);
+        }
+        1 => {
+            // Nested block comment, depth 1..=3, sometimes with a fake
+            // terminator inside a deeper level.
+            let depth = 1 + rng.below(3);
+            for _ in 0..depth {
+                out.push_str("/* a ");
+            }
+            out.push_str(rng.pick(&["x", "*/ /*", "\" '", "*"]));
+            for _ in 0..depth {
+                out.push_str(" b */");
+            }
+        }
+        2 => out.push_str(rng.pick(&["'\"'", "'{'", "'}'", "'\\''", "'\\\\'", "'\\n'"])),
+        3 => out.push_str(rng.pick(&["b'\"'", "b'{'", "b'\\''", "b\"bytes \\\" {\""])),
+        4 => {
+            // Lifetime-vs-char ambiguity food.
+            out.push_str(rng.pick(&["'a", "'static", "'_, 'b>", "x: &'a str"]));
+        }
+        5 => {
+            // Plain string with escapes, braces, multibyte.
+            out.push_str(rng.pick(&[
+                "\"\\\"\"",
+                "\"{ not a block }\"",
+                "\"// not a comment\"",
+                "\"/* not a comment */\"",
+                "\"日本語 \\u{1F600}\"",
+            ]));
+        }
+        6 => out.push_str(rng.pick(&["// line comment with \" and /*", "/// doc '"])),
+        7 => out.push_str(rng.pick(&["r#type", "r#fn", "r#loop"])),
+        8 => out.push_str(rng.pick(&["0x_ff", "1_000u64", "3.14f32", "0b1010"])),
+        9..=13 => {
+            out.push_str(rng.pick(&["fn", "loop", "while", "for", "unsafe", "impl", "let"]));
+            out.push(' ');
+            out.push_str(rng.pick(&["f", "g", "alpha", "σ"]));
+        }
+        _ => out.push_str(rng.pick(&["{", "}", "(", ")", ";", ".", "::", "=", "&mut ", " "])),
+    }
+    out.push_str(rng.pick(&[" ", "\n", "", "\t"]));
+}
+
+fn generate(seed: u64) -> String {
+    let mut rng = Rng(seed);
+    let mut src = String::new();
+    let pieces = 4 + rng.below(60);
+    for _ in 0..pieces {
+        fragment(&mut rng, &mut src);
+    }
+    // A third of the inputs get truncated mid-token to exercise the
+    // unterminated-tail paths.
+    if rng.below(3) == 0 && !src.is_empty() {
+        let mut cut = rng.below(src.len());
+        while !src.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        src.truncate(cut);
+    }
+    src
+}
+
+/// The invariants every token stream must satisfy, whatever the input.
+fn check_invariants(src: &str, toks: &[Tok]) {
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in toks {
+        assert!(t.start < t.end, "empty span {t:?} in {src:?}");
+        assert!(t.end <= src.len(), "span past EOF {t:?} in {src:?}");
+        assert!(t.start >= prev_end, "overlapping tokens at {t:?} in {src:?}");
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span splits a char {t:?} in {src:?}"
+        );
+        assert!(t.line >= prev_line, "line numbers went backwards at {t:?} in {src:?}");
+        let claimed = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+        assert_eq!(t.line, claimed, "wrong line for {t:?} in {src:?}");
+        // text() must not panic and idents must be non-empty words.
+        let text = t.text(src);
+        if t.kind == TokKind::Ident {
+            assert!(!text.is_empty(), "empty ident at {t:?} in {src:?}");
+        }
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+}
+
+#[test]
+fn seeded_adversarial_inputs_lex_without_panics_and_keep_span_invariants() {
+    for seed in 0..4000u64 {
+        let src = generate(seed);
+        let toks = lex(&src);
+        check_invariants(&src, &toks);
+    }
+}
+
+#[test]
+fn parse_layer_survives_the_same_corpus_and_nests_loop_bodies() {
+    for seed in 0..1000u64 {
+        let src = generate(seed);
+        let f = SourceFile::parse("fuzz.rs".into(), src.clone());
+        for lp in &f.loops {
+            let (s, e) = lp.body;
+            assert!(s <= e && e <= src.len(), "loop body out of bounds in {src:?}");
+            if let Some(p) = lp.parent {
+                let (ps, pe) = f.loops[p].body;
+                assert!(ps <= s && e <= pe, "child loop body escapes its parent in {src:?}");
+            }
+        }
+        for a in &f.allows {
+            assert!(a.line >= 1, "allow line must be 1-based in {src:?}");
+        }
+    }
+}
+
+#[test]
+fn raw_string_fencing_is_exact_not_greedy() {
+    // `"#` inside an `r##"…"##` body must not terminate the literal.
+    let src = r###"let x = r##"body "# still body"## ; after"###;
+    let toks = lex(src);
+    let lit = toks
+        .iter()
+        .find(|t| t.kind == TokKind::Literal)
+        .expect("raw string literal");
+    assert_eq!(lit.text(src), r###"r##"body "# still body"##"###);
+    assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text(src) == "after"));
+}
+
+#[test]
+fn unterminated_tails_consume_to_eof_without_panicking() {
+    for src in [
+        "r#\"never closed",
+        "/* outer /* inner */ still open",
+        "\"dangling escape \\",
+        "b'",
+        "'",
+        "r#",
+    ] {
+        let toks = lex(src);
+        check_invariants(src, &toks);
+        if let Some(last) = toks.last() {
+            assert!(last.end <= src.len());
+        }
+    }
+}

@@ -102,6 +102,74 @@ fn r6_stray_counter_caught_in_both_artifacts() {
 }
 
 #[test]
+fn r7_lock_cycle_caught_allowed_edge_breaks_its_cycle() {
+    let (code, out) = run_fixture("r7");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 2, "both edges of the cycle carry a finding:\n{out}");
+    assert!(h[0].starts_with("src/cycle.rs:12: [R7]"), "{out}");
+    assert!(h[1].starts_with("src/cycle.rs:18: [R7]"), "{out}");
+    assert!(out.contains("Registry::members") && out.contains("Registry::epochs"), "{out}");
+    assert!(
+        !out.contains("src/allowed.rs"),
+        "the allowed edge must break the Journal cycle for both functions:\n{out}"
+    );
+}
+
+#[test]
+fn r8_reachable_sleep_caught_with_path_allowed_rename_clean() {
+    let (code, out) = run_fixture("r8");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 1, "only the sleep two calls deep is flagged:\n{out}");
+    assert!(h[0].starts_with("src/server.rs:16: [R8]"), "{out}");
+    assert!(out.contains("wake -> dispatch -> backoff"), "the witness path names the chain:\n{out}");
+    assert!(!out.contains("rename"), "the reasoned allow covers the snapshot rename:\n{out}");
+    assert!(
+        !out.contains("blocking `recv`"),
+        "the worker thread is not reachable from wake:\n{out}"
+    );
+}
+
+#[test]
+fn r9_readme_drift_and_ghost_sender_caught_allowed_verb_clean() {
+    let (code, out) = run_fixture("r9");
+    assert_eq!(code, 1, "{out}");
+    let h = headers(&out);
+    assert_eq!(h.len(), 2, "{out}");
+    assert!(h[0].starts_with("src/client.rs:10: [R9]"), "{out}");
+    assert!(out.contains("`KICK` is sent here but no configured parser"), "{out}");
+    assert!(h[1].starts_with("src/proto.rs:6: [R9]"), "{out}");
+    assert!(out.contains("`PING` is parsed here but missing from `README.md`"), "{out}");
+    assert!(!out.contains("ECHO"), "the allowed internal verb stays quiet:\n{out}");
+}
+
+#[test]
+fn strict_allows_reports_only_the_stale_suppression() {
+    let (code, out) = run_fixture("stale");
+    assert_eq!(code, 0, "without --strict-allows the tree is clean:\n{out}");
+    let out = run_at(&fixture("stale"), &["--strict-allows"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    let h = headers(&stdout);
+    assert_eq!(h.len(), 1, "{stdout}");
+    assert!(h[0].starts_with("src/lib.rs:7: [A1]"), "{stdout}");
+    assert!(stdout.contains("stale suppression"), "{stdout}");
+}
+
+#[test]
+fn github_mode_emits_error_annotations() {
+    let out = run_at(&fixture("r1"), &["--github"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=src/bad.rs,line=2,title=R1::"),
+        "annotation lines must carry file, line and rule:\n{stdout}"
+    );
+    assert!(stdout.contains(": [R1]"), "the human rendering still follows:\n{stdout}");
+}
+
+#[test]
 fn json_report_carries_rule_file_line() {
     let out = run_at(&fixture("r1"), &["--json"]);
     assert_eq!(out.status.code(), Some(1));
@@ -114,7 +182,7 @@ fn json_report_carries_rule_file_line() {
 
 #[test]
 fn unknown_rule_flag_is_a_usage_error() {
-    let out = run_at(&fixture("r1"), &["--rules", "R9"]);
+    let out = run_at(&fixture("r1"), &["--rules", "R12"]);
     assert_eq!(out.status.code(), Some(2));
 }
 
@@ -160,11 +228,11 @@ fn clean_tree_smoke_exits_zero() {
 #[test]
 fn real_workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let out = run_at(&root, &[]);
+    let out = run_at(&root, &["--strict-allows"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         out.status.code(),
         Some(0),
-        "the committed workspace must lint clean:\n{stdout}"
+        "the committed workspace must lint clean (including stale allows):\n{stdout}"
     );
 }

@@ -639,6 +639,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                 Request::Leave { addr }
             })
         }
+        // lint: allow(R9) -- worker-internal placement verb sent by the coordinator; exercised end-to-end via tests/sharding.rs, not part of the public README contract
         "SHARDPUT" => {
             let (mut name, mut shard, mut base, mut replace, mut bytes) =
                 (None, None, None, false, None);
@@ -701,6 +702,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                 bytes: bytes.ok_or_else(|| bad("FOLD requires bytes=<n>"))?,
             })
         }
+        // lint: allow(R9) -- worker-internal replication verbs; exercised end-to-end via tests/sharding.rs, not part of the public README contract
         verb @ ("FETCH" | "REPLICATE") => {
             let mut name = None;
             let mut hash = None;

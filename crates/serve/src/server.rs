@@ -251,6 +251,7 @@ impl Server {
                     .spawn(move || event_loop(listener, ctx))?,
             );
         }
+        // lint: allow(R2) -- joins a fixed handful of loop threads, each of which exits on the shutdown flag
         for h in loops {
             let _ = h.join();
         }
@@ -386,6 +387,7 @@ impl Conn {
 /// deadlines promptly, coarse enough to stay idle-cheap.
 fn tick_interval(limits: &ConnLimits) -> Duration {
     let mut tick = Duration::from_millis(100);
+    // lint: allow(R2) -- two-element literal array, pure arithmetic
     for ms in [limits.read_timeout_ms, limits.write_timeout_ms] {
         if ms > 0 {
             tick = tick.min(Duration::from_millis((ms / 4).max(10)));
@@ -456,7 +458,6 @@ fn event_loop(listener: TcpListener, ctx: LoopCtx) {
     }
     // Shutdown: one best-effort flush per connection, then close.
     for idx in 0..conns.len() {
-        // lint: allow(R2) -- bounded teardown sweep over this loop's slab
         if let Some(Some(conn)) = conns.get_mut(idx) {
             flush_conn(conn, &metrics);
         }
